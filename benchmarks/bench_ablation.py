@@ -1,0 +1,33 @@
+"""EXP-ABL bench: ablations of the design choices DESIGN.md calls out.
+
+* LRU/EDF capacity split (the paper's even split vs pure extremes);
+* replication (two locations per color) vs distinct-only caching;
+* resource augmentation sweep (Theorem 1 uses n = 8m);
+* uni- vs double-speed execution.
+"""
+
+
+def bench_design_ablations(run_and_report):
+    report = run_and_report(
+        "EXP-ABL",
+        seeds=(0, 1),
+        horizon=64,
+        fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
+        augmentations=(2, 4, 8, 16),
+    )
+    split = {
+        row["value"]: row["geomean_ratio"]
+        for row in report.rows
+        if row.get("knob") == "lru_fraction"
+    }
+    # The combination must beat at least one pure extreme, and the pure
+    # extremes must be visibly worse somewhere (they are not resource
+    # competitive).
+    assert split[0.5] <= max(split[0.0], split[1.0])
+    aug = [
+        row["geomean_ratio"]
+        for row in report.rows
+        if row.get("knob") == "augmentation"
+    ]
+    # More augmentation never makes the geomean ratio blow up.
+    assert aug[-1] <= aug[0] * 1.5

@@ -1,0 +1,17 @@
+"""EXP-A bench: regenerate the Appendix A lower-bound table and series.
+
+Paper claim: ΔLRU's competitive ratio on the short-term/long-term
+adversary is ``(nΔ + 2^k) / (Δ + 2^{k-j-1} n Δ)`` — unbounded as the
+exponents grow — while ΔLRU-EDF stays constant on the same inputs.
+"""
+
+
+def bench_appendix_a_dlru_blowup(run_and_report):
+    report = run_and_report("EXP-A", j_values=(5, 6, 7, 8, 9))
+    # Shape checks: monotone growth matching the closed form, and the
+    # combined algorithm flat.
+    assert report.summary["monotone_growth"]
+    assert report.summary["dlru_ratio_last"] >= 3 * report.summary["dlru_ratio_first"]
+    assert report.summary["dlru_edf_ratio_max"] < 8
+    for row in report.rows:
+        assert row["dlru_ratio"] >= row["predicted_ratio"] * 0.99

@@ -1,0 +1,18 @@
+"""EXP-B bench: regenerate the Appendix B lower-bound table and series.
+
+Paper claim: EDF's competitive ratio on the alternating-idleness
+adversary is at least ``2^{k-j-1} / (n/2 + 1)`` — geometric in ``k - j``
+— while ΔLRU-EDF stays constant on the same inputs.
+"""
+
+
+def bench_appendix_b_edf_blowup(run_and_report):
+    report = run_and_report("EXP-B", gaps=(1, 2, 3, 4, 5))
+    assert report.summary["monotone_growth"]
+    # Geometric growth: each gap step should scale the measured ratio by
+    # roughly 2x once the geometric term dominates.
+    ratios = [row["edf_ratio"] for row in report.rows]
+    assert ratios[-1] >= 1.5 * ratios[-2]
+    assert report.summary["dlru_edf_ratio_max"] < 8
+    for row in report.rows:
+        assert row["edf_ratio"] >= row["predicted_ratio"] * 0.99

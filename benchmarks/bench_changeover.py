@@ -1,0 +1,14 @@
+"""EXP-C bench (extension): the changeover-time crossover.
+
+Shape claim: the chase/sticky gap is <= 0 at T = 0 and strictly positive
+at large T — agility wins when switching is free, commitment wins when
+switching burns capacity, with a crossover in between.
+"""
+
+
+def bench_changeover_crossover(run_and_report):
+    report = run_and_report(
+        "EXP-C", changeover_times=(0, 1, 2, 4, 8, 12), horizon=256
+    )
+    assert report.summary["crossover_exists"]
+    assert report.summary["sticky_wins_at_max_T"]

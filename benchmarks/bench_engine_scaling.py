@@ -1,0 +1,55 @@
+"""EXP-S bench plus micro-benchmarks of the hot paths.
+
+The experiment-level bench regenerates the throughput table; the micro
+benches time the individual hot paths (engine round loop, Par-EDF,
+exact offline search, capacity lower bound) under pytest-benchmark's
+statistical clock so regressions show up in ``--benchmark-compare``.
+"""
+
+import pytest
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.algorithms.par_edf import run_par_edf
+from repro.offline.lower_bounds import capacity_lower_bound
+from repro.offline.optimal import optimal_offline
+from repro.simulation.engine import simulate
+from repro.workloads.random_batched import random_rate_limited
+
+
+def bench_scaling_table(run_and_report):
+    report = run_and_report("EXP-S")
+    assert report.summary["min_rounds_per_second"] > 100
+
+
+@pytest.fixture(scope="module")
+def medium_instance():
+    return random_rate_limited(
+        8, 4, 512, seed=0, load=0.6, bound_choices=(2, 4, 8, 16)
+    )
+
+
+def bench_engine_round_loop(benchmark, medium_instance):
+    result = benchmark(lambda: simulate(medium_instance, DeltaLRUEDF(), 16))
+    assert result.verify().ok
+
+
+def bench_par_edf(benchmark, medium_instance):
+    result = benchmark(lambda: run_par_edf(medium_instance, 4))
+    assert result.num_executions > 0
+
+
+def bench_capacity_lower_bound(benchmark, medium_instance):
+    value = benchmark(lambda: capacity_lower_bound(medium_instance, 2))
+    assert value >= 0
+
+
+def bench_exact_offline_search(benchmark):
+    instance = random_rate_limited(
+        3, 2, 16, seed=0, load=0.7, bound_choices=(2, 4)
+    )
+    result = benchmark.pedantic(
+        lambda: optimal_offline(instance, 2, max_states=600_000),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.cost >= 0

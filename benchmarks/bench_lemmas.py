@@ -1,0 +1,13 @@
+"""EXP-L bench: the Section 3.2 lemma inequalities audited on real runs.
+
+Paper claims (each printed with both sides):
+* Lemma 3.1: on sparse inputs ΔLRU-EDF costs no more than OFF.
+* Lemma 3.3: reconfiguration cost <= 4 * numEpochs * Δ.
+* Lemma 3.4: ineligible drop cost <= numEpochs * Δ.
+* Lemma 3.10 / Corollary 3.1: the eligible-drop containment chain.
+"""
+
+
+def bench_lemma_inequalities(run_and_report):
+    report = run_and_report("EXP-L", seeds=(0, 1, 2, 3), horizon=64)
+    assert report.summary["all_inequalities_hold"]

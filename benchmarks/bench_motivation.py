@@ -1,0 +1,18 @@
+"""EXP-M bench: the introduction's thrashing/underutilization dilemma.
+
+Paper claim (Section 1): strategies that only chase backlog thrash;
+strategies that never adapt underutilize; the EDF+LRU combination avoids
+both failure modes on the background/short-term scenario.
+"""
+
+
+def bench_motivation_scenario(run_and_report):
+    report = run_and_report("EXP-M", horizon=1024)
+    rows = {row["policy"]: row for row in report.rows}
+    combined = rows["dLRU-EDF"]["total"]
+    never = rows["never-reconfigure"]["total"]
+    # Underutilization extreme is catastrophic.
+    assert combined * 3 < never
+    # The combined policy is within a small factor of the best policy.
+    best = min(row["total"] for row in report.rows)
+    assert combined <= 3 * best

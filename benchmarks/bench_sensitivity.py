@@ -1,0 +1,21 @@
+"""EXP-SEN bench: the Δ × load sensitivity grid.
+
+Shape claim (Theorem 1): the measured ratio is bounded by a constant
+independent of Δ and load; the grid should be flat to within the
+lower-bound estimator's slack.
+"""
+
+
+def bench_sensitivity_grid(run_and_report):
+    report = run_and_report(
+        "EXP-SEN",
+        delta_values=(1, 2, 4, 8),
+        loads=(0.2, 0.4, 0.6, 0.8, 1.0),
+        seeds=(0, 1, 2),
+        horizon=96,
+    )
+    assert report.summary["max_cell"] < 10
+    # Heavier load tightens the drop-side lower bound, so ratios should
+    # not explode toward load 1.0.
+    heavy = [r["geomean_ratio"] for r in report.rows if r["load"] >= 0.8]
+    assert max(heavy) < 6

@@ -1,0 +1,22 @@
+"""EXP-T1 bench: Theorem 1's resource competitiveness of ΔLRU-EDF.
+
+Paper claim: with ``n = 8m`` resources, ΔLRU-EDF's cost on any
+rate-limited batched input is within a constant factor of OFF's with
+``m``.  The bench sweeps random/bursty/adversarial workloads and checks
+the max measured ratio (vs exact optimum where feasible, certified lower
+bound otherwise) stays below a fixed constant.
+"""
+
+
+def bench_theorem1_resource_competitive(run_and_report):
+    report = run_and_report(
+        "EXP-T1",
+        seeds=(0, 1, 2),
+        delta_values=(2, 4),
+        horizon=64,
+    )
+    assert report.summary["max_ratio"] < 10
+    assert report.summary["geomean_ratio"] < 4
+    # The combined algorithm should never lose badly to the pure schemes.
+    for row in report.rows:
+        assert row["dlru_edf_cost"] <= 2 * min(row["dlru_cost"], row["edf_cost"]) + 1

@@ -1,0 +1,43 @@
+"""Shared benchmark plumbing.
+
+Every experiment benchmark runs its experiment once (``benchmark.pedantic``
+with a single round — the experiments are deterministic, so statistical
+repetition buys nothing and costs minutes), asserts the headline claim,
+prints the paper-style table, and writes the rendered report to
+``benchmarks/reports/<id>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+@pytest.fixture
+def run_and_report(benchmark, report_dir):
+    """Run an experiment under the benchmark clock and persist its report."""
+
+    def runner(experiment_id: str, *, quick: bool = False, rounds: int = 1, **overrides):
+        from repro.experiments.registry import run_experiment
+
+        report = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, quick=quick, **overrides),
+            rounds=rounds,
+            iterations=1,
+        )
+        text = report.render()
+        print()
+        print(text)
+        (report_dir / f"{experiment_id}.txt").write_text(text + "\n")
+        return report
+
+    return runner

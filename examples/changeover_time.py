@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""When reconfiguration takes time instead of money.
+
+The paper charges Δ per reconfiguration; Brucker's changeover-time class
+(cited in related work) instead makes the machine *unavailable* during a
+changeover.  This example sweeps the changeover duration T and shows the
+design lesson transferring: retarget-happy policies destroy their own
+capacity, and the stickiness the paper builds into ΔLRU-EDF's recency
+half is exactly what survives.
+
+Run:  python examples/changeover_time.py
+"""
+
+from repro.analysis.report import format_series, format_table
+from repro.core.instance import BatchMode, make_instance
+from repro.core.job import JobFactory
+from repro.extensions.changeover_time import (
+    ChaseBacklogPolicy,
+    StickyBacklogPolicy,
+    simulate_changeover,
+)
+
+
+def build_instance(colors=5, horizon=256):
+    """Several steady service classes sharing two machines."""
+    factory = JobFactory()
+    jobs = []
+    for color in range(colors):
+        for start in range(0, horizon, 4):
+            if (start // 4 + color) % colors != 0:  # staggered lulls
+                jobs += factory.batch(start, color, 4, 1)
+    return make_instance(
+        jobs,
+        {c: 4 for c in range(colors)},
+        2,
+        batch_mode=BatchMode.RATE_LIMITED,
+        name="changeover-demo",
+    )
+
+
+def main() -> None:
+    rows = []
+    gap_series = []
+    for changeover in (0, 1, 2, 4, 8):
+        chase = simulate_changeover(
+            build_instance(), ChaseBacklogPolicy(), 2, changeover
+        )
+        sticky = simulate_changeover(
+            build_instance(), StickyBacklogPolicy(), 2, changeover
+        )
+        rows.append(
+            (
+                changeover,
+                chase.dropped,
+                chase.stalled_rounds,
+                sticky.dropped,
+                sticky.stalled_rounds,
+            )
+        )
+        gap_series.append((changeover, float(chase.dropped - sticky.dropped)))
+    print(
+        format_table(
+            "Chase vs sticky as the changeover duration T grows "
+            "(2 machines, 5 classes)",
+            ("T", "chase drops", "chase stalls", "sticky drops", "sticky stalls"),
+            rows,
+        )
+    )
+    print()
+    print(
+        format_series(
+            "Sticky's advantage vs T (negative = chase wins)",
+            "T",
+            "chase drops - sticky drops",
+            gap_series,
+        )
+    )
+    print()
+    print(
+        "A crossover, not a blowout: when switching is cheap (small T) the\n"
+        "chaser's agility wins and stickiness starves lulled queues; once a\n"
+        "changeover burns enough machine-rounds (T >= ~4 here) every chase\n"
+        "retarget destroys more capacity than it recovers and sticky pulls\n"
+        "ahead for good. Same dilemma as the paper's Δ cost model — and the\n"
+        "same resolution: commitment must scale with the reconfiguration\n"
+        "price, which is exactly what ΔLRU's Δ-counter encodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Shared data center: reconfiguring processors as the service mix shifts.
+
+The paper's introduction motivates reconfigurable resource scheduling
+with shared data centers [Chandra et al., Chase et al.]: processors are
+dedicated to one service at a time (isolation), demand composition
+rotates, and each service class has its own latency tolerance.
+
+This example builds a phase-rotating service mix, runs the full online
+stack (VarBatch → Distribute → ΔLRU-EDF) against practitioner baselines,
+and prints per-policy cost splits plus a per-phase utilization picture
+for the winning policy.
+
+Run:  python examples/datacenter_autoscaling.py
+"""
+
+import numpy as np
+
+from repro.algorithms.greedy import GreedyPendingPolicy
+from repro.algorithms.never import AlwaysReconfigurePolicy, NeverReconfigurePolicy
+from repro.algorithms.static import StaticPartitionPolicy
+from repro.analysis.report import format_series, format_table
+from repro.reductions.pipeline import run_pipeline
+from repro.simulation.general import simulate_general
+from repro.workloads import datacenter_scenario
+
+NUM_RESOURCES = 16
+PHASE_LENGTH = 128
+
+
+def main() -> None:
+    instance = datacenter_scenario(
+        seed=11,
+        num_services=6,
+        horizon=1024,
+        delta=8,
+        phase_length=PHASE_LENGTH,
+        peak_rate=2.5,
+        base_rate=0.1,
+    )
+    print(instance.describe())
+    print()
+
+    rows = []
+
+    # The paper's stack (handles general arrivals via VarBatch).
+    stack = run_pipeline(instance, NUM_RESOURCES)
+    assert stack.verify().ok
+    rows.append(
+        (
+            "VarBatch∘Distribute∘ΔLRU-EDF",
+            stack.total_cost,
+            stack.cost.reconfig_cost,
+            stack.cost.drop_cost,
+        )
+    )
+
+    # Practitioner baselines on the same instance and resources.
+    demand = instance.sequence.count_by_color()
+    baselines = [
+        ("greedy (no hysteresis)", GreedyPendingPolicy(hysteresis=0.0)),
+        ("greedy (hysteresis=2Δ)", GreedyPendingPolicy(hysteresis=2.0)),
+        (
+            "static by total demand",
+            StaticPartitionPolicy(weights={c: float(v) for c, v in demand.items()}),
+        ),
+        ("always chase backlog", AlwaysReconfigurePolicy()),
+        ("never reconfigure", NeverReconfigurePolicy()),
+    ]
+    for label, policy in baselines:
+        result = simulate_general(instance, policy, NUM_RESOURCES, copies=2)
+        rows.append(
+            (
+                label,
+                result.cost.total,
+                result.cost.reconfig_cost,
+                result.cost.drop_cost,
+            )
+        )
+
+    print(
+        format_table(
+            f"Policies on the rotating service mix ({NUM_RESOURCES} processors)",
+            ("policy", "total", "reconfig cost", "drop cost"),
+            rows,
+        )
+    )
+
+    # Per-phase drop profile of the paper's stack: where do losses happen?
+    drops = np.zeros(instance.horizon, dtype=np.int64)
+    executed = {e.jid for e in stack.schedule.executions}
+    for job in instance.sequence:
+        if job.jid not in executed:
+            drops[job.deadline - 1] += 1
+    phases = drops[: (len(drops) // PHASE_LENGTH) * PHASE_LENGTH]
+    per_phase = phases.reshape(-1, PHASE_LENGTH).sum(axis=1)
+    print()
+    print(
+        format_series(
+            "Stack drop profile per workload phase",
+            "phase",
+            "drops",
+            [(i, float(v)) for i, v in enumerate(per_phase)],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

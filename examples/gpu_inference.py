@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Multi-model GPU inference serving: theory stack vs tuned heuristics.
+
+A pool of GPUs hosts several models; loading weights costs Δ = 10 (the
+reconfiguration cost), each model carries its own latency SLO (the delay
+bound), traffic is diurnal with popularity-weighted bursts.
+
+The honest headline: on *stochastic, in-capacity* traffic the tuned
+heuristics beat the paper's stack — VarBatch halves every window and the
+eligibility filter drops each color's first Δ jobs per epoch, real costs
+paid for worst-case insurance.  Under contention the untuned chaser
+starts thrashing and falls behind the stack; and on *adversarial*
+structure (see examples/adversarial_analysis.py) every heuristic here
+blows up unboundedly while the stack stays flat.  Average-case
+performance vs worst-case guarantees, quantified.
+
+Run:  python examples/gpu_inference.py
+"""
+
+from collections import Counter
+
+from repro.algorithms.greedy import GreedyPendingPolicy
+from repro.algorithms.static import StaticPartitionPolicy
+from repro.analysis.report import format_table
+from repro.reductions.pipeline import run_pipeline
+from repro.simulation.general import simulate_general
+from repro.workloads.inference import DEFAULT_MODELS, inference_scenario
+from repro.workloads.stats import min_lossless_resources, total_load_factor
+
+NUM_GPUS = 16
+
+
+def main() -> None:
+    instance = inference_scenario(seed=4, horizon=2048, swap_cost=10)
+    print(instance.describe())
+    print(
+        f"offered load: {total_load_factor(instance):.1f} requests/round; "
+        f"lossless capacity: {min_lossless_resources(instance, max_resources=32)} GPUs\n"
+    )
+
+    rows = []
+    stack = run_pipeline(instance, NUM_GPUS)
+    assert stack.verify().ok
+    rows.append(
+        (
+            "VarBatch∘Distribute∘ΔLRU-EDF",
+            stack.total_cost,
+            stack.cost.num_reconfigs,
+            stack.cost.num_drops,
+        )
+    )
+    demand = instance.sequence.count_by_color()
+    for label, policy in (
+        ("greedy backlog chase", GreedyPendingPolicy(hysteresis=0.0)),
+        ("greedy + hysteresis", GreedyPendingPolicy(hysteresis=2.0)),
+        (
+            "static by demand",
+            StaticPartitionPolicy(weights={c: float(v) for c, v in demand.items()}),
+        ),
+    ):
+        result = simulate_general(instance, policy, NUM_GPUS, copies=2)
+        rows.append(
+            (label, result.cost.total, result.cost.num_reconfigs, result.cost.num_drops)
+        )
+    print(
+        format_table(
+            f"Policies on {NUM_GPUS} GPUs (weight swap Δ=10)",
+            ("policy", "total cost", "model swaps", "SLO misses"),
+            rows,
+        )
+    )
+
+    executed = Counter(e.color for e in stack.schedule.executions)
+    totals = instance.sequence.count_by_color()
+    slo_rows = []
+    for color, (label, bound, _, _) in enumerate(DEFAULT_MODELS):
+        total = totals.get(color, 0)
+        ok = executed.get(color, 0)
+        slo_rows.append(
+            (label, f"{bound} rounds", total, f"{100 * ok / max(total, 1):.1f}%")
+        )
+    print()
+    print(
+        format_table(
+            "Per-model SLO attainment under the paper's stack",
+            ("model", "SLO", "requests", "within SLO"),
+            slo_rows,
+        )
+    )
+
+    # Contended variant: 12 models on 8 GPUs with fast rotation — the
+    # regime where the untuned chaser starts losing to the stack.
+    print()
+    models = tuple(
+        (f"model-{i}", (2, 4, 8, 16)[i % 4], 0.5, 1.0 + i % 3)
+        for i in range(12)
+    )
+    contended = inference_scenario(
+        seed=2,
+        horizon=1024,
+        swap_cost=10,
+        models=models,
+        diurnal_period=128,
+        burst_probability=0.02,
+        burst_scale=8.0,
+    )
+    rows = []
+    stack2 = run_pipeline(contended, 8)
+    rows.append(("paper stack", stack2.total_cost))
+    for label, policy in (
+        ("greedy (untuned, h=0)", GreedyPendingPolicy(hysteresis=0.0)),
+        ("greedy (tuned, h=2Δ)", GreedyPendingPolicy(hysteresis=2.0)),
+    ):
+        rows.append(
+            (label, simulate_general(contended, policy, 8, copies=2).cost.total)
+        )
+    print(
+        format_table(
+            "Contended: 12 models, 8 GPUs, rotating mix (total cost)",
+            ("policy", "total cost"),
+            rows,
+        )
+    )
+    print()
+    print(
+        "Takeaway: tuned heuristics win the average case; the untuned one\n"
+        "already loses under contention; and on adversarial inputs (see\n"
+        "examples/adversarial_analysis.py) every heuristic here is\n"
+        "unboundedly bad while the stack keeps its Theorem 3 guarantee —\n"
+        "that guarantee is what the average-case overhead buys."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the three reconfiguration schemes on one workload.
+
+Builds a random rate-limited batched instance (the Theorem 1 setting),
+runs ΔLRU, EDF and ΔLRU-EDF with 16 resources, verifies every schedule,
+and compares costs against the exact offline optimum with 2 resources
+(the paper's ``n = 8m`` augmentation).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DeltaLRU, DeltaLRUEDF, EDF, simulate
+from repro.analysis.competitive import best_effort_ratio
+from repro.analysis.report import format_table
+from repro.workloads import random_rate_limited
+
+
+def main() -> None:
+    # One seeded instance: 6 service classes with power-of-two delay
+    # tolerances, 64 rounds, reconfiguration cost Δ = 3.
+    instance = random_rate_limited(
+        num_colors=6,
+        delta=3,
+        horizon=64,
+        seed=7,
+        load=0.7,
+        bound_choices=(2, 4, 8),
+    )
+    print(instance.describe())
+    print()
+
+    n, m = 16, 2  # online resources vs offline optimum's resources
+    rows = []
+    for scheme in (DeltaLRUEDF(), DeltaLRU(), EDF()):
+        result = simulate(instance, scheme, n)
+        # Every run emits an explicit schedule; check it independently.
+        report = result.verify()
+        assert report.ok, report.violations
+        # Exact OPT where tractable, certified lower bound otherwise —
+        # quickstart stays fast either way.
+        estimate = best_effort_ratio(instance, result.total_cost, m)
+        rows.append(
+            (
+                scheme.name,
+                result.total_cost,
+                result.cost.reconfig_cost,
+                result.cost.drop_cost,
+                f"{estimate.ratio:.3f}",
+            )
+        )
+
+    print(
+        format_table(
+            f"Online schemes with n={n} vs OFF estimate with m={m}",
+            ("scheme", "total cost", "reconfig", "drops", "ratio vs OFF"),
+            rows,
+        )
+    )
+    print()
+    print(
+        "ΔLRU-EDF combines the recency half (anti-thrashing) with the\n"
+        "deadline half (anti-underutilization); Theorem 1 proves the ratio\n"
+        "in the last column stays O(1) on every rate-limited input."
+    )
+
+
+if __name__ == "__main__":
+    main()

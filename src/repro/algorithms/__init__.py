@@ -1,0 +1,40 @@
+"""Online scheduling algorithms.
+
+* :class:`~repro.algorithms.dlru.DeltaLRU` — Section 3.1.1.
+* :class:`~repro.algorithms.edf.EDF` — Section 3.1.2.
+* :class:`~repro.algorithms.dlru_edf.DeltaLRUEDF` — Section 3.1.3, the
+  paper's core contribution.
+* :class:`~repro.algorithms.seq_edf.SeqEDF` and the double-speed runner —
+  Section 3.3 analysis algorithms.
+* :func:`~repro.algorithms.par_edf.run_par_edf` — the m-resource
+  super-resource EDF of Lemma 3.7.
+* Baseline policies for comparisons on general instances: static
+  partition, greedy most-pending, never-/always-reconfigure.
+"""
+
+from repro.algorithms.dlru import DeltaLRU
+from repro.algorithms.edf import EDF
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.algorithms.seq_edf import SeqEDF, run_ds_seq_edf, run_seq_edf
+from repro.algorithms.par_edf import ParEDFResult, run_par_edf
+from repro.algorithms.static import StaticPartitionPolicy
+from repro.algorithms.greedy import GreedyPendingPolicy
+from repro.algorithms.never import AlwaysReconfigurePolicy, NeverReconfigurePolicy
+from repro.algorithms.randomized import RandomEvict, RandomizedMarking
+
+__all__ = [
+    "DeltaLRU",
+    "EDF",
+    "DeltaLRUEDF",
+    "SeqEDF",
+    "run_seq_edf",
+    "run_ds_seq_edf",
+    "ParEDFResult",
+    "run_par_edf",
+    "StaticPartitionPolicy",
+    "GreedyPendingPolicy",
+    "NeverReconfigurePolicy",
+    "AlwaysReconfigurePolicy",
+    "RandomEvict",
+    "RandomizedMarking",
+]

@@ -1,0 +1,81 @@
+"""Randomized reconfiguration schemes.
+
+Classic paging separates deterministic (ratio k) from randomized
+(ratio H_k) algorithms via marking.  The paper is deterministic-only;
+these schemes explore whether randomization helps here:
+
+* :class:`RandomizedMarking` — marking adapted to colors: a cached color
+  is *marked* when it executes; when room is needed, evict a uniformly
+  random unmarked color (clearing marks when all are marked).  Against
+  the appendix adversaries an oblivious random choice breaks the exact
+  pinning/thrashing patterns, but cannot beat the combination.
+* :class:`RandomEvict` — the fully oblivious baseline: evict a uniformly
+  random cached color.
+
+Both take an explicit seed; runs are deterministic given it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.engine import BatchedEngine, ReconfigurationScheme
+
+
+class RandomEvict(ReconfigurationScheme):
+    """EDF admission, uniformly random eviction."""
+
+    name = "random-evict"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def reconfigure(self, engine: BatchedEngine) -> None:
+        capacity = engine.cache.capacity
+        ranking = engine.rank_eligible()
+        for color in ranking[:capacity]:
+            if engine.state(color).idle or color in engine.cache:
+                continue
+            if engine.cache.is_full():
+                cached = sorted(engine.cache.cached_colors())
+                victim = int(self._rng.choice(np.asarray(cached)))
+                engine.cache_evict(victim)
+            engine.cache_insert(color)
+
+
+class RandomizedMarking(ReconfigurationScheme):
+    """Marking-style eviction: random among the unmarked."""
+
+    name = "randomized-marking"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._marked: set[int] = set()
+
+    def setup(self, engine: BatchedEngine) -> None:
+        self._marked = set()
+
+    def reconfigure(self, engine: BatchedEngine) -> None:
+        capacity = engine.cache.capacity
+        # Mark cached colors that did work recently (nonidle now counts
+        # as "requested" in paging terms).
+        for color in engine.cache.cached_colors():
+            if not engine.state(color).idle:
+                self._marked.add(color)
+        ranking = engine.rank_eligible()
+        for color in ranking[:capacity]:
+            if engine.state(color).idle or color in engine.cache:
+                continue
+            if engine.cache.is_full():
+                cached = engine.cache.cached_colors()
+                unmarked = sorted(cached - self._marked)
+                if not unmarked:
+                    # New phase: clear marks (keep the incoming request's
+                    # mark semantics simple and evict randomly).
+                    self._marked -= cached
+                    unmarked = sorted(cached)
+                victim = int(self._rng.choice(np.asarray(unmarked)))
+                engine.cache_evict(victim)
+                self._marked.discard(victim)
+            engine.cache_insert(color)
+            self._marked.add(color)

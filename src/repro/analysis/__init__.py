@@ -1,0 +1,82 @@
+"""Analysis machinery mirroring the paper's proof structure.
+
+The proofs of Section 3 are statements about *runs*: epochs (per-color
+eligibility cycles), super-epochs (global timestamp-update phases), the
+credit schemes of Lemmas 3.3 and 3.13, and the drop-cost containment
+chain of Lemma 3.2.  This package re-derives all of those objects from a
+run's event trace and exposes:
+
+* :mod:`repro.analysis.epochs` — epoch / super-epoch extraction;
+* :mod:`repro.analysis.invariants` — executable checks of Lemmas
+  3.1-3.4 and the drop-containment chain, applied to real runs;
+* :mod:`repro.analysis.credits` — the amortized-accounting audits;
+* :mod:`repro.analysis.competitive` — competitive-ratio measurement
+  against exact optima, certified lower bounds, or hindsight heuristics;
+* :mod:`repro.analysis.report` — plain-text tables/series used by the
+  benchmark harness to print paper-style results.
+"""
+
+from repro.analysis.epochs import (
+    Epoch,
+    EpochAnalysis,
+    SuperEpoch,
+    analyze_epochs,
+)
+from repro.analysis.invariants import (
+    InvariantReport,
+    check_drop_containment_chain,
+    check_lemma_3_3,
+    check_lemma_3_4,
+    classify_jobs,
+)
+from repro.analysis.credits import audit_epoch_credits, audit_ineligible_drops
+from repro.analysis.competitive import (
+    RatioEstimate,
+    ratio_vs_exact,
+    ratio_vs_heuristic,
+    ratio_vs_lower_bound,
+)
+from repro.analysis.report import Series, Table, format_series, format_table
+from repro.analysis.timeline import (
+    idle_profile,
+    reconfiguration_profile,
+    render_timeline,
+)
+from repro.analysis.adversary_search import SearchConfig, search_adversary
+from repro.analysis.export import (
+    report_to_json,
+    rows_to_csv,
+    run_result_to_json,
+    save_report,
+)
+
+__all__ = [
+    "idle_profile",
+    "reconfiguration_profile",
+    "render_timeline",
+    "SearchConfig",
+    "search_adversary",
+    "report_to_json",
+    "rows_to_csv",
+    "run_result_to_json",
+    "save_report",
+    "Epoch",
+    "EpochAnalysis",
+    "SuperEpoch",
+    "analyze_epochs",
+    "InvariantReport",
+    "check_drop_containment_chain",
+    "check_lemma_3_3",
+    "check_lemma_3_4",
+    "classify_jobs",
+    "audit_epoch_credits",
+    "audit_ineligible_drops",
+    "RatioEstimate",
+    "ratio_vs_exact",
+    "ratio_vs_heuristic",
+    "ratio_vs_lower_bound",
+    "Series",
+    "Table",
+    "format_series",
+    "format_table",
+]

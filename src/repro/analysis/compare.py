@@ -1,0 +1,127 @@
+"""Run comparison: where do two algorithms' schedules diverge and why.
+
+Given two runs on the *same* instance, compute cost deltas, per-color
+attributions, the first divergence round, and head-to-head summaries
+across a matrix of (instance, algorithm) runs — the analysis behind the
+EXP-M style "who thrashes, who starves" tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.simulation.engine import ReconfigurationScheme, RunResult, simulate
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """Structured delta between two runs on one instance."""
+
+    left: str
+    right: str
+    cost_delta: int  # left - right
+    reconfig_delta: int
+    drop_delta: int
+    first_divergence_round: int | None
+    per_color_drop_delta: dict[int, int]
+
+    @property
+    def winner(self) -> str:
+        if self.cost_delta < 0:
+            return self.left
+        if self.cost_delta > 0:
+            return self.right
+        return "tie"
+
+
+def compare_runs(a: RunResult, b: RunResult) -> RunComparison:
+    """Compare two runs of different algorithms on the same instance."""
+    if a.instance is not b.instance and a.instance.name != b.instance.name:
+        raise ValueError("compare runs on the same instance")
+    first = _first_divergence(a, b)
+    colors = set(a.cost.drops_by_color) | set(b.cost.drops_by_color)
+    per_color = {
+        color: a.cost.drops_by_color.get(color, 0)
+        - b.cost.drops_by_color.get(color, 0)
+        for color in sorted(colors)
+    }
+    return RunComparison(
+        left=a.algorithm,
+        right=b.algorithm,
+        cost_delta=a.total_cost - b.total_cost,
+        reconfig_delta=a.cost.num_reconfigs - b.cost.num_reconfigs,
+        drop_delta=a.cost.num_drops - b.cost.num_drops,
+        first_divergence_round=first,
+        per_color_drop_delta=per_color,
+    )
+
+
+def _first_divergence(a: RunResult, b: RunResult) -> int | None:
+    """First round where the two schedules' actions differ."""
+    a_actions = _actions_by_round(a)
+    b_actions = _actions_by_round(b)
+    last = max(
+        max(a_actions, default=0),
+        max(b_actions, default=0),
+    )
+    for round_index in range(last + 1):
+        if a_actions.get(round_index) != b_actions.get(round_index):
+            return round_index
+    return None
+
+
+def _actions_by_round(result: RunResult) -> dict[int, tuple]:
+    actions: dict[int, list] = {}
+    for event in result.schedule.reconfigurations:
+        actions.setdefault(event.round_index, []).append(
+            ("reconfig", event.resource, event.new_color)
+        )
+    for event in result.schedule.executions:
+        actions.setdefault(event.round_index, []).append(
+            ("execute", event.jid)
+        )
+    return {k: tuple(sorted(v)) for k, v in actions.items()}
+
+
+@dataclass
+class Matchup:
+    """Head-to-head record across a set of instances."""
+
+    left: str
+    right: str
+    left_wins: int = 0
+    right_wins: int = 0
+    ties: int = 0
+    cost_deltas: list[int] = field(default_factory=list)
+
+    @property
+    def mean_delta(self) -> float:
+        return float(np.mean(self.cost_deltas)) if self.cost_deltas else 0.0
+
+
+def head_to_head(
+    instances: Sequence[Instance],
+    left_factory: Callable[[], ReconfigurationScheme],
+    right_factory: Callable[[], ReconfigurationScheme],
+    num_resources: int,
+) -> Matchup:
+    """Run both schemes on every instance and tally wins."""
+    left_name = left_factory().name
+    right_name = right_factory().name
+    matchup = Matchup(left_name, right_name)
+    for instance in instances:
+        a = simulate(instance, left_factory(), num_resources)
+        b = simulate(instance, right_factory(), num_resources)
+        comparison = compare_runs(a, b)
+        matchup.cost_deltas.append(comparison.cost_delta)
+        if comparison.winner == left_name:
+            matchup.left_wins += 1
+        elif comparison.winner == right_name:
+            matchup.right_wins += 1
+        else:
+            matchup.ties += 1
+    return matchup

@@ -1,0 +1,155 @@
+"""Epoch and super-epoch extraction (Sections 3.2 and 3.4).
+
+* An **epoch** of color ℓ ends the moment ℓ becomes ineligible; a new one
+  starts when the previous ends.  The last epoch of a color may be
+  incomplete.  ``numEpochs(σ)`` counts all epochs, incomplete included.
+* A **super-epoch** ends the moment at least ``2m`` colors have updated
+  their timestamps since its start (``n = 8m`` resources, so ``2m = n/4``).
+* A color is ***i*-active** when its timestamp updates during super-epoch
+  ``i``; an epoch of an *i*-active color overlapping super-epoch ``i`` is
+  an *i*-active epoch.  Epochs that are not *i*-active for any *complete*
+  super-epoch are **special**; Lemma 3.16 bounds those by 3 per color.
+
+Everything here is a pure function of a run's event trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import (
+    ArrivalEvent,
+    EligibleEvent,
+    IneligibleEvent,
+    TimestampEvent,
+    Trace,
+)
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One eligibility cycle of a color.
+
+    ``start`` is the round the epoch begins (0 or the end of the previous
+    epoch); ``end`` is the round the color became ineligible, or ``None``
+    for the trailing incomplete epoch.
+    """
+
+    color: int
+    index: int
+    start: int
+    end: int | None
+
+    @property
+    def complete(self) -> bool:
+        return self.end is not None
+
+    def overlaps(self, start: int, end: int | None) -> bool:
+        """Whether this epoch intersects the round interval [start, end]."""
+        self_end = self.end if self.end is not None else float("inf")
+        other_end = end if end is not None else float("inf")
+        return self.start <= other_end and start <= self_end
+
+
+@dataclass(frozen=True)
+class SuperEpoch:
+    """A maximal phase in which fewer than ``2m`` colors updated timestamps."""
+
+    index: int
+    start: int
+    end: int | None  # round of the closing (2m-th) timestamp update
+    active_colors: frozenset[int]
+
+    @property
+    def complete(self) -> bool:
+        return self.end is not None
+
+
+@dataclass
+class EpochAnalysis:
+    """All epoch/super-epoch structure extracted from one trace."""
+
+    epochs_by_color: dict[int, list[Epoch]] = field(default_factory=dict)
+    super_epochs: list[SuperEpoch] = field(default_factory=list)
+    threshold: int = 0
+
+    @property
+    def num_epochs(self) -> int:
+        """``numEpochs(σ)``: every epoch, incomplete included."""
+        return sum(len(epochs) for epochs in self.epochs_by_color.values())
+
+    def epochs_of(self, color: int) -> list[Epoch]:
+        return self.epochs_by_color.get(color, [])
+
+    def active_epochs(self, super_epoch: SuperEpoch) -> list[Epoch]:
+        """The *i*-active epochs of ``super_epoch``."""
+        out = []
+        for color in super_epoch.active_colors:
+            for epoch in self.epochs_of(color):
+                if epoch.overlaps(super_epoch.start, super_epoch.end):
+                    out.append(epoch)
+        return out
+
+    def special_epochs(self) -> list[Epoch]:
+        """Epochs not *i*-active for any complete super-epoch."""
+        nonspecial: set[tuple[int, int]] = set()
+        for super_epoch in self.super_epochs:
+            if not super_epoch.complete:
+                continue
+            for epoch in self.active_epochs(super_epoch):
+                nonspecial.add((epoch.color, epoch.index))
+        return [
+            epoch
+            for epochs in self.epochs_by_color.values()
+            for epoch in epochs
+            if (epoch.color, epoch.index) not in nonspecial
+        ]
+
+
+def analyze_epochs(trace: Trace, *, threshold: int) -> EpochAnalysis:
+    """Extract epochs and super-epochs from a batched-engine trace.
+
+    ``threshold`` is the super-epoch closing count (``2m = n/4`` for the
+    paper's parameterization of ΔLRU-EDF).
+    """
+    if threshold <= 0:
+        raise ValueError("super-epoch threshold must be positive")
+    analysis = EpochAnalysis(threshold=threshold)
+
+    # Epochs: colors with any arrival activity have at least one epoch;
+    # each IneligibleEvent closes one and opens the next.
+    active_colors: set[int] = set()
+    closings: dict[int, list[int]] = {}
+    for event in trace:
+        if isinstance(event, (ArrivalEvent, EligibleEvent)):
+            active_colors.add(event.color)
+        elif isinstance(event, IneligibleEvent):
+            active_colors.add(event.color)
+            closings.setdefault(event.color, []).append(event.round_index)
+    for color in sorted(active_colors):
+        epochs: list[Epoch] = []
+        start = 0
+        for index, end in enumerate(closings.get(color, [])):
+            epochs.append(Epoch(color, index, start, end))
+            start = end
+        epochs.append(Epoch(color, len(epochs), start, None))
+        analysis.epochs_by_color[color] = epochs
+
+    # Super-epochs from timestamp update events.
+    updates = trace.of_type(TimestampEvent)
+    start_round = 0
+    seen: set[int] = set()
+    index = 0
+    for event in updates:
+        seen.add(event.color)
+        if len(seen) >= threshold:
+            analysis.super_epochs.append(
+                SuperEpoch(index, start_round, event.round_index, frozenset(seen))
+            )
+            index += 1
+            start_round = event.round_index
+            seen = set()
+    analysis.super_epochs.append(
+        SuperEpoch(index, start_round, None, frozenset(seen))
+    )
+    return analysis

@@ -1,0 +1,110 @@
+"""Result export: run results and experiment reports to JSON/CSV.
+
+Experiment pipelines often feed downstream tooling (plotting, regression
+dashboards); these helpers serialize the structured objects without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.simulation.engine import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.experiments.base import ExperimentReport
+
+
+def run_result_to_dict(result: RunResult) -> dict[str, Any]:
+    """JSON-friendly summary of one run (no event-level data)."""
+    return {
+        "algorithm": result.algorithm,
+        "instance": result.instance.name,
+        "num_resources": result.num_resources,
+        "speed": result.speed,
+        "horizon": result.instance.horizon,
+        "num_jobs": len(result.instance.sequence),
+        "num_colors": len(result.instance.spec.delay_bounds),
+        "reconfig_cost_delta": result.instance.reconfig_cost,
+        "cost": result.cost.summary(),
+    }
+
+
+def run_result_to_json(result: RunResult, *, indent: int | None = None) -> str:
+    """JSON form of :func:`run_result_to_dict`."""
+    return json.dumps(run_result_to_dict(result), indent=indent)
+
+
+def report_to_dict(report: "ExperimentReport") -> dict[str, Any]:
+    """Full experiment report: rows, summary, and rendered tables."""
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "rows": [_jsonable(row) for row in report.rows],
+        "summary": _jsonable(report.summary),
+        "tables": [table.to_markdown() for table in report.tables],
+    }
+
+
+def report_to_json(report: "ExperimentReport", *, indent: int | None = 2) -> str:
+    """JSON form of :func:`report_to_dict`."""
+    return json.dumps(report_to_dict(report), indent=indent)
+
+
+def rows_to_csv(rows: list[dict[str, Any]]) -> str:
+    """Flatten experiment rows into CSV (union of keys, sorted)."""
+    if not rows:
+        return ""
+    flat_rows = [_flatten(row) for row in rows]
+    fields = sorted({key for row in flat_rows for key in row})
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fields)
+    writer.writeheader()
+    for row in flat_rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def save_report(
+    report: "ExperimentReport", directory: str | Path, *, stem: str | None = None
+) -> dict[str, Path]:
+    """Write <stem>.json, <stem>.csv and <stem>.txt; return the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = stem or report.experiment_id
+    paths = {
+        "json": directory / f"{stem}.json",
+        "csv": directory / f"{stem}.csv",
+        "txt": directory / f"{stem}.txt",
+    }
+    paths["json"].write_text(report_to_json(report) + "\n")
+    paths["csv"].write_text(rows_to_csv(report.rows))
+    paths["txt"].write_text(report.render() + "\n")
+    return paths
+
+
+def _flatten(row: dict[str, Any], prefix: str = "") -> dict[str, Any]:
+    flat: dict[str, Any] = {}
+    for key, value in row.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{name}."))
+        elif isinstance(value, (list, tuple)):
+            flat[name] = json.dumps(_jsonable(value))
+        else:
+            flat[name] = value
+    return flat
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

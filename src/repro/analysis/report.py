@@ -1,0 +1,124 @@
+"""Plain-text tables and series for the experiment harness.
+
+The paper has no measured tables; the harness prints each experiment's
+predicted-vs-measured rows in a fixed-width table plus an ASCII series
+("figure") so results render identically in terminals, logs and
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A fixed-width table with a title and aligned columns."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        return format_table(self.title, self.headers, self.rows)
+
+    def to_markdown(self) -> str:
+        header = "| " + " | ".join(self.headers) + " |"
+        rule = "|" + "|".join("---" for _ in self.headers) + "|"
+        body = [
+            "| " + " | ".join(_format_cell(c) for c in row) + " |"
+            for row in self.rows
+        ]
+        return "\n".join([f"**{self.title}**", "", header, rule, *body])
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a fixed-width text table."""
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * max(len(title), 1)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """A labeled (x, y) series rendered as an ASCII column chart."""
+
+    title: str
+    x_label: str
+    y_label: str
+    points: list[tuple[object, float]] = field(default_factory=list)
+
+    def add(self, x: object, y: float) -> None:
+        self.points.append((x, y))
+
+    def render(self, width: int = 40) -> str:
+        return format_series(
+            self.title, self.x_label, self.y_label, self.points, width=width
+        )
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[object, float]],
+    *,
+    width: int = 40,
+) -> str:
+    """Render a series as horizontal ASCII bars (one row per x)."""
+    lines = [f"{title}   [{y_label} vs {x_label}]", "=" * max(len(title), 1)]
+    if not points:
+        return "\n".join(lines + ["(empty)"])
+    finite = [y for _, y in points if math.isfinite(y)]
+    top = max(finite) if finite else 1.0
+    top = top if top > 0 else 1.0
+    x_width = max(len(_format_cell(x)) for x, _ in points)
+    for x, y in points:
+        if math.isfinite(y):
+            bar = "#" * max(0, round(width * y / top))
+            lines.append(
+                f"{_format_cell(x).rjust(x_width)} | {bar} {_format_cell(float(y))}"
+            )
+        else:
+            lines.append(f"{_format_cell(x).rjust(x_width)} | (inf)")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (ratios aggregate multiplicatively)."""
+    finite = [v for v in values if math.isfinite(v) and v > 0]
+    if not finite:
+        return math.nan
+    return math.exp(sum(math.log(v) for v in finite) / len(finite))

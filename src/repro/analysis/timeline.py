@@ -1,0 +1,142 @@
+"""ASCII resource timelines: the Gantt view of a schedule.
+
+Renders which color each resource held in each round, with executions
+marked, so the thrashing/underutilization signatures the paper reasons
+about are directly visible::
+
+    r0 | AAAA....BBBBBBBB
+    r1 | aaaa....bbbbbbbb
+
+Uppercase = the resource executed a job that round, lowercase = held the
+color but idled, ``.`` = black (never configured).  Colors are mapped to
+letters in first-seen order; wide instances fall back to modulo-26
+letters with a legend.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+
+from repro.core.job import BLACK
+from repro.core.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class TimelineView:
+    """Rendered timeline plus the color legend used."""
+
+    text: str
+    legend: dict[int, str]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def render_timeline(
+    schedule: Schedule,
+    horizon: int,
+    *,
+    start: int = 0,
+    end: int | None = None,
+    max_width: int = 120,
+) -> TimelineView:
+    """Render rounds ``[start, end)`` of a schedule as ASCII rows.
+
+    Windows wider than ``max_width`` rounds are downsampled by showing
+    one column per ``ceil(width / max_width)`` rounds (a column shows the
+    color at its first round and counts any execution in the stride).
+    """
+    if end is None:
+        end = horizon
+    if not 0 <= start < end:
+        raise ValueError(f"bad window [{start}, {end})")
+    width = end - start
+    stride = max(1, -(-width // max_width))
+
+    # Per-resource color arrays over the window.
+    colors = {
+        r: [BLACK] * width for r in range(schedule.num_resources)
+    }
+    current = [BLACK] * schedule.num_resources
+    for event in schedule.reconfigurations:
+        if event.round_index >= end:
+            break
+        current[event.resource] = event.new_color
+        if event.round_index >= start:
+            for k in range(event.round_index - start, width):
+                colors[event.resource][k] = event.new_color
+    # Events before the window set the initial color.
+    initial = [BLACK] * schedule.num_resources
+    for event in schedule.reconfigurations:
+        if event.round_index < start:
+            initial[event.resource] = event.new_color
+    for r in range(schedule.num_resources):
+        for k in range(width):
+            if colors[r][k] == BLACK and initial[r] != BLACK:
+                colors[r][k] = initial[r]
+            elif colors[r][k] != BLACK:
+                break
+
+    executed: set[tuple[int, int]] = set()
+    for event in schedule.executions:
+        if start <= event.round_index < end:
+            executed.add((event.resource, event.round_index))
+
+    legend: dict[int, str] = {}
+
+    def letter(color: int) -> str:
+        if color not in legend:
+            legend[color] = string.ascii_uppercase[len(legend) % 26]
+        return legend[color]
+
+    lines = []
+    label_width = len(f"r{schedule.num_resources - 1}")
+    for r in range(schedule.num_resources):
+        cells = []
+        for col_start in range(0, width, stride):
+            col_rounds = range(col_start, min(col_start + stride, width))
+            color = colors[r][col_start]
+            if color == BLACK:
+                cells.append(".")
+                continue
+            ran = any((r, start + k) in executed for k in col_rounds)
+            cell = letter(color)
+            cells.append(cell if ran else cell.lower())
+        lines.append(f"r{r}".ljust(label_width) + " | " + "".join(cells))
+    legend_line = "legend: " + ", ".join(
+        f"{mark}=color {color}" for color, mark in sorted(legend.items())
+    )
+    header = f"rounds [{start}, {end}) (1 column = {stride} round(s))"
+    text = "\n".join([header, *lines, legend_line if legend else "legend: (empty)"])
+    return TimelineView(text, dict(legend))
+
+
+def reconfiguration_profile(schedule: Schedule, horizon: int) -> list[int]:
+    """Reconfigurations per round — the thrashing signature as a series."""
+    profile = [0] * horizon
+    for event in schedule.reconfigurations:
+        if event.round_index < horizon:
+            profile[event.round_index] += 1
+    return profile
+
+
+def idle_profile(schedule: Schedule, horizon: int) -> list[int]:
+    """Configured-but-idle resource-rounds per round — the
+    underutilization signature."""
+    configured = [0] * horizon
+    current = [False] * schedule.num_resources
+    events = iter(schedule.reconfigurations)
+    pending = next(events, None)
+    for k in range(horizon):
+        while pending is not None and pending.round_index <= k:
+            current[pending.resource] = True
+            pending = next(events, None)
+        configured[k] = sum(current)
+    executed_per_round = [0] * horizon
+    for event in schedule.executions:
+        if event.round_index < horizon:
+            executed_per_round[event.round_index] += 1
+    return [
+        max(0, configured[k] - executed_per_round[k]) for k in range(horizon)
+    ]

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands::
+
+    repro list                      # registered experiments
+    repro run EXP-A [--quick]       # run one experiment, print its report
+    repro run-all [--quick]         # run every experiment
+    repro export EXP-A --dir out/   # run + write .txt/.json/.csv bundle
+    repro search dlru-edf           # adversary-hunt a scheme
+    repro describe trace.json       # workload statistics for a saved trace
+    repro demo                      # 30-second tour on a random workload
+
+Reports are printed as fixed-width tables plus ASCII series; pass
+``--output PATH`` to also write the rendered report to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    width = max(len(k) for k in EXPERIMENTS)
+    for experiment_id in sorted(EXPERIMENTS):
+        exp = EXPERIMENTS[experiment_id]
+        print(f"{experiment_id.ljust(width)}  {exp.title}")
+    return 0
+
+
+def _emit(report, output: str | None) -> None:
+    text = report.render()
+    print(text)
+    if output:
+        Path(output).write_text(text + "\n")
+        print(f"\n[written to {output}]")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import run_experiment
+
+    report = run_experiment(args.experiment_id, quick=args.quick)
+    _emit(report, args.output)
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import EXPERIMENTS
+
+    chunks = []
+    for experiment_id in sorted(EXPERIMENTS):
+        report = EXPERIMENTS[experiment_id].run(quick=args.quick)
+        chunks.append(report.render())
+        print(chunks[-1])
+        print()
+    if args.output:
+        Path(args.output).write_text("\n\n".join(chunks) + "\n")
+        print(f"[written to {args.output}]")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import save_report
+    from repro.experiments.registry import run_experiment
+
+    report = run_experiment(args.experiment_id, quick=args.quick)
+    paths = save_report(report, args.dir)
+    for kind, path in sorted(paths.items()):
+        print(f"{kind}: {path}")
+    return 0
+
+
+_SCHEME_CHOICES = {
+    "dlru": "repro.algorithms.dlru:DeltaLRU",
+    "edf": "repro.algorithms.edf:EDF",
+    "dlru-edf": "repro.algorithms.dlru_edf:DeltaLRUEDF",
+}
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.analysis.adversary_search import SearchConfig, search_adversary
+
+    module_name, class_name = _SCHEME_CHOICES[args.scheme].split(":")
+    scheme_factory = getattr(importlib.import_module(module_name), class_name)
+    config = SearchConfig(
+        iterations=args.iterations,
+        restarts=args.restarts,
+        seed=args.seed,
+        horizon=args.horizon,
+    )
+    result = search_adversary(scheme_factory, config)
+    print(f"scheme:       {args.scheme}")
+    print(f"evaluations:  {result.evaluations}")
+    print(f"best ratio:   {result.best_ratio:.3f} (vs hindsight OFF)")
+    print(f"instance:     {result.best_instance.describe()}")
+    if args.save:
+        from repro.workloads.traces import save_instance
+
+        save_instance(result.best_instance, args.save)
+        print(f"saved to:     {args.save}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.workloads.stats import describe_workload
+    from repro.workloads.traces import instance_from_csv, load_instance
+
+    path = Path(args.trace)
+    if path.suffix == ".csv":
+        instance = instance_from_csv(path.read_text())
+    else:
+        instance = load_instance(path)
+    print(describe_workload(instance))
+    return 0
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    from repro import DeltaLRU, DeltaLRUEDF, EDF, simulate
+    from repro.analysis.competitive import best_effort_ratio
+    from repro.analysis.report import format_table
+    from repro.workloads import random_rate_limited
+
+    instance = random_rate_limited(
+        6, 3, 64, seed=7, load=0.7, bound_choices=(2, 4, 8)
+    )
+    print(instance.describe(), "\n")
+    rows = []
+    for scheme in (DeltaLRUEDF(), DeltaLRU(), EDF()):
+        result = simulate(instance, scheme, 16)
+        estimate = best_effort_ratio(instance, result.total_cost, 2)
+        rows.append(
+            (
+                scheme.name,
+                result.total_cost,
+                result.cost.reconfig_cost,
+                result.cost.drop_cost,
+                round(estimate.ratio, 3),
+            )
+        )
+    print(
+        format_table(
+            "Three reconfiguration schemes, 16 resources vs OFF with 2",
+            ("scheme", "total", "reconfig", "drops", "ratio vs OFF"),
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reconfigurable resource scheduling with variable delay "
+        "bounds: experiments and demos.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment_id", help="experiment id, e.g. EXP-A")
+    p_run.add_argument("--quick", action="store_true", help="reduced sweep")
+    p_run.add_argument("--output", help="also write the report to this path")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_all = sub.add_parser("run-all", help="run every experiment")
+    p_all.add_argument("--quick", action="store_true", help="reduced sweeps")
+    p_all.add_argument("--output", help="also write the combined report")
+    p_all.set_defaults(func=_cmd_run_all)
+
+    p_export = sub.add_parser(
+        "export", help="run an experiment and write txt/json/csv files"
+    )
+    p_export.add_argument("experiment_id", help="experiment id, e.g. EXP-A")
+    p_export.add_argument("--dir", default="reports", help="output directory")
+    p_export.add_argument("--quick", action="store_true", help="reduced sweep")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_search = sub.add_parser(
+        "search", help="hill-climb for an adversarial input against a scheme"
+    )
+    p_search.add_argument("scheme", choices=sorted(_SCHEME_CHOICES))
+    p_search.add_argument("--iterations", type=int, default=200)
+    p_search.add_argument("--restarts", type=int, default=3)
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--horizon", type=int, default=64)
+    p_search.add_argument("--save", help="write the found instance as JSON")
+    p_search.set_defaults(func=_cmd_search)
+
+    p_describe = sub.add_parser(
+        "describe", help="summarize a saved trace (.json or .csv)"
+    )
+    p_describe.add_argument("trace", help="path to a saved instance")
+    p_describe.set_defaults(func=_cmd_describe)
+
+    p_demo = sub.add_parser("demo", help="30-second tour")
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Structured run traces.
+
+The paper's proofs are statements about *runs*: counter wrapping events,
+epochs ending, colors entering and leaving the cache.  The simulation
+engine therefore emits a :class:`Trace` — an ordered log of typed events —
+and the analysis layer (epoch tracking, credit audits, lemma checkers)
+operates on traces as pure functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Type, TypeVar
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalEvent:
+    """A batch of jobs arrived (arrival phase)."""
+
+    round_index: int
+    color: int
+    count: int
+
+
+@dataclass(frozen=True, slots=True)
+class DropEvent:
+    """Jobs dropped at their deadline (drop phase).
+
+    ``eligible`` records the color's eligibility at the start of the drop
+    phase, which defines the eligible/ineligible job split of Section 3.2.
+    """
+
+    round_index: int
+    color: int
+    count: int
+    eligible: bool
+
+
+@dataclass(frozen=True, slots=True)
+class WrapEvent:
+    """A counter wrapping event of a color (arrival phase, Section 3.1)."""
+
+    round_index: int
+    color: int
+
+
+@dataclass(frozen=True, slots=True)
+class EligibleEvent:
+    """A color transitioned ineligible -> eligible."""
+
+    round_index: int
+    color: int
+
+
+@dataclass(frozen=True, slots=True)
+class IneligibleEvent:
+    """A color transitioned eligible -> ineligible (an epoch ends here)."""
+
+    round_index: int
+    color: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigEvent:
+    """One resource reconfigured (reconfiguration phase)."""
+
+    round_index: int
+    mini_round: int
+    resource: int
+    old_color: int
+    new_color: int
+
+
+@dataclass(frozen=True, slots=True)
+class ExecuteEvent:
+    """One job executed (execution phase)."""
+
+    round_index: int
+    mini_round: int
+    resource: int
+    color: int
+    jid: int
+
+
+@dataclass(frozen=True, slots=True)
+class CacheInEvent:
+    """A color entered the cached set (possibly in multiple locations)."""
+
+    round_index: int
+    mini_round: int
+    color: int
+    section: str  # "lru", "edf", or "main"
+
+
+@dataclass(frozen=True, slots=True)
+class CacheOutEvent:
+    """A color left the cached set entirely."""
+
+    round_index: int
+    mini_round: int
+    color: int
+
+
+@dataclass(frozen=True, slots=True)
+class TimestampEvent:
+    """A ΔLRU timestamp update event of a color (Section 3.4)."""
+
+    round_index: int
+    color: int
+    timestamp: int
+
+
+Event = (
+    ArrivalEvent
+    | DropEvent
+    | WrapEvent
+    | EligibleEvent
+    | IneligibleEvent
+    | ReconfigEvent
+    | ExecuteEvent
+    | CacheInEvent
+    | CacheOutEvent
+    | TimestampEvent
+)
+
+E = TypeVar("E")
+
+
+class Trace:
+    """Append-only ordered event log for one run."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def append(self, event: Event) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_type(self, event_type: Type[E]) -> list[E]:
+        """All events of one type, in log order."""
+        return [e for e in self._events if isinstance(e, event_type)]
+
+    def for_color(self, color: int) -> list[Event]:
+        """All events carrying a ``color`` attribute equal to ``color``."""
+        return [
+            e
+            for e in self._events
+            if getattr(e, "color", None) == color
+            or getattr(e, "new_color", None) == color
+            or getattr(e, "old_color", None) == color
+        ]
+
+    def rounds(self) -> range:
+        """Range of rounds touched by the trace."""
+        if not self._events:
+            return range(0)
+        last = max(e.round_index for e in self._events)
+        return range(last + 1)

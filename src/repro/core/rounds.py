@@ -1,0 +1,134 @@
+"""Round, block, and half-block arithmetic (Sections 2, 3.3 and 5.1).
+
+The paper's analysis is phrased in terms of *blocks* and *half-blocks* of a
+delay bound ``p``:
+
+* ``block(p, i)`` is the ``p`` rounds starting at round ``i * p``;
+* ``halfBlock(p, i)`` is the ``p / 2`` rounds starting at ``i * p / 2``
+  (only defined for even ``p``; the paper assumes power-of-two bounds
+  greater than one when half-blocks are used).
+
+All helpers here are pure integer arithmetic and are shared by the
+simulation engine, the reductions, and the analysis layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive integral power of two (1 counts)."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def next_power_of_two(x: int) -> int:
+    """Smallest power of two ``>= x`` (for ``x >= 1``)."""
+    if x < 1:
+        raise ValueError(f"expected x >= 1, got {x}")
+    return 1 << (x - 1).bit_length()
+
+
+def prev_power_of_two(x: int) -> int:
+    """Largest power of two ``<= x`` (for ``x >= 1``)."""
+    if x < 1:
+        raise ValueError(f"expected x >= 1, got {x}")
+    return 1 << (x.bit_length() - 1)
+
+
+def is_multiple(round_index: int, period: int) -> bool:
+    """Whether ``round_index`` is an integral multiple of ``period``."""
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    return round_index % period == 0
+
+
+def prev_multiple(round_index: int, period: int) -> int:
+    """Largest integral multiple of ``period`` that is ``<= round_index``."""
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    return (round_index // period) * period
+
+
+def next_multiple(round_index: int, period: int) -> int:
+    """Smallest integral multiple of ``period`` that is ``> round_index``."""
+    return prev_multiple(round_index, period) + period
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """A half-open interval of rounds ``[start, start + length)``."""
+
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """One past the last round of the block."""
+        return self.start + self.length
+
+    def __contains__(self, round_index: int) -> bool:
+        return self.start <= round_index < self.end
+
+    def rounds(self) -> range:
+        return range(self.start, self.end)
+
+    def encloses(self, other: "Block") -> bool:
+        """Whether ``other`` lies entirely within this block."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Block") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+def block(p: int, i: int) -> Block:
+    """``block(p, i)``: the ``p`` rounds starting from round ``i * p``."""
+    if p <= 0:
+        raise ValueError(f"delay bound must be positive, got {p}")
+    if i < 0:
+        raise ValueError(f"block index must be nonnegative, got {i}")
+    return Block(i * p, p)
+
+
+def block_index(p: int, round_index: int) -> int:
+    """Index ``i`` such that ``round_index`` is in ``block(p, i)``."""
+    if p <= 0:
+        raise ValueError(f"delay bound must be positive, got {p}")
+    if round_index < 0:
+        raise ValueError(f"round must be nonnegative, got {round_index}")
+    return round_index // p
+
+
+def block_of(p: int, round_index: int) -> Block:
+    """The block of delay bound ``p`` containing ``round_index``."""
+    return block(p, block_index(p, round_index))
+
+
+def half_block(p: int, i: int) -> Block:
+    """``halfBlock(p, i)``: the ``p / 2`` rounds starting from ``i * p / 2``.
+
+    Defined for even ``p`` (the paper uses power-of-two bounds ``> 1``).
+    """
+    if p <= 0 or p % 2 != 0:
+        raise ValueError(f"half-blocks require an even positive delay bound, got {p}")
+    if i < 0:
+        raise ValueError(f"half-block index must be nonnegative, got {i}")
+    half = p // 2
+    return Block(i * half, half)
+
+
+def half_block_index(p: int, round_index: int) -> int:
+    """Index ``i`` such that ``round_index`` is in ``halfBlock(p, i)``."""
+    if p <= 0 or p % 2 != 0:
+        raise ValueError(f"half-blocks require an even positive delay bound, got {p}")
+    if round_index < 0:
+        raise ValueError(f"round must be nonnegative, got {round_index}")
+    return round_index // (p // 2)
+
+
+def blocks_within(p: int, horizon: int) -> list[Block]:
+    """All blocks of delay bound ``p`` intersecting rounds ``[0, horizon)``."""
+    if horizon < 0:
+        raise ValueError(f"horizon must be nonnegative, got {horizon}")
+    n_blocks = (horizon + p - 1) // p
+    return [block(p, i) for i in range(n_blocks)]

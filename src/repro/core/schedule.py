@@ -1,0 +1,230 @@
+"""Schedule representation (Section 2).
+
+A schedule specifies, for each round, the reconfigurations performed in
+the reconfiguration phase and the job executions performed in the
+execution phase.  Schedules are produced by the simulation engine (for
+online algorithms), by the offline optimizer, and by the handcrafted
+constructions in the appendices; all of them flow through the same
+:func:`repro.core.validation.verify_schedule` feasibility checker.
+
+Double-speed schedules (Section 3.3) interleave two *mini-rounds* per
+round; ``mini_round`` is 0 for uni-speed events.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.cost import CostBreakdown, CostModel
+from repro.core.job import BLACK, Job
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Reconfiguration:
+    """One resource recolored in the reconfiguration phase of a round.
+
+    ``new_color`` is excluded from ordering: a resource may legally be
+    recolored twice in one reconfiguration phase (wasteful but allowed),
+    and the *insertion* order must decide which color is final — sorting
+    by color would silently reorder the timeline.
+    """
+
+    round_index: int
+    mini_round: int
+    resource: int
+    new_color: int = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise ValueError("round index must be nonnegative")
+        if self.mini_round not in (0, 1):
+            raise ValueError("mini-round must be 0 or 1")
+        if self.resource < 0:
+            raise ValueError("resource index must be nonnegative")
+        if self.new_color == BLACK:
+            raise ValueError("cannot reconfigure a resource back to BLACK")
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Execution:
+    """One job executed on one resource in the execution phase of a round."""
+
+    round_index: int
+    mini_round: int
+    resource: int
+    jid: int
+    color: int
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise ValueError("round index must be nonnegative")
+        if self.mini_round not in (0, 1):
+            raise ValueError("mini-round must be 0 or 1")
+        if self.resource < 0:
+            raise ValueError("resource index must be nonnegative")
+
+
+class Schedule:
+    """An explicit schedule over ``num_resources`` resources.
+
+    The schedule does not itself know which jobs were *dropped*; drops are
+    derived by comparing against a request sequence (every job not executed
+    by its deadline is dropped).  :meth:`cost` performs that derivation.
+    """
+
+    def __init__(
+        self,
+        num_resources: int,
+        *,
+        speed: int = 1,
+        reconfigurations: Iterable[Reconfiguration] = (),
+        executions: Iterable[Execution] = (),
+    ) -> None:
+        if num_resources <= 0:
+            raise ValueError("a schedule needs at least one resource")
+        if speed not in (1, 2):
+            raise ValueError("only uni-speed (1) and double-speed (2) supported")
+        self.num_resources = num_resources
+        self.speed = speed
+        self._reconfigs: list[Reconfiguration] = []
+        self._executions: list[Execution] = []
+        self._executed_jids: set[int] = set()
+        for r in reconfigurations:
+            self.add_reconfiguration(r)
+        for e in executions:
+            self.add_execution(e)
+
+    # -- construction -----------------------------------------------------
+
+    def add_reconfiguration(self, event: Reconfiguration) -> None:
+        if event.resource >= self.num_resources:
+            raise ValueError(
+                f"resource {event.resource} out of range "
+                f"(schedule has {self.num_resources})"
+            )
+        if event.mini_round >= self.speed:
+            raise ValueError("mini-round exceeds schedule speed")
+        # Engines emit in round order; append is the hot path (profiled),
+        # insort only serves hand-built schedules added out of order.
+        if not self._reconfigs or not (event < self._reconfigs[-1]):
+            self._reconfigs.append(event)
+        else:
+            insort(self._reconfigs, event)
+
+    def add_execution(self, event: Execution) -> None:
+        if event.resource >= self.num_resources:
+            raise ValueError(
+                f"resource {event.resource} out of range "
+                f"(schedule has {self.num_resources})"
+            )
+        if event.mini_round >= self.speed:
+            raise ValueError("mini-round exceeds schedule speed")
+        if event.jid in self._executed_jids:
+            raise ValueError(f"job {event.jid} is executed twice")
+        self._executed_jids.add(event.jid)
+        if not self._executions or not (event < self._executions[-1]):
+            self._executions.append(event)
+        else:
+            insort(self._executions, event)
+
+    def reconfigure(
+        self,
+        round_index: int,
+        resource: int,
+        new_color: int,
+        *,
+        mini_round: int = 0,
+    ) -> None:
+        """Convenience wrapper for handcrafted schedule construction."""
+        self.add_reconfiguration(
+            Reconfiguration(round_index, mini_round, resource, new_color)
+        )
+
+    def execute(
+        self,
+        round_index: int,
+        resource: int,
+        job: Job,
+        *,
+        mini_round: int = 0,
+    ) -> None:
+        """Convenience wrapper for handcrafted schedule construction."""
+        self.add_execution(
+            Execution(round_index, mini_round, resource, job.jid, job.color)
+        )
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def reconfigurations(self) -> tuple[Reconfiguration, ...]:
+        return tuple(self._reconfigs)
+
+    @property
+    def executions(self) -> tuple[Execution, ...]:
+        return tuple(self._executions)
+
+    @property
+    def executed_jids(self) -> frozenset[int]:
+        return frozenset(self._executed_jids)
+
+    def executions_by_round(self) -> dict[int, list[Execution]]:
+        grouped: dict[int, list[Execution]] = defaultdict(list)
+        for event in self._executions:
+            grouped[event.round_index].append(event)
+        return dict(grouped)
+
+    def reconfigurations_by_round(self) -> dict[int, list[Reconfiguration]]:
+        grouped: dict[int, list[Reconfiguration]] = defaultdict(list)
+        for event in self._reconfigs:
+            grouped[event.round_index].append(event)
+        return dict(grouped)
+
+    def color_timeline(self, resource: int) -> list[tuple[int, int, int]]:
+        """Reconfiguration history ``(round, mini_round, color)`` of a resource."""
+        return [
+            (r.round_index, r.mini_round, r.new_color)
+            for r in self._reconfigs
+            if r.resource == resource
+        ]
+
+    def color_at(self, resource: int, round_index: int, mini_round: int = 0) -> int:
+        """Color of ``resource`` in the execution phase of a (mini-)round.
+
+        Reconfigurations take effect in the same mini-round they occur
+        (the reconfiguration phase precedes the execution phase).
+        """
+        color = BLACK
+        for r_round, r_mini, r_color in self.color_timeline(resource):
+            if (r_round, r_mini) <= (round_index, mini_round):
+                color = r_color
+            else:
+                break
+        return color
+
+    # -- cost -------------------------------------------------------------
+
+    def cost(self, jobs: Iterable[Job], model: CostModel) -> CostBreakdown:
+        """Cost of this schedule against a job multiset.
+
+        Every job not executed is dropped.  The eligible/ineligible split
+        is not meaningful for raw schedules, so all drops register as
+        eligible.
+        """
+        breakdown = CostBreakdown(model)
+        for event in self._reconfigs:
+            breakdown.record_reconfig(event.new_color)
+        for event in self._executions:
+            breakdown.record_execution(event.color)
+        for job in jobs:
+            if job.jid not in self._executed_jids:
+                breakdown.record_drop(job.color)
+        return breakdown
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Schedule(resources={self.num_resources}, speed={self.speed}, "
+            f"reconfigs={len(self._reconfigs)}, executions={len(self._executions)})"
+        )

@@ -1,0 +1,137 @@
+"""Schedule feasibility verification (Section 2 semantics).
+
+Every schedule in this repository — online, offline optimal, handcrafted
+adversary schedules, reduction outputs — is checked against the same rules:
+
+1. every executed job exists in the request sequence and is executed at
+   most once (enforced structurally by :class:`~repro.core.schedule.Schedule`);
+2. a job is executed only in rounds ``arrival <= r < deadline``;
+3. a job of color ℓ runs only on a resource configured to ℓ at that
+   (mini-)round — reconfigurations in the same mini-round take effect
+   before the execution phase;
+4. each resource executes at most one job per mini-round;
+5. round/resource indices are within range.
+
+The verifier is deliberately independent of the simulation engine so it
+can catch engine bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.instance import Instance
+from repro.core.job import BLACK, Job
+from repro.core.schedule import Schedule
+
+
+class ScheduleError(Exception):
+    """Raised by :func:`verify_schedule` in strict mode on the first violation."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a feasibility check."""
+
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+    executed: int = 0
+    dropped: int = 0
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            raise ScheduleError("; ".join(self.violations[:5]))
+
+
+def verify_schedule(
+    instance: Instance,
+    schedule: Schedule,
+    *,
+    strict: bool = False,
+) -> ValidationReport:
+    """Check that ``schedule`` is feasible for ``instance``.
+
+    Returns a :class:`ValidationReport`; with ``strict=True`` raises
+    :class:`ScheduleError` on the first violation instead.
+    """
+    violations: list[str] = []
+
+    def flag(message: str) -> None:
+        if strict:
+            raise ScheduleError(message)
+        violations.append(message)
+
+    jobs_by_id: dict[int, Job] = {job.jid: job for job in instance.sequence}
+
+    # Reconstruct each resource's color as a function of (round, mini_round).
+    # Reconfigurations are already sorted by (round, mini, resource).
+    timelines: dict[int, list[tuple[int, int, int]]] = {}
+    current_color: dict[int, int] = {}
+    for event in schedule.reconfigurations:
+        if event.round_index >= instance.horizon:
+            flag(
+                f"reconfiguration of resource {event.resource} at round "
+                f"{event.round_index} is beyond the horizon {instance.horizon}"
+            )
+        prev = current_color.get(event.resource, BLACK)
+        if prev == event.new_color:
+            # Recoloring to the same color is legal but wasteful; it still
+            # costs Δ, so surface it as a violation to catch engine bugs.
+            flag(
+                f"resource {event.resource} reconfigured to its current color "
+                f"{event.new_color} at round {event.round_index}"
+            )
+        current_color[event.resource] = event.new_color
+        timelines.setdefault(event.resource, []).append(
+            (event.round_index, event.mini_round, event.new_color)
+        )
+
+    def color_at(resource: int, round_index: int, mini_round: int) -> int:
+        color = BLACK
+        for r_round, r_mini, r_color in timelines.get(resource, ()):
+            if (r_round, r_mini) <= (round_index, mini_round):
+                color = r_color
+            else:
+                break
+        return color
+
+    # Per (resource, round, mini) execution uniqueness + job window + color.
+    occupied: set[tuple[int, int, int]] = set()
+    for event in schedule.executions:
+        job = jobs_by_id.get(event.jid)
+        if job is None:
+            flag(f"execution references unknown job {event.jid}")
+            continue
+        if job.color != event.color:
+            flag(
+                f"execution of job {event.jid} records color {event.color}, "
+                f"job has color {job.color}"
+            )
+        if not job.executable_in(event.round_index):
+            flag(
+                f"job {event.jid} executed at round {event.round_index}, "
+                f"outside its window [{job.arrival}, {job.deadline})"
+            )
+        slot = (event.resource, event.round_index, event.mini_round)
+        if slot in occupied:
+            flag(
+                f"resource {event.resource} executes two jobs in round "
+                f"{event.round_index} mini-round {event.mini_round}"
+            )
+        occupied.add(slot)
+        resource_color = color_at(event.resource, event.round_index, event.mini_round)
+        if resource_color != job.color:
+            flag(
+                f"job {event.jid} (color {job.color}) executed on resource "
+                f"{event.resource} configured to {resource_color} at round "
+                f"{event.round_index}"
+            )
+
+    executed = len(schedule.executed_jids)
+    dropped = len(instance.sequence) - executed
+    return ValidationReport(
+        ok=not violations,
+        violations=violations,
+        executed=executed,
+        dropped=dropped,
+    )

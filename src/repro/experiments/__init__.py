@@ -1,0 +1,13 @@
+"""The experiment harness: one module per paper claim.
+
+Every experiment is a pure function from parameters to an
+:class:`~repro.experiments.base.ExperimentReport` (tables, series, raw
+rows, summary).  The registry maps experiment ids (``EXP-A`` ... ``EXP-S``,
+see DESIGN.md) to runners; the CLI and the benchmark suite are thin
+wrappers around it.
+"""
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["ExperimentReport", "EXPERIMENTS", "get_experiment", "run_experiment"]

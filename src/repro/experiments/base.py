@@ -1,0 +1,38 @@
+"""Shared experiment-report plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.report import Series, Table
+
+
+@dataclass
+class ExperimentReport:
+    """Everything an experiment produces.
+
+    ``rows`` carries the raw per-configuration measurements as dicts so
+    tests and downstream tooling can assert on numbers without parsing
+    rendered text; ``summary`` holds the experiment's headline values
+    (e.g. the max measured ratio).
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    summary: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable report: tables then series."""
+        parts = [f"### {self.experiment_id}: {self.title}"]
+        for table in self.tables:
+            parts.append(table.render())
+        for series in self.series:
+            parts.append(series.render())
+        if self.summary:
+            summary = ", ".join(f"{k}={v}" for k, v in self.summary.items())
+            parts.append(f"summary: {summary}")
+        return "\n\n".join(parts)

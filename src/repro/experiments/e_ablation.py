@@ -1,0 +1,171 @@
+"""EXP-ABL: ablations of ΔLRU-EDF's design choices.
+
+Four sweeps, each isolating one knob the paper's design fixes:
+
+1. **LRU/EDF capacity split** — ``lru_fraction`` from 0 (pure EDF) to 1
+   (pure ΔLRU); the paper uses 0.5.  Run on a blend of both adversaries
+   plus random load: the even split should be the only setting that is
+   never terrible.
+2. **Replication** — the paper caches every color in two locations;
+   compare ``copies = 2`` against ``copies = 1`` (twice the distinct
+   capacity) at equal resources.
+3. **Resource augmentation** — sweep ``n/m``; Theorem 1 needs 8, the
+   ratio should decay and flatten as augmentation grows.
+4. **Speed** — uni- vs double-speed execution at equal resources.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.analysis.competitive import best_effort_ratio
+from repro.analysis.report import Series, Table, geometric_mean
+from repro.experiments.base import ExperimentReport
+from repro.simulation.engine import simulate
+from repro.workloads.adversarial import appendix_a_instance, appendix_b_instance
+from repro.workloads.random_batched import random_rate_limited
+
+
+def _blend(n: int, horizon: int, seeds: tuple[int, ...]):
+    for seed in seeds:
+        yield (
+            f"random(seed={seed})",
+            random_rate_limited(
+                6, 3, horizon, seed=seed, load=0.7, bound_choices=(2, 4, 8)
+            ),
+        )
+    _, a = appendix_a_instance(n, 2)
+    yield ("appendix-a", a)
+    _, b = appendix_b_instance(min(n, 4))
+    yield ("appendix-b", b)
+
+
+def run(
+    *,
+    n: int = 16,
+    seeds: tuple[int, ...] = (0, 1),
+    horizon: int = 64,
+    fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    augmentations: tuple[int, ...] = (2, 4, 8, 16),
+    exact_state_budget: int = 150_000,
+) -> ExperimentReport:
+    report = ExperimentReport("EXP-ABL", "ΔLRU-EDF design-choice ablations")
+    m = max(1, n // 8)
+
+    # 1. capacity split.
+    split_table = Table(
+        "LRU/EDF capacity split (geomean cost ratio vs OFF estimate)",
+        ("lru_fraction", *[label for label, _ in _blend(n, horizon, seeds)], "geomean"),
+    )
+    split_series = Series("Cost geomean vs LRU fraction", "lru_fraction", "geomean ratio")
+    workloads = list(_blend(n, horizon, seeds))
+    for fraction in fractions:
+        ratios = []
+        for _, instance in workloads:
+            result = simulate(instance, DeltaLRUEDF(lru_fraction=fraction), n)
+            estimate = best_effort_ratio(
+                instance, result.total_cost, m, exact_state_budget=exact_state_budget
+            )
+            ratios.append(estimate.ratio)
+        gm = geometric_mean(ratios)
+        split_table.add_row(fraction, *[round(r, 2) for r in ratios], round(gm, 3))
+        split_series.add(fraction, gm)
+        report.rows.append(
+            {"knob": "lru_fraction", "value": fraction, "geomean_ratio": gm}
+        )
+    report.tables.append(split_table)
+    report.series.append(split_series)
+
+    # 2. replication.
+    repl_table = Table(
+        "Replication ablation (equal total resources)",
+        ("workload", "copies=2 cost", "copies=1 cost"),
+    )
+    for label, instance in workloads:
+        two = simulate(instance, DeltaLRUEDF(), n, copies=2)
+        one = simulate(instance, DeltaLRUEDF(), n, copies=1)
+        repl_table.add_row(label, two.total_cost, one.total_cost)
+        report.rows.append(
+            {
+                "knob": "replication",
+                "workload": label,
+                "copies2": two.total_cost,
+                "copies1": one.total_cost,
+            }
+        )
+    report.tables.append(repl_table)
+
+    # 3. augmentation sweep.
+    aug_table = Table(
+        "Resource augmentation sweep (OFF fixed at m resources)",
+        ("n/m", "n", *[label for label, _ in workloads], "geomean ratio"),
+    )
+    aug_series = Series("Ratio vs augmentation", "n/m", "geomean ratio")
+    for factor in augmentations:
+        n_alg = m * factor
+        if n_alg % 4 != 0:
+            n_alg = ((n_alg + 3) // 4) * 4
+        ratios = []
+        for _, instance in workloads:
+            result = simulate(instance, DeltaLRUEDF(), n_alg)
+            estimate = best_effort_ratio(
+                instance, result.total_cost, m, exact_state_budget=exact_state_budget
+            )
+            ratios.append(estimate.ratio)
+        gm = geometric_mean(ratios)
+        aug_table.add_row(factor, n_alg, *[round(r, 2) for r in ratios], round(gm, 3))
+        aug_series.add(factor, gm)
+        report.rows.append(
+            {"knob": "augmentation", "value": factor, "geomean_ratio": gm}
+        )
+    report.tables.append(aug_table)
+    report.series.append(aug_series)
+
+    # 4. speed.
+    speed_table = Table(
+        "Execution speed ablation",
+        ("workload", "speed=1 cost", "speed=2 cost"),
+    )
+    for label, instance in workloads:
+        uni = simulate(instance, DeltaLRUEDF(), n, speed=1)
+        double = simulate(instance, DeltaLRUEDF(), n, speed=2)
+        speed_table.add_row(label, uni.total_cost, double.total_cost)
+        report.rows.append(
+            {
+                "knob": "speed",
+                "workload": label,
+                "speed1": uni.total_cost,
+                "speed2": double.total_cost,
+            }
+        )
+    report.tables.append(speed_table)
+
+    # 5. determinism vs randomization.
+    from repro.algorithms.randomized import RandomEvict, RandomizedMarking
+
+    random_table = Table(
+        "Deterministic combination vs randomized schemes (total cost)",
+        ("workload", "dLRU-EDF", "randomized-marking", "random-evict"),
+    )
+    for label, instance in workloads:
+        combined = simulate(instance, DeltaLRUEDF(), n).total_cost
+        marking = simulate(instance, RandomizedMarking(seed=0), n).total_cost
+        oblivious = simulate(instance, RandomEvict(seed=0), n).total_cost
+        random_table.add_row(label, combined, marking, oblivious)
+        report.rows.append(
+            {
+                "knob": "randomization",
+                "workload": label,
+                "dlru_edf": combined,
+                "marking": marking,
+                "random_evict": oblivious,
+            }
+        )
+    report.tables.append(random_table)
+
+    split_rows = [r for r in report.rows if r.get("knob") == "lru_fraction"]
+    aug_rows = [r for r in report.rows if r.get("knob") == "augmentation"]
+    report.summary = {
+        "best_split": min(split_rows, key=lambda r: r["geomean_ratio"])["value"],
+        "ratio_at_max_augmentation": round(aug_rows[-1]["geomean_ratio"], 3),
+    }
+    return report

@@ -1,0 +1,96 @@
+"""EXP-A: the Appendix A lower bound — ΔLRU is not resource competitive.
+
+Sweep the long-term exponent ``k`` on the Appendix A adversary and
+measure ΔLRU's cost against the handcrafted offline schedule.  The paper
+predicts the ratio grows as ``(nΔ + 2^k) / (Δ + 2^{k-j-1} n Δ)`` — i.e.
+unboundedly in ``j`` (with ``k = j + 2`` both grow together) — while
+ΔLRU-EDF on the *same* adversary stays within a constant of OFF.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.dlru import DeltaLRU
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.analysis.report import Series, Table
+from repro.core.validation import verify_schedule
+from repro.experiments.base import ExperimentReport
+from repro.offline.handcrafted import appendix_a_offline_schedule
+from repro.simulation.engine import simulate
+from repro.workloads.adversarial import AppendixAConstruction
+
+
+def run(
+    *,
+    n: int = 8,
+    delta: int = 2,
+    j_values: tuple[int, ...] = (5, 6, 7, 8, 9),
+    k_gap: int = 2,
+) -> ExperimentReport:
+    """Run the EXP-A sweep.  ``k = j + k_gap`` per the constraint chain."""
+    report = ExperimentReport(
+        "EXP-A",
+        "Appendix A adversary: ΔLRU ratio grows, ΔLRU-EDF stays bounded",
+    )
+    table = Table(
+        "ΔLRU vs handcrafted OFF on the Appendix A adversary",
+        (
+            "j",
+            "k",
+            "horizon",
+            "dLRU cost",
+            "dLRU-EDF cost",
+            "OFF cost",
+            "dLRU ratio",
+            "dLRU-EDF ratio",
+            "predicted dLRU ratio >=",
+        ),
+    )
+    growth = Series("ΔLRU measured ratio growth", "j", "cost ratio vs OFF")
+    combined = Series("ΔLRU-EDF ratio on the same adversary", "j", "cost ratio vs OFF")
+    for j in j_values:
+        construction = AppendixAConstruction(n, delta, j, j + k_gap)
+        instance = construction.instance()
+        off_schedule, off_cost = appendix_a_offline_schedule(construction, instance)
+        verify_schedule(instance, off_schedule).raise_if_invalid()
+        dlru = simulate(instance, DeltaLRU(), n)
+        dlru_edf = simulate(instance, DeltaLRUEDF(), n)
+        ratio = dlru.total_cost / off_cost.total
+        ratio_edf = dlru_edf.total_cost / off_cost.total
+        predicted = construction.predicted_ratio_lower_bound()
+        table.add_row(
+            j,
+            j + k_gap,
+            instance.horizon,
+            dlru.total_cost,
+            dlru_edf.total_cost,
+            off_cost.total,
+            ratio,
+            ratio_edf,
+            predicted,
+        )
+        growth.add(j, ratio)
+        combined.add(j, ratio_edf)
+        report.rows.append(
+            {
+                "j": j,
+                "k": j + k_gap,
+                "dlru_cost": dlru.total_cost,
+                "dlru_edf_cost": dlru_edf.total_cost,
+                "off_cost": off_cost.total,
+                "dlru_ratio": ratio,
+                "dlru_edf_ratio": ratio_edf,
+                "predicted_ratio": predicted,
+            }
+        )
+    report.tables.append(table)
+    report.series.extend([growth, combined])
+    ratios = [row["dlru_ratio"] for row in report.rows]
+    report.summary = {
+        "dlru_ratio_first": round(ratios[0], 3),
+        "dlru_ratio_last": round(ratios[-1], 3),
+        "monotone_growth": all(b > a for a, b in zip(ratios, ratios[1:])),
+        "dlru_edf_ratio_max": round(
+            max(row["dlru_edf_ratio"] for row in report.rows), 3
+        ),
+    }
+    return report

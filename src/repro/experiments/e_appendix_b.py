@@ -1,0 +1,101 @@
+"""EXP-B: the Appendix B lower bound — EDF is not resource competitive.
+
+Sweep the gap ``k - j`` on the Appendix B adversary and measure EDF's
+cost against the handcrafted offline schedule.  The paper predicts the
+ratio is at least ``2^{k-j-1} / (n/2 + 1)`` — growing geometrically in
+``k - j`` — while ΔLRU-EDF on the same adversary stays bounded.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.algorithms.edf import EDF
+from repro.analysis.report import Series, Table
+from repro.core.validation import verify_schedule
+from repro.experiments.base import ExperimentReport
+from repro.offline.handcrafted import appendix_b_offline_schedule
+from repro.simulation.engine import simulate
+from repro.workloads.adversarial import AppendixBConstruction
+
+
+def run(
+    *,
+    n: int = 4,
+    delta: int | None = None,
+    gaps: tuple[int, ...] = (1, 2, 3, 4, 5),
+) -> ExperimentReport:
+    """Run the EXP-B sweep over ``k = j + gap``."""
+    if delta is None:
+        delta = n + 1
+    j = delta.bit_length()
+    while (1 << j) <= delta:
+        j += 1
+    report = ExperimentReport(
+        "EXP-B",
+        "Appendix B adversary: EDF ratio grows geometrically, ΔLRU-EDF bounded",
+    )
+    table = Table(
+        "EDF vs handcrafted OFF on the Appendix B adversary",
+        (
+            "k-j",
+            "horizon",
+            "EDF cost",
+            "EDF reconfig",
+            "dLRU-EDF cost",
+            "OFF cost",
+            "EDF ratio",
+            "dLRU-EDF ratio",
+            "predicted EDF ratio >=",
+        ),
+    )
+    growth = Series("EDF measured ratio growth", "k-j", "cost ratio vs OFF")
+    combined = Series(
+        "ΔLRU-EDF ratio on the same adversary", "k-j", "cost ratio vs OFF"
+    )
+    for gap in gaps:
+        construction = AppendixBConstruction(n, delta, j, j + gap)
+        instance = construction.instance()
+        off_schedule, off_cost = appendix_b_offline_schedule(construction, instance)
+        verify_schedule(instance, off_schedule).raise_if_invalid()
+        edf = simulate(instance, EDF(), n)
+        dlru_edf = simulate(instance, DeltaLRUEDF(), n)
+        ratio = edf.total_cost / off_cost.total
+        ratio_edf = dlru_edf.total_cost / off_cost.total
+        predicted = construction.predicted_ratio_lower_bound()
+        table.add_row(
+            gap,
+            instance.horizon,
+            edf.total_cost,
+            edf.cost.reconfig_cost,
+            dlru_edf.total_cost,
+            off_cost.total,
+            ratio,
+            ratio_edf,
+            predicted,
+        )
+        growth.add(gap, ratio)
+        combined.add(gap, ratio_edf)
+        report.rows.append(
+            {
+                "gap": gap,
+                "edf_cost": edf.total_cost,
+                "edf_reconfig_cost": edf.cost.reconfig_cost,
+                "dlru_edf_cost": dlru_edf.total_cost,
+                "off_cost": off_cost.total,
+                "edf_ratio": ratio,
+                "dlru_edf_ratio": ratio_edf,
+                "predicted_ratio": predicted,
+            }
+        )
+    report.tables.append(table)
+    report.series.extend([growth, combined])
+    ratios = [row["edf_ratio"] for row in report.rows]
+    report.summary = {
+        "edf_ratio_first": round(ratios[0], 3),
+        "edf_ratio_last": round(ratios[-1], 3),
+        "monotone_growth": all(b > a for a, b in zip(ratios, ratios[1:])),
+        "dlru_edf_ratio_max": round(
+            max(row["dlru_edf_ratio"] for row in report.rows), 3
+        ),
+    }
+    return report

@@ -1,0 +1,75 @@
+"""EXP-S: simulator throughput scaling.
+
+An engineering baseline rather than a paper claim: rounds-per-second of
+the batched engine across a (resources, colors, horizon) grid, so
+performance regressions in the hot loop show up in benchmark history.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.analysis.report import Series, Table
+from repro.experiments.base import ExperimentReport
+from repro.simulation.engine import simulate
+from repro.workloads.random_batched import random_rate_limited
+
+
+def run(
+    *,
+    grid: tuple[tuple[int, int, int], ...] = (
+        (8, 4, 256),
+        (16, 8, 256),
+        (32, 16, 256),
+        (16, 8, 1024),
+        (16, 8, 4096),
+    ),
+    delta: int = 4,
+    seed: int = 0,
+) -> ExperimentReport:
+    report = ExperimentReport("EXP-S", "Simulator throughput scaling")
+    table = Table(
+        "ΔLRU-EDF engine throughput",
+        ("resources", "colors", "horizon", "jobs", "seconds", "rounds/s", "jobs/s"),
+    )
+    series = Series("Rounds per second by configuration", "config", "rounds/s")
+    for resources, colors, horizon in grid:
+        instance = random_rate_limited(
+            colors, delta, horizon, seed=seed, load=0.6, bound_choices=(2, 4, 8, 16)
+        )
+        start = time.perf_counter()
+        result = simulate(instance, DeltaLRUEDF(), resources)
+        elapsed = time.perf_counter() - start
+        rounds_per_s = instance.horizon / elapsed
+        jobs_per_s = len(instance.sequence) / elapsed
+        label = f"n={resources},C={colors},H={horizon}"
+        table.add_row(
+            resources,
+            colors,
+            horizon,
+            len(instance.sequence),
+            round(elapsed, 4),
+            round(rounds_per_s),
+            round(jobs_per_s),
+        )
+        series.add(label, rounds_per_s)
+        report.rows.append(
+            {
+                "resources": resources,
+                "colors": colors,
+                "horizon": horizon,
+                "jobs": len(instance.sequence),
+                "seconds": elapsed,
+                "rounds_per_second": rounds_per_s,
+                "total_cost": result.total_cost,
+            }
+        )
+    report.tables.append(table)
+    report.series.append(series)
+    report.summary = {
+        "min_rounds_per_second": round(
+            min(r["rounds_per_second"] for r in report.rows)
+        )
+    }
+    return report

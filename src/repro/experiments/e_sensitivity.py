@@ -1,0 +1,70 @@
+"""EXP-SEN: sensitivity of ΔLRU-EDF's measured ratio to Δ and load.
+
+A (Δ, load) grid of random rate-limited workloads, geomean ratio per
+cell against the certified lower bound.  The theorems promise a constant
+independent of Δ and load; the grid makes the flatness (and where the
+bound estimator is loosest — light load, where OFF's lower bound is
+dominated by the per-color term) visible.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.analysis.competitive import ratio_vs_lower_bound
+from repro.analysis.report import Series, Table, geometric_mean
+from repro.experiments.base import ExperimentReport
+from repro.simulation.engine import simulate
+from repro.workloads.random_batched import random_rate_limited
+
+
+def run(
+    *,
+    delta_values: tuple[int, ...] = (1, 2, 4, 8),
+    loads: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    seeds: tuple[int, ...] = (0, 1, 2),
+    n: int = 16,
+    horizon: int = 96,
+) -> ExperimentReport:
+    if n % 8 != 0:
+        raise ValueError("pass n divisible by 8")
+    m = n // 8
+    report = ExperimentReport(
+        "EXP-SEN", f"Δ × load sensitivity of ΔLRU-EDF (n={n}, m={m})"
+    )
+    table = Table(
+        "Geomean measured ratio per (Δ, load) cell",
+        ("Δ", *[f"load {load}" for load in loads]),
+    )
+    for delta in delta_values:
+        cells = []
+        series = Series(f"Ratio vs load at Δ={delta}", "load", "geomean ratio")
+        for load in loads:
+            ratios = []
+            for seed in seeds:
+                instance = random_rate_limited(
+                    6,
+                    delta,
+                    horizon,
+                    seed=seed,
+                    load=load,
+                    bound_choices=(2, 4, 8),
+                )
+                result = simulate(instance, DeltaLRUEDF(), n)
+                estimate = ratio_vs_lower_bound(instance, result.total_cost, m)
+                ratios.append(estimate.ratio)
+            gm = geometric_mean(ratios)
+            cells.append(round(gm, 3))
+            series.add(load, gm)
+            report.rows.append(
+                {"delta": delta, "load": load, "geomean_ratio": gm}
+            )
+        table.add_row(delta, *cells)
+        report.series.append(series)
+    report.tables.append(table)
+    values = [row["geomean_ratio"] for row in report.rows]
+    report.summary = {
+        "max_cell": round(max(values), 3),
+        "min_cell": round(min(values), 3),
+        "spread": round(max(values) / max(min(values), 1e-9), 3),
+    }
+    return report

@@ -1,0 +1,116 @@
+"""EXP-T1: Theorem 1 — ΔLRU-EDF is resource competitive on rate-limited
+batched instances with ``n = 8m``.
+
+Across random rate-limited workloads (several seeds, Δ values, color
+counts, loads, plus both appendix adversaries) we measure ΔLRU-EDF's cost
+with ``n`` resources against the offline estimate with ``m = n/8``
+resources.  On small instances the denominator is the exact optimum; on
+larger ones it is the certified lower bound, making the reported ratio an
+upper bound on the true one.  Theorem 1 predicts the max stays O(1); the
+table also shows ΔLRU and EDF on the same workloads for contrast.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.dlru import DeltaLRU
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.algorithms.edf import EDF
+from repro.analysis.competitive import best_effort_ratio
+from repro.analysis.report import Series, Table, geometric_mean
+from repro.experiments.base import ExperimentReport
+from repro.simulation.engine import simulate
+from repro.workloads.adversarial import appendix_a_instance, appendix_b_instance
+from repro.workloads.bursty import bursty_rate_limited
+from repro.workloads.random_batched import random_rate_limited
+
+
+def _workloads(n: int, delta_values, seeds, horizon):
+    for delta in delta_values:
+        for seed in seeds:
+            yield (
+                f"random(Δ={delta},seed={seed})",
+                random_rate_limited(
+                    6, delta, horizon, seed=seed, load=0.6, bound_choices=(2, 4, 8)
+                ),
+            )
+            yield (
+                f"bursty(Δ={delta},seed={seed})",
+                bursty_rate_limited(
+                    6, delta, horizon, seed=seed, bound_choices=(2, 4, 8)
+                ),
+            )
+    _, adversary_a = appendix_a_instance(n, 2)
+    yield ("appendix-a", adversary_a)
+    _, adversary_b = appendix_b_instance(min(n, 4))
+    yield ("appendix-b", adversary_b)
+
+
+def run(
+    *,
+    n: int = 16,
+    delta_values: tuple[int, ...] = (2, 4),
+    seeds: tuple[int, ...] = (0, 1, 2),
+    horizon: int = 64,
+    exact_state_budget: int = 200_000,
+) -> ExperimentReport:
+    if n % 8 != 0:
+        raise ValueError("Theorem 1 uses n = 8m; pass n divisible by 8")
+    m = n // 8
+    report = ExperimentReport(
+        "EXP-T1",
+        f"Theorem 1: ΔLRU-EDF with n={n} vs OFF with m={m} (rate-limited batched)",
+    )
+    table = Table(
+        "Per-workload costs and measured ratios",
+        (
+            "workload",
+            "dLRU-EDF",
+            "dLRU",
+            "EDF",
+            "OFF est.",
+            "OFF kind",
+            "dLRU-EDF ratio",
+        ),
+    )
+    ratios = Series("ΔLRU-EDF measured ratio per workload", "workload", "ratio")
+    for label, instance in _workloads(n, delta_values, seeds, horizon):
+        combined = simulate(instance, DeltaLRUEDF(), n)
+        lru = simulate(instance, DeltaLRU(), n)
+        edf = simulate(instance, EDF(), n)
+        estimate = best_effort_ratio(
+            instance,
+            combined.total_cost,
+            m,
+            exact_state_budget=exact_state_budget,
+        )
+        table.add_row(
+            label,
+            combined.total_cost,
+            lru.total_cost,
+            edf.total_cost,
+            estimate.offline_estimate,
+            estimate.direction.value,
+            estimate.ratio,
+        )
+        ratios.add(label, estimate.ratio)
+        report.rows.append(
+            {
+                "workload": label,
+                "dlru_edf_cost": combined.total_cost,
+                "dlru_cost": lru.total_cost,
+                "edf_cost": edf.total_cost,
+                "offline_estimate": estimate.offline_estimate,
+                "offline_kind": estimate.direction.value,
+                "ratio": estimate.ratio,
+            }
+        )
+    report.tables.append(table)
+    report.series.append(ratios)
+    values = [row["ratio"] for row in report.rows]
+    report.summary = {
+        "max_ratio": round(max(values), 3),
+        "geomean_ratio": round(geometric_mean(values), 3),
+        "n": n,
+        "m": m,
+    }
+    return report

@@ -1,0 +1,91 @@
+"""Sweep utilities: run a matrix of (instance, scheme) cells.
+
+The experiments share a pattern — run several algorithms over several
+instances, collect a numpy cost matrix, summarize.  ``run_matrix`` does
+it once, properly: one fresh scheme per cell (schemes are stateful), all
+schedules verified, vectorized summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.simulation.engine import ReconfigurationScheme, RunResult, simulate
+
+
+@dataclass
+class SweepResult:
+    """Cost matrix (schemes x instances) plus the underlying runs."""
+
+    scheme_names: tuple[str, ...]
+    instance_names: tuple[str, ...]
+    total_costs: np.ndarray  # shape (schemes, instances), int64
+    reconfig_costs: np.ndarray
+    drop_costs: np.ndarray
+    runs: list[list[RunResult]]
+
+    def best_scheme_per_instance(self) -> list[str]:
+        """Name of the cheapest scheme for each instance column."""
+        winners = np.argmin(self.total_costs, axis=0)
+        return [self.scheme_names[int(w)] for w in winners]
+
+    def mean_cost_per_scheme(self) -> dict[str, float]:
+        means = self.total_costs.mean(axis=1)
+        return {
+            name: float(mean)
+            for name, mean in zip(self.scheme_names, means)
+        }
+
+    def relative_to(self, baseline: str) -> np.ndarray:
+        """Cost of every scheme divided by the baseline scheme's cost."""
+        index = self.scheme_names.index(baseline)
+        base = np.maximum(self.total_costs[index], 1)
+        return self.total_costs / base
+
+
+def run_matrix(
+    instances: Sequence[Instance],
+    scheme_factories: Sequence[Callable[[], ReconfigurationScheme]],
+    num_resources: int,
+    *,
+    copies: int = 2,
+    speed: int = 1,
+    verify: bool = True,
+) -> SweepResult:
+    """Simulate every scheme on every instance; return the matrices."""
+    if not instances or not scheme_factories:
+        raise ValueError("need at least one instance and one scheme")
+    runs: list[list[RunResult]] = []
+    shape = (len(scheme_factories), len(instances))
+    totals = np.zeros(shape, dtype=np.int64)
+    reconfigs = np.zeros(shape, dtype=np.int64)
+    drops = np.zeros(shape, dtype=np.int64)
+    names: list[str] = []
+    for i, factory in enumerate(scheme_factories):
+        row: list[RunResult] = []
+        for j, instance in enumerate(instances):
+            result = simulate(
+                instance, factory(), num_resources, copies=copies, speed=speed
+            )
+            if verify:
+                result.verify(strict=True)
+            totals[i, j] = result.total_cost
+            reconfigs[i, j] = result.cost.reconfig_cost
+            drops[i, j] = result.cost.drop_cost
+            row.append(result)
+        runs.append(row)
+        names.append(row[0].algorithm)
+    return SweepResult(
+        scheme_names=tuple(names),
+        instance_names=tuple(
+            instance.name or f"instance-{j}" for j, instance in enumerate(instances)
+        ),
+        total_costs=totals,
+        reconfig_costs=reconfigs,
+        drop_costs=drops,
+        runs=runs,
+    )

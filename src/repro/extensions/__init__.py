@@ -1,0 +1,71 @@
+"""Extensions beyond the paper's main track.
+
+The paper's predecessor ([14], the SPAA 2006 paper whose preliminaries
+this paper shares) solves the *dual* variant — uniform delay bounds with
+**variable drop costs** ``[Δ | c_ℓ | D | 1]`` — by reducing to file
+caching.  This package builds that track as an extension:
+
+* :mod:`repro.extensions.filecaching` — a from-scratch weighted file
+  caching substrate (requests, cache, costs) with the Landlord
+  (greedy-dual) online algorithm, classic LRU, and Belady's offline MIN
+  for the unweighted case, plus the Sleator–Tarjan cyclic adversary.
+* :mod:`repro.extensions.uniform_delay` — the ``[Δ | c_ℓ | D | 1]``
+  scheduling variant: weighted jobs, a Landlord-style reconfiguration
+  scheme driven by accumulated drop-cost credit, and weighted baselines.
+
+The exact algorithm of [14] is not reproduced verbatim (its full text is
+not part of this paper); the Landlord-credit scheme here follows the
+reduction route [14] describes and is evaluated as such in ``EXP-U``.
+"""
+
+from repro.extensions.filecaching import (
+    BeladyMIN,
+    CachingResult,
+    FileCachingInstance,
+    Landlord,
+    LRUCache,
+    cyclic_adversary,
+    simulate_caching,
+)
+from repro.extensions.changeover_time import (
+    ChangeoverEngine,
+    ChaseBacklogPolicy,
+    StickyBacklogPolicy,
+    simulate_changeover,
+)
+from repro.extensions.paging_reduction import (
+    embed_paging_instance,
+    paging_optimal_via_scheduling,
+)
+from repro.extensions.uniform_delay import (
+    LandlordScheduler,
+    WeightedCostModel,
+    WeightedInstance,
+    WeightedJob,
+    simulate_weighted,
+    weighted_greedy_baseline,
+    weighted_static_baseline,
+)
+
+__all__ = [
+    "BeladyMIN",
+    "ChangeoverEngine",
+    "ChaseBacklogPolicy",
+    "StickyBacklogPolicy",
+    "simulate_changeover",
+    "CachingResult",
+    "FileCachingInstance",
+    "Landlord",
+    "LRUCache",
+    "cyclic_adversary",
+    "embed_paging_instance",
+    "paging_optimal_via_scheduling",
+    "simulate_caching",
+    "LandlordScheduler",
+    "WeightedCostModel",
+    "WeightedInstance",
+    "WeightedJob",
+    "simulate_weighted",
+    "weighted_greedy_baseline",
+    "weighted_static_baseline",
+]

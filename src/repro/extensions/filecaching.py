@@ -1,0 +1,248 @@
+"""Weighted file caching, from scratch.
+
+The classic substrate the reconfigurable-scheduling line builds on:
+Sleator–Tarjan paging [15] is the special case of the scheduling problem
+with unit delay bound and infinite drop cost, and the predecessor paper
+[14] reduces its variant *to* file caching.  This module implements:
+
+* the problem: files with sizes and retrieval costs, a cache of capacity
+  ``k``, a request sequence; a request for an uncached file *must* fetch
+  it (paging semantics), paying its retrieval cost;
+* **Landlord** (Young's greedy-dual), O(k/(k-h+1))-competitive for
+  weighted caching with sizes;
+* **LRU** for the unit-size case;
+* **Belady's MIN** — the exact offline optimum for unit size/cost;
+* the Sleator–Tarjan cyclic adversary showing LRU's ratio is ≥ k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """A cacheable file: identity, size (cache units), retrieval cost."""
+
+    file_id: int
+    size: int = 1
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("file size must be positive")
+        if self.cost < 0:
+            raise ValueError("retrieval cost must be nonnegative")
+
+
+@dataclass(frozen=True)
+class FileCachingInstance:
+    """A caching instance: the file universe, capacity, and requests."""
+
+    files: dict[int, FileSpec]
+    capacity: int
+    requests: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        for file_id in self.requests:
+            if file_id not in self.files:
+                raise ValueError(f"request for undeclared file {file_id}")
+        for spec in self.files.values():
+            if spec.size > self.capacity:
+                raise ValueError(
+                    f"file {spec.file_id} does not fit in the cache"
+                )
+
+    @property
+    def unit(self) -> bool:
+        """Whether every file has unit size and cost (pure paging)."""
+        return all(s.size == 1 and s.cost == 1.0 for s in self.files.values())
+
+
+@dataclass
+class CachingResult:
+    """Outcome of one caching run."""
+
+    algorithm: str
+    misses: int = 0
+    retrieval_cost: float = 0.0
+    evictions: int = 0
+    hit_rounds: list[int] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        return len(self.hit_rounds)
+
+
+class CachingPolicy:
+    """Online caching policy interface (must-fetch paging semantics)."""
+
+    name = "abstract"
+
+    def on_hit(self, file_id: int, now: int) -> None:  # pragma: no cover
+        """Called when a request hits the cache."""
+
+    def choose_victims(
+        self, needed: int, cached: dict[int, FileSpec], now: int
+    ) -> list[int]:
+        """Return file ids to evict until ``needed`` space is free."""
+        raise NotImplementedError
+
+    def on_insert(self, spec: FileSpec, now: int) -> None:  # pragma: no cover
+        """Called after the requested file is inserted."""
+
+
+class LRUCache(CachingPolicy):
+    """Least-recently-used (classic Sleator–Tarjan algorithm)."""
+
+    name = "LRU"
+
+    def __init__(self) -> None:
+        self._last_used: dict[int, int] = {}
+
+    def on_hit(self, file_id: int, now: int) -> None:
+        self._last_used[file_id] = now
+
+    def on_insert(self, spec: FileSpec, now: int) -> None:
+        self._last_used[spec.file_id] = now
+
+    def choose_victims(self, needed, cached, now):
+        victims = []
+        freed = 0
+        for file_id in sorted(cached, key=lambda f: self._last_used.get(f, -1)):
+            if freed >= needed:
+                break
+            victims.append(file_id)
+            freed += cached[file_id].size
+        return victims
+
+
+class Landlord(CachingPolicy):
+    """Young's Landlord / greedy-dual algorithm for weighted caching.
+
+    Each cached file holds credit; on insertion (and on every hit, in
+    this standard variant) a file's credit is set to its retrieval cost.
+    To make room, decrease every cached file's credit by
+    ``δ = min(credit / size)`` per size unit and evict zero-credit files.
+    """
+
+    name = "Landlord"
+
+    def __init__(self) -> None:
+        self.credit: dict[int, float] = {}
+        self._specs: dict[int, FileSpec] = {}
+
+    def on_hit(self, file_id: int, now: int) -> None:
+        self.credit[file_id] = self._specs[file_id].cost
+
+    def on_insert(self, spec: FileSpec, now: int) -> None:
+        self._specs[spec.file_id] = spec
+        self.credit[spec.file_id] = spec.cost
+
+    def choose_victims(self, needed, cached, now):
+        victims: list[int] = []
+        freed = 0
+        credit = {f: self.credit.get(f, 0.0) for f in cached}
+        while freed < needed and credit:
+            delta = min(credit[f] / cached[f].size for f in credit)
+            for f in list(credit):
+                credit[f] -= delta * cached[f].size
+            zeros = sorted(f for f, c in credit.items() if c <= 1e-12)
+            if not zeros:  # numerical guard; delta should zero the argmin
+                zeros = [min(credit, key=credit.get)]
+            for f in zeros:
+                victims.append(f)
+                freed += cached[f].size
+                del credit[f]
+                if freed >= needed:
+                    break
+        for f, c in credit.items():
+            self.credit[f] = c
+        for f in victims:
+            self.credit.pop(f, None)
+        return victims
+
+
+def simulate_caching(
+    instance: FileCachingInstance, policy: CachingPolicy
+) -> CachingResult:
+    """Run a policy over a caching instance (must-fetch semantics)."""
+    result = CachingResult(policy.name)
+    cached: dict[int, FileSpec] = {}
+    used = 0
+    for now, file_id in enumerate(instance.requests):
+        spec = instance.files[file_id]
+        if file_id in cached:
+            policy.on_hit(file_id, now)
+            result.hit_rounds.append(now)
+            continue
+        result.misses += 1
+        result.retrieval_cost += spec.cost
+        needed = spec.size - (instance.capacity - used)
+        if needed > 0:
+            victims = policy.choose_victims(needed, dict(cached), now)
+            freed = sum(cached[v].size for v in victims)
+            if freed < needed:
+                raise RuntimeError(
+                    f"{policy.name} freed {freed} < needed {needed}"
+                )
+            for victim in victims:
+                used -= cached[victim].size
+                del cached[victim]
+                result.evictions += 1
+        cached[file_id] = spec
+        used += spec.size
+        policy.on_insert(spec, now)
+    return result
+
+
+class BeladyMIN:
+    """Belady's offline MIN: exact optimum for unit-size, unit-cost paging."""
+
+    name = "Belady-MIN"
+
+    def run(self, instance: FileCachingInstance) -> CachingResult:
+        if not instance.unit:
+            raise ValueError("Belady's MIN is exact only for unit paging")
+        result = CachingResult(self.name)
+        requests = instance.requests
+        # next_use[i] = next index after i requesting the same file.
+        next_use = [len(requests)] * len(requests)
+        last_seen: dict[int, int] = {}
+        for i in range(len(requests) - 1, -1, -1):
+            next_use[i] = last_seen.get(requests[i], len(requests))
+            last_seen[requests[i]] = i
+        cached: set[int] = set()
+        upcoming: dict[int, int] = {}
+        for i, file_id in enumerate(requests):
+            if file_id in cached:
+                result.hit_rounds.append(i)
+                upcoming[file_id] = next_use[i]
+                continue
+            result.misses += 1
+            result.retrieval_cost += 1.0
+            if len(cached) >= instance.capacity:
+                victim = max(cached, key=lambda f: upcoming.get(f, 10**18))
+                cached.remove(victim)
+                result.evictions += 1
+            cached.add(file_id)
+            upcoming[file_id] = next_use[i]
+        return result
+
+
+def cyclic_adversary(k: int, rounds: int) -> FileCachingInstance:
+    """The Sleator–Tarjan adversary: k+1 files requested cyclically.
+
+    LRU (or any deterministic policy with cache size k) misses every
+    request, while MIN misses at most once per k requests — the classic
+    ratio-``k`` lower bound the paper's competitive framework descends
+    from.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    files = {i: FileSpec(i) for i in range(k + 1)}
+    requests = tuple((i % (k + 1)) for i in range(rounds))
+    return FileCachingInstance(files, k, requests)

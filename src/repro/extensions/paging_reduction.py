@@ -1,0 +1,99 @@
+"""Paging as a special case of reconfigurable resource scheduling.
+
+The paper observes (related work, ref [15]) that Sleator–Tarjan disk
+paging *is* the scheduling problem with unit delay bound, unit
+reconfiguration cost, infinite drop cost, and single-job requests.  This
+module makes the embedding executable:
+
+* :func:`embed_paging_instance` — a unit-size/unit-cost
+  :class:`~repro.extensions.filecaching.FileCachingInstance` becomes a
+  ``[1 | M | 1 | 1]`` scheduling instance (one color per file, one
+  round per request, drop cost ``M`` standing in for ∞);
+* :func:`scheduling_cost_to_paging` — converts an offline scheduling
+  cost back into a paging miss count, exact once ``M`` exceeds the
+  horizon (no optimal schedule drops anything it could serve).
+
+The tests cross-check ``optimal_offline`` on the embedding against
+Belady's MIN on micro instances — two theories, one number.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import CostModel
+from repro.core.instance import BatchMode, Instance, ProblemSpec, RequestSequence
+from repro.core.job import Job
+from repro.extensions.filecaching import FileCachingInstance
+
+
+def embed_paging_instance(
+    caching: FileCachingInstance, *, drop_cost: int | None = None
+) -> Instance:
+    """Embed unit paging into the scheduling model.
+
+    Request *t* for file *f* becomes one job of color *f* arriving in
+    round *t* with delay bound 1 — executable only that round, and only
+    on a resource configured to *f*.  Reconfiguration cost is 1 (a page
+    fetch); the drop cost ``M`` defaults to ``2 * len(requests) + 1``,
+    which already makes dropping a servable request suboptimal (serving
+    costs at most 1 fetch).
+    """
+    if not caching.unit:
+        raise ValueError("the embedding requires unit sizes and costs")
+    if drop_cost is None:
+        drop_cost = 2 * len(caching.requests) + 1
+    jobs = [
+        Job(t, file_id, 1, t)
+        for t, file_id in enumerate(caching.requests)
+    ]
+    bounds = {file_id: 1 for file_id in caching.files}
+    spec = ProblemSpec(
+        bounds,
+        CostModel(reconfig_cost=1, drop_cost=drop_cost),
+        BatchMode.GENERAL,
+    )
+    return Instance(
+        spec,
+        RequestSequence(jobs),
+        name=f"paging-embedding(k={caching.capacity})",
+    )
+
+
+def scheduling_cost_to_paging(
+    scheduling_cost: int, num_requests: int, drop_cost: int
+) -> tuple[int, int]:
+    """Split an embedded scheduling cost into (misses, drops).
+
+    Cost = misses * 1 + drops * M with drops * M identifiable because
+    ``M`` exceeds any achievable fetch total.
+    """
+    drops = scheduling_cost // drop_cost
+    misses = scheduling_cost - drops * drop_cost
+    if misses > num_requests:
+        raise ValueError("inconsistent embedding cost")
+    return misses, drops
+
+
+def paging_optimal_via_scheduling(
+    caching: FileCachingInstance, *, max_states: int = 1_000_000
+) -> int:
+    """Belady's number, computed through the scheduling optimum.
+
+    Runs :func:`repro.offline.optimal.optimal_offline` with ``k``
+    resources on the embedded instance and converts the cost back.
+    Micro instances only (the scheduling state space carries the cache
+    multiset).
+    """
+    from repro.offline.optimal import optimal_offline
+
+    embedded = embed_paging_instance(caching)
+    result = optimal_offline(embedded, caching.capacity, max_states=max_states)
+    drop_cost = embedded.spec.cost.drop_cost
+    misses, drops = scheduling_cost_to_paging(
+        result.cost, len(caching.requests), drop_cost
+    )
+    if drops:
+        raise AssertionError(
+            "optimal embedding schedule dropped a servable request; "
+            "increase drop_cost"
+        )
+    return misses

@@ -1,0 +1,495 @@
+"""The predecessor variant ``[Δ | c_ℓ | D | 1]``: uniform delay bound,
+per-color drop costs.
+
+This is the problem the SPAA 2006 paper ([14]) solves by reducing to
+file caching.  We implement the track as an extension: a dedicated
+uniform-delay engine plus a **Landlord-style scheduler** that treats each
+color as a file of retrieval cost ``Δ`` whose "rent" is paid by the drop
+cost of its arriving jobs:
+
+* each color accumulates credit ``c_ℓ`` per arriving job (capped at Δ);
+* a color with full credit and pending work is brought into the cache,
+  evicting victims by the greedy-dual rule (uniformly decrease cached
+  colors' residual credit, evict at zero);
+* cached colors execute one pending job per round per slot.
+
+Weighted baselines (greedy by weighted backlog, demand-weighted static)
+and the weighted cost accounting live here too; ``EXP-U`` compares them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class WeightedJob:
+    """A unit job with a per-color drop cost (uniform delay bound)."""
+
+    arrival: int
+    color: int
+    jid: int
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0 or self.color < 0:
+            raise ValueError("arrival and color must be nonnegative")
+
+
+@dataclass(frozen=True)
+class WeightedCostModel:
+    """``Δ`` plus the per-color drop costs ``c_ℓ``."""
+
+    reconfig_cost: int
+    drop_costs: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        if self.reconfig_cost <= 0:
+            raise ValueError("Δ must be positive")
+        for color, cost in self.drop_costs.items():
+            if cost < 0:
+                raise ValueError(f"drop cost for color {color} must be >= 0")
+        object.__setattr__(self, "drop_costs", dict(self.drop_costs))
+
+    def drop_cost(self, color: int) -> float:
+        return self.drop_costs[color]
+
+
+@dataclass(frozen=True)
+class WeightedInstance:
+    """A ``[Δ | c_ℓ | D | 1]`` instance."""
+
+    jobs: tuple[WeightedJob, ...]
+    delay_bound: int
+    cost: WeightedCostModel
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.delay_bound <= 0:
+            raise ValueError("the uniform delay bound D must be positive")
+        ids = [job.jid for job in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("job ids must be unique")
+        for job in self.jobs:
+            if job.color not in self.cost.drop_costs:
+                raise ValueError(f"job {job.jid} has undeclared color {job.color}")
+        object.__setattr__(self, "jobs", tuple(sorted(self.jobs)))
+
+    @property
+    def horizon(self) -> int:
+        last = max((job.arrival for job in self.jobs), default=0)
+        return last + self.delay_bound + 1
+
+    @property
+    def colors(self) -> tuple[int, ...]:
+        return tuple(sorted(self.cost.drop_costs))
+
+    def total_drop_value(self) -> float:
+        """Cost of dropping everything — the trivial upper bound."""
+        return sum(self.cost.drop_cost(job.color) for job in self.jobs)
+
+
+@dataclass
+class WeightedRunResult:
+    """Outcome of a uniform-delay run."""
+
+    algorithm: str
+    num_resources: int
+    reconfigs: int = 0
+    executed: int = 0
+    dropped: int = 0
+    drop_cost: float = 0.0
+    reconfig_cost: float = 0.0
+    drops_by_color: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        return self.reconfig_cost + self.drop_cost
+
+
+class WeightedPolicy:
+    """Reconfiguration strategy for the uniform-delay engine."""
+
+    name = "abstract"
+
+    def reconfigure(self, engine: "UniformDelayEngine") -> None:
+        raise NotImplementedError
+
+
+class UniformDelayEngine:
+    """Four-phase engine for ``[Δ | c_ℓ | D | 1]``.
+
+    The cache holds distinct colors, one resource per slot; each cached
+    color executes one pending job per round.
+    """
+
+    def __init__(
+        self,
+        instance: WeightedInstance,
+        policy: WeightedPolicy,
+        num_resources: int,
+    ) -> None:
+        if num_resources <= 0:
+            raise ValueError("need at least one resource")
+        self.instance = instance
+        self.policy = policy
+        self.num_resources = num_resources
+        self.delta = instance.cost.reconfig_cost
+        self.pending: dict[int, deque[WeightedJob]] = {
+            color: deque() for color in instance.colors
+        }
+        self.cached: set[int] = set()
+        self.round_index = 0
+        self.result = WeightedRunResult(policy.name, num_resources)
+        self._by_round: dict[int, list[WeightedJob]] = {}
+        for job in instance.jobs:
+            self._by_round.setdefault(job.arrival, []).append(job)
+
+    # -- policy-facing ------------------------------------------------------
+
+    def pending_count(self, color: int) -> int:
+        return len(self.pending[color])
+
+    def weighted_backlog(self, color: int) -> float:
+        return len(self.pending[color]) * self.instance.cost.drop_cost(color)
+
+    def cache_insert(self, color: int) -> None:
+        if color in self.cached:
+            raise ValueError(f"color {color} already cached")
+        if len(self.cached) >= self.num_resources:
+            raise ValueError("cache full; evict first")
+        self.cached.add(color)
+        self.result.reconfigs += 1
+        self.result.reconfig_cost += self.delta
+
+    def cache_evict(self, color: int) -> None:
+        self.cached.remove(color)
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self) -> WeightedRunResult:
+        deadline = self.instance.delay_bound
+        for k in range(self.instance.horizon):
+            self.round_index = k
+            # Drop phase: uniform bound -> FIFO fronts expire first.
+            for color, queue in self.pending.items():
+                while queue and queue[0].arrival + deadline <= k:
+                    queue.popleft()
+                    self.result.dropped += 1
+                    self.result.drop_cost += self.instance.cost.drop_cost(color)
+                    self.result.drops_by_color[color] = (
+                        self.result.drops_by_color.get(color, 0) + 1
+                    )
+            # Arrival phase.
+            for job in self._by_round.get(k, ()):
+                self.pending[job.color].append(job)
+            # Reconfiguration phase.
+            self.policy.reconfigure(self)
+            # Execution phase: one job per cached color per round.
+            for color in sorted(self.cached):
+                queue = self.pending[color]
+                if queue:
+                    queue.popleft()
+                    self.result.executed += 1
+        return self.result
+
+
+class LandlordScheduler(WeightedPolicy):
+    """Greedy-dual credit scheme over colors (the [14] reduction route).
+
+    ``credit[ℓ]`` accumulates ``c_ℓ`` per arriving job up to ``Δ``.  A
+    color at full credit with pending work is admitted; eviction uniformly
+    drains the residual credit of cached colors (greedy-dual), preferring
+    to evict idle colors at equal credit.
+    """
+
+    name = "landlord-rrs"
+
+    def __init__(self) -> None:
+        self.credit: dict[int, float] = {}
+        self._seen_arrivals: dict[int, int] = {}
+
+    def reconfigure(self, engine: UniformDelayEngine) -> None:
+        cost = engine.instance.cost
+        # Accrue credit for jobs that arrived since the last look.
+        for color in engine.instance.colors:
+            total_arrived = self._arrived_so_far(engine, color)
+            new = total_arrived - self._seen_arrivals.get(color, 0)
+            if new:
+                self._seen_arrivals[color] = total_arrived
+                gained = new * cost.drop_cost(color)
+                self.credit[color] = min(
+                    engine.delta, self.credit.get(color, 0.0) + gained
+                )
+        # Admit full-credit pending colors, draining victims greedily.
+        candidates = sorted(
+            (
+                c
+                for c in engine.instance.colors
+                if c not in engine.cached
+                and engine.pending_count(c) > 0
+                and self.credit.get(c, 0.0) >= engine.delta
+            ),
+            key=lambda c: (-self.credit.get(c, 0.0), c),
+        )
+        for color in candidates:
+            if len(engine.cached) >= engine.num_resources:
+                victim = self._drain_victim(engine)
+                if victim is None:
+                    break
+                engine.cache_evict(victim)
+            engine.cache_insert(color)
+            self.credit[color] = 0.0
+
+    def _drain_victim(self, engine: UniformDelayEngine) -> int | None:
+        cached = engine.cached
+        if not cached:
+            return None
+        residual = {c: self.credit.get(c, 0.0) for c in cached}
+        # Idle cached colors are drained first at equal credit.
+        victim = min(
+            cached,
+            key=lambda c: (residual[c], engine.pending_count(c) > 0, c),
+        )
+        drain = residual[victim]
+        for c in cached:
+            self.credit[c] = max(0.0, residual[c] - drain)
+        return victim
+
+    @staticmethod
+    def _arrived_so_far(engine: UniformDelayEngine, color: int) -> int:
+        # Arrivals up to the current round, derived from the instance.
+        # Cached cumulative counts are built lazily on the engine.
+        cache = getattr(engine, "_cumulative_arrivals", None)
+        if cache is None:
+            horizon = engine.instance.horizon
+            cache = {}
+            for c in engine.instance.colors:
+                series = np.zeros(horizon + 1, dtype=np.int64)
+                cache[c] = series
+            for job in engine.instance.jobs:
+                cache[job.color][job.arrival + 1] += 1
+            for series in cache.values():
+                np.cumsum(series, out=series)
+            engine._cumulative_arrivals = cache  # type: ignore[attr-defined]
+        return int(cache[color][min(engine.round_index + 1, len(cache[color]) - 1)])
+
+
+class WeightedGreedyPolicy(WeightedPolicy):
+    """Cache the colors with the largest weighted backlog (hysteresis Δ)."""
+
+    name = "weighted-greedy"
+
+    def __init__(self, hysteresis: float = 1.0) -> None:
+        self.hysteresis = hysteresis
+
+    def reconfigure(self, engine: UniformDelayEngine) -> None:
+        margin = self.hysteresis * engine.delta
+        backlog = {
+            c: engine.weighted_backlog(c) for c in engine.instance.colors
+        }
+        challengers = sorted(
+            (c for c in backlog if c not in engine.cached and backlog[c] > 0),
+            key=lambda c: (-backlog[c], c),
+        )
+        for color in challengers:
+            if len(engine.cached) < engine.num_resources:
+                engine.cache_insert(color)
+                continue
+            victim = min(engine.cached, key=lambda c: (backlog[c], c))
+            if backlog[color] >= backlog[victim] + margin:
+                engine.cache_evict(victim)
+                engine.cache_insert(color)
+            else:
+                break
+
+
+class UnweightedGreedyPolicy(WeightedPolicy):
+    """Greedy by *job count* backlog — blind to drop costs.
+
+    The contrast baseline for EXP-U: a cheap-color flood lures it away
+    from rare expensive colors.
+    """
+
+    name = "unweighted-greedy"
+
+    def __init__(self, hysteresis: float = 1.0) -> None:
+        self.hysteresis = hysteresis
+
+    def reconfigure(self, engine: UniformDelayEngine) -> None:
+        margin = self.hysteresis * engine.delta
+        backlog = {c: float(engine.pending_count(c)) for c in engine.instance.colors}
+        challengers = sorted(
+            (c for c in backlog if c not in engine.cached and backlog[c] > 0),
+            key=lambda c: (-backlog[c], c),
+        )
+        for color in challengers:
+            if len(engine.cached) < engine.num_resources:
+                engine.cache_insert(color)
+                continue
+            victim = min(engine.cached, key=lambda c: (backlog[c], c))
+            if backlog[color] >= backlog[victim] + margin:
+                engine.cache_evict(victim)
+                engine.cache_insert(color)
+            else:
+                break
+
+
+class WeightedStaticPolicy(WeightedPolicy):
+    """Configure the top colors by total weighted demand, once."""
+
+    name = "weighted-static"
+
+    def reconfigure(self, engine: UniformDelayEngine) -> None:
+        if engine.round_index > 0:
+            return
+        demand: dict[int, float] = {}
+        for job in engine.instance.jobs:
+            demand[job.color] = demand.get(job.color, 0.0) + engine.instance.cost.drop_cost(job.color)
+        top = sorted(demand, key=lambda c: (-demand[c], c))
+        for color in top[: engine.num_resources]:
+            engine.cache_insert(color)
+
+
+def simulate_weighted(
+    instance: WeightedInstance,
+    policy: WeightedPolicy,
+    num_resources: int,
+) -> WeightedRunResult:
+    """Run a weighted policy end to end."""
+    return UniformDelayEngine(instance, policy, num_resources).run()
+
+
+def weighted_greedy_baseline(hysteresis: float = 1.0) -> WeightedPolicy:
+    """Factory for the weighted-backlog greedy baseline."""
+    return WeightedGreedyPolicy(hysteresis)
+
+
+def weighted_static_baseline() -> WeightedPolicy:
+    """Factory for the demand-weighted static baseline."""
+    return WeightedStaticPolicy()
+
+
+def weighted_per_color_lower_bound(instance: WeightedInstance) -> float:
+    """``Σ_ℓ min(Δ, Σ_{jobs of ℓ} c_ℓ)`` — the weighted Lemma 3.1 bound."""
+    per_color: dict[int, float] = {}
+    for job in instance.jobs:
+        per_color[job.color] = per_color.get(job.color, 0.0) + instance.cost.drop_cost(
+            job.color
+        )
+    return sum(
+        min(float(instance.cost.reconfig_cost), value)
+        for value in per_color.values()
+    )
+
+
+def decoy_flood_instance(
+    *,
+    delta: int = 4,
+    delay_bound: int = 8,
+    horizon: int = 256,
+    seed: int = 0,
+    num_flood_colors: int = 3,
+    flood_rate: float = 2.0,
+    precious_rate: float = 0.4,
+    precious_cost: float = 10.0,
+    name: str = "",
+) -> WeightedInstance:
+    """Cheap high-volume colors flood while a rare expensive color
+    trickles — the scenario where cost-blind policies lose badly.
+
+    Run it with fewer resources than ``num_flood_colors + 1`` so the
+    policies actually have to choose whom to serve.
+    """
+    rng = np.random.default_rng(seed)
+    precious = num_flood_colors
+    drop_costs = {c: 0.2 for c in range(num_flood_colors)}
+    drop_costs[precious] = precious_cost
+    jobs: list[WeightedJob] = []
+    jid = 0
+    flood = rng.poisson(flood_rate, size=(num_flood_colors, horizon))
+    trickle = rng.poisson(precious_rate, size=horizon)
+    for k in range(horizon):
+        for color in range(num_flood_colors):
+            for _ in range(int(flood[color, k])):
+                jobs.append(WeightedJob(k, color, jid))
+                jid += 1
+        for _ in range(int(trickle[k])):
+            jobs.append(WeightedJob(k, precious, jid))
+            jid += 1
+    return WeightedInstance(
+        tuple(jobs),
+        delay_bound,
+        WeightedCostModel(delta, drop_costs),
+        name=name or f"decoy-flood(seed={seed})",
+    )
+
+
+def shifting_weighted_instance(
+    num_colors: int,
+    delta: int,
+    delay_bound: int,
+    horizon: int,
+    *,
+    seed: int,
+    phase_length: int = 64,
+    hot_rate: float = 1.5,
+    cold_rate: float = 0.05,
+    cost_skew: float = 1.5,
+    name: str = "",
+) -> WeightedInstance:
+    """Demand rotates between colors per phase — static partitions lose."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_colors + 1, dtype=np.float64)
+    costs = (1.0 / ranks**cost_skew) * num_colors
+    drop_costs = {c: float(costs[c]) for c in range(num_colors)}
+    jobs: list[WeightedJob] = []
+    jid = 0
+    for k in range(horizon):
+        hot = (k // phase_length) % num_colors
+        for color in range(num_colors):
+            rate = hot_rate if color == hot else cold_rate
+            for _ in range(int(rng.poisson(rate))):
+                jobs.append(WeightedJob(k, color, jid))
+                jid += 1
+    return WeightedInstance(
+        tuple(jobs),
+        delay_bound,
+        WeightedCostModel(delta, drop_costs),
+        name=name or f"shifting-weighted(seed={seed})",
+    )
+
+
+def random_weighted_instance(
+    num_colors: int,
+    delta: int,
+    delay_bound: int,
+    horizon: int,
+    *,
+    seed: int,
+    rate: float = 0.4,
+    cost_skew: float = 2.0,
+    name: str = "",
+) -> WeightedInstance:
+    """Seeded generator: Poisson arrivals, Zipf-skewed drop costs."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_colors + 1, dtype=np.float64)
+    costs = (1.0 / ranks**cost_skew) * num_colors
+    drop_costs = {c: float(costs[c]) for c in range(num_colors)}
+    jobs: list[WeightedJob] = []
+    jid = 0
+    for color in range(num_colors):
+        counts = rng.poisson(rate, size=horizon)
+        for round_index in np.nonzero(counts)[0].tolist():
+            for _ in range(int(counts[round_index])):
+                jobs.append(WeightedJob(int(round_index), color, jid))
+                jid += 1
+    return WeightedInstance(
+        tuple(jobs),
+        delay_bound,
+        WeightedCostModel(delta, drop_costs),
+        name=name or f"weighted(seed={seed})",
+    )

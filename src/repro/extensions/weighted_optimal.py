@@ -1,0 +1,81 @@
+"""Exact offline optimum for the weighted uniform-delay variant.
+
+Micro-instance exhaustive search for ``[Δ | c_ℓ | D | 1]`` — the
+denominator that turns the EXP-U policy comparison into measured
+competitive ratios.  Mirrors :mod:`repro.offline.bruteforce` but over
+weighted jobs and the distinct-color cache of the uniform-delay engine.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.extensions.uniform_delay import WeightedInstance
+
+
+def weighted_bruteforce_optimal(
+    instance: WeightedInstance,
+    num_resources: int,
+    *,
+    max_rounds: int = 14,
+    max_jobs: int = 14,
+) -> float:
+    """Exact optimal cost for a micro weighted instance."""
+    if instance.horizon > max_rounds:
+        raise ValueError(f"refusing horizons beyond {max_rounds} rounds")
+    if len(instance.jobs) > max_jobs:
+        raise ValueError(f"refusing more than {max_jobs} jobs")
+    delta = float(instance.cost.reconfig_cost)
+    D = instance.delay_bound
+    colors = instance.colors
+
+    arrivals: dict[int, list[int]] = {}
+    for job in instance.jobs:
+        arrivals.setdefault(job.arrival, []).append(job.color)
+
+    # Cache = set of distinct colors of size <= num_resources.
+    all_configs: list[frozenset[int]] = []
+    for size in range(0, min(num_resources, len(colors)) + 1):
+        for combo in combinations(colors, size):
+            all_configs.append(frozenset(combo))
+
+    best = [float("inf")]
+
+    def explore(k: int, config: frozenset[int], pending: tuple[tuple[int, int], ...], cost: float) -> None:
+        # pending: sorted tuple of (deadline, color).
+        if cost >= best[0]:
+            return
+        if k >= instance.horizon:
+            total = cost + sum(
+                instance.cost.drop_cost(color) for _, color in pending
+            )
+            if total < best[0]:
+                best[0] = total
+            return
+        alive = []
+        dropped_cost = 0.0
+        for deadline, color in pending:
+            if deadline <= k:
+                dropped_cost += instance.cost.drop_cost(color)
+            else:
+                alive.append((deadline, color))
+        for color in arrivals.get(k, ()):
+            alive.append((k + D, color))
+        alive.sort()
+        base = cost + dropped_cost
+        if base >= best[0]:
+            return
+        for new_config in all_configs:
+            step = base + delta * len(new_config - config)
+            if step >= best[0]:
+                continue
+            remaining = list(alive)
+            for color in new_config:
+                for index, (_, c) in enumerate(remaining):
+                    if c == color:
+                        remaining.pop(index)
+                        break
+            explore(k + 1, new_config, tuple(remaining), step)
+
+    explore(0, frozenset(), (), 0.0)
+    return best[0]

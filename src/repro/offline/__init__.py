@@ -1,0 +1,42 @@
+"""Offline algorithms: the OFF side of every competitive ratio.
+
+The paper's OFF is an *optimal offline algorithm* whose existence is
+assumed; to measure ratios we need computable stand-ins on both sides:
+
+* :mod:`repro.offline.optimal` — exact optimum by memoized search, for
+  small instances (certifies the online algorithms' constants in tests);
+* :mod:`repro.offline.lower_bounds` — certified combinatorial lower
+  bounds on OFF (per-color, Par-EDF drops, capacity windows), so measured
+  competitive ratios are *upper bounds* on the true ratio;
+* :mod:`repro.offline.heuristic` — hindsight schedules upper-bounding
+  OFF (used as the denominator in the adversarial experiments, where a
+  small OFF makes the online ratio *larger*);
+* :mod:`repro.offline.handcrafted` — the explicit OFF schedules of
+  Appendices A and B, built event-by-event and feasibility-checked.
+"""
+
+from repro.offline.handcrafted import (
+    appendix_a_offline_schedule,
+    appendix_b_offline_schedule,
+)
+from repro.offline.lower_bounds import (
+    capacity_lower_bound,
+    combined_lower_bound,
+    par_edf_drop_lower_bound,
+    per_color_lower_bound,
+)
+from repro.offline.optimal import OptimalResult, optimal_offline
+from repro.offline.heuristic import LookaheadPolicy, best_offline_heuristic
+
+__all__ = [
+    "appendix_a_offline_schedule",
+    "appendix_b_offline_schedule",
+    "capacity_lower_bound",
+    "combined_lower_bound",
+    "par_edf_drop_lower_bound",
+    "per_color_lower_bound",
+    "OptimalResult",
+    "optimal_offline",
+    "LookaheadPolicy",
+    "best_offline_heuristic",
+]

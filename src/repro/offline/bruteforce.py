@@ -1,0 +1,100 @@
+"""Brute-force offline optimum for micro instances.
+
+A second, independent implementation of the offline optimum: exhaustive
+enumeration of per-round configuration choices with *no* state merging,
+memoization, or dominance pruning beyond a cost cutoff.  Exponentially
+slower than :func:`repro.offline.optimal.optimal_offline`, but its
+simplicity makes it a trustworthy oracle — the test suite cross-checks
+the two on batches of tiny random instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+from repro.core.instance import Instance
+from repro.core.job import BLACK
+
+
+def bruteforce_optimal_cost(
+    instance: Instance,
+    num_resources: int,
+    *,
+    max_rounds: int = 12,
+    max_jobs: int = 16,
+) -> int:
+    """Exact optimal cost by exhaustive search (micro instances only)."""
+    if instance.horizon > max_rounds:
+        raise ValueError(
+            f"bruteforce refuses horizons beyond {max_rounds} rounds"
+        )
+    if len(instance.sequence) > max_jobs:
+        raise ValueError(f"bruteforce refuses more than {max_jobs} jobs")
+    m = num_resources
+    delta = instance.spec.reconfig_cost
+    drop_unit = instance.spec.cost.drop_cost
+    colors = tuple(sorted(instance.spec.delay_bounds))
+
+    arrivals: dict[int, list[tuple[int, int]]] = {}
+    for job in instance.sequence:
+        arrivals.setdefault(job.arrival, []).append((job.color, job.deadline))
+
+    # All full slot-color assignments (multisets over colors + BLACK).
+    all_configs = [
+        tuple(sorted(combo))
+        for combo in combinations_with_replacement((BLACK, *colors), m)
+    ]
+
+    best = [float("inf")]
+
+    def recolor_cost(old: tuple[int, ...], new: tuple[int, ...]) -> int | None:
+        from collections import Counter
+
+        old_counts, new_counts = Counter(old), Counter(new)
+        if new_counts[BLACK] > old_counts[BLACK]:
+            return None  # cannot recolor back to black
+        return sum(
+            max(0, new_counts[c] - old_counts.get(c, 0))
+            for c in new_counts
+            if c != BLACK
+        )
+
+    def explore(k: int, config: tuple[int, ...], pending: tuple[tuple[int, int], ...], cost: int) -> None:
+        if cost >= best[0]:
+            return
+        if k >= instance.horizon:
+            total = cost + drop_unit * len(pending)
+            if total < best[0]:
+                best[0] = total
+            return
+        # Drop phase.
+        alive = tuple(p for p in pending if p[1] > k)
+        cost_after_drop = cost + drop_unit * (len(pending) - len(alive))
+        if cost_after_drop >= best[0]:
+            return
+        # Arrival phase.
+        current = tuple(sorted(alive + tuple(arrivals.get(k, ()))))
+        for new_config in all_configs:
+            extra = recolor_cost(config, new_config)
+            if extra is None:
+                continue
+            step_cost = cost_after_drop + extra * delta
+            if step_cost >= best[0]:
+                continue
+            # Execution: each slot runs its color's earliest deadline.
+            remaining = list(current)
+            for slot_color in new_config:
+                if slot_color == BLACK:
+                    continue
+                candidates = [
+                    idx
+                    for idx, (c, _) in enumerate(remaining)
+                    if c == slot_color
+                ]
+                if candidates:
+                    chosen = min(candidates, key=lambda idx: remaining[idx][1])
+                    remaining.pop(chosen)
+            explore(k + 1, new_config, tuple(remaining), step_cost)
+
+    explore(0, ((BLACK,) * m), (), 0)
+    return int(best[0])

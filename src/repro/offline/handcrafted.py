@@ -1,0 +1,76 @@
+"""The explicit offline schedules of Appendices A and B.
+
+Both appendices exhibit an offline algorithm OFF with **one** resource
+whose cost stays small while the online algorithm's cost explodes.  We
+build those schedules event-by-event as :class:`~repro.core.schedule.Schedule`
+objects; the test suite runs them through the shared feasibility verifier,
+and the adversarial experiments use their cost as the (upper-bounded)
+denominator of the measured competitive ratio.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import CostBreakdown
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.schedule import Schedule
+from repro.workloads.adversarial import AppendixAConstruction, AppendixBConstruction
+
+
+def appendix_a_offline_schedule(
+    construction: AppendixAConstruction, instance: Instance
+) -> tuple[Schedule, CostBreakdown]:
+    """OFF for Appendix A: cache the long-term color throughout.
+
+    One reconfiguration at round 0, then one long-term job per round for
+    ``2^k`` rounds executes the entire backlog; every short-term job is
+    dropped.  Cost: ``Δ + 2^{k-j-1} n Δ``.
+    """
+    schedule = Schedule(1)
+    long_color = construction.long_color
+    schedule.reconfigure(0, 0, long_color)
+    long_jobs = sorted(
+        (job for job in instance.sequence if job.color == long_color),
+        key=lambda job: job.jid,
+    )
+    for round_index, job in enumerate(long_jobs):
+        schedule.execute(round_index, 0, job)
+    cost = schedule.cost(instance.sequence.jobs, instance.cost_model)
+    return schedule, cost
+
+
+def appendix_b_offline_schedule(
+    construction: AppendixBConstruction, instance: Instance
+) -> tuple[Schedule, CostBreakdown]:
+    """OFF for Appendix B: serve the short color, then each long color.
+
+    The short color is cached for rounds ``[0, 2^{k-1})`` and each batch
+    of ``Δ`` jobs is executed within its ``2^j`` block (``Δ < 2^j``).
+    Then the color with delay bound ``2^{k+p}`` is cached for rounds
+    ``[2^{k+p-1}, 2^{k+p})``, exactly long enough to execute its
+    ``2^{k+p-1}`` jobs before their deadline.  No drops; reconfiguration
+    cost ``(n/2 + 1) Δ``.
+    """
+    schedule = Schedule(1)
+    short = construction.short_color
+    schedule.reconfigure(0, 0, short)
+    by_color: dict[int, list[Job]] = {}
+    for job in instance.sequence:
+        by_color.setdefault(job.color, []).append(job)
+    for color_jobs in by_color.values():
+        color_jobs.sort(key=lambda job: (job.arrival, job.jid))
+
+    for job_offset, job in enumerate(by_color.get(short, [])):
+        # The i-th job of a batch runs in the i-th round of its block.
+        offset = job_offset % construction.delta
+        schedule.execute(job.arrival + offset, 0, job)
+
+    for p in range(construction.num_long_colors):
+        color = construction.long_color(p)
+        start = 1 << (construction.k + p - 1)
+        schedule.reconfigure(start, 0, color)
+        for offset, job in enumerate(by_color.get(color, [])):
+            schedule.execute(start + offset, 0, job)
+
+    cost = schedule.cost(instance.sequence.jobs, instance.cost_model)
+    return schedule, cost

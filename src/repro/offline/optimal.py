@@ -1,0 +1,301 @@
+"""Exact offline optimum by memoized exhaustive search.
+
+For small instances this computes the true ``Cost_OFF`` the paper's
+ratios are defined against.  The search space is kept finite by three
+facts about the problem:
+
+* **Configuration timing is free**: reconfiguring costs ``Δ`` whenever it
+  happens, and the reconfiguration phase precedes the execution phase of
+  the same round, so an optimal schedule exists that only ever configures
+  colors with currently pending jobs (pre-configuring for the future
+  cannot help).
+* **EDF within a color is optimal**: once the round's configuration is
+  fixed, executing each slot's earliest-deadline pending job of that
+  color dominates any other choice.
+* **State is summarizable**: at the start of round ``k`` the future
+  depends only on the cache multiset and the pending multiset
+  ``{(color, deadline) -> count}``.
+
+The search memoizes ``(round, cache, pending) -> (min future cost, best
+configuration)`` and replays the decisions to emit a feasible
+:class:`~repro.core.schedule.Schedule` checked by the shared verifier.
+A ``max_states`` guard protects against accidental use on large
+instances.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+from typing import Iterator
+
+from repro.core.cost import CostBreakdown
+from repro.core.instance import Instance
+from repro.core.job import BLACK, Job
+from repro.core.schedule import Schedule
+from repro.core.validation import verify_schedule
+
+#: pending is a sorted tuple of ((color, deadline), count).
+PendingKey = tuple[tuple[tuple[int, int], int], ...]
+CacheKey = tuple[int, ...]
+
+
+class SearchSpaceExceeded(RuntimeError):
+    """Raised when the memo table outgrows ``max_states``."""
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Exact optimum plus a witness schedule."""
+
+    cost: int
+    schedule: Schedule
+    breakdown: CostBreakdown
+    states_explored: int
+
+    @property
+    def num_reconfigs(self) -> int:
+        return self.breakdown.num_reconfigs
+
+    @property
+    def num_drops(self) -> int:
+        return self.breakdown.num_drops
+
+
+def _arrivals_by_round(instance: Instance) -> dict[int, dict[tuple[int, int], int]]:
+    grouped: dict[int, dict[tuple[int, int], int]] = {}
+    for job in instance.sequence:
+        per_round = grouped.setdefault(job.arrival, {})
+        key = (job.color, job.deadline)
+        per_round[key] = per_round.get(key, 0) + 1
+    return grouped
+
+
+def _candidate_caches(
+    current: CacheKey, pending_colors: tuple[int, ...], m: int
+) -> list[CacheKey]:
+    """All useful *physical* slot-color multisets reachable from ``current``.
+
+    The cache is always a full multiset of ``m`` slot colors, with
+    :data:`~repro.core.job.BLACK` marking never-reconfigured slots.  A
+    transition may only recolor slots to non-black colors, so the BLACK
+    count never increases.  New colors are only ever drawn from the
+    pending colors (recoloring to a color with no pending jobs is
+    dominated); keeping a current color is free.
+    """
+    old_black = sum(1 for c in current if c == BLACK)
+    pool = tuple(sorted((set(pending_colors) | set(current)) - {BLACK}))
+    seen: set[CacheKey] = set()
+    out: list[CacheKey] = []
+    for non_black_size in range(max(0, m - old_black), m + 1):
+        pad = (BLACK,) * (m - non_black_size)
+        for combo in combinations_with_replacement(pool, non_black_size):
+            key = tuple(sorted(pad + combo))
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+    if current not in seen:
+        out.append(current)
+    return out
+
+
+def _reconfig_count(old: CacheKey, new: CacheKey) -> int:
+    """Slots recolored turning full multiset ``old`` into ``new``.
+
+    Matching identical colors maximally, the recolored slots are exactly
+    the non-black assignments not covered: ``Σ_c max(0, new(c) - old(c))``
+    over non-black colors.
+    """
+    old_counts = Counter(old)
+    new_counts = Counter(new)
+    return sum(
+        max(0, new_counts[c] - old_counts.get(c, 0))
+        for c in new_counts
+        if c != BLACK
+    )
+
+
+def _drop_and_arrive(
+    k: int,
+    pending: PendingKey,
+    arrivals: dict[int, dict[tuple[int, int], int]],
+) -> tuple[int, PendingKey]:
+    """Apply the drop and arrival phases; return (dropped count, pending)."""
+    items = dict(pending)
+    dropped = 0
+    for (color, deadline), count in list(items.items()):
+        if deadline <= k:
+            dropped += count
+            del items[(color, deadline)]
+    for key, count in arrivals.get(k, {}).items():
+        items[key] = items.get(key, 0) + count
+    return dropped, tuple(sorted(items.items()))
+
+
+def _execute_abstract(cache: CacheKey, pending: PendingKey) -> PendingKey:
+    """Each slot executes its color's earliest-deadline pending job."""
+    items = dict(pending)
+    for color, width in Counter(cache).items():
+        if color == BLACK:
+            continue
+        for _ in range(width):
+            deadlines = [d for (c, d) in items if c == color]
+            if not deadlines:
+                break
+            key = (color, min(deadlines))
+            items[key] -= 1
+            if items[key] == 0:
+                del items[key]
+    return tuple(sorted(items.items()))
+
+
+def optimal_offline(
+    instance: Instance,
+    num_resources: int,
+    *,
+    max_states: int = 2_000_000,
+) -> OptimalResult:
+    """Compute the exact optimal offline cost and a witness schedule."""
+    if num_resources <= 0:
+        raise ValueError("need at least one resource")
+    m = num_resources
+    delta = instance.spec.reconfig_cost
+    drop_cost = instance.spec.cost.drop_cost
+    horizon = instance.horizon
+    arrivals = _arrivals_by_round(instance)
+
+    memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey]] = {}
+
+    def solve(k: int, cache: CacheKey, pending: PendingKey) -> int:
+        if k >= horizon:
+            # The horizon extends past every deadline, so nothing pends.
+            return sum(count for _, count in pending) * drop_cost
+        state = (k, cache, pending)
+        cached_entry = memo.get(state)
+        if cached_entry is not None:
+            return cached_entry[0]
+        if len(memo) >= max_states:
+            raise SearchSpaceExceeded(
+                f"optimal_offline exceeded {max_states} states; the "
+                f"instance is too large for exact search"
+            )
+        dropped, pending2 = _drop_and_arrive(k, pending, arrivals)
+        phase_cost = dropped * drop_cost
+        pending_colors = tuple(sorted({c for ((c, _), _) in pending2}))
+        best_cost: int | None = None
+        best_cache: CacheKey = cache
+        for candidate in _candidate_caches(cache, pending_colors, m):
+            reconfig = _reconfig_count(cache, candidate) * delta
+            if best_cost is not None and phase_cost + reconfig >= best_cost:
+                # Reconfiguration alone already exceeds the incumbent;
+                # future cost is nonnegative, so prune.
+                continue
+            after = _execute_abstract(candidate, pending2)
+            total = phase_cost + reconfig + solve(k + 1, candidate, after)
+            if best_cost is None or total < best_cost:
+                best_cost = total
+                best_cache = candidate
+        assert best_cost is not None
+        memo[state] = (best_cost, best_cache)
+        return best_cost
+
+    import sys
+
+    initial_cache: CacheKey = (BLACK,) * m
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, horizon * 4 + 1000))
+    try:
+        total_cost = solve(0, initial_cache, ())
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    schedule = _replay(instance, m, memo, arrivals)
+    breakdown = schedule.cost(instance.sequence.jobs, instance.cost_model)
+    if breakdown.total != total_cost:
+        raise AssertionError(
+            f"replayed schedule cost {breakdown.total} != search cost {total_cost}"
+        )
+    verify_schedule(instance, schedule).raise_if_invalid()
+    return OptimalResult(total_cost, schedule, breakdown, len(memo))
+
+
+def _replay(
+    instance: Instance,
+    m: int,
+    memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey]],
+    arrivals: dict[int, dict[tuple[int, int], int]],
+) -> Schedule:
+    """Rebuild the witness schedule by replaying memoized decisions.
+
+    Tracks the abstract pre-phase state exactly as ``solve`` does, while
+    maintaining concrete job queues and slot assignments to emit events.
+    """
+    schedule = Schedule(m)
+    cache: CacheKey = (BLACK,) * m
+    pending: PendingKey = ()
+    slot_colors: list[int] = [BLACK] * m
+
+    # Concrete queues, FIFO by jid within a (color, deadline) class.
+    queues: dict[tuple[int, int], list[Job]] = {}
+    stacks: dict[tuple[int, int, int], list[Job]] = {}
+    for job in sorted(instance.sequence, key=lambda j: j.jid, reverse=True):
+        stacks.setdefault((job.arrival, job.color, job.deadline), []).append(job)
+
+    for k in range(instance.horizon):
+        entry = memo.get((k, cache, pending))
+        if entry is None:
+            raise KeyError(f"optimal path lost at round {k}")
+        _, new_cache = entry
+
+        # Drop + arrival phases (abstract and concrete in lockstep).
+        _, pending2 = _drop_and_arrive(k, pending, arrivals)
+        for key in [key for key in queues if key[1] <= k]:
+            del queues[key]
+        for (color, deadline), count in arrivals.get(k, {}).items():
+            stack = stacks[(k, color, deadline)]
+            queues.setdefault((color, deadline), []).extend(
+                stack.pop() for _ in range(count)
+            )
+
+        # Reconfiguration phase: realize the multiset transition on the
+        # physical slots — keep matching colors in place, recolor the rest.
+        old_counts = Counter(cache)
+        new_counts = Counter(new_cache)
+        keep_budget = dict(old_counts & new_counts)
+        active = [False] * m
+        free_slots: list[int] = []
+        for index, color in enumerate(slot_colors):
+            if keep_budget.get(color, 0) > 0:
+                keep_budget[color] -= 1
+                active[index] = color != BLACK
+            else:
+                free_slots.append(index)
+        for color, extra in sorted((new_counts - old_counts).items()):
+            if color == BLACK:
+                raise AssertionError("transitions must never add BLACK slots")
+            for _ in range(extra):
+                index = free_slots.pop(0)
+                schedule.reconfigure(k, index, color)
+                slot_colors[index] = color
+                active[index] = True
+
+        # Execution phase: EDF within each active slot's color. Slots
+        # whose color left the abstract multiset stay physically colored
+        # but voluntarily idle, matching the abstract accounting.
+        for index in range(m):
+            if not active[index]:
+                continue
+            color = slot_colors[index]
+            candidates = [key for key in queues if key[0] == color]
+            if not candidates:
+                continue
+            key = min(candidates, key=lambda key: key[1])
+            job = queues[key].pop(0)
+            if not queues[key]:
+                del queues[key]
+            schedule.execute(k, index, job)
+
+        cache = new_cache
+        pending = _execute_abstract(new_cache, pending2)
+    return schedule

@@ -1,0 +1,49 @@
+"""The paper's reduction layers.
+
+The main result is assembled from three layers (Sections 3-5):
+
+    [Δ | 1 | D_ℓ | 1]  --VarBatch-->  [Δ | 1 | D_ℓ/2 | D_ℓ/2]
+                       --Distribute-->  rate-limited [Δ | 1 | D_ℓ | D_ℓ]
+                       --ΔLRU-EDF-->  schedule
+
+* :mod:`repro.reductions.distribute` — Algorithm Distribute (§4.1):
+  splits oversized batches into rate-limited subcolors and maps the inner
+  schedule back.
+* :mod:`repro.reductions.varbatch` — Algorithm VarBatch (§5.1): delays
+  every job to the next half-block boundary, halving its delay bound.
+* :mod:`repro.reductions.arbitrary` — the §5.3 extension to arbitrary
+  (non-power-of-two) delay bounds.
+* :mod:`repro.reductions.aggregate` — Algorithm Aggregate (§4.3), the
+  offline schedule transformation behind Lemma 4.1; used by the tests to
+  check the lemma empirically.
+* :mod:`repro.reductions.pipeline` — the composed online algorithm for
+  the main problem (Theorem 3).
+"""
+
+from repro.reductions.distribute import DistributeResult, distribute_instance, run_distribute
+from repro.reductions.varbatch import VarBatchResult, run_varbatch, varbatch_instance
+from repro.reductions.arbitrary import generalize_bounds_instance, run_arbitrary
+from repro.reductions.aggregate import aggregate_schedule
+from repro.reductions.punctual import (
+    classify_execution,
+    punctualize_schedule,
+    split_by_timing,
+)
+from repro.reductions.pipeline import PipelineResult, run_pipeline
+
+__all__ = [
+    "DistributeResult",
+    "distribute_instance",
+    "run_distribute",
+    "VarBatchResult",
+    "run_varbatch",
+    "varbatch_instance",
+    "generalize_bounds_instance",
+    "run_arbitrary",
+    "aggregate_schedule",
+    "classify_execution",
+    "punctualize_schedule",
+    "split_by_timing",
+    "PipelineResult",
+    "run_pipeline",
+]

@@ -1,0 +1,273 @@
+"""Algorithm Aggregate (Section 4.3) — the offline side of Lemma 4.1.
+
+Given an offline schedule ``T`` for a batched instance ``I`` on ``m``
+resources, Aggregate produces a schedule ``T'`` for the *distributed*
+(subcolored, rate-limited) instance ``I'`` on ``3m`` resources that
+executes the same number of jobs with at most a constant-factor more
+reconfiguration cost.  Together with Lemma 4.2 this proves Theorem 2.
+
+Faithful structure:
+
+* resources ``(k, 0..2)`` of ``T'`` shadow resource ``k`` of ``T``;
+* per delay bound ``p`` (ascending), per block, per color: the jobs ``T``
+  executed are partitioned into groups of size ``<= p``;
+* groups go first to the ``(T, p, i, ℓ)``-monochromatic shadow resources
+  ``(k, 0)`` — ranked by descending *T-level* (how long ``k`` stays
+  monochromatic) with block-to-block label inheritance so a stable
+  resource keeps executing the same subcolor — and leftovers go to
+  multichromatic triples with at least ``p`` free slots (Lemma 4.4
+  guarantees one exists; we assert it);
+* a monochromatic placement blocks its whole shadow block (the paper's
+  "mark all slots occupied").
+
+One deliberate deviation: the paper assigns subcolor labels purely by
+resource identity, which can name a subcolor that has fewer jobs than the
+group needs.  We keep the inheritance *preference* but fall back to any
+subcolor with sufficient availability (full groups are interchangeable
+among full subcolors, so this never changes the cost structure).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.job import BLACK, Job
+from repro.core.schedule import Schedule
+from repro.reductions.distribute import SubcolorMap
+
+
+class AggregateError(RuntimeError):
+    """Raised when a Lemma 4.4 style guarantee fails to hold."""
+
+
+@dataclass
+class _Group:
+    """One group of executed jobs of a single original color and block."""
+
+    color: int
+    block_index: int
+    size: int
+    label: int | None = None  # assigned subcolor j
+    mono_resource: int | None = None  # T resource k when placed on (k, 0)
+
+
+def _color_timelines(schedule: Schedule, m: int, horizon: int) -> np.ndarray:
+    """Dense (m, horizon) array of each T-resource's color per round."""
+    colors = np.full((m, horizon), BLACK, dtype=np.int64)
+    for event in schedule.reconfigurations:
+        colors[event.resource, event.round_index :] = event.new_color
+    return colors
+
+
+def _monochromatic(colors: np.ndarray, resource: int, start: int, end: int) -> int:
+    """The single color of ``resource`` over ``[start, end)``, else BLACK-1.
+
+    Returns the color when the resource holds exactly one color throughout
+    the window, and ``BLACK - 1`` (an impossible color) otherwise.
+    """
+    window = colors[resource, start:end]
+    if window.size == 0:
+        return BLACK - 1
+    first = int(window[0])
+    if bool((window == first).all()):
+        return first
+    return BLACK - 1
+
+
+def _t_level(colors: np.ndarray, resource: int, p: int, i: int, horizon: int) -> int:
+    """Largest delay bound q such that the enclosing block(q, ·) of
+    block(p, i) keeps ``resource`` monochromatic."""
+    level = p
+    q = p * 2
+    while True:
+        j = (i * p) // q
+        start, end = j * q, min((j + 1) * q, horizon)
+        if end <= start or _monochromatic(colors, resource, start, end) == BLACK - 1:
+            return level
+        level = q
+        q *= 2
+        if q > 4 * horizon:
+            return level
+
+
+def aggregate_schedule(
+    batched_instance: Instance,
+    inner_instance: Instance,
+    mapping: SubcolorMap,
+    offline_schedule: Schedule,
+    num_offline_resources: int,
+) -> Schedule:
+    """Transform T (for I, m resources) into T' (for I', 3m resources)."""
+    m = num_offline_resources
+    horizon = batched_instance.horizon
+    colors = _color_timelines(offline_schedule, m, horizon)
+    out = Schedule(3 * m)
+
+    # Jobs T executed, grouped by (color, block index of its bound).
+    jobs_by_id = {job.jid: job for job in batched_instance.sequence}
+    executed: dict[tuple[int, int], list[Job]] = defaultdict(list)
+    for event in offline_schedule.executions:
+        job = jobs_by_id[event.jid]
+        executed[(job.color, job.arrival // job.delay_bound)].append(job)
+
+    # I' job pools: (original color, block start, subcolor) -> jobs.
+    pool: dict[tuple[int, int], dict[int, list[Job]]] = defaultdict(dict)
+    for job in inner_instance.sequence:
+        original = mapping.original(job.color)
+        per_sub = pool[(original, job.arrival)]
+        per_sub.setdefault(job.color, []).append(job)
+    for per_sub in pool.values():
+        for jobs in per_sub.values():
+            jobs.sort(key=lambda j: j.jid)
+
+    subcolor_of = mapping.to_subcolor  # (color, j) -> subcolor id
+
+    occupied = np.zeros((3 * m, horizon), dtype=bool)
+    # Inherited labels: color -> {T resource k -> label j in previous block}.
+    inherited: dict[int, dict[int, int]] = defaultdict(dict)
+
+    bounds_ascending = sorted(set(batched_instance.spec.delay_bounds.values()))
+    colors_by_bound: dict[int, list[int]] = defaultdict(list)
+    for color, bound in sorted(batched_instance.spec.delay_bounds.items()):
+        colors_by_bound[bound].append(color)
+
+    executions: list[tuple[int, int, Job]] = []  # (round, resource, job)
+
+    for p in bounds_ascending:
+        num_blocks = (horizon + p - 1) // p
+        for i in range(num_blocks):
+            start, end = i * p, min((i + 1) * p, horizon)
+            mono_of: dict[int, int] = {}
+            for k in range(m):
+                mono_of[k] = _monochromatic(colors, k, start, end)
+            for color in colors_by_bound[p]:
+                jobs = executed.get((color, i))
+                if not jobs:
+                    inherited[color] = {}
+                    continue
+                jobs = sorted(jobs, key=lambda j: j.jid)
+                groups = [
+                    _Group(color, i, len(jobs[g : g + p]))
+                    for g in range(0, len(jobs), p)
+                ]
+                groups.sort(key=lambda g: -g.size)
+
+                mono_resources = [k for k in range(m) if mono_of[k] == color]
+                mono_resources.sort(
+                    key=lambda k: -_t_level(colors, k, p, i, horizon)
+                )
+                for group, k in zip(groups, mono_resources):
+                    group.mono_resource = k
+
+                _assign_labels(
+                    groups,
+                    pool[(color, start)],
+                    subcolor_of,
+                    color,
+                    inherited[color],
+                )
+                inherited[color] = {
+                    g.mono_resource: g.label
+                    for g in groups
+                    if g.mono_resource is not None and g.label is not None
+                }
+
+                for group in groups:
+                    sub = subcolor_of[(color, group.label)]
+                    batch = pool[(color, start)][sub][: group.size]
+                    del pool[(color, start)][sub][: group.size]
+                    if group.mono_resource is not None:
+                        resource = 3 * group.mono_resource
+                        for offset, job in enumerate(batch):
+                            executions.append((start + offset, resource, job))
+                        occupied[resource, start:end] = True
+                    else:
+                        _place_on_triple(
+                            batch, start, end, p, m, mono_of, occupied, executions
+                        )
+
+    executions.sort()
+    current = [BLACK] * (3 * m)
+    for round_index, resource, job in executions:
+        if current[resource] != job.color:
+            out.reconfigure(round_index, resource, job.color)
+            current[resource] = job.color
+        out.execute(round_index, resource, job)
+    return out
+
+
+def _assign_labels(
+    groups: list[_Group],
+    per_sub: dict[int, list[Job]],
+    subcolor_of: dict[tuple[int, int], int],
+    color: int,
+    inherited: dict[int, int],
+) -> None:
+    """Give each group a subcolor label with enough available jobs.
+
+    Inherited labels are honored when feasible; remaining groups take the
+    unused subcolors in descending availability (full groups first, so
+    the desc-desc matching of sizes to availabilities always succeeds).
+    """
+    avail = {
+        j: len(per_sub.get(sub, ()))
+        for (c, j), sub in subcolor_of.items()
+        if c == color
+    }
+    used: set[int] = set()
+    for group in groups:
+        if group.mono_resource is None:
+            continue
+        j = inherited.get(group.mono_resource)
+        if j is not None and j not in used and avail.get(j, 0) >= group.size:
+            group.label = j
+            used.add(j)
+    for group in groups:
+        if group.label is not None:
+            continue
+        candidates = sorted(
+            (j for j, a in avail.items() if j not in used and a >= group.size),
+            key=lambda j: (-avail[j], j),
+        )
+        if not candidates:
+            raise AggregateError(
+                f"no subcolor of color {color} can hold a group of size "
+                f"{group.size}; availability {avail}, used {sorted(used)}"
+            )
+        group.label = candidates[0]
+        used.add(group.label)
+
+
+def _place_on_triple(
+    batch: list[Job],
+    start: int,
+    end: int,
+    p: int,
+    m: int,
+    mono_of: dict[int, int],
+    occupied: np.ndarray,
+    executions: list[tuple[int, int, Job]],
+) -> None:
+    """Place a leftover group on a multichromatic shadow triple."""
+    multichromatic = [k for k in range(m) if mono_of[k] == BLACK - 1]
+    for k in multichromatic:
+        resources = (3 * k, 3 * k + 1, 3 * k + 2)
+        free = [
+            (r, res)
+            for r in range(start, end)
+            for res in resources
+            if not occupied[res, r]
+        ]
+        if len(free) >= p:
+            for (r, res), job in zip(free, batch):
+                executions.append((r, res, job))
+                occupied[res, r] = True
+            return
+    raise AggregateError(
+        f"Lemma 4.4 violated: no multichromatic triple with {p} free slots "
+        f"in block [{start}, {end})"
+    )

@@ -1,0 +1,231 @@
+"""Punctualization (Section 5.2, Lemmas 5.1-5.3).
+
+A job of delay bound ``p`` arriving in ``halfBlock(p, i)`` can be
+executed *early* (same half-block), *punctually* (``halfBlock(p, i+1)``)
+or *late* (``halfBlock(p, i+2)``) — its window covers exactly those
+three.  Theorem 3 needs offline schedules to be *punctual* (then they
+transfer to the batched instance VarBatch produces).  The paper shows:
+
+* **Lemma 5.1** — an early 1-resource schedule can be made punctual on 3
+  resources at O(1)x reconfiguration cost: *special* jobs (whose color
+  stays configured through the next half-block) shift forward by ``p/2``
+  on a dedicated resource; the rest pack into the first free slots of
+  two shared resources, half-block by half-block, ascending bounds.
+* **Lemma 5.2** — symmetrically for late schedules (shift back ``p/2``).
+* **Lemma 5.3** — any m-resource schedule splits per resource into its
+  early / punctual / late executions; transforming the two sides yields
+  a punctual schedule on ``7m`` resources (3 + 1 + 3 per original).
+
+All three are implemented here as executable schedule transformations,
+and the tests verify feasibility, execution preservation, punctuality,
+and the constant cost factor on real optimal schedules — plus the
+transfer: a punctualized schedule is feasible for the VarBatch-batched
+instance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.core.instance import Instance
+from repro.core.job import BLACK, Job
+from repro.core.rounds import half_block_index
+from repro.core.schedule import Schedule
+
+
+class PunctualizeError(RuntimeError):
+    """Raised when a Lemma 5.1 packing guarantee fails to hold."""
+
+
+Timing = Literal["early", "punctual", "late"]
+
+
+def classify_execution(job: Job, round_index: int) -> Timing:
+    """Early / punctual / late classification of one execution."""
+    if job.delay_bound == 1:
+        return "punctual"  # unit bounds are batched already (§5)
+    i = half_block_index(job.delay_bound, job.arrival)
+    execution_block = half_block_index(job.delay_bound, round_index)
+    offset = execution_block - i
+    if offset == 0:
+        return "early"
+    if offset == 1:
+        return "punctual"
+    if offset == 2:
+        return "late"
+    raise ValueError(
+        f"execution at {round_index} outside the window of job {job.jid}"
+    )
+
+
+def split_by_timing(
+    schedule: Schedule, instance: Instance
+) -> dict[Timing, list[tuple[int, int, Job]]]:
+    """Partition executions into (round, resource, job) lists by timing."""
+    jobs = {job.jid: job for job in instance.sequence}
+    buckets: dict[Timing, list[tuple[int, int, Job]]] = {
+        "early": [],
+        "punctual": [],
+        "late": [],
+    }
+    for event in schedule.executions:
+        job = jobs[event.jid]
+        buckets[classify_execution(job, event.round_index)].append(
+            (event.round_index, event.resource, job)
+        )
+    return buckets
+
+
+def _resource_color_at(schedule: Schedule, resource: int) -> list[tuple[int, int]]:
+    """(round, color) change points of one resource, ascending."""
+    return [
+        (event.round_index, event.new_color)
+        for event in schedule.reconfigurations
+        if event.resource == resource
+    ]
+
+
+def _configured_throughout(
+    changes: list[tuple[int, int]], color: int, start: int, end: int, horizon: int
+) -> bool:
+    """Whether the resource holds ``color`` over all rounds [start, end)."""
+    if start >= end:
+        return True
+    current = BLACK
+    # Color at `start`:
+    for round_index, new_color in changes:
+        if round_index <= start:
+            current = new_color
+        else:
+            break
+    if current != color:
+        return False
+    for round_index, new_color in changes:
+        if start < round_index < min(end, horizon) and new_color != color:
+            return False
+    return True
+
+
+def _emit(executions: list[tuple[int, int, Job]], num_resources: int) -> Schedule:
+    """Build a schedule from placed executions, deriving reconfigurations."""
+    out = Schedule(num_resources)
+    executions.sort(key=lambda item: (item[0], item[1], item[2].jid))
+    current = [BLACK] * num_resources
+    for round_index, resource, job in executions:
+        if current[resource] != job.color:
+            out.reconfigure(round_index, resource, job.color)
+            current[resource] = job.color
+        out.execute(round_index, resource, job)
+    return out
+
+
+def _one_sided_punctualize(
+    placed: list[tuple[int, int, Job]],
+    source_schedule: Schedule,
+    source_resource: int,
+    instance: Instance,
+    direction: Timing,
+    resource_base: int,
+) -> list[tuple[int, int, Job]]:
+    """Lemmas 5.1/5.2: make the early (or late) executions of one source
+    resource punctual on three target resources.
+
+    Returns (round, resource, job) placements; ``resource_base`` is the
+    index of the dedicated special-job resource (shared resources are
+    ``resource_base + 1`` and ``+ 2``).
+    """
+    if direction not in ("early", "late"):
+        raise ValueError("direction must be 'early' or 'late'")
+    sign = 1 if direction == "early" else -1
+    changes = _resource_color_at(source_schedule, source_resource)
+    horizon = instance.horizon
+
+    special: list[tuple[int, int, Job]] = []
+    nonspecial: list[tuple[int, int, Job]] = []
+    for round_index, _, job in placed:
+        p = job.delay_bound
+        half = p // 2
+        i = half_block_index(p, round_index)
+        if direction == "early":
+            window = (i * half, (i + 2) * half)
+        else:
+            window = ((i - 1) * half, (i + 1) * half)
+        if p > 1 and window[0] >= 0 and _configured_throughout(
+            changes, job.color, window[0], window[1], horizon
+        ):
+            special.append((round_index + sign * half, resource_base, job))
+        else:
+            nonspecial.append((round_index, 0, job))
+
+    # Nonspecial: ascending delay bounds, half-block by half-block, into
+    # the first free slots of the two shared resources in the *adjacent*
+    # half-block (i+1 for early sources, i-1... which is i+1 relative to
+    # the job's arrival — punctual either way).
+    occupied: dict[int, set[int]] = {
+        resource_base + 1: set(),
+        resource_base + 2: set(),
+    }
+    by_bound_block: dict[tuple[int, int, int], list[Job]] = defaultdict(list)
+    for round_index, _, job in nonspecial:
+        p = job.delay_bound
+        i = half_block_index(p, round_index)
+        by_bound_block[(p, i, job.color)].append(job)
+
+    out = list(special)
+    for (p, i, color) in sorted(by_bound_block):
+        jobs = sorted(by_bound_block[(p, i, color)], key=lambda j: j.jid)
+        half = max(p // 2, 1)
+        target_block = i + sign
+        start, end = target_block * half, (target_block + 1) * half
+        free = [
+            (r, res)
+            for r in range(start, min(end, horizon))
+            for res in (resource_base + 1, resource_base + 2)
+            if r not in occupied[res]
+        ]
+        if len(free) < len(jobs):
+            raise PunctualizeError(
+                f"Lemma 5.1 packing failed: {len(jobs)} jobs of bound {p} "
+                f"into half-block [{start}, {end}) with {len(free)} free slots"
+            )
+        for (r, res), job in zip(free, jobs):
+            occupied[res].add(r)
+            out.append((r, res, job))
+    return out
+
+
+def punctualize_schedule(
+    schedule: Schedule, instance: Instance
+) -> Schedule:
+    """Lemma 5.3: a punctual schedule on ``7m`` resources executing every
+    job the input executes."""
+    m = schedule.num_resources
+    jobs = {job.jid: job for job in instance.sequence}
+    per_resource: dict[int, dict[Timing, list[tuple[int, int, Job]]]] = {}
+    for event in schedule.executions:
+        job = jobs[event.jid]
+        timing = classify_execution(job, event.round_index)
+        per_resource.setdefault(event.resource, {
+            "early": [], "punctual": [], "late": []
+        })[timing].append((event.round_index, event.resource, job))
+
+    placements: list[tuple[int, int, Job]] = []
+    for k in range(m):
+        buckets = per_resource.get(
+            k, {"early": [], "punctual": [], "late": []}
+        )
+        base = 7 * k
+        placements += _one_sided_punctualize(
+            buckets["early"], schedule, k, instance, "early", base
+        )
+        # The punctual third rides along unchanged on resource base+3.
+        placements += [
+            (round_index, base + 3, job)
+            for round_index, _, job in buckets["punctual"]
+        ]
+        placements += _one_sided_punctualize(
+            buckets["late"], schedule, k, instance, "late", base + 4
+        )
+    return _emit(placements, 7 * m)

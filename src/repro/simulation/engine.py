@@ -1,0 +1,304 @@
+"""The batched four-phase engine (Section 3.1 common protocol).
+
+The three online algorithms of Section 3.1 "only differ in the way the
+resources are reconfigured"; everything else — dropping at deadlines,
+counter updates, wrapping events, eligibility transitions, replicated
+execution — is the engine's job.  A
+:class:`ReconfigurationScheme` receives the engine in the reconfiguration
+phase of each (mini-)round and mutates the cache through
+:meth:`BatchedEngine.cache_insert` / :meth:`BatchedEngine.cache_evict`,
+which keep the schedule, cost breakdown, and trace consistent.
+
+Double-speed algorithms (Section 3.3) repeat the reconfiguration and
+execution phases twice per round; pass ``speed=2``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cost import CostBreakdown
+from repro.core.events import (
+    ArrivalEvent,
+    CacheInEvent,
+    CacheOutEvent,
+    DropEvent,
+    EligibleEvent,
+    ExecuteEvent,
+    IneligibleEvent,
+    ReconfigEvent,
+    TimestampEvent,
+    Trace,
+    WrapEvent,
+)
+from repro.core.instance import Instance
+from repro.core.schedule import Execution, Reconfiguration, Schedule
+from repro.core.validation import ValidationReport, verify_schedule
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.resources import CachePool
+from repro.simulation.state import ColorState
+
+
+class ReconfigurationScheme(ABC):
+    """Strategy invoked in the reconfiguration phase of every mini-round."""
+
+    #: Human-readable algorithm name used in reports.
+    name: str = "abstract"
+
+    def setup(self, engine: "BatchedEngine") -> None:
+        """Hook called once before round 0 (default: no-op)."""
+
+    @abstractmethod
+    def reconfigure(self, engine: "BatchedEngine") -> None:
+        """Mutate ``engine``'s cache for the current mini-round."""
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one engine run."""
+
+    instance: Instance
+    algorithm: str
+    num_resources: int
+    speed: int
+    schedule: Schedule
+    cost: CostBreakdown
+    trace: Trace
+    metrics: MetricsCollector | None = None
+
+    @property
+    def total_cost(self) -> int:
+        return self.cost.total
+
+    def verify(self, *, strict: bool = False) -> ValidationReport:
+        """Re-check the emitted schedule against the instance."""
+        return verify_schedule(self.instance, self.schedule, strict=strict)
+
+
+class BatchedEngine:
+    """Drives a reconfiguration scheme over a batched instance.
+
+    Parameters
+    ----------
+    instance:
+        Must be declared ``BATCHED`` or ``RATE_LIMITED``.
+    scheme:
+        The reconfiguration strategy (ΔLRU, EDF, ΔLRU-EDF, Seq-EDF, ...).
+    num_resources:
+        ``n``; must be divisible by ``copies``.
+    copies:
+        Replication factor: each cached color occupies this many physical
+        resources (2 for the Section 3.1 algorithms, 1 for Seq-EDF).
+    speed:
+        1 for uni-speed, 2 for double-speed (Section 3.3).
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        scheme: ReconfigurationScheme,
+        num_resources: int,
+        *,
+        copies: int = 2,
+        speed: int = 1,
+        collect_metrics: bool = False,
+    ) -> None:
+        if not instance.spec.batch_mode.is_batched:
+            raise ValueError(
+                "BatchedEngine requires a batched instance; wrap general "
+                "instances with the VarBatch reduction first"
+            )
+        if num_resources <= 0 or num_resources % copies != 0:
+            raise ValueError(
+                f"num_resources ({num_resources}) must be a positive "
+                f"multiple of copies ({copies})"
+            )
+        if speed not in (1, 2):
+            raise ValueError("speed must be 1 (uni) or 2 (double)")
+        self.instance = instance
+        self.scheme = scheme
+        self.num_resources = num_resources
+        self.copies = copies
+        self.speed = speed
+        self.delta = instance.reconfig_cost
+
+        self.cache = CachePool(num_resources // copies, copies)
+        self.states: dict[int, ColorState] = {
+            color: ColorState(color, bound)
+            for color, bound in instance.spec.delay_bounds.items()
+        }
+        self.schedule = Schedule(num_resources, speed=speed)
+        self.cost = CostBreakdown(instance.cost_model)
+        self.trace = Trace()
+        self.metrics = (
+            MetricsCollector(instance.horizon) if collect_metrics else None
+        )
+        self.round_index = 0
+        self.mini_round = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> RunResult:
+        """Simulate all rounds and return the result bundle."""
+        if self._ran:
+            raise RuntimeError("engine instances are single-use; build a new one")
+        self._ran = True
+        self.scheme.setup(self)
+        for k in range(self.instance.horizon):
+            self.round_index = k
+            self._drop_phase(k)
+            self._arrival_phase(k)
+            for mini in range(self.speed):
+                self.mini_round = mini
+                self.scheme.reconfigure(self)
+                self._execution_phase(k, mini)
+            if self.metrics is not None:
+                self.metrics.end_round(k, self)
+        return RunResult(
+            instance=self.instance,
+            algorithm=self.scheme.name,
+            num_resources=self.num_resources,
+            speed=self.speed,
+            schedule=self.schedule,
+            cost=self.cost,
+            trace=self.trace,
+            metrics=self.metrics,
+        )
+
+    # --------------------------------------------------------------- phases
+
+    def _drop_phase(self, k: int) -> None:
+        for color, st in self.states.items():
+            if k == 0 or k % st.delay_bound != 0:
+                # Round 0 is a multiple of every bound but nothing can be
+                # pending yet and eligibility is vacuously false.
+                continue
+            dropped = st.clear_pending()
+            if dropped:
+                self.trace.append(
+                    DropEvent(k, color, len(dropped), eligible=st.eligible)
+                )
+                self.cost.record_drop(color, len(dropped), eligible=st.eligible)
+            if st.eligible and color not in self.cache:
+                st.eligible = False
+                st.cnt = 0
+                self.trace.append(IneligibleEvent(k, color))
+
+    def _arrival_phase(self, k: int) -> None:
+        arrivals: dict[int, list] = {}
+        for job in self.instance.sequence.arrivals(k):
+            arrivals.setdefault(job.color, []).append(job)
+        for color, st in self.states.items():
+            if k % st.delay_bound != 0:
+                continue
+            batch = arrivals.get(color, [])
+            st.dd = k + st.delay_bound
+            st.cnt += len(batch)
+            if batch:
+                self.trace.append(ArrivalEvent(k, color, len(batch)))
+            if st.cnt >= self.delta:
+                st.cnt %= self.delta
+                st.record_wrap(k)
+                self.trace.append(WrapEvent(k, color))
+                if not st.eligible:
+                    st.eligible = True
+                    self.trace.append(EligibleEvent(k, color))
+            st.pending.extend(batch)
+            ts = st.timestamp(k)
+            if ts != st.last_timestamp:
+                st.last_timestamp = ts
+                self.trace.append(TimestampEvent(k, color, ts))
+
+    def _execution_phase(self, k: int, mini: int) -> None:
+        for slot in self.cache.occupied_slots():
+            st = self.states[slot.occupant]
+            for resource, job in zip(slot.resources(), st.take_pending(self.copies)):
+                self.schedule.add_execution(
+                    Execution(k, mini, resource, job.jid, job.color)
+                )
+                self.trace.append(ExecuteEvent(k, mini, resource, job.color, job.jid))
+                self.cost.record_execution(job.color)
+
+    # ------------------------------------------------- scheme-facing helpers
+
+    def state(self, color: int) -> ColorState:
+        return self.states[color]
+
+    def eligible_colors(self) -> list[int]:
+        """Eligible colors in the consistent (ascending color) order."""
+        return [c for c in sorted(self.states) if self.states[c].eligible]
+
+    def timestamp(self, color: int) -> int:
+        """ΔLRU timestamp of ``color`` as of the current round."""
+        return self.states[color].timestamp(self.round_index)
+
+    def rank_eligible(self, colors: Sequence[int] | None = None) -> list[int]:
+        """EDF ranking (Section 3.1.2 / 3.3), best rank first.
+
+        Nonidle colors come first; then ascending deadline, breaking ties
+        by increasing delay bound, then the consistent order of colors.
+        """
+        pool = self.eligible_colors() if colors is None else list(colors)
+        return sorted(
+            pool,
+            key=lambda c: (
+                self.states[c].idle,
+                self.states[c].dd,
+                self.states[c].delay_bound,
+                c,
+            ),
+        )
+
+    def lru_order(self, colors: Sequence[int] | None = None) -> list[int]:
+        """Eligible colors by timestamp recency (most recent first).
+
+        Ties broken by the consistent order of colors for determinism.
+        """
+        pool = self.eligible_colors() if colors is None else list(colors)
+        now = self.round_index
+        return sorted(pool, key=lambda c: (-self.states[c].timestamp(now), c))
+
+    def cache_insert(self, color: int, *, section: str = "main") -> None:
+        """Bring ``color`` into the cache, recording costs and events."""
+        slot, reconfigured, old_physical = self.cache.insert(color)
+        for resource in reconfigured:
+            self.schedule.add_reconfiguration(
+                Reconfiguration(self.round_index, self.mini_round, resource, color)
+            )
+            self.trace.append(
+                ReconfigEvent(
+                    self.round_index, self.mini_round, resource, old_physical, color
+                )
+            )
+            self.cost.record_reconfig(color)
+        self.trace.append(
+            CacheInEvent(self.round_index, self.mini_round, color, section)
+        )
+
+    def cache_evict(self, color: int) -> None:
+        """Drop ``color`` from the cache (free of charge; slots persist)."""
+        self.cache.evict(color)
+        self.trace.append(CacheOutEvent(self.round_index, self.mini_round, color))
+
+
+def simulate(
+    instance: Instance,
+    scheme: ReconfigurationScheme,
+    num_resources: int,
+    *,
+    copies: int = 2,
+    speed: int = 1,
+    collect_metrics: bool = False,
+) -> RunResult:
+    """Build a :class:`BatchedEngine`, run it, and return the result."""
+    return BatchedEngine(
+        instance,
+        scheme,
+        num_resources,
+        copies=copies,
+        speed=speed,
+        collect_metrics=collect_metrics,
+    ).run()

@@ -1,0 +1,217 @@
+"""Engine for general (non-batched) instances.
+
+The Section 3.1 protocol assumes batched arrivals; baselines and the
+end-to-end pipeline of Section 5 also need to operate directly on
+``[Δ | 1 | D_ℓ | 1]`` instances where jobs of one color carry distinct
+deadlines.  This engine implements the bare Section 2 round semantics:
+
+* drop phase: jobs whose deadline equals the round index are dropped;
+* arrival phase: the round's request is appended to per-color queues;
+* reconfiguration phase: delegated to a :class:`GeneralPolicy`;
+* execution phase: each physical resource executes the earliest-deadline
+  pending job of its configured color.
+
+Within a color, arrivals are FIFO and each color has a single delay bound,
+so the queue front is always the earliest deadline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+
+from repro.core.cost import CostBreakdown
+from repro.core.events import (
+    ArrivalEvent,
+    CacheInEvent,
+    CacheOutEvent,
+    DropEvent,
+    ExecuteEvent,
+    ReconfigEvent,
+    Trace,
+)
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.schedule import Execution, Reconfiguration, Schedule
+from repro.simulation.engine import RunResult
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.resources import CachePool
+
+
+class GeneralPolicy(ABC):
+    """Reconfiguration strategy for the general engine."""
+
+    name: str = "abstract"
+
+    def setup(self, engine: "GeneralEngine") -> None:
+        """Hook called once before round 0 (default: no-op)."""
+
+    @abstractmethod
+    def reconfigure(self, engine: "GeneralEngine") -> None:
+        """Mutate ``engine``'s cache for the current round."""
+
+
+class GeneralEngine:
+    """Four-phase simulation of an arbitrary instance."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        policy: GeneralPolicy,
+        num_resources: int,
+        *,
+        copies: int = 1,
+        speed: int = 1,
+        collect_metrics: bool = False,
+    ) -> None:
+        if num_resources <= 0 or num_resources % copies != 0:
+            raise ValueError(
+                f"num_resources ({num_resources}) must be a positive "
+                f"multiple of copies ({copies})"
+            )
+        if speed not in (1, 2):
+            raise ValueError("speed must be 1 (uni) or 2 (double)")
+        self.instance = instance
+        self.policy = policy
+        self.num_resources = num_resources
+        self.copies = copies
+        self.speed = speed
+        self.delta = instance.reconfig_cost
+
+        self.cache = CachePool(num_resources // copies, copies)
+        self.pending: dict[int, deque[Job]] = {
+            color: deque() for color in instance.spec.delay_bounds
+        }
+        self.schedule = Schedule(num_resources, speed=speed)
+        self.cost = CostBreakdown(instance.cost_model)
+        self.trace = Trace()
+        self.metrics = (
+            MetricsCollector(instance.horizon) if collect_metrics else None
+        )
+        self.round_index = 0
+        self.mini_round = 0
+        self._ran = False
+        self._prev_counters = (0, 0, 0)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> RunResult:
+        if self._ran:
+            raise RuntimeError("engine instances are single-use; build a new one")
+        self._ran = True
+        self.policy.setup(self)
+        for k in range(self.instance.horizon):
+            self.round_index = k
+            self._drop_phase(k)
+            self._arrival_phase(k)
+            for mini in range(self.speed):
+                self.mini_round = mini
+                self.policy.reconfigure(self)
+                self._execution_phase(k, mini)
+            if self.metrics is not None:
+                self.metrics.end_round(k, self)  # type: ignore[arg-type]
+        return RunResult(
+            instance=self.instance,
+            algorithm=self.policy.name,
+            num_resources=self.num_resources,
+            speed=self.speed,
+            schedule=self.schedule,
+            cost=self.cost,
+            trace=self.trace,
+            metrics=self.metrics,
+        )
+
+    # --------------------------------------------------------------- phases
+
+    def _drop_phase(self, k: int) -> None:
+        for color, queue in self.pending.items():
+            dropped = 0
+            while queue and queue[0].deadline <= k:
+                queue.popleft()
+                dropped += 1
+            if dropped:
+                self.trace.append(DropEvent(k, color, dropped, eligible=True))
+                self.cost.record_drop(color, dropped)
+
+    def _arrival_phase(self, k: int) -> None:
+        counts: dict[int, int] = {}
+        for job in self.instance.sequence.arrivals(k):
+            self.pending[job.color].append(job)
+            counts[job.color] = counts.get(job.color, 0) + 1
+        for color, count in counts.items():
+            self.trace.append(ArrivalEvent(k, color, count))
+
+    def _execution_phase(self, k: int, mini: int) -> None:
+        for slot in self.cache.occupied_slots():
+            queue = self.pending[slot.occupant]
+            for resource in slot.resources():
+                if not queue:
+                    break
+                job = queue.popleft()
+                self.schedule.add_execution(
+                    Execution(k, mini, resource, job.jid, job.color)
+                )
+                self.trace.append(ExecuteEvent(k, mini, resource, job.color, job.jid))
+                self.cost.record_execution(job.color)
+
+    # ------------------------------------------------- policy-facing helpers
+
+    def pending_count(self, color: int) -> int:
+        return len(self.pending[color])
+
+    def earliest_deadline(self, color: int) -> int | None:
+        queue = self.pending[color]
+        return queue[0].deadline if queue else None
+
+    def nonidle_colors(self) -> list[int]:
+        """Colors with pending jobs, in the consistent (ascending) order."""
+        return [c for c in sorted(self.pending) if self.pending[c]]
+
+    # The ColorState-compatible view used by MetricsCollector.
+    @property
+    def states(self):  # pragma: no cover - thin adapter
+        class _View:
+            def __init__(self, pending: deque[Job]) -> None:
+                self.pending = pending
+
+        return {c: _View(q) for c, q in self.pending.items()}
+
+    def cache_insert(self, color: int, *, section: str = "main") -> None:
+        slot, reconfigured, old_physical = self.cache.insert(color)
+        for resource in reconfigured:
+            self.schedule.add_reconfiguration(
+                Reconfiguration(self.round_index, self.mini_round, resource, color)
+            )
+            self.trace.append(
+                ReconfigEvent(
+                    self.round_index, self.mini_round, resource, old_physical, color
+                )
+            )
+            self.cost.record_reconfig(color)
+        self.trace.append(
+            CacheInEvent(self.round_index, self.mini_round, color, section)
+        )
+
+    def cache_evict(self, color: int) -> None:
+        self.cache.evict(color)
+        self.trace.append(CacheOutEvent(self.round_index, self.mini_round, color))
+
+
+def simulate_general(
+    instance: Instance,
+    policy: GeneralPolicy,
+    num_resources: int,
+    *,
+    copies: int = 1,
+    speed: int = 1,
+    collect_metrics: bool = False,
+) -> RunResult:
+    """Build a :class:`GeneralEngine`, run it, and return the result."""
+    return GeneralEngine(
+        instance,
+        policy,
+        num_resources,
+        copies=copies,
+        speed=speed,
+        collect_metrics=collect_metrics,
+    ).run()

@@ -1,0 +1,139 @@
+"""Resource pool modeled as a replicated color cache (Section 3.1).
+
+The paper views the ``n`` resources as a cache of color *locations*: the
+first half of the capacity caches distinct colors and the second half
+replicates them, so each cached color occupies ``copies`` physical
+resources (``copies = 2`` for the Section 3 algorithms, ``copies = 1`` for
+Seq-EDF).
+
+Cost accounting is *physical*: inserting a color into a slot reconfigures
+only the physical resources whose current color differs.  The pool prefers
+a free slot that still physically holds the incoming color, which can only
+make the online algorithms cheaper than the paper's amortized accounting
+(where every insertion charges ``copies * Δ``); a separate
+``logical_insertions`` counter tracks the paper's accounting exactly for
+the lemma auditors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.job import BLACK
+
+
+@dataclass(slots=True)
+class Slot:
+    """One distinct-color slot backed by ``copies`` physical resources."""
+
+    index: int
+    copies: int
+    #: Logical occupant: the color currently cached here, or ``BLACK`` if free.
+    occupant: int = BLACK
+    #: Physical color of the underlying resources (persists across evictions).
+    physical: int = BLACK
+
+    @property
+    def free(self) -> bool:
+        return self.occupant == BLACK
+
+    def resources(self) -> range:
+        """Physical resource indices backing this slot."""
+        return range(self.index * self.copies, (self.index + 1) * self.copies)
+
+
+class CachePool:
+    """Fixed-capacity cache of distinct colors with replication.
+
+    The pool tracks logical occupancy (which colors are cached), physical
+    resource colors (for schedule emission), and insertion/eviction
+    bookkeeping.  It is policy-free: eviction *choices* belong to the
+    reconfiguration schemes.
+    """
+
+    def __init__(self, capacity: int, copies: int = 2) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        if copies <= 0:
+            raise ValueError("replication factor must be positive")
+        self.capacity = capacity
+        self.copies = copies
+        self._slots = [Slot(i, copies) for i in range(capacity)]
+        self._slot_of: dict[int, Slot] = {}
+        #: Paper-style accounting: every insertion counts, even when the
+        #: physical resources already hold the color.
+        self.logical_insertions = 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_resources(self) -> int:
+        return self.capacity * self.copies
+
+    def __contains__(self, color: int) -> bool:
+        return color in self._slot_of
+
+    def cached_colors(self) -> frozenset[int]:
+        return frozenset(self._slot_of)
+
+    def slot_of(self, color: int) -> Slot:
+        try:
+            return self._slot_of[color]
+        except KeyError:
+            raise KeyError(f"color {color} is not cached") from None
+
+    def free_slot_count(self) -> int:
+        return self.capacity - len(self._slot_of)
+
+    def is_full(self) -> bool:
+        return len(self._slot_of) >= self.capacity
+
+    def occupancy(self) -> int:
+        return len(self._slot_of)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, color: int) -> tuple[Slot, list[int], int]:
+        """Cache ``color`` in a free slot.
+
+        Returns ``(slot, reconfigured, old_physical)``: the slot used, the
+        physical resources that were actually reconfigured (empty when a
+        free slot still held the color physically), and the slot's previous
+        physical color.  Raises if the color is already cached or no slot
+        is free — callers must evict first.
+        """
+        if color == BLACK:
+            raise ValueError("cannot cache BLACK")
+        if color in self._slot_of:
+            raise ValueError(f"color {color} is already cached")
+        target: Slot | None = None
+        for slot in self._slots:
+            if not slot.free:
+                continue
+            if slot.physical == color:
+                target = slot  # zero-cost physical reuse
+                break
+            if target is None:
+                target = slot
+        if target is None:
+            raise ValueError("cache is full; evict before inserting")
+        old_physical = target.physical
+        reconfigured = list(target.resources()) if old_physical != color else []
+        target.occupant = color
+        target.physical = color
+        self._slot_of[color] = target
+        self.logical_insertions += 1
+        return target, reconfigured, old_physical
+
+    def evict(self, color: int) -> Slot:
+        """Remove ``color`` from the cache; the slot's physical color persists."""
+        slot = self.slot_of(color)
+        slot.occupant = BLACK
+        del self._slot_of[color]
+        return slot
+
+    # -- iteration ---------------------------------------------------------
+
+    def occupied_slots(self) -> list[Slot]:
+        """Slots currently caching a color, in slot order."""
+        return [slot for slot in self._slots if not slot.free]

@@ -1,0 +1,95 @@
+"""Per-color runtime state for the Section 3.1 protocol.
+
+Each color ℓ carries a counter ``cnt``, a deadline ``dd``, an eligibility
+flag, a pending-job queue, and the history of its counter wrapping events
+(from which the ΔLRU timestamp of Section 3.1.1 is derived on demand).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.job import Job
+from repro.core.rounds import prev_multiple
+
+
+@dataclass(slots=True)
+class ColorState:
+    """Runtime state of one color inside the batched engine.
+
+    Attributes
+    ----------
+    color, delay_bound:
+        Identity and ``D_ℓ``.
+    cnt:
+        The Section 3.1 counter; wraps modulo ``Δ`` on arrival.
+    dd:
+        Current deadline; set to ``k + D_ℓ`` at every integral multiple
+        ``k`` of ``D_ℓ`` during the arrival phase.
+    eligible:
+        Eligibility flag; set on a counter wrapping event, cleared in the
+        drop phase when the color is eligible but not cached.
+    pending:
+        FIFO of pending jobs.  In a batched instance every pending job of
+        a color shares the current deadline, so FIFO order is also EDF
+        order within the color.
+    last_wrap / prev_wrap:
+        Rounds of the two most recent counter wrapping events (wrapping
+        rounds are integral multiples of ``D_ℓ``, so two suffice to answer
+        any "latest wrap strictly before round k" query).
+    last_timestamp:
+        Cached value of the most recently emitted timestamp, used by the
+        engine to detect timestamp *update events* (Section 3.4).
+    """
+
+    color: int
+    delay_bound: int
+    cnt: int = 0
+    dd: int = 0
+    eligible: bool = False
+    pending: deque[Job] = field(default_factory=deque)
+    last_wrap: int | None = None
+    prev_wrap: int | None = None
+    last_timestamp: int = 0
+
+    @property
+    def idle(self) -> bool:
+        """A color is idle when it has no pending jobs (Section 3.1)."""
+        return not self.pending
+
+    def record_wrap(self, round_index: int) -> None:
+        """Record a counter wrapping event at ``round_index``."""
+        if self.last_wrap is not None and round_index < self.last_wrap:
+            raise ValueError("wrapping events must be recorded in round order")
+        if self.last_wrap != round_index:
+            self.prev_wrap = self.last_wrap
+            self.last_wrap = round_index
+
+    def timestamp(self, now: int) -> int:
+        """ΔLRU timestamp of this color as of round ``now`` (Section 3.1.1).
+
+        Let ``k`` be the most recent integral multiple of ``D_ℓ`` at or
+        before ``now``.  The timestamp is the latest round strictly before
+        ``k`` carrying a counter wrapping event of this color, or 0 if no
+        such round exists.
+        """
+        k = prev_multiple(now, self.delay_bound)
+        if self.last_wrap is not None and self.last_wrap < k:
+            return self.last_wrap
+        if self.prev_wrap is not None and self.prev_wrap < k:
+            return self.prev_wrap
+        return 0
+
+    def take_pending(self, count: int) -> list[Job]:
+        """Remove and return up to ``count`` pending jobs (FIFO)."""
+        taken: list[Job] = []
+        while self.pending and len(taken) < count:
+            taken.append(self.pending.popleft())
+        return taken
+
+    def clear_pending(self) -> list[Job]:
+        """Remove and return all pending jobs (drop phase)."""
+        dropped = list(self.pending)
+        self.pending.clear()
+        return dropped

@@ -1,0 +1,51 @@
+"""Workload generators.
+
+Two families:
+
+* **Adversarial** — the explicit constructions of Appendix A (defeats
+  ΔLRU) and Appendix B (defeats EDF), parameterized exactly by the
+  paper's constraints.
+* **Synthetic** — seeded random generators for the problem classes the
+  theorems quantify over (rate-limited batched, batched, general) and for
+  the application scenarios the introduction motivates (shared data
+  center, multi-service router, bursty on/off sources, Poisson arrivals).
+
+All generators return validated :class:`~repro.core.instance.Instance`
+objects and take a ``seed`` so every experiment is reproducible.
+"""
+
+from repro.workloads.adversarial import (
+    AppendixAConstruction,
+    AppendixBConstruction,
+    appendix_a_instance,
+    appendix_b_instance,
+)
+from repro.workloads.random_batched import (
+    random_batched,
+    random_general,
+    random_rate_limited,
+)
+from repro.workloads.bursty import bursty_rate_limited
+from repro.workloads.poisson import poisson_general
+from repro.workloads.datacenter import datacenter_scenario, motivation_scenario
+from repro.workloads.inference import inference_scenario
+from repro.workloads.router import router_scenario
+from repro.workloads.traces import instance_from_json, instance_to_json
+
+__all__ = [
+    "AppendixAConstruction",
+    "AppendixBConstruction",
+    "appendix_a_instance",
+    "appendix_b_instance",
+    "random_batched",
+    "random_general",
+    "random_rate_limited",
+    "bursty_rate_limited",
+    "poisson_general",
+    "datacenter_scenario",
+    "motivation_scenario",
+    "inference_scenario",
+    "router_scenario",
+    "instance_from_json",
+    "instance_to_json",
+]

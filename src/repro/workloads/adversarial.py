@@ -1,0 +1,243 @@
+"""The adversarial constructions of Appendices A and B.
+
+Both are *rate-limited batched* instances with power-of-two delay bounds,
+built to exhibit the failure mode of a single-principle algorithm:
+
+* **Appendix A** (defeats ΔLRU): ``n/2`` *short-term* colors with delay
+  bound ``2^j`` each receiving ``Δ`` jobs at every integral multiple of
+  ``2^j``, plus one *long-term* color with delay bound ``2^k`` receiving
+  ``2^k`` jobs at round 0, under ``2^k > 2^{j+1} > nΔ``.  The short-term
+  timestamps always dominate, so ΔLRU pins the (mostly idle) short-term
+  colors and drops the entire long-term backlog: competitive ratio
+  ``Ω(2^{j+1} / (nΔ))``.
+
+* **Appendix B** (defeats EDF): one color with delay bound ``2^j``
+  receiving ``Δ`` jobs at each multiple of ``2^j`` until round
+  ``2^{k-1}``, plus ``n/2`` colors with delay bounds ``2^k, 2^{k+1}, ...``
+  each receiving half a delay bound's worth of jobs at round 0, under
+  ``2^k > 2^j > Δ > n``.  EDF keeps chasing the earliest deadlines and
+  repeatedly swaps the long colors in and out: competitive ratio
+  ``>= 2^{k-j-1} / (n/2 + 1)``.
+
+Each construction also knows its paper-predicted ratio lower bound and
+the cost of the handcrafted offline schedule (built explicitly in
+:mod:`repro.offline.handcrafted`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instance import BatchMode, Instance, make_instance
+from repro.core.job import JobFactory
+
+
+@dataclass(frozen=True)
+class AppendixAConstruction:
+    """Parameter bundle for the Appendix A adversary.
+
+    Attributes
+    ----------
+    n:
+        Resources given to the online algorithm (even; ``n/2`` short-term
+        colors are created).
+    delta:
+        Reconfiguration cost ``Δ``.
+    j, k:
+        Exponents of the short-term (``2^j``) and long-term (``2^k``)
+        delay bounds; must satisfy ``2^k > 2^{j+1} > nΔ``.
+    """
+
+    n: int
+    delta: int
+    j: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or self.n % 2 != 0:
+            raise ValueError("n must be an even integer >= 2")
+        if self.delta < 1:
+            raise ValueError("Δ must be a positive integer")
+        if not (1 << self.k) > (1 << (self.j + 1)) > self.n * self.delta:
+            raise ValueError(
+                f"Appendix A requires 2^k > 2^(j+1) > nΔ; got "
+                f"2^{self.k}={1 << self.k}, 2^{self.j + 1}={1 << (self.j + 1)}, "
+                f"nΔ={self.n * self.delta}"
+            )
+
+    @property
+    def short_bound(self) -> int:
+        return 1 << self.j
+
+    @property
+    def long_bound(self) -> int:
+        return 1 << self.k
+
+    @property
+    def short_colors(self) -> range:
+        return range(self.n // 2)
+
+    @property
+    def long_color(self) -> int:
+        return self.n // 2
+
+    @property
+    def horizon(self) -> int:
+        """The input proceeds in ``2^k`` rounds (plus the final drop phase)."""
+        return self.long_bound + 1
+
+    def predicted_ratio_lower_bound(self) -> float:
+        """The ratio established in Appendix A against the handcrafted OFF.
+
+        ΔLRU pays at least ``nΔ + 2^k`` (it caches every short-term color
+        once and drops the long-term backlog); OFF pays
+        ``Δ + 2^{k-j-1} n Δ`` (one reconfiguration, drop all short jobs).
+        """
+        on = self.n * self.delta + self.long_bound
+        off = self.delta + (1 << (self.k - self.j - 1)) * self.n * self.delta
+        return on / off
+
+    def instance(self) -> Instance:
+        factory = JobFactory()
+        jobs = []
+        for round_index in range(0, self.long_bound, self.short_bound):
+            for color in self.short_colors:
+                jobs += factory.batch(
+                    round_index, color, self.short_bound, self.delta
+                )
+        jobs += factory.batch(0, self.long_color, self.long_bound, self.long_bound)
+        bounds = {color: self.short_bound for color in self.short_colors}
+        bounds[self.long_color] = self.long_bound
+        return make_instance(
+            jobs,
+            bounds,
+            self.delta,
+            batch_mode=BatchMode.RATE_LIMITED,
+            horizon=self.horizon,
+            require_power_of_two=True,
+            name=f"appendix-a(n={self.n},Δ={self.delta},j={self.j},k={self.k})",
+        )
+
+
+def appendix_a_instance(
+    n: int, delta: int, *, j: int | None = None, k: int | None = None
+) -> tuple[AppendixAConstruction, Instance]:
+    """Build the Appendix A adversary with minimal legal exponents.
+
+    When not given, ``j`` is the smallest exponent with ``2^{j+1} > nΔ``
+    and ``k = j + 2``.
+    """
+    if j is None:
+        j = max((n * delta).bit_length() - 1, 1)
+        while (1 << (j + 1)) <= n * delta:
+            j += 1
+    if k is None:
+        k = j + 2
+    construction = AppendixAConstruction(n, delta, j, k)
+    return construction, construction.instance()
+
+
+@dataclass(frozen=True)
+class AppendixBConstruction:
+    """Parameter bundle for the Appendix B adversary.
+
+    ``n/2 + 1`` colors: one with delay bound ``2^j`` and, for
+    ``0 <= p < n/2``, a color with delay bound ``2^{k+p}`` receiving
+    ``2^{k+p-1}`` jobs at round 0.  Requires ``2^k > 2^j > Δ > n``.
+    """
+
+    n: int
+    delta: int
+    j: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or self.n % 2 != 0:
+            raise ValueError("n must be an even integer >= 2")
+        if not (1 << self.k) > (1 << self.j) > self.delta > self.n:
+            raise ValueError(
+                f"Appendix B requires 2^k > 2^j > Δ > n; got 2^{self.k}, "
+                f"2^{self.j}, Δ={self.delta}, n={self.n}"
+            )
+
+    @property
+    def short_bound(self) -> int:
+        return 1 << self.j
+
+    @property
+    def short_color(self) -> int:
+        return 0
+
+    @property
+    def num_long_colors(self) -> int:
+        return self.n // 2
+
+    def long_bound(self, p: int) -> int:
+        if not 0 <= p < self.num_long_colors:
+            raise ValueError(f"p must lie in [0, {self.num_long_colors})")
+        return 1 << (self.k + p)
+
+    def long_color(self, p: int) -> int:
+        return 1 + p
+
+    @property
+    def horizon(self) -> int:
+        """The input proceeds in ``2^{k + n/2 - 1}`` rounds."""
+        return (1 << (self.k + self.num_long_colors - 1)) + 1
+
+    @property
+    def short_arrival_limit(self) -> int:
+        """Short-color batches arrive until round ``2^{k-1}``."""
+        return 1 << (self.k - 1)
+
+    def predicted_ratio_lower_bound(self) -> float:
+        """The Appendix B ratio: ``2^{k-j-1} / (n/2 + 1)``.
+
+        EDF pays at least ``2^{k-j-1} Δ`` in reconfigurations while OFF
+        executes everything with ``(n/2 + 1) Δ`` of reconfiguration.
+        """
+        return (1 << (self.k - self.j - 1)) / (self.n / 2 + 1)
+
+    def instance(self) -> Instance:
+        factory = JobFactory()
+        jobs = []
+        for round_index in range(0, self.short_arrival_limit, self.short_bound):
+            jobs += factory.batch(
+                round_index, self.short_color, self.short_bound, self.delta
+            )
+        for p in range(self.num_long_colors):
+            jobs += factory.batch(
+                0, self.long_color(p), self.long_bound(p), self.long_bound(p) // 2
+            )
+        bounds = {self.short_color: self.short_bound}
+        for p in range(self.num_long_colors):
+            bounds[self.long_color(p)] = self.long_bound(p)
+        return make_instance(
+            jobs,
+            bounds,
+            self.delta,
+            batch_mode=BatchMode.RATE_LIMITED,
+            horizon=self.horizon,
+            require_power_of_two=True,
+            name=f"appendix-b(n={self.n},Δ={self.delta},j={self.j},k={self.k})",
+        )
+
+
+def appendix_b_instance(
+    n: int, delta: int | None = None, *, j: int | None = None, k: int | None = None
+) -> tuple[AppendixBConstruction, Instance]:
+    """Build the Appendix B adversary with minimal legal parameters.
+
+    Defaults: ``Δ = n + 1``, the smallest ``j`` with ``2^j > Δ``, and
+    ``k = j + 1``.
+    """
+    if delta is None:
+        delta = n + 1
+    if j is None:
+        j = delta.bit_length()
+        while (1 << j) <= delta:
+            j += 1
+    if k is None:
+        k = j + 1
+    construction = AppendixBConstruction(n, delta, j, k)
+    return construction, construction.instance()

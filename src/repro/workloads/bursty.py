@@ -1,0 +1,76 @@
+"""Markov-modulated (on/off) bursty arrivals.
+
+Each color alternates between an ON state — batches near the rate limit —
+and an OFF state — empty batches — according to a two-state Markov chain
+sampled at its batch boundaries.  This is the traffic shape the
+introduction's router scenario worries about: intermittent short-term
+demand that punishes both pure-LRU (underutilization between bursts) and
+pure-EDF (thrashing at burst edges).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.instance import BatchMode, Instance, make_instance
+from repro.core.job import JobFactory
+
+
+def bursty_rate_limited(
+    num_colors: int,
+    delta: int,
+    horizon: int,
+    *,
+    seed: int,
+    p_on: float = 0.25,
+    p_off: float = 0.25,
+    on_load: float = 0.9,
+    bound_choices: Sequence[int] = (2, 4, 8, 16),
+    name: str = "",
+) -> Instance:
+    """Rate-limited batched instance with on/off modulated batch sizes.
+
+    ``p_on`` is the OFF→ON transition probability per batch boundary,
+    ``p_off`` the ON→OFF probability; ``on_load`` scales the ON-state
+    batch size relative to ``D_ℓ``.
+    """
+    for p, label in ((p_on, "p_on"), (p_off, "p_off")):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{label} must lie in [0, 1]")
+    if not 0.0 < on_load <= 1.0:
+        raise ValueError("on_load must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    choices = np.asarray(sorted(bound_choices), dtype=np.int64)
+    bounds = {c: int(rng.choice(choices)) for c in range(num_colors)}
+    factory = JobFactory()
+    jobs = []
+    for color, bound in bounds.items():
+        batch_rounds = np.arange(0, horizon, bound)
+        num_batches = batch_rounds.shape[0]
+        # Vectorized two-state chain: draw all transition coins up front,
+        # then scan (the scan is O(num_batches) python but tiny).
+        coins = rng.random(num_batches)
+        state_on = np.zeros(num_batches, dtype=bool)
+        on = rng.random() < 0.5
+        for i in range(num_batches):
+            if on:
+                on = coins[i] >= p_off
+            else:
+                on = coins[i] < p_on
+            state_on[i] = on
+        sizes = np.where(
+            state_on, rng.binomial(bound, on_load, size=num_batches), 0
+        )
+        for round_index, size in zip(batch_rounds.tolist(), sizes.tolist()):
+            jobs += factory.batch(round_index, color, bound, int(size))
+    return make_instance(
+        jobs,
+        bounds,
+        delta,
+        batch_mode=BatchMode.RATE_LIMITED,
+        horizon=max(horizon, 1) + max(bounds.values()),
+        require_power_of_two=all((b & (b - 1)) == 0 for b in bounds.values()),
+        name=name or f"bursty(seed={seed})",
+    )

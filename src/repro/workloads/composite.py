@@ -1,0 +1,164 @@
+"""Instance combinators.
+
+Experiments often need structured compositions: an adversary prefix
+followed by benign traffic, two scenarios interleaved, a workload
+repeated with a period, or intensity scaled.  These combinators build
+new validated instances while keeping job identities dense and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.cost import CostModel
+from repro.core.instance import BatchMode, Instance, ProblemSpec, RequestSequence
+from repro.core.job import Job
+
+
+def _merge_specs(instances: Sequence[Instance], batch_mode: BatchMode) -> ProblemSpec:
+    bounds: dict[int, int] = {}
+    delta = instances[0].spec.reconfig_cost
+    drop = instances[0].spec.cost.drop_cost
+    power = all(i.spec.require_power_of_two for i in instances)
+    for instance in instances:
+        if instance.spec.reconfig_cost != delta:
+            raise ValueError("composed instances must share Δ")
+        if instance.spec.cost.drop_cost != drop:
+            raise ValueError("composed instances must share the drop cost")
+        for color, bound in instance.spec.delay_bounds.items():
+            if bounds.setdefault(color, bound) != bound:
+                raise ValueError(
+                    f"color {color} has conflicting delay bounds "
+                    f"({bounds[color]} vs {bound}); remap colors first"
+                )
+    return ProblemSpec(bounds, CostModel(delta, drop), batch_mode, power)
+
+
+def _weakest_mode(instances: Sequence[Instance]) -> BatchMode:
+    """The strongest batch guarantee that still holds for the union."""
+    if all(i.spec.batch_mode is BatchMode.RATE_LIMITED for i in instances):
+        return BatchMode.RATE_LIMITED
+    if all(i.spec.batch_mode.is_batched for i in instances):
+        return BatchMode.BATCHED
+    return BatchMode.GENERAL
+
+
+def remap_colors(instance: Instance, offset: int) -> Instance:
+    """Shift every color by ``offset`` (used to disjoint-union universes)."""
+    if offset < 0:
+        raise ValueError("offset must be nonnegative")
+    jobs = [job.with_color(job.color + offset) for job in instance.sequence]
+    bounds = {
+        color + offset: bound
+        for color, bound in instance.spec.delay_bounds.items()
+    }
+    spec = ProblemSpec(
+        bounds,
+        instance.spec.cost,
+        instance.spec.batch_mode,
+        instance.spec.require_power_of_two,
+    )
+    return Instance(
+        spec,
+        RequestSequence(_renumber(jobs), instance.horizon),
+        name=f"{instance.name}+off{offset}",
+    )
+
+
+def _renumber(jobs: Iterable[Job]) -> list[Job]:
+    out = []
+    for jid, job in enumerate(sorted(jobs)):
+        out.append(Job(job.arrival, job.color, job.delay_bound, jid))
+    return out
+
+
+def interleave(*instances: Instance, name: str = "") -> Instance:
+    """Union of request sequences over a shared color universe.
+
+    Colors appearing in several inputs must agree on their delay bound;
+    use :func:`remap_colors` first to force disjoint universes.  The
+    result's batch mode is the strongest guarantee that still holds —
+    note an interleaving of rate-limited inputs may overflow the limit,
+    so rate-limited inputs downgrade to BATCHED unless the union still
+    validates.
+    """
+    if not instances:
+        raise ValueError("need at least one instance")
+    mode = _weakest_mode(instances)
+    jobs = [job for instance in instances for job in instance.sequence]
+    horizon = max(i.horizon for i in instances)
+    if mode is BatchMode.RATE_LIMITED:
+        # The union may violate the per-batch limit; try, then downgrade.
+        try:
+            spec = _merge_specs(instances, BatchMode.RATE_LIMITED)
+            return Instance(
+                spec,
+                RequestSequence(_renumber(jobs), horizon),
+                name=name or "interleave",
+            )
+        except ValueError:
+            mode = BatchMode.BATCHED
+    spec = _merge_specs(instances, mode)
+    return Instance(
+        spec, RequestSequence(_renumber(jobs), horizon), name=name or "interleave"
+    )
+
+
+def concatenate(
+    first: Instance, second: Instance, *, gap: int = 0, name: str = ""
+) -> Instance:
+    """Play ``first``, then ``second`` shifted past the first horizon.
+
+    The shift is rounded up to a multiple of the largest delay bound so
+    batched inputs stay batched.
+    """
+    if gap < 0:
+        raise ValueError("gap must be nonnegative")
+    mode = _weakest_mode((first, second))
+    max_bound = max(
+        max(first.spec.delay_bounds.values()),
+        max(second.spec.delay_bounds.values()),
+    )
+    raw_shift = first.horizon + gap
+    shift = ((raw_shift + max_bound - 1) // max_bound) * max_bound
+    jobs = list(first.sequence) + [
+        job.with_arrival(job.arrival + shift) for job in second.sequence
+    ]
+    spec = _merge_specs((first, second), mode)
+    return Instance(
+        spec,
+        RequestSequence(_renumber(jobs), shift + second.horizon),
+        name=name or f"{first.name}++{second.name}",
+    )
+
+
+def repeat(instance: Instance, times: int, *, name: str = "") -> Instance:
+    """Concatenate ``times`` copies of an instance."""
+    if times <= 0:
+        raise ValueError("times must be positive")
+    result = instance
+    for _ in range(times - 1):
+        result = concatenate(result, instance)
+    if name:
+        result = Instance(result.spec, result.sequence, name)
+    return result
+
+
+def thin(instance: Instance, keep_probability: float, *, seed: int, name: str = "") -> Instance:
+    """Keep each job independently with the given probability."""
+    import numpy as np
+
+    if not 0.0 <= keep_probability <= 1.0:
+        raise ValueError("keep_probability must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    kept = [
+        job
+        for job in instance.sequence
+        if rng.random() < keep_probability
+    ]
+    return Instance(
+        instance.spec,
+        RequestSequence(_renumber(kept), instance.horizon),
+        name=name or f"{instance.name}|thin({keep_probability})",
+    )

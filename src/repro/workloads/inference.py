@@ -1,0 +1,76 @@
+"""Multi-model inference serving: a modern instance of the same problem.
+
+A GPU pool serves several ML models; a GPU hosts one model at a time and
+swapping weights costs real time (the reconfiguration cost Δ), requests
+carry per-model latency SLOs (the delay bounds), and request mixes shift
+with traffic (diurnal + bursts).  Structurally identical to the paper's
+data-center scenario — included as the generator a 2020s reader would
+reach for first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import BatchMode, Instance, make_instance
+from repro.core.job import JobFactory
+
+#: (model name, SLO delay bound, base requests/round, popularity weight).
+DEFAULT_MODELS: tuple[tuple[str, int, float, float], ...] = (
+    ("chat-large", 8, 0.6, 4.0),
+    ("chat-small", 4, 0.9, 3.0),
+    ("embeddings", 2, 1.2, 2.0),
+    ("rerank", 4, 0.4, 1.0),
+    ("asr", 16, 0.25, 1.0),
+    ("batch-summarize", 64, 0.35, 0.5),
+)
+
+
+def inference_scenario(
+    *,
+    seed: int,
+    horizon: int = 2048,
+    swap_cost: int = 10,
+    models: tuple[tuple[str, int, float, float], ...] = DEFAULT_MODELS,
+    diurnal_period: int = 512,
+    burst_probability: float = 0.01,
+    burst_scale: float = 6.0,
+    name: str = "",
+) -> Instance:
+    """Diurnal load with popularity-weighted random bursts.
+
+    Each model's rate follows a shifted sinusoid over ``diurnal_period``
+    rounds (models peak at popularity-dependent phases, so the mix
+    rotates); rare bursts multiply one model's rate by ``burst_scale``
+    for a short window — the traffic shape that forces re-allocation.
+    """
+    rng = np.random.default_rng(seed)
+    factory = JobFactory()
+    bounds: dict[int, int] = {}
+    jobs = []
+    t = np.arange(horizon)
+    for color, (label, bound, base_rate, popularity) in enumerate(models):
+        bounds[color] = bound
+        phase = 2 * np.pi * (color / len(models))
+        diurnal = 1.0 + 0.6 * np.sin(2 * np.pi * t / diurnal_period + phase)
+        rates = base_rate * diurnal
+        # Bursts: geometric-length windows of multiplied load.
+        burst_mask = np.zeros(horizon)
+        starts = np.nonzero(rng.random(horizon) < burst_probability * popularity / 2)[0]
+        for start in starts.tolist():
+            length = int(rng.geometric(1 / 16))
+            burst_mask[start : start + length] = 1.0
+        rates = rates * (1.0 + (burst_scale - 1.0) * burst_mask)
+        counts = rng.poisson(np.maximum(rates, 0.0))
+        for round_index in np.nonzero(counts)[0].tolist():
+            jobs += factory.batch(
+                int(round_index), color, bound, int(counts[round_index])
+            )
+    return make_instance(
+        jobs,
+        bounds,
+        swap_cost,
+        batch_mode=BatchMode.GENERAL,
+        horizon=horizon + max(bounds.values()),
+        name=name or f"inference(seed={seed})",
+    )

@@ -1,0 +1,69 @@
+"""Poisson and heavy-tailed general-arrival workloads.
+
+These are ``[Δ | 1 | D_ℓ | 1]`` instances (arbitrary arrival rounds) used
+by the Theorem 3 experiments: the VarBatch reduction must first batch
+them.  ``heavy_tail=True`` draws per-round counts from a discretized
+Pareto, producing the elephant/mice mix typical of packet traces.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.instance import BatchMode, Instance, make_instance
+from repro.core.job import JobFactory
+
+
+def poisson_general(
+    num_colors: int,
+    delta: int,
+    horizon: int,
+    *,
+    seed: int,
+    rates: Mapping[int, float] | float = 0.3,
+    bound_choices: Sequence[int] = (4, 8, 16, 32),
+    heavy_tail: bool = False,
+    tail_alpha: float = 1.5,
+    name: str = "",
+) -> Instance:
+    """General-arrival instance with per-round Poisson (or Pareto) counts.
+
+    ``rates`` may be a single float applied to every color or a mapping
+    from color to rate.
+    """
+    rng = np.random.default_rng(seed)
+    choices = np.asarray(sorted(bound_choices), dtype=np.int64)
+    bounds = {c: int(rng.choice(choices)) for c in range(num_colors)}
+    if isinstance(rates, Mapping):
+        rate_of = {c: float(rates.get(c, 0.0)) for c in range(num_colors)}
+    else:
+        rate_of = {c: float(rates) for c in range(num_colors)}
+    factory = JobFactory()
+    jobs = []
+    for color, bound in bounds.items():
+        rate = rate_of[color]
+        if rate < 0:
+            raise ValueError(f"rate for color {color} must be nonnegative")
+        if rate == 0:
+            continue
+        if heavy_tail:
+            # Discretized Pareto thinned to the requested mean rate.
+            raw = rng.pareto(tail_alpha, size=horizon)
+            active = rng.random(horizon) < min(rate, 1.0)
+            counts = np.where(active, np.ceil(raw).astype(np.int64), 0)
+        else:
+            counts = rng.poisson(rate, size=horizon)
+        for round_index in np.nonzero(counts)[0].tolist():
+            jobs += factory.batch(
+                int(round_index), color, bound, int(counts[round_index])
+            )
+    return make_instance(
+        jobs,
+        bounds,
+        delta,
+        batch_mode=BatchMode.GENERAL,
+        horizon=max(horizon, 1) + max(bounds.values()),
+        name=name or f"poisson-general(seed={seed})",
+    )

@@ -1,0 +1,141 @@
+"""Seeded random generators for the paper's three problem classes.
+
+The generators are numpy-vectorized: per color, all batch sizes over the
+horizon are drawn in one call, then materialized into jobs.  ``load``
+scales the expected batch size relative to the rate limit ``D_ℓ``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.instance import BatchMode, Instance, make_instance
+from repro.core.job import JobFactory
+
+
+def _pick_bounds(
+    rng: np.random.Generator, num_colors: int, bound_choices: Sequence[int]
+) -> dict[int, int]:
+    choices = np.asarray(sorted(bound_choices), dtype=np.int64)
+    picks = rng.choice(choices, size=num_colors)
+    return {color: int(picks[color]) for color in range(num_colors)}
+
+
+def random_rate_limited(
+    num_colors: int,
+    delta: int,
+    horizon: int,
+    *,
+    seed: int,
+    load: float = 0.5,
+    bound_choices: Sequence[int] = (2, 4, 8, 16),
+    name: str = "",
+) -> Instance:
+    """A random rate-limited ``[Δ | 1 | D_ℓ | D_ℓ]`` instance.
+
+    At every integral multiple of ``D_ℓ``, color ℓ receives
+    ``Binomial(D_ℓ, load)`` jobs — never exceeding the rate limit ``D_ℓ``.
+    """
+    if not 0.0 <= load <= 1.0:
+        raise ValueError("load must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    bounds = _pick_bounds(rng, num_colors, bound_choices)
+    factory = JobFactory()
+    jobs = []
+    for color, bound in bounds.items():
+        batch_rounds = np.arange(0, horizon, bound)
+        sizes = rng.binomial(bound, load, size=batch_rounds.shape[0])
+        for round_index, size in zip(batch_rounds.tolist(), sizes.tolist()):
+            jobs += factory.batch(round_index, color, bound, size)
+    return make_instance(
+        jobs,
+        bounds,
+        delta,
+        batch_mode=BatchMode.RATE_LIMITED,
+        horizon=max(horizon, 1) + max(bounds.values()),
+        require_power_of_two=all((b & (b - 1)) == 0 for b in bounds.values()),
+        name=name or f"random-rate-limited(seed={seed})",
+    )
+
+
+def random_batched(
+    num_colors: int,
+    delta: int,
+    horizon: int,
+    *,
+    seed: int,
+    load: float = 1.0,
+    burst_factor: float = 3.0,
+    bound_choices: Sequence[int] = (2, 4, 8, 16),
+    name: str = "",
+) -> Instance:
+    """A random batched ``[Δ | 1 | D_ℓ | D_ℓ]`` instance.
+
+    Batch sizes follow a geometric-tail distribution with mean
+    ``load * D_ℓ`` and occasional bursts up to ``burst_factor * D_ℓ``, so
+    the rate limit is violated — exercising the Distribute reduction.
+    """
+    if load <= 0:
+        raise ValueError("load must be positive")
+    if burst_factor < 1.0:
+        raise ValueError("burst_factor must be >= 1")
+    rng = np.random.default_rng(seed)
+    bounds = _pick_bounds(rng, num_colors, bound_choices)
+    factory = JobFactory()
+    jobs = []
+    for color, bound in bounds.items():
+        batch_rounds = np.arange(0, horizon, bound)
+        mean = max(load * bound, 0.5)
+        sizes = rng.poisson(mean, size=batch_rounds.shape[0])
+        bursts = rng.random(batch_rounds.shape[0]) < 0.1
+        sizes = np.where(
+            bursts, rng.integers(bound, int(burst_factor * bound) + 1), sizes
+        )
+        for round_index, size in zip(batch_rounds.tolist(), sizes.tolist()):
+            jobs += factory.batch(round_index, color, bound, int(size))
+    return make_instance(
+        jobs,
+        bounds,
+        delta,
+        batch_mode=BatchMode.BATCHED,
+        horizon=max(horizon, 1) + max(bounds.values()),
+        require_power_of_two=all((b & (b - 1)) == 0 for b in bounds.values()),
+        name=name or f"random-batched(seed={seed})",
+    )
+
+
+def random_general(
+    num_colors: int,
+    delta: int,
+    horizon: int,
+    *,
+    seed: int,
+    rate: float = 0.5,
+    bound_choices: Sequence[int] = (2, 4, 8, 16),
+    name: str = "",
+) -> Instance:
+    """A random general ``[Δ | 1 | D_ℓ | 1]`` instance.
+
+    Per round, color ℓ receives ``Poisson(rate)`` jobs — arrivals at
+    arbitrary rounds, exercising the VarBatch reduction.
+    """
+    if rate < 0:
+        raise ValueError("rate must be nonnegative")
+    rng = np.random.default_rng(seed)
+    bounds = _pick_bounds(rng, num_colors, bound_choices)
+    factory = JobFactory()
+    jobs = []
+    for color, bound in bounds.items():
+        counts = rng.poisson(rate, size=horizon)
+        for round_index in np.nonzero(counts)[0].tolist():
+            jobs += factory.batch(round_index, color, bound, int(counts[round_index]))
+    return make_instance(
+        jobs,
+        bounds,
+        delta,
+        batch_mode=BatchMode.GENERAL,
+        horizon=max(horizon, 1) + max(bounds.values()),
+        name=name or f"random-general(seed={seed})",
+    )

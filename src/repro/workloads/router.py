@@ -1,0 +1,74 @@
+"""Multi-service router scenario (introduction, refs [16-18]).
+
+A programmable multi-core network processor hosts several packet
+categories (forwarding, VPN, DPI, monitoring, ...), each with a
+category-specific delay tolerance; processors must be reconfigured as
+traffic composition fluctuates.  We synthesize the structural equivalent:
+per-category packet arrival processes with self-similar burstiness
+(aggregated on/off sources) and delay bounds spanning two orders of
+magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import BatchMode, Instance, make_instance
+from repro.core.job import JobFactory
+
+#: Default category mix: (name, delay bound, mean packets/round, sources).
+DEFAULT_CATEGORIES: tuple[tuple[str, int, float, int], ...] = (
+    ("forwarding", 2, 1.2, 8),
+    ("voice", 4, 0.8, 6),
+    ("vpn", 8, 0.5, 4),
+    ("dpi", 16, 0.4, 4),
+    ("monitoring", 64, 0.3, 2),
+    ("bulk", 128, 0.6, 2),
+)
+
+
+def router_scenario(
+    *,
+    seed: int,
+    horizon: int = 2048,
+    delta: int = 6,
+    categories: tuple[tuple[str, int, float, int], ...] = DEFAULT_CATEGORIES,
+    mean_burst: float = 16.0,
+    name: str = "",
+) -> Instance:
+    """Aggregated on/off packet sources per category, general arrivals.
+
+    Each category is fed by ``sources`` independent on/off processes with
+    geometrically distributed burst lengths (mean ``mean_burst`` rounds);
+    an ON source emits ``Poisson(rate / sources)`` packets per round.
+    Aggregating a few on/off sources produces the bursty, long-range-
+    dependent shape router traces exhibit, which is what stresses the
+    reconfiguration policy.
+    """
+    rng = np.random.default_rng(seed)
+    factory = JobFactory()
+    bounds: dict[int, int] = {}
+    jobs = []
+    p_flip = 1.0 / max(mean_burst, 1.0)
+    for color, (label, bound, rate, sources) in enumerate(categories):
+        bounds[color] = bound
+        per_source = rate / max(sources, 1)
+        counts = np.zeros(horizon, dtype=np.int64)
+        for _ in range(max(sources, 1)):
+            flips = rng.random(horizon) < p_flip
+            # state[t] toggles at each flip: cumulative XOR scan.
+            state = (np.cumsum(flips) + rng.integers(0, 2)) % 2 == 1
+            emission = rng.poisson(per_source * 2.0, size=horizon)
+            counts += np.where(state, emission, 0)
+        for round_index in np.nonzero(counts)[0].tolist():
+            jobs += factory.batch(
+                int(round_index), color, bound, int(counts[round_index])
+            )
+    return make_instance(
+        jobs,
+        bounds,
+        delta,
+        batch_mode=BatchMode.GENERAL,
+        horizon=horizon + max(bounds.values()),
+        name=name or f"router(seed={seed})",
+    )

@@ -1,0 +1,116 @@
+"""Instance statistics: the numbers that characterize a workload.
+
+Vectorized summaries used by reports, tests, and downstream users sizing
+resource pools: per-color demand and load factors, the demand matrix
+over blocks, burstiness (index of dispersion), and the minimum resource
+count for which Par-EDF drops nothing (the workload's intrinsic
+capacity requirement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.par_edf import run_par_edf
+from repro.core.instance import Instance
+
+
+@dataclass(frozen=True)
+class ColorStats:
+    """Per-color demand summary."""
+
+    color: int
+    delay_bound: int
+    num_jobs: int
+    load_factor: float  # jobs per round of the horizon
+    rate_pressure: float  # mean batch size / D_ℓ (1.0 = at the rate limit)
+    burstiness: float  # index of dispersion of per-block counts
+
+
+def demand_matrix(instance: Instance, block: int) -> np.ndarray:
+    """(colors x blocks) matrix of job counts per ``block``-round window."""
+    if block <= 0:
+        raise ValueError("block must be positive")
+    colors = sorted(instance.spec.delay_bounds)
+    index = {c: i for i, c in enumerate(colors)}
+    num_blocks = (instance.horizon + block - 1) // block
+    matrix = np.zeros((len(colors), num_blocks), dtype=np.int64)
+    for job in instance.sequence:
+        matrix[index[job.color], job.arrival // block] += 1
+    return matrix
+
+
+def color_stats(instance: Instance) -> list[ColorStats]:
+    """Per-color demand statistics."""
+    horizon = max(instance.horizon, 1)
+    out = []
+    for color in sorted(instance.spec.delay_bounds):
+        bound = instance.spec.delay_bound(color)
+        arrivals = np.asarray(
+            [job.arrival for job in instance.sequence if job.color == color],
+            dtype=np.int64,
+        )
+        num_jobs = int(arrivals.shape[0])
+        num_blocks = max((horizon + bound - 1) // bound, 1)
+        counts = np.bincount(
+            arrivals // bound if num_jobs else np.zeros(0, dtype=np.int64),
+            minlength=num_blocks,
+        )
+        mean = counts.mean() if counts.size else 0.0
+        variance = counts.var() if counts.size else 0.0
+        out.append(
+            ColorStats(
+                color=color,
+                delay_bound=bound,
+                num_jobs=num_jobs,
+                load_factor=num_jobs / horizon,
+                rate_pressure=float(mean / bound) if bound else 0.0,
+                burstiness=float(variance / mean) if mean > 0 else 0.0,
+            )
+        )
+    return out
+
+
+def total_load_factor(instance: Instance) -> float:
+    """Aggregate jobs per round: the resource count needed on average."""
+    return len(instance.sequence) / max(instance.horizon, 1)
+
+
+def min_lossless_resources(instance: Instance, *, max_resources: int = 64) -> int:
+    """Smallest m for which Par-EDF drops nothing (binary search).
+
+    This is the workload's intrinsic capacity requirement: below it *no*
+    algorithm (online or offline) can avoid drops; the theorems' resource
+    augmentation is measured on top of it.  Returns ``max_resources + 1``
+    when even the cap is lossy.
+    """
+    lo, hi = 1, max_resources
+    if run_par_edf(instance, hi).num_drops > 0:
+        return max_resources + 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if run_par_edf(instance, mid).num_drops == 0:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def describe_workload(instance: Instance) -> str:
+    """One-paragraph human summary used by examples and the CLI."""
+    stats = color_stats(instance)
+    busiest = max(stats, key=lambda s: s.num_jobs, default=None)
+    lossless = min_lossless_resources(instance)
+    lines = [
+        instance.describe(),
+        f"total load: {total_load_factor(instance):.2f} jobs/round; "
+        f"lossless capacity: {lossless} resource(s)",
+    ]
+    if busiest is not None:
+        lines.append(
+            f"busiest color: {busiest.color} (D={busiest.delay_bound}, "
+            f"{busiest.num_jobs} jobs, burstiness {busiest.burstiness:.2f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Shared fixtures: canonical small instances used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import BatchMode, make_instance
+from repro.core.job import JobFactory
+
+
+@pytest.fixture
+def two_color_rate_limited():
+    """Two colors (D=4 and D=8), steady rate-limited batches, Δ=2."""
+    factory = JobFactory()
+    jobs = []
+    for start in range(0, 64, 4):
+        jobs += factory.batch(start, 0, 4, 3)
+    for start in range(0, 64, 8):
+        jobs += factory.batch(start, 1, 8, 5)
+    return make_instance(
+        jobs,
+        {0: 4, 1: 8},
+        2,
+        batch_mode=BatchMode.RATE_LIMITED,
+        require_power_of_two=True,
+        name="two-color",
+    )
+
+
+@pytest.fixture
+def tiny_general():
+    """Three colors, general arrivals, small enough for exact search."""
+    factory = JobFactory()
+    jobs = [
+        *factory.batch(0, 0, 2, 2),
+        *factory.batch(1, 1, 4, 3),
+        *factory.batch(3, 2, 4, 1),
+        *factory.batch(5, 0, 2, 2),
+        *factory.batch(6, 1, 4, 2),
+    ]
+    return make_instance(jobs, {0: 2, 1: 4, 2: 4}, 2, name="tiny-general")
+
+
+@pytest.fixture
+def empty_instance():
+    """A declared color universe with no jobs at all."""
+    return make_instance(
+        [],
+        {0: 2, 1: 4},
+        3,
+        batch_mode=BatchMode.RATE_LIMITED,
+        horizon=8,
+        name="empty",
+    )

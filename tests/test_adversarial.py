@@ -1,0 +1,97 @@
+"""Tests of the Appendix A/B adversarial constructions."""
+
+import pytest
+
+from repro.core.instance import BatchMode
+from repro.workloads.adversarial import (
+    AppendixAConstruction,
+    AppendixBConstruction,
+    appendix_a_instance,
+    appendix_b_instance,
+)
+
+
+class TestAppendixAConstruction:
+    def test_constraint_chain_enforced(self):
+        # Requires 2^k > 2^(j+1) > nΔ.
+        with pytest.raises(ValueError, match="2\\^k"):
+            AppendixAConstruction(n=4, delta=2, j=2, k=4)  # 2^3 = 8 = nΔ
+        AppendixAConstruction(n=4, delta=2, j=3, k=5)
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ValueError):
+            AppendixAConstruction(n=3, delta=2, j=4, k=6)
+
+    def test_instance_shape(self):
+        c = AppendixAConstruction(n=4, delta=2, j=3, k=5)
+        inst = c.instance()
+        assert inst.spec.batch_mode is BatchMode.RATE_LIMITED
+        counts = inst.sequence.count_by_color()
+        # n/2 short colors with Δ jobs per 2^j block over 2^k rounds.
+        assert counts[c.long_color] == c.long_bound
+        for color in c.short_colors:
+            assert counts[color] == (c.long_bound // c.short_bound) * c.delta
+
+    def test_long_jobs_arrive_at_round_zero(self):
+        c = AppendixAConstruction(n=4, delta=2, j=3, k=5)
+        inst = c.instance()
+        long_jobs = [j for j in inst.sequence if j.color == c.long_color]
+        assert all(j.arrival == 0 for j in long_jobs)
+
+    def test_predicted_ratio_formula(self):
+        c = AppendixAConstruction(n=4, delta=2, j=3, k=5)
+        expected = (4 * 2 + 32) / (2 + (1 << (5 - 3 - 1)) * 4 * 2)
+        assert c.predicted_ratio_lower_bound() == pytest.approx(expected)
+
+    def test_auto_parameters_satisfy_constraints(self):
+        for n in (4, 8, 16):
+            for delta in (1, 2, 5):
+                c, inst = appendix_a_instance(n, delta)
+                assert (1 << c.k) > (1 << (c.j + 1)) > n * delta
+                assert len(inst.sequence) > 0
+
+
+class TestAppendixBConstruction:
+    def test_constraint_chain_enforced(self):
+        # Requires 2^k > 2^j > Δ > n.
+        with pytest.raises(ValueError):
+            AppendixBConstruction(n=4, delta=4, j=3, k=4)  # Δ = n violates
+        with pytest.raises(ValueError):
+            AppendixBConstruction(n=4, delta=9, j=3, k=4)  # 2^j <= Δ
+        AppendixBConstruction(n=4, delta=5, j=3, k=4)
+
+    def test_geometric_long_colors(self):
+        c = AppendixBConstruction(n=4, delta=5, j=3, k=4)
+        assert c.num_long_colors == 2
+        assert c.long_bound(0) == 16
+        assert c.long_bound(1) == 32
+        with pytest.raises(ValueError):
+            c.long_bound(2)
+
+    def test_long_backlogs_are_half_bounds(self):
+        c = AppendixBConstruction(n=4, delta=5, j=3, k=4)
+        inst = c.instance()
+        counts = inst.sequence.count_by_color()
+        for p in range(c.num_long_colors):
+            assert counts[c.long_color(p)] == c.long_bound(p) // 2
+
+    def test_short_arrivals_stop_at_half_k(self):
+        c = AppendixBConstruction(n=4, delta=5, j=3, k=4)
+        inst = c.instance()
+        short_arrivals = {
+            j.arrival for j in inst.sequence if j.color == c.short_color
+        }
+        assert max(short_arrivals) < c.short_arrival_limit
+
+    def test_predicted_ratio_grows_with_gap(self):
+        ratios = [
+            AppendixBConstruction(4, 5, 3, 3 + gap).predicted_ratio_lower_bound()
+            for gap in (1, 2, 3)
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] == 2 * ratios[-2]
+
+    def test_auto_parameters(self):
+        c, inst = appendix_b_instance(4)
+        assert (1 << c.k) > (1 << c.j) > c.delta > c.n
+        assert inst.spec.batch_mode is BatchMode.RATE_LIMITED

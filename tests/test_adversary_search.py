@@ -1,0 +1,75 @@
+"""Tests of the randomized adversary search."""
+
+import pytest
+
+from repro.algorithms.dlru import DeltaLRU
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.algorithms.edf import EDF
+from repro.analysis.adversary_search import (
+    SearchConfig,
+    search_adversary,
+)
+
+QUICK = SearchConfig(
+    num_colors=3,
+    bounds=(2, 4),
+    horizon=24,
+    delta=2,
+    num_resources=8,
+    offline_resources=1,
+    iterations=40,
+    restarts=2,
+    seed=0,
+)
+
+
+def test_search_produces_valid_instance():
+    result = search_adversary(DeltaLRUEDF, QUICK)
+    assert result.best_instance.spec.batch_mode.value == "rate_limited"
+    assert result.evaluations > 0
+    assert result.best_ratio >= 0
+
+
+def test_trajectory_is_monotone_within_restart():
+    result = search_adversary(DeltaLRUEDF, QUICK)
+    per_restart = QUICK.iterations // QUICK.restarts
+    for start in range(0, len(result.trajectory), per_restart):
+        chunk = result.trajectory[start : start + per_restart]
+        assert chunk == sorted(chunk)
+
+
+def test_search_is_deterministic():
+    a = search_adversary(DeltaLRUEDF, QUICK)
+    b = search_adversary(DeltaLRUEDF, QUICK)
+    assert a.best_ratio == b.best_ratio
+    assert a.trajectory == b.trajectory
+
+
+def test_pure_schemes_score_no_better_than_their_adversaries():
+    """The hill climber finds worse inputs for the pure schemes than for
+    the combination (a weak, fast form of the paper's separation)."""
+    combined = search_adversary(DeltaLRUEDF, QUICK)
+    worst_pure = max(
+        search_adversary(DeltaLRU, QUICK).best_ratio,
+        search_adversary(EDF, QUICK).best_ratio,
+    )
+    # Not a strict theorem at this tiny scale, but the combination should
+    # never be the most attackable of the three.
+    assert combined.best_ratio <= worst_pure + 1.0
+
+
+def test_upper_denominator_mode():
+    config = SearchConfig(
+        num_colors=3,
+        bounds=(2, 4),
+        horizon=24,
+        delta=2,
+        num_resources=8,
+        offline_resources=1,
+        iterations=20,
+        restarts=1,
+        seed=1,
+        denominator="upper",
+    )
+    result = search_adversary(DeltaLRUEDF, config)
+    assert result.best_ratio >= 0

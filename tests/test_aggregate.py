@@ -1,0 +1,102 @@
+"""Tests of Algorithm Aggregate (Section 4.3, Lemma 4.1).
+
+Given any offline schedule T for a batched instance I on m resources,
+Aggregate must produce a schedule T' for the distributed instance I' on
+3m resources that (Lemma 4.3) is feasible for I', (Lemma 4.5) executes
+the same number of jobs, and (Lemma 4.6) pays at most a constant factor
+more reconfiguration cost.
+"""
+
+import pytest
+
+from repro.core.instance import BatchMode, make_instance
+from repro.core.job import JobFactory
+from repro.core.validation import verify_schedule
+from repro.offline.heuristic import best_offline_heuristic
+from repro.offline.optimal import optimal_offline
+from repro.reductions.aggregate import aggregate_schedule
+from repro.reductions.distribute import distribute_instance
+from repro.workloads.random_batched import random_batched, random_rate_limited
+
+#: Constant-factor budget for Lemma 4.6; the paper's accounting gives a
+#: small constant (6 credits per reconfiguration plus the special ones).
+RECONFIG_FACTOR = 8
+
+
+def transform(instance, m, *, use_optimal=True):
+    if use_optimal:
+        T = optimal_offline(instance, m, max_states=700_000).schedule
+    else:
+        T = best_offline_heuristic(instance, m).best.schedule
+    inner, mapping = distribute_instance(instance)
+    T_prime = aggregate_schedule(instance, inner, mapping, T, m)
+    return T, inner, T_prime
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_aggregate_on_exact_optimal_schedules(seed):
+    instance = random_batched(
+        3, 2, 16, seed=seed, load=0.8, burst_factor=2.5, bound_choices=(2, 4)
+    )
+    m = 2
+    T, inner, T_prime = transform(instance, m)
+    # Lemma 4.3: T' is a feasible schedule for I'.
+    report = verify_schedule(inner, T_prime)
+    assert report.ok, report.violations[:3]
+    # Lemma 4.5: same executed count (hence same drop cost).
+    assert len(T_prime.executed_jids) == len(T.executed_jids)
+    # Lemma 4.6: reconfiguration cost within a constant factor.
+    cost_T = T.cost(instance.sequence.jobs, instance.cost_model)
+    cost_Tp = T_prime.cost(inner.sequence.jobs, inner.cost_model)
+    assert cost_Tp.reconfig_cost <= RECONFIG_FACTOR * max(
+        cost_T.reconfig_cost, instance.reconfig_cost
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_aggregate_on_heuristic_schedules(seed):
+    instance = random_batched(
+        4, 2, 24, seed=seed + 10, load=0.7, burst_factor=3.0, bound_choices=(2, 4, 8)
+    )
+    m = 2
+    T, inner, T_prime = transform(instance, m, use_optimal=False)
+    report = verify_schedule(inner, T_prime)
+    assert report.ok, report.violations[:3]
+    assert len(T_prime.executed_jids) == len(T.executed_jids)
+
+
+def test_aggregate_uses_three_x_resources():
+    instance = random_rate_limited(3, 2, 16, seed=0, bound_choices=(2, 4))
+    m = 2
+    _, _, T_prime = transform(instance, m)
+    assert T_prime.num_resources == 3 * m
+
+
+def test_monochromatic_resources_inherit_subcolors():
+    """A resource serving one color across consecutive blocks in T should
+    keep executing the same subcolor in T' (label inheritance), so block
+    boundaries cost no reconfiguration on its shadow."""
+    factory = JobFactory()
+    jobs = []
+    for i in range(4):
+        jobs += factory.batch(i * 4, 0, 4, 3)
+    instance = make_instance(jobs, {0: 4}, 2, batch_mode=BatchMode.BATCHED)
+    m = 1
+    T, inner, T_prime = transform(instance, m)
+    # T serves color 0 monochromatically; T' should reconfigure its shadow
+    # resource only once.
+    shadow_reconfigs = [
+        r for r in T_prime.reconfigurations if r.resource == 0
+    ]
+    assert len(shadow_reconfigs) == 1
+
+
+def test_empty_schedule_aggregates_to_empty():
+    instance = random_rate_limited(2, 3, 8, seed=1, bound_choices=(2, 4))
+    inner, mapping = distribute_instance(instance)
+    from repro.core.schedule import Schedule
+
+    empty = Schedule(2)
+    T_prime = aggregate_schedule(instance, inner, mapping, empty, 2)
+    assert len(T_prime.executions) == 0
+    assert len(T_prime.reconfigurations) == 0

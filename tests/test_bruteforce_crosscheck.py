@@ -1,0 +1,68 @@
+"""Cross-validation: two independent offline optima must agree.
+
+``optimal_offline`` (memoized, pruned, physical-slot model) against
+``bruteforce_optimal_cost`` (exhaustive, no merging) on batches of micro
+instances — the strongest correctness evidence for the ratio denominators
+used throughout the experiments.
+"""
+
+import pytest
+
+from repro.core.instance import BatchMode, Instance, ProblemSpec, RequestSequence
+from repro.core.cost import CostModel
+from repro.core.job import Job
+from repro.offline.bruteforce import bruteforce_optimal_cost
+from repro.offline.optimal import optimal_offline
+from repro.workloads.random_batched import random_general, random_rate_limited
+
+
+def micro_instance(seed: int) -> Instance:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    num_colors = int(rng.integers(1, 4))
+    bounds = {c: int(rng.choice([2, 4])) for c in range(num_colors)}
+    delta = int(rng.integers(1, 4))
+    jobs = []
+    jid = 0
+    for color, bound in bounds.items():
+        for arrival in range(0, 8):
+            count = int(rng.integers(0, 3)) if rng.random() < 0.5 else 0
+            for _ in range(count):
+                if jid >= 12:
+                    break
+                jobs.append(Job(arrival, color, bound, jid))
+                jid += 1
+    spec = ProblemSpec(bounds, CostModel(delta), BatchMode.GENERAL)
+    return Instance(spec, RequestSequence(jobs, 12), name=f"micro-{seed}")
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("m", [1, 2])
+def test_independent_optima_agree(seed, m):
+    instance = micro_instance(seed)
+    if len(instance.sequence) == 0:
+        pytest.skip("empty draw")
+    smart = optimal_offline(instance, m, max_states=500_000)
+    brute = bruteforce_optimal_cost(instance, m)
+    assert smart.cost == brute, (
+        f"seed {seed}, m={m}: memoized {smart.cost} != brute force {brute}"
+    )
+
+
+def test_bruteforce_refuses_large_instances():
+    big = random_rate_limited(4, 2, 64, seed=0)
+    with pytest.raises(ValueError):
+        bruteforce_optimal_cost(big, 2)
+    many_jobs = random_general(3, 2, 10, seed=0, rate=3.0, bound_choices=(2,))
+    with pytest.raises(ValueError):
+        bruteforce_optimal_cost(many_jobs, 2, max_rounds=20)
+
+
+def test_known_micro_value():
+    jobs = [Job(0, 0, 2, 0), Job(0, 0, 2, 1), Job(0, 1, 2, 2)]
+    spec = ProblemSpec({0: 2, 1: 2}, CostModel(2), BatchMode.GENERAL)
+    instance = Instance(spec, RequestSequence(jobs, 4))
+    # m=1: serve color 0 (Δ=2, executes both jobs), drop color 1 (1):
+    # total 3 — cheaper than serving both (4) or dropping all (3... tie).
+    assert bruteforce_optimal_cost(instance, 1) == 3

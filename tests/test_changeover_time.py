@@ -1,0 +1,85 @@
+"""Tests of the changeover-time extension."""
+
+import pytest
+
+from repro.core.instance import BatchMode, make_instance
+from repro.core.job import JobFactory
+from repro.extensions.changeover_time import (
+    ChangeoverEngine,
+    ChaseBacklogPolicy,
+    StickyBacklogPolicy,
+    simulate_changeover,
+)
+from repro.workloads.random_batched import random_general
+
+
+def steady_instance(colors=2, horizon=32):
+    factory = JobFactory()
+    jobs = []
+    for color in range(colors):
+        for start in range(0, horizon, 4):
+            jobs += factory.batch(start, color, 4, 2)
+    return make_instance(
+        jobs, {c: 4 for c in range(colors)}, 2, batch_mode=BatchMode.RATE_LIMITED
+    )
+
+
+class TestEngineSemantics:
+    def test_zero_changeover_time_is_instant(self):
+        inst = steady_instance(colors=1)
+        result = simulate_changeover(inst, ChaseBacklogPolicy(), 1, 0)
+        assert result.stalled_rounds == 0
+        assert result.executed > 0
+
+    def test_changeover_stalls_the_resource(self):
+        factory = JobFactory()
+        jobs = factory.batch(0, 0, 4, 4)
+        inst = make_instance(jobs, {0: 4}, 2, batch_mode=BatchMode.RATE_LIMITED)
+        # T = 2: rounds 0-1 stalled, executes at 2 and 3 -> 2 of 4 jobs.
+        result = simulate_changeover(inst, ChaseBacklogPolicy(), 1, 2)
+        assert result.executed == 2
+        assert result.dropped == 2
+        assert result.stalled_rounds == 2
+
+    def test_validation(self):
+        inst = steady_instance()
+        with pytest.raises(ValueError):
+            ChangeoverEngine(inst, ChaseBacklogPolicy(), 0, 1)
+        with pytest.raises(ValueError):
+            ChangeoverEngine(inst, ChaseBacklogPolicy(), 1, -1)
+
+    def test_conservation(self):
+        inst = steady_instance(colors=3)
+        for policy in (ChaseBacklogPolicy(), StickyBacklogPolicy()):
+            result = simulate_changeover(inst, policy, 2, 1)
+            assert result.executed + result.dropped == len(inst.sequence)
+
+
+class TestTimeModelDesignLesson:
+    @pytest.mark.parametrize("changeover", [2, 4, 8])
+    def test_sticky_dominates_chase_as_changeover_grows(self, changeover):
+        """With time-based changeovers, retarget-happy policies destroy
+        their own capacity; stickiness wins and the margin grows with T."""
+        inst = steady_instance(colors=4, horizon=64)
+        chase = simulate_changeover(inst, ChaseBacklogPolicy(), 2, changeover)
+        sticky = simulate_changeover(inst, StickyBacklogPolicy(), 2, changeover)
+        assert sticky.dropped <= chase.dropped
+
+    def test_margin_grows_with_changeover_time(self):
+        inst = steady_instance(colors=4, horizon=64)
+        gaps = []
+        for changeover in (1, 4, 8):
+            chase = simulate_changeover(
+                steady_instance(colors=4, horizon=64), ChaseBacklogPolicy(), 2, changeover
+            )
+            sticky = simulate_changeover(
+                steady_instance(colors=4, horizon=64), StickyBacklogPolicy(), 2, changeover
+            )
+            gaps.append(chase.dropped - sticky.dropped)
+        assert gaps[-1] >= gaps[0]
+
+    def test_general_arrivals_supported(self):
+        inst = random_general(3, 2, 48, seed=0, rate=0.4, bound_choices=(2, 4, 8))
+        result = simulate_changeover(inst, StickyBacklogPolicy(), 2, 2)
+        assert result.executed + result.dropped == len(inst.sequence)
+        assert result.changeovers >= 1

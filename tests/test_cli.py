@@ -1,0 +1,108 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_registry(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "EXP-A" in out and "EXP-T3" in out
+
+
+def test_run_quick_experiment(capsys):
+    assert main(["run", "EXP-S", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "EXP-S" in out and "throughput" in out
+
+
+def test_run_writes_output_file(tmp_path, capsys):
+    path = tmp_path / "report.txt"
+    assert main(["run", "EXP-S", "--quick", "--output", str(path)]) == 0
+    capsys.readouterr()
+    assert path.exists()
+    assert "EXP-S" in path.read_text()
+
+
+def test_run_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["run", "EXP-NOPE"])
+
+
+def test_demo_runs(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "dLRU-EDF" in out
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_export_command(tmp_path, capsys):
+    assert main(["export", "EXP-S", "--quick", "--dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "EXP-S.json").exists()
+    assert (tmp_path / "EXP-S.csv").exists()
+    assert (tmp_path / "EXP-S.txt").exists()
+
+
+def test_search_command(tmp_path, capsys):
+    save = tmp_path / "found.json"
+    assert (
+        main(
+            [
+                "search",
+                "dlru-edf",
+                "--iterations",
+                "20",
+                "--restarts",
+                "1",
+                "--horizon",
+                "24",
+                "--save",
+                str(save),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "best ratio" in out
+    assert save.exists()
+    from repro.workloads.traces import load_instance
+
+    instance = load_instance(save)
+    assert instance.spec.batch_mode.value == "rate_limited"
+
+
+def test_search_rejects_unknown_scheme():
+    import pytest as _pytest
+
+    with _pytest.raises(SystemExit):
+        main(["search", "nope"])
+
+
+def test_describe_command_json(tmp_path, capsys):
+    from repro.workloads.random_batched import random_rate_limited
+    from repro.workloads.traces import save_instance
+
+    inst = random_rate_limited(3, 2, 16, seed=0)
+    path = tmp_path / "trace.json"
+    save_instance(inst, path)
+    assert main(["describe", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "lossless capacity" in out
+
+
+def test_describe_command_csv(tmp_path, capsys):
+    from repro.workloads.random_batched import random_rate_limited
+    from repro.workloads.traces import instance_to_csv
+
+    inst = random_rate_limited(3, 2, 16, seed=1)
+    path = tmp_path / "trace.csv"
+    path.write_text(instance_to_csv(inst))
+    assert main(["describe", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "total load" in out

@@ -1,0 +1,81 @@
+"""Tests of the run-comparison utilities."""
+
+import pytest
+
+from repro.algorithms.dlru import DeltaLRU
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.algorithms.edf import EDF
+from repro.analysis.compare import Matchup, compare_runs, head_to_head
+from repro.simulation.engine import simulate
+from repro.workloads.adversarial import appendix_a_instance
+from repro.workloads.random_batched import random_rate_limited
+
+
+@pytest.fixture
+def adversary_runs():
+    _, instance = appendix_a_instance(8, 2)
+    return (
+        simulate(instance, DeltaLRUEDF(), 8),
+        simulate(instance, DeltaLRU(), 8),
+    )
+
+
+def test_compare_detects_the_winner(adversary_runs):
+    combined, lru = adversary_runs
+    comparison = compare_runs(combined, lru)
+    assert comparison.winner == "dLRU-EDF"
+    assert comparison.cost_delta < 0
+    assert comparison.drop_delta < 0  # the combination drops fewer jobs
+
+
+def test_compare_finds_a_divergence_round(adversary_runs):
+    combined, lru = adversary_runs
+    comparison = compare_runs(combined, lru)
+    assert comparison.first_divergence_round is not None
+    assert comparison.first_divergence_round >= 0
+
+
+def test_identical_runs_have_no_divergence():
+    instance = random_rate_limited(3, 2, 16, seed=0, bound_choices=(2, 4))
+    a = simulate(instance, DeltaLRUEDF(), 8)
+    b = simulate(
+        random_rate_limited(3, 2, 16, seed=0, bound_choices=(2, 4)),
+        DeltaLRUEDF(),
+        8,
+    )
+    comparison = compare_runs(a, b)
+    assert comparison.winner == "tie"
+    assert comparison.first_divergence_round is None
+
+
+def test_per_color_attribution(adversary_runs):
+    combined, lru = adversary_runs
+    comparison = compare_runs(combined, lru)
+    # ΔLRU drops the long-term color's backlog; the combination does not.
+    _, instance = appendix_a_instance(8, 2)
+    long_color = max(instance.spec.delay_bounds, key=instance.spec.delay_bounds.get)
+    assert comparison.per_color_drop_delta[long_color] < 0
+
+
+def test_different_instances_rejected():
+    a = simulate(
+        random_rate_limited(3, 2, 16, seed=0, name="x"), DeltaLRUEDF(), 8
+    )
+    b = simulate(
+        random_rate_limited(3, 2, 16, seed=1, name="y"), DeltaLRUEDF(), 8
+    )
+    with pytest.raises(ValueError):
+        compare_runs(a, b)
+
+
+def test_head_to_head_tallies():
+    instances = [
+        random_rate_limited(4, 2, 32, seed=s, bound_choices=(2, 4))
+        for s in range(4)
+    ]
+    instances.append(appendix_a_instance(8, 2)[1])
+    matchup = head_to_head(instances, DeltaLRUEDF, DeltaLRU, 8)
+    assert matchup.left_wins + matchup.right_wins + matchup.ties == 5
+    assert matchup.left_wins >= 1  # the adversary instance at minimum
+    assert len(matchup.cost_deltas) == 5
+    assert isinstance(matchup.mean_delta, float)

@@ -1,0 +1,115 @@
+"""Tests of the competitive-ratio estimators and the report layer."""
+
+import math
+
+import pytest
+
+from repro.analysis.competitive import (
+    RatioDirection,
+    RatioEstimate,
+    best_effort_ratio,
+    ratio_vs_exact,
+    ratio_vs_heuristic,
+    ratio_vs_lower_bound,
+)
+from repro.analysis.report import (
+    Series,
+    Table,
+    format_series,
+    format_table,
+    geometric_mean,
+)
+from repro.workloads.random_batched import random_rate_limited
+
+
+class TestRatioEstimate:
+    def test_plain_ratio(self):
+        est = RatioEstimate(10, 4, RatioDirection.EXACT, "x")
+        assert est.ratio == 2.5
+
+    def test_zero_offline_zero_online_is_one(self):
+        est = RatioEstimate(0, 0, RatioDirection.EXACT, "x")
+        assert est.ratio == 1.0
+
+    def test_zero_offline_positive_online_is_inf(self):
+        est = RatioEstimate(5, 0, RatioDirection.EXACT, "x")
+        assert math.isinf(est.ratio)
+
+
+class TestEstimators:
+    @pytest.fixture
+    def instance(self):
+        return random_rate_limited(3, 2, 12, seed=0, load=0.8, bound_choices=(2, 4))
+
+    def test_exact_vs_lower_bound_ordering(self, instance):
+        online_cost = 20
+        exact = ratio_vs_exact(instance, online_cost, 2)
+        lower = ratio_vs_lower_bound(instance, online_cost, 2)
+        # lower-bound denominator <= exact denominator, so its ratio >=.
+        assert lower.ratio >= exact.ratio
+        assert exact.direction is RatioDirection.EXACT
+        assert lower.direction is RatioDirection.UPPER_BOUND
+
+    def test_heuristic_side(self, instance):
+        online_cost = 20
+        exact = ratio_vs_exact(instance, online_cost, 2)
+        heur = ratio_vs_heuristic(instance, online_cost, 2)
+        assert heur.ratio <= exact.ratio
+        assert heur.direction is RatioDirection.LOWER_BOUND
+
+    def test_heuristic_accepts_precomputed_cost(self, instance):
+        est = ratio_vs_heuristic(
+            instance, 30, 2, offline_cost=15, offline_source="handcrafted"
+        )
+        assert est.ratio == 2.0
+        assert est.offline_source == "handcrafted"
+
+    def test_best_effort_uses_exact_when_small(self, instance):
+        est = best_effort_ratio(instance, 20, 2)
+        assert est.direction is RatioDirection.EXACT
+
+    def test_best_effort_falls_back(self, instance):
+        est = best_effort_ratio(instance, 20, 2, exact_state_budget=5)
+        assert est.direction is RatioDirection.UPPER_BOUND
+
+
+class TestReportRendering:
+    def test_table_rendering_and_alignment(self):
+        table = Table("T", ("a", "bb"), [])
+        table.add_row(1, 2.5)
+        table.add_row(100, 0.001)
+        text = table.render()
+        assert "T" in text and "a" in text and "100" in text
+
+    def test_table_rejects_wrong_arity(self):
+        table = Table("T", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_table_markdown(self):
+        table = Table("T", ("a",))
+        table.add_row(3)
+        md = table.to_markdown()
+        assert "| a |" in md and "| 3 |" in md
+
+    def test_series_rendering(self):
+        series = Series("S", "x", "y")
+        series.add(1, 2.0)
+        series.add(2, 4.0)
+        text = series.render(width=10)
+        assert "#" * 10 in text
+        assert "4.000" in text
+
+    def test_series_handles_inf_and_empty(self):
+        assert "(empty)" in format_series("S", "x", "y", [])
+        text = format_series("S", "x", "y", [(1, math.inf), (2, 1.0)])
+        assert "(inf)" in text
+
+    def test_format_table_numeric_formatting(self):
+        text = format_table("T", ("v",), [[123456.789]])
+        assert "1.23e+05" in text
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert math.isnan(geometric_mean([]))
+        assert geometric_mean([2.0, math.inf]) == pytest.approx(2.0)

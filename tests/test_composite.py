@@ -1,0 +1,122 @@
+"""Tests of the instance combinators."""
+
+import pytest
+
+from repro.core.instance import BatchMode
+from repro.workloads.composite import (
+    concatenate,
+    interleave,
+    remap_colors,
+    repeat,
+    thin,
+)
+from repro.workloads.random_batched import random_general, random_rate_limited
+
+
+@pytest.fixture
+def base():
+    return random_rate_limited(3, 2, 16, seed=0, bound_choices=(2, 4))
+
+
+@pytest.fixture
+def other():
+    return random_rate_limited(3, 2, 16, seed=1, bound_choices=(2, 4))
+
+
+class TestRemap:
+    def test_colors_shifted(self, base):
+        shifted = remap_colors(base, 10)
+        assert all(c >= 10 for c in shifted.sequence.colors)
+        assert len(shifted.sequence) == len(base.sequence)
+
+    def test_negative_offset_rejected(self, base):
+        with pytest.raises(ValueError):
+            remap_colors(base, -1)
+
+
+class TestInterleave:
+    def test_union_size(self, base, other):
+        merged = interleave(remap_colors(base, 0), remap_colors(other, 10))
+        assert len(merged.sequence) == len(base.sequence) + len(other.sequence)
+
+    def test_conflicting_bounds_rejected(self, base):
+        conflicting = random_rate_limited(3, 2, 16, seed=3, bound_choices=(8,))
+        with pytest.raises(ValueError, match="conflicting"):
+            interleave(base, conflicting)
+
+    def test_rate_limit_downgrade(self, base):
+        # Interleaving an instance with itself doubles batch sizes and
+        # can overflow D_ℓ: the mode downgrades to BATCHED.
+        doubled = interleave(base, base)
+        assert doubled.spec.batch_mode in (
+            BatchMode.BATCHED,
+            BatchMode.RATE_LIMITED,
+        )
+        assert len(doubled.sequence) == 2 * len(base.sequence)
+
+    def test_general_stays_general(self, base):
+        general = random_general(2, 2, 16, seed=2, bound_choices=(2, 4))
+        merged = interleave(remap_colors(base, 0), remap_colors(general, 10))
+        assert merged.spec.batch_mode is BatchMode.GENERAL
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(ValueError):
+            interleave()
+
+
+class TestConcatenate:
+    def test_second_shifted_past_first(self, base, other):
+        combined = concatenate(base, remap_colors(other, 10))
+        first_max = max(j.arrival for j in base.sequence)
+        second_min = min(
+            j.arrival
+            for j in combined.sequence
+            if j.arrival > first_max
+        )
+        assert second_min >= base.horizon
+
+    def test_batched_alignment_preserved(self, base, other):
+        combined = concatenate(base, remap_colors(other, 10))
+        for job in combined.sequence:
+            assert job.arrival % job.delay_bound == 0
+
+    def test_runs_through_engine(self, base, other):
+        from repro import DeltaLRUEDF, simulate
+
+        combined = concatenate(base, remap_colors(other, 10))
+        result = simulate(combined, DeltaLRUEDF(), 8)
+        assert result.verify().ok
+
+    def test_conflicting_colors_need_remap(self, base, other):
+        with pytest.raises(ValueError, match="remap"):
+            concatenate(base, other)
+
+    def test_gap_validation(self, base, other):
+        with pytest.raises(ValueError):
+            concatenate(base, other, gap=-1)
+
+
+class TestRepeatAndThin:
+    def test_repeat_scales_jobs(self, base):
+        tripled = repeat(base, 3)
+        assert len(tripled.sequence) == 3 * len(base.sequence)
+
+    def test_repeat_validation(self, base):
+        with pytest.raises(ValueError):
+            repeat(base, 0)
+
+    def test_thin_is_subset(self, base):
+        thinned = thin(base, 0.5, seed=0)
+        assert len(thinned.sequence) <= len(base.sequence)
+        base_shapes = {(j.arrival, j.color) for j in base.sequence}
+        assert all(
+            (j.arrival, j.color) in base_shapes for j in thinned.sequence
+        )
+
+    def test_thin_extremes(self, base):
+        assert len(thin(base, 0.0, seed=0).sequence) == 0
+        assert len(thin(base, 1.0, seed=0).sequence) == len(base.sequence)
+
+    def test_thin_probability_validation(self, base):
+        with pytest.raises(ValueError):
+            thin(base, 1.5, seed=0)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.core.cost."""
+
+import pytest
+
+from repro.core.cost import CostBreakdown, CostModel
+
+
+class TestCostModel:
+    def test_total_formula(self):
+        model = CostModel(reconfig_cost=5)
+        assert model.total(num_reconfigs=3, num_drops=7) == 22
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            CostModel(0)
+        with pytest.raises(ValueError):
+            CostModel(-1)
+
+    def test_rejects_nonpositive_drop_cost(self):
+        with pytest.raises(ValueError):
+            CostModel(1, drop_cost=0)
+
+
+class TestCostBreakdown:
+    def test_reconfig_accounting(self):
+        bd = CostBreakdown(CostModel(3))
+        bd.record_reconfig(0)
+        bd.record_reconfig(1, count=2)
+        assert bd.num_reconfigs == 3
+        assert bd.reconfig_cost == 9
+        assert bd.reconfigs_by_color[1] == 2
+
+    def test_drop_eligibility_split(self):
+        bd = CostBreakdown(CostModel(3))
+        bd.record_drop(0, 4, eligible=True)
+        bd.record_drop(0, 2, eligible=False)
+        assert bd.num_drops == 6
+        assert bd.num_eligible_drops == 4
+        assert bd.num_ineligible_drops == 2
+        assert bd.eligible_drop_cost == 4
+        assert bd.ineligible_drop_cost == 2
+
+    def test_total_is_reconfig_plus_drop(self):
+        bd = CostBreakdown(CostModel(5))
+        bd.record_reconfig(0, 2)
+        bd.record_drop(1, 3)
+        assert bd.total == 10 + 3
+
+    def test_negative_counts_rejected(self):
+        bd = CostBreakdown(CostModel(2))
+        with pytest.raises(ValueError):
+            bd.record_reconfig(0, -1)
+        with pytest.raises(ValueError):
+            bd.record_drop(0, -1)
+        with pytest.raises(ValueError):
+            bd.record_execution(0, -1)
+
+    def test_merge_sums_everything(self):
+        model = CostModel(2)
+        a, b = CostBreakdown(model), CostBreakdown(model)
+        a.record_reconfig(0)
+        a.record_drop(0, 2, eligible=False)
+        b.record_reconfig(1, 3)
+        b.record_execution(1, 5)
+        merged = a.merge(b)
+        assert merged.num_reconfigs == 4
+        assert merged.num_drops == 2
+        assert merged.num_ineligible_drops == 2
+        assert merged.executions == 5
+        assert merged.reconfigs_by_color == {0: 1, 1: 3}
+
+    def test_merge_rejects_different_models(self):
+        a = CostBreakdown(CostModel(2))
+        b = CostBreakdown(CostModel(3))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_summary_keys(self):
+        bd = CostBreakdown(CostModel(2))
+        bd.record_reconfig(0)
+        summary = bd.summary()
+        assert summary["total"] == 2
+        assert summary["num_reconfigs"] == 1
+        assert set(summary) >= {"reconfig_cost", "drop_cost", "executions"}

@@ -1,0 +1,110 @@
+"""Tests of Algorithm Distribute (Section 4.1)."""
+
+import pytest
+
+from repro.core.instance import BatchMode, make_instance
+from repro.core.job import JobFactory
+from repro.core.validation import verify_schedule
+from repro.reductions.distribute import (
+    distribute_instance,
+    map_back_schedule,
+    run_distribute,
+)
+from repro.workloads.random_batched import random_batched, random_rate_limited
+
+
+def oversized_instance(batch=7, bound=2, batches=3, delta=2):
+    factory = JobFactory()
+    jobs = []
+    for i in range(batches):
+        jobs += factory.batch(i * bound, 0, bound, batch)
+    return make_instance(jobs, {0: bound}, delta, batch_mode=BatchMode.BATCHED)
+
+
+class TestDistributeInstance:
+    def test_general_instance_rejected(self):
+        inst = make_instance([], {0: 2}, 2, horizon=4)
+        with pytest.raises(ValueError, match="batched"):
+            distribute_instance(inst)
+
+    def test_result_is_rate_limited(self):
+        inner, _ = distribute_instance(oversized_instance())
+        assert inner.spec.batch_mode is BatchMode.RATE_LIMITED
+        # Validation happens in the Instance constructor; reaching here
+        # means every subcolor batch is within its bound.
+
+    def test_subcolor_count(self):
+        # 7 jobs per batch, bound 2 -> ceil(7/2) = 4 subcolors.
+        inner, mapping = distribute_instance(oversized_instance(batch=7, bound=2))
+        assert len(inner.spec.delay_bounds) == 4
+        assert set(mapping.to_original.values()) == {0}
+
+    def test_jobs_keep_identity_and_shape(self):
+        outer = oversized_instance()
+        inner, _ = distribute_instance(outer)
+        outer_jobs = {j.jid: j for j in outer.sequence}
+        assert len(inner.sequence) == len(outer.sequence)
+        for job in inner.sequence:
+            original = outer_jobs[job.jid]
+            assert job.arrival == original.arrival
+            assert job.delay_bound == original.delay_bound
+
+    def test_subcolors_inherit_bound(self):
+        inner, mapping = distribute_instance(oversized_instance(bound=4, batch=9))
+        for sub, original in mapping.to_original.items():
+            assert inner.spec.delay_bound(sub) == 4
+
+    def test_within_limit_batches_single_subcolor(self):
+        inst = random_rate_limited(3, 2, 16, seed=0)
+        inner, mapping = distribute_instance(inst)
+        # Rate-limited input needs no splitting: one subcolor per color.
+        assert len(inner.spec.delay_bounds) == len(inst.spec.delay_bounds)
+
+
+class TestRunDistribute:
+    def test_outer_schedule_feasible(self):
+        outer = oversized_instance()
+        result = run_distribute(outer, 8)
+        report = verify_schedule(outer, result.schedule)
+        assert report.ok, report.violations[:3]
+
+    def test_lemma_4_2_cost_not_increased(self):
+        for seed in range(4):
+            inst = random_batched(4, 2, 32, seed=seed, burst_factor=3.0)
+            result = run_distribute(inst, 8)
+            assert result.total_cost <= result.inner.total_cost
+
+    def test_drop_parity_with_inner(self):
+        # Lemma 4.2: executions map one-to-one, so drops match exactly.
+        inst = random_batched(4, 2, 32, seed=1, burst_factor=3.0)
+        result = run_distribute(inst, 8)
+        assert result.cost.num_drops == result.inner.cost.num_drops
+
+    def test_inner_instance_recorded(self):
+        result = run_distribute(oversized_instance(), 8)
+        assert result.inner.instance.spec.batch_mode is BatchMode.RATE_LIMITED
+        assert result.algorithm == "Distribute[dLRU-EDF]"
+
+    def test_custom_scheme_factory(self):
+        from repro.algorithms.edf import EDF
+
+        result = run_distribute(oversized_instance(), 8, scheme_factory=EDF)
+        assert result.algorithm == "Distribute[EDF]"
+
+
+class TestMapBack:
+    def test_same_color_reconfigs_elided(self):
+        outer = oversized_instance(batch=5, bound=2)
+        result = run_distribute(outer, 4)
+        # Outer schedule never recolors a resource to its current color
+        # (the verifier would flag it); subcolor swaps within a color
+        # become free.
+        report = verify_schedule(outer, result.schedule)
+        assert not any("current color" in v for v in report.violations)
+
+    def test_executions_preserved_exactly(self):
+        outer = oversized_instance()
+        result = run_distribute(outer, 8)
+        inner_jids = {e.jid for e in result.inner.schedule.executions}
+        outer_jids = {e.jid for e in result.schedule.executions}
+        assert inner_jids == outer_jids

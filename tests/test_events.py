@@ -1,0 +1,57 @@
+"""Unit tests for the trace event log."""
+
+from repro.core.events import (
+    ArrivalEvent,
+    CacheInEvent,
+    DropEvent,
+    ExecuteEvent,
+    ReconfigEvent,
+    Trace,
+    WrapEvent,
+)
+
+
+def build_trace():
+    trace = Trace()
+    trace.append(ArrivalEvent(0, 1, 3))
+    trace.append(WrapEvent(0, 1))
+    trace.append(ReconfigEvent(0, 0, 2, -1, 1))
+    trace.append(ExecuteEvent(0, 0, 2, 1, 7))
+    trace.append(DropEvent(4, 2, 2, eligible=False))
+    trace.append(CacheInEvent(4, 0, 2, "edf"))
+    return trace
+
+
+def test_length_and_iteration():
+    trace = build_trace()
+    assert len(trace) == 6
+    assert len(list(trace)) == 6
+
+
+def test_of_type_filters_in_order():
+    trace = build_trace()
+    arrivals = trace.of_type(ArrivalEvent)
+    assert len(arrivals) == 1 and arrivals[0].color == 1
+    assert len(trace.of_type(DropEvent)) == 1
+    assert trace.of_type(WrapEvent)[0].round_index == 0
+
+
+def test_for_color_matches_all_color_attributes():
+    trace = build_trace()
+    color1 = trace.for_color(1)
+    # ArrivalEvent, WrapEvent, ReconfigEvent(new_color=1), ExecuteEvent.
+    assert len(color1) == 4
+    color2 = trace.for_color(2)
+    assert len(color2) == 2  # DropEvent + CacheInEvent
+
+
+def test_rounds_span():
+    trace = build_trace()
+    assert trace.rounds() == range(5)
+    assert Trace().rounds() == range(0)
+
+
+def test_drop_event_carries_eligibility():
+    event = DropEvent(4, 2, 2, eligible=False)
+    assert not event.eligible
+    assert event.count == 2

@@ -1,0 +1,153 @@
+"""Tests of the experiment harness: every registered experiment runs in
+quick mode and its headline claims hold."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+
+_REPORT_CACHE = {}
+
+
+def quick_report(experiment_id):
+    """Run each experiment's quick preset once per session and cache it —
+    the assertions below all read from the same report."""
+    if experiment_id not in _REPORT_CACHE:
+        _REPORT_CACHE[experiment_id] = run_experiment(experiment_id, quick=True)
+    return _REPORT_CACHE[experiment_id]
+
+
+def test_registry_covers_design_doc_ids():
+    expected = {
+        "EXP-A",
+        "EXP-B",
+        "EXP-T1",
+        "EXP-T2",
+        "EXP-T3",
+        "EXP-L",
+        "EXP-ABL",
+        "EXP-M",
+        "EXP-S",
+        "EXP-U",
+        "EXP-ADV",
+        "EXP-SEN",
+        "EXP-P",
+        "EXP-C",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_get_experiment_case_insensitive():
+    assert get_experiment("exp-a").experiment_id == "EXP-A"
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("EXP-Z")
+
+
+class TestAppendixExperiments:
+    def test_exp_a_dlru_ratio_grows_while_combined_bounded(self):
+        report = quick_report("EXP-A")
+        assert report.summary["monotone_growth"]
+        assert report.summary["dlru_ratio_last"] > 2 * report.summary[
+            "dlru_ratio_first"
+        ]
+        assert report.summary["dlru_edf_ratio_max"] < 8
+
+    def test_exp_a_matches_predicted_formula(self):
+        report = quick_report("EXP-A")
+        for row in report.rows:
+            assert row["dlru_ratio"] >= row["predicted_ratio"] * 0.99
+
+    def test_exp_b_edf_ratio_grows_while_combined_bounded(self):
+        report = quick_report("EXP-B")
+        assert report.summary["monotone_growth"]
+        assert report.summary["dlru_edf_ratio_max"] < 8
+
+    def test_exp_b_reconfig_dominates_edf_cost(self):
+        report = quick_report("EXP-B")
+        for row in report.rows:
+            assert row["edf_reconfig_cost"] == row["edf_cost"]  # no drops
+
+
+class TestTheoremExperiments:
+    def test_exp_t1_bounded_ratio(self):
+        report = quick_report("EXP-T1")
+        assert report.summary["max_ratio"] < 10
+
+    def test_exp_t2_bounded_and_lemma_4_2(self):
+        report = quick_report("EXP-T2")
+        assert report.summary["max_ratio"] < 10
+        assert report.summary["lemma_4_2_holds"]
+
+    def test_exp_t3_bounded_ratio(self):
+        report = quick_report("EXP-T3")
+        assert report.summary["max_ratio"] < 12
+
+
+class TestOtherExperiments:
+    def test_exp_l_all_inequalities_hold(self):
+        report = quick_report("EXP-L")
+        assert report.summary["all_inequalities_hold"]
+
+    def test_exp_abl_even_split_is_reasonable(self):
+        report = quick_report("EXP-ABL")
+        split_rows = {
+            r["value"]: r["geomean_ratio"]
+            for r in report.rows
+            if r.get("knob") == "lru_fraction"
+        }
+        # The paper's even split must beat at least one pure extreme.
+        assert split_rows[0.5] <= max(split_rows[0.0], split_rows[1.0])
+
+    def test_exp_abl_augmentation_monotone_trend(self):
+        report = quick_report("EXP-ABL")
+        aug = [
+            r["geomean_ratio"]
+            for r in report.rows
+            if r.get("knob") == "augmentation"
+        ]
+        assert aug[-1] <= aug[0] * 1.5  # more resources never blow up cost
+
+    def test_exp_m_combined_avoids_catastrophe(self):
+        report = quick_report("EXP-M")
+        combined = report.summary["dlru_edf_total"]
+        worst = report.summary["worst_other_total"]
+        assert combined * 3 < worst  # never-reconfigure is catastrophic
+
+    def test_exp_u_extension_claims(self):
+        report = quick_report("EXP-U")
+        assert report.summary["lru_ratio_grows"]
+        assert report.summary["weighted_beats_unweighted_on_decoy"]
+        assert report.summary["adaptive_beats_static_on_rotation"]
+
+    def test_exp_sen_grid_is_flat_enough(self):
+        report = quick_report("EXP-SEN")
+        assert report.summary["max_cell"] < 10
+        assert len(report.rows) == 4  # 2 deltas x 2 loads in quick mode
+
+    def test_exp_c_crossover(self):
+        report = quick_report("EXP-C")
+        assert report.summary["sticky_wins_at_max_T"]
+
+    def test_exp_p_punctualization_constants(self):
+        report = quick_report("EXP-P")
+        assert report.summary["max_factor"] <= 12
+        assert report.summary["all_transfer"]
+
+    def test_exp_adv_combination_not_most_attackable(self):
+        report = quick_report("EXP-ADV")
+        assert report.summary["combination_at_most_pure"]
+        assert report.summary["warm_separation"]
+
+    def test_exp_s_produces_throughput_rows(self):
+        report = quick_report("EXP-S")
+        assert report.summary["min_rounds_per_second"] > 0
+        assert all(r["rounds_per_second"] > 0 for r in report.rows)
+
+
+class TestReportStructure:
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_render_is_nonempty_and_titled(self, experiment_id):
+        report = quick_report(experiment_id)
+        text = report.render()
+        assert experiment_id in text
+        assert report.rows
+        assert report.tables

@@ -1,0 +1,79 @@
+"""Tests of the JSON/CSV export helpers."""
+
+import csv
+import io
+import json
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.analysis.export import (
+    report_to_dict,
+    report_to_json,
+    rows_to_csv,
+    run_result_to_dict,
+    run_result_to_json,
+    save_report,
+)
+from repro.experiments import run_experiment
+from repro.simulation.engine import simulate
+from repro.workloads.random_batched import random_rate_limited
+
+
+def make_run():
+    inst = random_rate_limited(3, 2, 16, seed=0, bound_choices=(2, 4))
+    return simulate(inst, DeltaLRUEDF(), 8)
+
+
+def test_run_result_round_trips_through_json():
+    result = make_run()
+    payload = json.loads(run_result_to_json(result))
+    assert payload["algorithm"] == "dLRU-EDF"
+    assert payload["cost"]["total"] == result.total_cost
+    assert payload["num_resources"] == 8
+
+
+def test_run_result_dict_fields():
+    payload = run_result_to_dict(make_run())
+    assert set(payload) >= {
+        "algorithm",
+        "instance",
+        "horizon",
+        "num_jobs",
+        "cost",
+    }
+
+
+def test_report_export_structure():
+    report = run_experiment("EXP-S", quick=True)
+    payload = report_to_dict(report)
+    assert payload["experiment_id"] == "EXP-S"
+    assert payload["rows"]
+    assert all(isinstance(t, str) for t in payload["tables"])
+    json.loads(report_to_json(report))  # must be valid JSON
+
+
+def test_rows_to_csv_flattens_and_unions_keys():
+    rows = [
+        {"a": 1, "nested": {"x": 2}},
+        {"a": 3, "b": [1, 2]},
+    ]
+    text = rows_to_csv(rows)
+    reader = list(csv.DictReader(io.StringIO(text)))
+    assert len(reader) == 2
+    assert set(reader[0]) == {"a", "nested.x", "b"}
+    assert reader[0]["nested.x"] == "2"
+    assert json.loads(reader[1]["b"]) == [1, 2]
+
+
+def test_rows_to_csv_empty():
+    assert rows_to_csv([]) == ""
+
+
+def test_save_report_writes_three_files(tmp_path):
+    report = run_experiment("EXP-S", quick=True)
+    paths = save_report(report, tmp_path)
+    assert set(paths) == {"json", "csv", "txt"}
+    for path in paths.values():
+        assert path.exists()
+        assert path.stat().st_size > 0
+    payload = json.loads(paths["json"].read_text())
+    assert payload["experiment_id"] == "EXP-S"

@@ -1,0 +1,119 @@
+"""Property-based tests for the extension substrates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.filecaching import (
+    BeladyMIN,
+    FileCachingInstance,
+    FileSpec,
+    Landlord,
+    LRUCache,
+    simulate_caching,
+)
+from repro.extensions.uniform_delay import (
+    LandlordScheduler,
+    UnweightedGreedyPolicy,
+    WeightedCostModel,
+    WeightedGreedyPolicy,
+    WeightedInstance,
+    WeightedJob,
+    simulate_weighted,
+    weighted_per_color_lower_bound,
+)
+
+
+@st.composite
+def paging_instances(draw):
+    num_files = draw(st.integers(2, 6))
+    capacity = draw(st.integers(1, num_files - 1))
+    length = draw(st.integers(1, 60))
+    requests = tuple(
+        draw(st.integers(0, num_files - 1)) for _ in range(length)
+    )
+    files = {i: FileSpec(i) for i in range(num_files)}
+    return FileCachingInstance(files, capacity, requests)
+
+
+@st.composite
+def weighted_caching_instances(draw):
+    num_files = draw(st.integers(2, 5))
+    capacity = draw(st.integers(1, num_files - 1))
+    length = draw(st.integers(1, 40))
+    files = {
+        i: FileSpec(i, cost=float(draw(st.integers(1, 10))))
+        for i in range(num_files)
+    }
+    requests = tuple(
+        draw(st.integers(0, num_files - 1)) for _ in range(length)
+    )
+    return FileCachingInstance(files, capacity, requests)
+
+
+@settings(max_examples=50, deadline=None)
+@given(paging_instances())
+def test_belady_lower_bounds_online_policies(instance):
+    opt = BeladyMIN().run(instance)
+    for policy in (LRUCache(), Landlord()):
+        online = simulate_caching(instance, policy)
+        assert opt.misses <= online.misses
+
+
+@settings(max_examples=50, deadline=None)
+@given(paging_instances())
+def test_hits_plus_misses_equals_requests(instance):
+    for policy in (LRUCache(), Landlord()):
+        result = simulate_caching(instance, policy)
+        assert result.hits + result.misses == len(instance.requests)
+
+
+@settings(max_examples=50, deadline=None)
+@given(weighted_caching_instances())
+def test_landlord_cost_bounded_by_all_miss(instance):
+    result = simulate_caching(instance, Landlord())
+    all_miss = sum(instance.files[f].cost for f in instance.requests)
+    assert result.retrieval_cost <= all_miss + 1e-9
+    assert result.evictions <= result.misses
+
+
+@st.composite
+def weighted_instances(draw):
+    num_colors = draw(st.integers(1, 4))
+    delay = draw(st.sampled_from([2, 4, 8]))
+    delta = draw(st.integers(1, 5))
+    costs = {
+        c: float(draw(st.integers(1, 8))) for c in range(num_colors)
+    }
+    jobs = []
+    jid = 0
+    for c in range(num_colors):
+        arrivals = draw(st.lists(st.integers(0, 24), max_size=8))
+        for a in arrivals:
+            jobs.append(WeightedJob(a, c, jid))
+            jid += 1
+    return WeightedInstance(tuple(jobs), delay, WeightedCostModel(delta, costs))
+
+
+@settings(max_examples=50, deadline=None)
+@given(weighted_instances(), st.integers(1, 3))
+def test_weighted_conservation_and_identity(instance, slots):
+    for policy in (
+        LandlordScheduler(),
+        WeightedGreedyPolicy(),
+        UnweightedGreedyPolicy(),
+    ):
+        result = simulate_weighted(instance, policy, slots)
+        assert result.executed + result.dropped == len(instance.jobs)
+        assert result.total_cost == (
+            result.reconfig_cost + result.drop_cost
+        )
+        assert result.drop_cost <= instance.total_drop_value() + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_instances())
+def test_weighted_lower_bound_below_policies(instance):
+    bound = weighted_per_color_lower_bound(instance)
+    for policy in (LandlordScheduler(), WeightedGreedyPolicy()):
+        result = simulate_weighted(instance, policy, 2)
+        assert bound <= result.total_cost + 1e-9

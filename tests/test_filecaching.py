@@ -1,0 +1,144 @@
+"""Tests of the file-caching substrate (extension)."""
+
+import pytest
+
+from repro.extensions.filecaching import (
+    BeladyMIN,
+    FileCachingInstance,
+    FileSpec,
+    Landlord,
+    LRUCache,
+    cyclic_adversary,
+    simulate_caching,
+)
+
+
+def paging_instance(requests, capacity, num_files=None):
+    universe = num_files or (max(requests) + 1)
+    files = {i: FileSpec(i) for i in range(universe)}
+    return FileCachingInstance(files, capacity, tuple(requests))
+
+
+class TestInstanceValidation:
+    def test_undeclared_request_rejected(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            FileCachingInstance({0: FileSpec(0)}, 1, (0, 1))
+
+    def test_oversized_file_rejected(self):
+        with pytest.raises(ValueError, match="fit"):
+            FileCachingInstance({0: FileSpec(0, size=3)}, 2, (0,))
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FileSpec(0, size=0)
+        with pytest.raises(ValueError):
+            FileSpec(0, cost=-1)
+        with pytest.raises(ValueError):
+            FileCachingInstance({}, 0, ())
+
+    def test_unit_detection(self):
+        assert paging_instance([0, 1], 2).unit
+        weighted = FileCachingInstance(
+            {0: FileSpec(0, cost=2.0)}, 1, (0,)
+        )
+        assert not weighted.unit
+
+
+class TestLRU:
+    def test_hits_and_misses(self):
+        result = simulate_caching(paging_instance([0, 1, 0, 1], 2), LRUCache())
+        assert result.misses == 2
+        assert result.hits == 2
+        assert result.evictions == 0
+
+    def test_evicts_least_recently_used(self):
+        # Cache 2: request 0,1 then 2 evicts 0; then 0 misses again.
+        result = simulate_caching(paging_instance([0, 1, 2, 0], 2), LRUCache())
+        assert result.misses == 4
+
+    def test_recency_refresh_on_hit(self):
+        # 0,1,0,2: hit on 0 refreshes it, so 2 evicts 1; 0 stays hot.
+        result = simulate_caching(
+            paging_instance([0, 1, 0, 2, 0], 2), LRUCache()
+        )
+        assert result.misses == 3  # 0, 1, 2; the final 0 hits
+
+
+class TestBelady:
+    def test_exact_on_unit_instances(self):
+        result = BeladyMIN().run(paging_instance([0, 1, 2, 0, 1, 2], 2))
+        # MIN: load 0,1; 2 evicts whichever is used latest; classic count.
+        assert result.misses == 4
+
+    def test_rejects_weighted(self):
+        inst = FileCachingInstance({0: FileSpec(0, cost=2.0)}, 1, (0,))
+        with pytest.raises(ValueError):
+            BeladyMIN().run(inst)
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_min_lower_bounds_lru_everywhere(self, k):
+        import numpy as np
+
+        rng = np.random.default_rng(k)
+        requests = rng.integers(0, k + 3, size=200).tolist()
+        inst = paging_instance(requests, k, num_files=k + 3)
+        lru = simulate_caching(inst, LRUCache())
+        opt = BeladyMIN().run(inst)
+        assert opt.misses <= lru.misses
+
+
+class TestLandlord:
+    def test_prefers_keeping_expensive_files(self):
+        # Capacity 2; cheap file 0 and expensive file 1 cached; file 2
+        # arrives -> the cheap one should be evicted.
+        files = {
+            0: FileSpec(0, cost=1.0),
+            1: FileSpec(1, cost=10.0),
+            2: FileSpec(2, cost=1.0),
+        }
+        inst = FileCachingInstance(files, 2, (0, 1, 2, 1))
+        result = simulate_caching(inst, Landlord())
+        assert result.misses == 3  # the final request for 1 hits
+
+    def test_handles_sizes(self):
+        files = {
+            0: FileSpec(0, size=2, cost=4.0),
+            1: FileSpec(1, size=1, cost=1.0),
+            2: FileSpec(2, size=1, cost=1.0),
+        }
+        inst = FileCachingInstance(files, 3, (0, 1, 2, 0))
+        result = simulate_caching(inst, Landlord())
+        assert result.misses >= 3
+        assert result.retrieval_cost >= 6.0
+
+    def test_weighted_cost_tracked(self):
+        files = {0: FileSpec(0, cost=3.5)}
+        inst = FileCachingInstance(files, 1, (0, 0))
+        result = simulate_caching(inst, Landlord())
+        assert result.retrieval_cost == 3.5
+        assert result.hits == 1
+
+
+class TestCyclicAdversary:
+    def test_lru_misses_everything(self):
+        inst = cyclic_adversary(3, 60)
+        assert simulate_caching(inst, LRUCache()).misses == 60
+
+    def test_min_miss_rate_about_one_per_k(self):
+        k, rounds = 4, 200
+        opt = BeladyMIN().run(cyclic_adversary(k, rounds))
+        # MIN misses ~ rounds / k (plus the k+1 cold misses).
+        assert opt.misses <= rounds / k + k + 2
+
+    def test_ratio_grows_with_k(self):
+        ratios = []
+        for k in (2, 4, 8):
+            inst = cyclic_adversary(k, 240)
+            lru = simulate_caching(inst, LRUCache()).misses
+            opt = BeladyMIN().run(inst).misses
+            ratios.append(lru / opt)
+        assert ratios == sorted(ratios)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cyclic_adversary(0, 10)

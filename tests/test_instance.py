@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.instance."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.instance import (
+    BatchMode,
+    Instance,
+    ProblemSpec,
+    RequestSequence,
+    make_instance,
+)
+from repro.core.job import Job, JobFactory
+
+
+class TestProblemSpec:
+    def test_requires_at_least_one_color(self):
+        with pytest.raises(ValueError):
+            ProblemSpec({}, CostModel(2))
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ProblemSpec({0: 0}, CostModel(2))
+        with pytest.raises(ValueError):
+            ProblemSpec({-1: 4}, CostModel(2))
+
+    def test_power_of_two_enforcement(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ProblemSpec({0: 6}, CostModel(2), require_power_of_two=True)
+        ProblemSpec({0: 8}, CostModel(2), require_power_of_two=True)
+
+    def test_colors_sorted(self):
+        spec = ProblemSpec({3: 2, 1: 4}, CostModel(2))
+        assert spec.colors == (1, 3)
+
+    def test_delay_bound_lookup(self):
+        spec = ProblemSpec({0: 4}, CostModel(2))
+        assert spec.delay_bound(0) == 4
+        with pytest.raises(KeyError):
+            spec.delay_bound(9)
+
+    def test_with_batch_mode(self):
+        spec = ProblemSpec({0: 4}, CostModel(2))
+        batched = spec.with_batch_mode(BatchMode.BATCHED)
+        assert batched.batch_mode is BatchMode.BATCHED
+        assert spec.batch_mode is BatchMode.GENERAL
+
+
+class TestRequestSequence:
+    def test_duplicate_jids_rejected(self):
+        jobs = [Job(0, 0, 2, 1), Job(1, 0, 2, 1)]
+        with pytest.raises(ValueError, match="unique"):
+            RequestSequence(jobs)
+
+    def test_default_horizon_covers_last_deadline(self):
+        seq = RequestSequence([Job(6, 0, 4, 0)])
+        assert seq.horizon == 11  # deadline 10, drop phase at round 10
+
+    def test_explicit_horizon_too_small_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            RequestSequence([Job(6, 0, 4, 0)], horizon=9)
+
+    def test_arrivals_by_round(self):
+        factory = JobFactory()
+        seq = RequestSequence(factory.batch(4, 0, 2, 3))
+        assert len(seq.arrivals(4)) == 3
+        assert seq.arrivals(5) == ()
+        assert seq.arrival_rounds() == (4,)
+
+    def test_restricted_to(self):
+        factory = JobFactory()
+        jobs = factory.batch(0, 0, 2, 2) + factory.batch(0, 1, 2, 3)
+        seq = RequestSequence(jobs)
+        only_one = seq.restricted_to([1])
+        assert len(only_one) == 3
+        assert only_one.colors == (1,)
+        assert only_one.horizon == seq.horizon
+
+    def test_count_by_color(self):
+        factory = JobFactory()
+        jobs = factory.batch(0, 0, 2, 2) + factory.batch(0, 1, 2, 3)
+        assert RequestSequence(jobs).count_by_color() == {0: 2, 1: 3}
+
+    def test_empty_sequence(self):
+        seq = RequestSequence([])
+        assert len(seq) == 0
+        assert seq.horizon == 1
+        assert seq.colors == ()
+
+
+class TestInstanceValidation:
+    def test_undeclared_color_rejected(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            make_instance([Job(0, 5, 4, 0)], {0: 4}, 2)
+
+    def test_mismatched_bound_rejected(self):
+        with pytest.raises(ValueError, match="delay bound"):
+            make_instance([Job(0, 0, 8, 0)], {0: 4}, 2)
+
+    def test_batched_requires_multiple_arrivals(self):
+        with pytest.raises(ValueError, match="not a multiple"):
+            make_instance(
+                [Job(3, 0, 4, 0)], {0: 4}, 2, batch_mode=BatchMode.BATCHED
+            )
+
+    def test_batched_accepts_multiples(self):
+        inst = make_instance(
+            [Job(8, 0, 4, 0)], {0: 4}, 2, batch_mode=BatchMode.BATCHED
+        )
+        assert inst.spec.batch_mode is BatchMode.BATCHED
+
+    def test_rate_limit_enforced(self):
+        factory = JobFactory()
+        jobs = factory.batch(0, 0, 2, 3)  # 3 > D = 2
+        with pytest.raises(ValueError, match="rate-limited"):
+            make_instance(jobs, {0: 2}, 2, batch_mode=BatchMode.RATE_LIMITED)
+
+    def test_rate_limit_boundary_ok(self):
+        factory = JobFactory()
+        jobs = factory.batch(0, 0, 2, 2)  # exactly D
+        inst = make_instance(jobs, {0: 2}, 2, batch_mode=BatchMode.RATE_LIMITED)
+        assert len(inst.sequence) == 2
+
+    def test_describe_mentions_notation(self):
+        inst = make_instance([Job(0, 0, 4, 0)], {0: 4}, 3, name="x")
+        text = inst.describe()
+        assert "Δ=3" in text and "x" in text
+
+    def test_general_mode_allows_any_round(self):
+        inst = make_instance([Job(3, 0, 4, 0)], {0: 4}, 2)
+        assert inst.spec.batch_mode is BatchMode.GENERAL

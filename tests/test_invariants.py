@@ -1,0 +1,94 @@
+"""Tests of the lemma-inequality checkers and job classification."""
+
+import pytest
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.analysis.invariants import (
+    InvariantReport,
+    check_drop_containment_chain,
+    check_lemma_3_3,
+    check_lemma_3_4,
+    classify_jobs,
+    eligible_subsequence,
+)
+from repro.simulation.engine import simulate
+from repro.workloads.adversarial import appendix_a_instance
+from repro.workloads.bursty import bursty_rate_limited
+from repro.workloads.random_batched import random_rate_limited
+
+
+@pytest.fixture(params=range(4))
+def run_result(request):
+    inst = random_rate_limited(
+        6, 3, 64, seed=request.param, load=0.7, bound_choices=(2, 4, 8)
+    )
+    return simulate(inst, DeltaLRUEDF(), 16)
+
+
+class TestInvariantReport:
+    def test_holds_and_slack(self):
+        good = InvariantReport("x", 3, 5)
+        assert good.holds and good.slack == 2
+        bad = InvariantReport("x", 7, 5)
+        assert not bad.holds
+
+
+class TestClassifyJobs:
+    def test_partition_is_total(self, run_result):
+        outcome = classify_jobs(run_result)
+        assert len(outcome) == len(run_result.instance.sequence)
+        assert set(outcome.values()) <= {
+            "executed",
+            "dropped_eligible",
+            "dropped_ineligible",
+        }
+
+    def test_counts_match_cost_breakdown(self, run_result):
+        outcome = classify_jobs(run_result)
+        executed = sum(1 for v in outcome.values() if v == "executed")
+        eligible = sum(1 for v in outcome.values() if v == "dropped_eligible")
+        ineligible = sum(1 for v in outcome.values() if v == "dropped_ineligible")
+        assert executed == run_result.cost.executions
+        assert eligible == run_result.cost.num_eligible_drops
+        assert ineligible == run_result.cost.num_ineligible_drops
+
+    def test_eligible_subsequence_drops_ineligible_jobs(self, run_result):
+        outcome = classify_jobs(run_result)
+        alpha = eligible_subsequence(run_result)
+        expected = sum(1 for v in outcome.values() if v != "dropped_ineligible")
+        assert len(alpha.sequence) == expected
+
+
+class TestLemmaChecks:
+    def test_lemma_3_3_holds(self, run_result):
+        assert check_lemma_3_3(run_result).holds
+
+    def test_lemma_3_4_holds(self, run_result):
+        assert check_lemma_3_4(run_result).holds
+
+    def test_chain_holds(self, run_result):
+        for link in check_drop_containment_chain(run_result):
+            assert link.holds, str(link)
+
+    def test_chain_requires_divisible_resources(self):
+        inst = random_rate_limited(3, 2, 16, seed=0)
+        result = simulate(inst, DeltaLRUEDF(), 4)
+        with pytest.raises(ValueError, match="divisible"):
+            check_drop_containment_chain(result)
+
+    def test_chain_on_adversary(self):
+        _, inst = appendix_a_instance(8, 2)
+        result = simulate(inst, DeltaLRUEDF(), 8)
+        for link in check_drop_containment_chain(result):
+            assert link.holds, str(link)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_invariants_on_bursty(self, seed):
+        inst = bursty_rate_limited(
+            6, 3, 64, seed=seed, bound_choices=(2, 4, 8)
+        )
+        result = simulate(inst, DeltaLRUEDF(), 16)
+        assert check_lemma_3_3(result).holds
+        assert check_lemma_3_4(result).holds
+        for link in check_drop_containment_chain(result):
+            assert link.holds, str(link)

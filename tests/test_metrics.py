@@ -1,0 +1,59 @@
+"""Tests of per-round metrics collection."""
+
+import numpy as np
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.simulation.engine import simulate
+from repro.workloads.random_batched import random_rate_limited
+
+
+def run_with_metrics(seed=0):
+    inst = random_rate_limited(
+        4, 2, 32, seed=seed, load=0.6, bound_choices=(2, 4)
+    )
+    return inst, simulate(inst, DeltaLRUEDF(), 8, collect_metrics=True)
+
+
+def test_metrics_series_shapes():
+    inst, result = run_with_metrics()
+    snap = result.metrics.snapshot()
+    assert snap.horizon == inst.horizon
+    for arr in (snap.executions, snap.drops, snap.reconfigs, snap.occupancy):
+        assert arr.shape == (inst.horizon,)
+
+
+def test_series_sums_match_breakdown():
+    _, result = run_with_metrics()
+    snap = result.metrics.snapshot()
+    assert int(snap.executions.sum()) == result.cost.executions
+    assert int(snap.drops.sum()) == result.cost.num_drops
+    assert int(snap.reconfigs.sum()) == result.cost.num_reconfigs
+
+
+def test_cumulative_cost_matches_total():
+    inst, result = run_with_metrics()
+    snap = result.metrics.snapshot()
+    cum = snap.cumulative_cost(inst.reconfig_cost)
+    assert int(cum[-1]) == result.total_cost
+    assert np.all(np.diff(cum) >= 0)
+
+
+def test_utilization_bounded():
+    _, result = run_with_metrics()
+    snap = result.metrics.snapshot()
+    util = snap.utilization(result.num_resources, result.speed)
+    assert float(util.max(initial=0.0)) <= 1.0
+    assert float(util.min(initial=0.0)) >= 0.0
+
+
+def test_occupancy_within_capacity():
+    _, result = run_with_metrics()
+    snap = result.metrics.snapshot()
+    capacity = result.num_resources // 2
+    assert int(snap.occupancy.max(initial=0)) <= capacity
+
+
+def test_metrics_disabled_by_default():
+    inst = random_rate_limited(3, 2, 16, seed=1)
+    result = simulate(inst, DeltaLRUEDF(), 8)
+    assert result.metrics is None

@@ -1,0 +1,197 @@
+"""Tests of the offline layer: exact optimum, lower bounds, heuristics,
+and the handcrafted appendix schedules."""
+
+import pytest
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.core.instance import BatchMode, make_instance
+from repro.core.job import JobFactory
+from repro.core.validation import verify_schedule
+from repro.offline.handcrafted import (
+    appendix_a_offline_schedule,
+    appendix_b_offline_schedule,
+)
+from repro.offline.heuristic import LookaheadPolicy, best_offline_heuristic
+from repro.offline.lower_bounds import (
+    capacity_lower_bound,
+    combined_lower_bound,
+    par_edf_drop_lower_bound,
+    per_color_lower_bound,
+)
+from repro.offline.optimal import SearchSpaceExceeded, optimal_offline
+from repro.simulation.engine import simulate
+from repro.workloads.adversarial import appendix_a_instance, appendix_b_instance
+from repro.workloads.random_batched import random_general, random_rate_limited
+
+
+class TestOptimalKnownValues:
+    def test_single_batch_serve_beats_drop(self):
+        # 5 jobs, Δ = 2: serving (cost 2) beats dropping (cost 5).
+        factory = JobFactory()
+        inst = make_instance(
+            factory.batch(0, 0, 8, 5), {0: 8}, 2, batch_mode=BatchMode.BATCHED
+        )
+        opt = optimal_offline(inst, 1)
+        assert opt.cost == 2
+        assert opt.num_reconfigs == 1
+        assert opt.num_drops == 0
+
+    def test_single_batch_drop_beats_serve(self):
+        # 1 job, Δ = 3: dropping (cost 1) beats configuring (cost 3).
+        factory = JobFactory()
+        inst = make_instance(
+            factory.batch(0, 0, 4, 1), {0: 4}, 3, batch_mode=BatchMode.BATCHED
+        )
+        opt = optimal_offline(inst, 1)
+        assert opt.cost == 1
+        assert opt.num_reconfigs == 0
+
+    def test_capacity_forces_drops(self):
+        # 4 jobs with window 2 on one resource: 2 must drop even if served.
+        factory = JobFactory()
+        inst = make_instance(
+            factory.batch(0, 0, 2, 4), {0: 2}, 1, batch_mode=BatchMode.BATCHED
+        )
+        opt = optimal_offline(inst, 1)
+        assert opt.cost == 1 + 2  # one reconfig + two drops
+
+    def test_two_colors_one_resource_interleaving(self):
+        # Colors alternate; Δ = 1 makes switching cheap enough to serve both.
+        factory = JobFactory()
+        jobs = factory.batch(0, 0, 2, 2) + factory.batch(2, 1, 2, 2)
+        inst = make_instance(
+            jobs, {0: 2, 1: 2}, 1, batch_mode=BatchMode.BATCHED
+        )
+        opt = optimal_offline(inst, 1)
+        assert opt.cost == 2  # two reconfigurations, zero drops
+
+    def test_empty_instance_costs_nothing(self, empty_instance):
+        opt = optimal_offline(empty_instance, 2)
+        assert opt.cost == 0
+
+    def test_witness_schedule_is_feasible(self, tiny_general):
+        opt = optimal_offline(tiny_general, 2)
+        report = verify_schedule(tiny_general, opt.schedule)
+        assert report.ok
+
+    def test_more_resources_never_hurt(self, tiny_general):
+        costs = [optimal_offline(tiny_general, m).cost for m in (1, 2, 3)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_search_space_guard(self):
+        inst = random_rate_limited(5, 2, 48, seed=0, load=0.9)
+        with pytest.raises(SearchSpaceExceeded):
+            optimal_offline(inst, 3, max_states=50)
+
+    def test_physical_reuse_reflected_in_optimum(self):
+        # Serve color 0, then 1, then 0 again on two resources: the second
+        # stint of color 0 can reuse its old slot, so only 3 reconfigs.
+        factory = JobFactory()
+        jobs = (
+            factory.batch(0, 0, 2, 2)
+            + factory.batch(2, 1, 2, 2)
+            + factory.batch(4, 0, 2, 2)
+        )
+        inst = make_instance(
+            jobs, {0: 2, 1: 2}, 2, batch_mode=BatchMode.BATCHED
+        )
+        opt = optimal_offline(inst, 2)
+        # Serving both colors (color 0 keeping its physical slot across its
+        # gap) costs 2Δ = 4, tied with serve-0/drop-1; the optimum is 4
+        # either way, and crucially NOT 6 (which a model that charges for
+        # re-inserting color 0 after its gap would report).
+        assert opt.cost == 4
+
+
+class TestLowerBounds:
+    def test_per_color_formula(self):
+        factory = JobFactory()
+        jobs = factory.batch(0, 0, 4, 10) + factory.batch(0, 1, 4, 1)
+        inst = make_instance(jobs, {0: 4, 1: 4}, 3)
+        # min(3, 10) + min(3, 1) = 4.
+        assert per_color_lower_bound(inst) == 4
+
+    def test_capacity_bound_detects_overload(self):
+        factory = JobFactory()
+        inst = make_instance(factory.batch(0, 0, 2, 6), {0: 2}, 1)
+        # 6 jobs confined to [0, 2): one resource can run 2, so >= 4 drops.
+        assert capacity_lower_bound(inst, 1) == 4
+
+    def test_capacity_bound_zero_when_feasible(self):
+        factory = JobFactory()
+        inst = make_instance(factory.batch(0, 0, 8, 4), {0: 8}, 1)
+        assert capacity_lower_bound(inst, 1) == 0
+
+    def test_par_edf_bound(self):
+        factory = JobFactory()
+        inst = make_instance(factory.batch(0, 0, 2, 5), {0: 2}, 1)
+        assert par_edf_drop_lower_bound(inst, 1) == 3
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_bounds_below_exact_optimum(self, seed):
+        inst = random_rate_limited(
+            3, 2, 12, seed=seed, load=0.8, bound_choices=(2, 4)
+        )
+        m = 2
+        opt = optimal_offline(inst, m, max_states=600_000)
+        assert per_color_lower_bound(inst) <= opt.cost
+        assert par_edf_drop_lower_bound(inst, m) <= opt.cost
+        assert capacity_lower_bound(inst, m) <= opt.cost
+        assert combined_lower_bound(inst, m) <= opt.cost
+
+    def test_empty_instance_zero_bounds(self, empty_instance):
+        assert per_color_lower_bound(empty_instance) == 0
+        assert capacity_lower_bound(empty_instance, 1) == 0
+        assert combined_lower_bound(empty_instance, 1) == 0
+
+
+class TestHeuristics:
+    def test_lookahead_validation(self):
+        with pytest.raises(ValueError):
+            LookaheadPolicy(window=0)
+        with pytest.raises(ValueError):
+            LookaheadPolicy(hysteresis=-1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heuristic_upper_bounds_optimum(self, seed):
+        inst = random_rate_limited(
+            3, 2, 12, seed=seed, load=0.8, bound_choices=(2, 4)
+        )
+        m = 2
+        opt = optimal_offline(inst, m, max_states=600_000)
+        heur = best_offline_heuristic(inst, m)
+        assert opt.cost <= heur.cost
+
+    def test_portfolio_reports_candidates(self):
+        inst = random_general(3, 2, 24, seed=0)
+        outcome = best_offline_heuristic(inst, 2)
+        labels = [label for label, _ in outcome.candidates]
+        assert any(label.startswith("lookahead") for label in labels)
+        assert "greedy" in labels
+        assert outcome.cost == min(cost for _, cost in outcome.candidates)
+
+
+class TestHandcraftedSchedules:
+    def test_appendix_a_cost_formula(self):
+        construction, inst = appendix_a_instance(4, 2)
+        schedule, cost = appendix_a_offline_schedule(construction, inst)
+        verify_schedule(inst, schedule).raise_if_invalid()
+        n, delta, j, k = 4, 2, construction.j, construction.k
+        expected = delta + (1 << (k - j - 1)) * n * delta
+        assert cost.total == expected
+        assert cost.num_reconfigs == 1
+
+    def test_appendix_b_no_drops(self):
+        construction, inst = appendix_b_instance(4)
+        schedule, cost = appendix_b_offline_schedule(construction, inst)
+        verify_schedule(inst, schedule).raise_if_invalid()
+        assert cost.num_drops == 0
+        assert cost.total == (construction.n // 2 + 1) * construction.delta
+
+    def test_appendix_a_off_beats_online_lru_cost(self):
+        construction, inst = appendix_a_instance(8, 2)
+        _, cost = appendix_a_offline_schedule(construction, inst)
+        online = simulate(inst, DeltaLRUEDF(), 8)
+        # Sanity anchor: the handcrafted OFF is competitive with the best
+        # online run we have.
+        assert cost.total <= online.total_cost * 4

@@ -1,0 +1,81 @@
+"""Structural monotonicity properties of the exact offline optimum."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.instance import BatchMode, Instance, ProblemSpec, RequestSequence
+from repro.core.job import Job
+from repro.offline.optimal import optimal_offline
+from repro.workloads.random_batched import random_rate_limited
+
+
+def with_delta(instance, delta):
+    spec = ProblemSpec(
+        dict(instance.spec.delay_bounds),
+        CostModel(delta, instance.spec.cost.drop_cost),
+        instance.spec.batch_mode,
+        instance.spec.require_power_of_two,
+    )
+    return Instance(spec, instance.sequence, instance.name)
+
+
+@pytest.fixture(params=range(4))
+def small_instance(request):
+    return random_rate_limited(
+        3, 2, 12, seed=request.param + 30, load=0.7, bound_choices=(2, 4)
+    )
+
+
+def test_opt_monotone_in_resources(small_instance):
+    costs = [
+        optimal_offline(small_instance, m, max_states=600_000).cost
+        for m in (1, 2, 3)
+    ]
+    assert costs == sorted(costs, reverse=True)
+
+
+def test_opt_monotone_in_delta(small_instance):
+    costs = [
+        optimal_offline(with_delta(small_instance, delta), 2, max_states=600_000).cost
+        for delta in (1, 2, 4)
+    ]
+    assert costs == sorted(costs)
+
+
+def test_opt_bounded_by_drop_everything(small_instance):
+    opt = optimal_offline(small_instance, 2, max_states=600_000)
+    assert opt.cost <= len(small_instance.sequence)
+
+
+def test_opt_subsequence_never_costs_more(small_instance):
+    """Removing jobs never increases the optimum (the Lemma 3.6 spirit)."""
+    full = optimal_offline(small_instance, 2, max_states=600_000).cost
+    colors = small_instance.sequence.colors
+    if len(colors) < 2:
+        pytest.skip("need two colors to restrict")
+    sub_sequence = small_instance.sequence.restricted_to(colors[:1])
+    sub = Instance(small_instance.spec, sub_sequence, "sub")
+    sub_cost = optimal_offline(sub, 2, max_states=600_000).cost
+    assert sub_cost <= full
+
+
+def test_witness_reconfigs_never_recolor_to_same(small_instance):
+    opt = optimal_offline(small_instance, 2, max_states=600_000)
+    per_resource: dict[int, int] = {}
+    for event in opt.schedule.reconfigurations:
+        assert per_resource.get(event.resource) != event.new_color
+        per_resource[event.resource] = event.new_color
+
+
+def test_delta_one_executes_everything_feasible():
+    """With Δ = 1 and ample resources, the optimum serves every job whose
+    window has capacity (drops would cost as much as reconfiguring)."""
+    jobs = [Job(0, 0, 2, 0), Job(0, 1, 2, 1), Job(2, 2, 2, 2)]
+    # Drop cost 2 > Δ = 1 makes serving strictly better than dropping.
+    spec = ProblemSpec(
+        {0: 2, 1: 2, 2: 2}, CostModel(1, drop_cost=2), BatchMode.GENERAL
+    )
+    instance = Instance(spec, RequestSequence(jobs))
+    opt = optimal_offline(instance, 3)
+    assert opt.num_drops == 0
+    assert opt.cost == 3  # three reconfigurations at Δ = 1

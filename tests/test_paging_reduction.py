@@ -1,0 +1,65 @@
+"""Cross-theory test: paging OPT == scheduling OPT on the embedding."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.filecaching import (
+    BeladyMIN,
+    FileCachingInstance,
+    FileSpec,
+    cyclic_adversary,
+)
+from repro.extensions.paging_reduction import (
+    embed_paging_instance,
+    paging_optimal_via_scheduling,
+    scheduling_cost_to_paging,
+)
+
+
+def paging(requests, capacity):
+    universe = max(requests) + 1
+    files = {i: FileSpec(i) for i in range(universe)}
+    return FileCachingInstance(files, capacity, tuple(requests))
+
+
+class TestEmbedding:
+    def test_shape(self):
+        caching = paging([0, 1, 0, 2], 2)
+        embedded = embed_paging_instance(caching)
+        assert len(embedded.sequence) == 4
+        assert all(j.delay_bound == 1 for j in embedded.sequence)
+        assert embedded.spec.reconfig_cost == 1
+        assert embedded.spec.cost.drop_cost == 9  # 2*4 + 1
+
+    def test_weighted_input_rejected(self):
+        weighted = FileCachingInstance(
+            {0: FileSpec(0, cost=2.0)}, 1, (0,)
+        )
+        with pytest.raises(ValueError):
+            embed_paging_instance(weighted)
+
+    def test_cost_split(self):
+        assert scheduling_cost_to_paging(3, 10, 21) == (3, 0)
+        assert scheduling_cost_to_paging(21 + 2, 10, 21) == (2, 1)
+        with pytest.raises(ValueError):
+            scheduling_cost_to_paging(15, 10, 21)
+
+
+class TestCrossTheoryAgreement:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_belady_equals_scheduling_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        requests = rng.integers(0, 4, size=10).tolist()
+        caching = paging(requests, 2)
+        belady = BeladyMIN().run(caching).misses
+        via_scheduling = paging_optimal_via_scheduling(caching)
+        assert via_scheduling == belady, f"seed {seed}"
+
+    def test_cyclic_adversary_agreement(self):
+        caching = cyclic_adversary(2, 9)
+        belady = BeladyMIN().run(caching).misses
+        assert paging_optimal_via_scheduling(caching) == belady
+
+    def test_single_file_trivial(self):
+        caching = paging([0, 0, 0, 0], 1)
+        assert paging_optimal_via_scheduling(caching) == 1

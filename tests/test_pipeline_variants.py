@@ -1,0 +1,87 @@
+"""Pipeline variants: custom inner schemes, speeds, and degenerate bounds."""
+
+import pytest
+
+from repro.algorithms.dlru import DeltaLRU
+from repro.algorithms.edf import EDF
+from repro.core.instance import make_instance
+from repro.core.job import JobFactory
+from repro.reductions.pipeline import run_pipeline
+from repro.reductions.varbatch import run_varbatch
+from repro.workloads.random_batched import random_general
+
+
+@pytest.fixture
+def general_instance():
+    return random_general(4, 2, 48, seed=9, rate=0.3, bound_choices=(2, 4, 8))
+
+
+class TestInnerSchemeVariants:
+    def test_pipeline_with_edf_inner(self, general_instance):
+        result = run_pipeline(general_instance, 16, scheme_factory=EDF)
+        assert result.verify().ok
+        assert result.stages[-1] == "EDF"
+        assert "EDF" in result.algorithm
+
+    def test_pipeline_with_dlru_inner(self, general_instance):
+        result = run_pipeline(general_instance, 16, scheme_factory=DeltaLRU)
+        assert result.verify().ok
+        assert result.stages[-1] == "dLRU"
+
+    def test_inner_scheme_changes_behavior(self, general_instance):
+        costs = {
+            name: run_pipeline(general_instance, 8, scheme_factory=factory).total_cost
+            for name, factory in (("edf", EDF), ("dlru", DeltaLRU))
+        }
+        assert all(cost > 0 for cost in costs.values())
+
+
+class TestSpeedAndCopies:
+    def test_double_speed_pipeline(self, general_instance):
+        uni = run_pipeline(general_instance, 16, speed=1)
+        double = run_pipeline(general_instance, 16, speed=2)
+        assert double.verify().ok
+        assert double.cost.num_drops <= uni.cost.num_drops
+
+    def test_single_copy_pipeline(self, general_instance):
+        result = run_pipeline(general_instance, 16, copies=1)
+        assert result.verify().ok
+
+
+class TestDegenerateBounds:
+    def test_all_unit_bounds(self):
+        factory = JobFactory()
+        jobs = []
+        for k in range(12):
+            jobs += factory.batch(k, k % 3, 1, 1)
+        inst = make_instance(jobs, {0: 1, 1: 1, 2: 1}, 2)
+        result = run_pipeline(inst, 8)
+        assert result.verify().ok
+        executed = len(result.schedule.executed_jids)
+        assert executed + result.cost.num_drops == 12
+
+    def test_mixed_unit_and_wide_bounds(self):
+        factory = JobFactory()
+        jobs = []
+        for k in range(8):
+            jobs += factory.batch(k, 0, 1, 1)
+        jobs += factory.batch(3, 1, 16, 6)
+        inst = make_instance(jobs, {0: 1, 1: 16}, 2)
+        result = run_pipeline(inst, 8)
+        assert result.verify().ok
+
+    def test_single_job_instance(self):
+        inst = make_instance([JobFactory().make(5, 0, 4)], {0: 4}, 3)
+        result = run_pipeline(inst, 8)
+        assert result.verify().ok
+        # One job, Δ = 3: the stack either serves it (cost 2Δ per copy
+        # pair at worst) or the eligibility filter drops it (cost 1).
+        assert result.total_cost <= 2 * 3 * 2 or result.total_cost == 1
+
+
+class TestVarBatchSpeedVariant:
+    def test_varbatch_double_speed(self, general_instance):
+        result = run_varbatch(general_instance, 16, speed=2)
+        from repro.core.validation import verify_schedule
+
+        assert verify_schedule(general_instance, result.schedule).ok

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) of core invariants.
+
+Strategies generate small random instances; the properties assert the
+paper-level invariants that must hold on *every* input: feasibility of
+every emitted schedule, exact cost identities, conservation of jobs,
+reduction window containment, and optimality orderings.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dlru import DeltaLRU
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.algorithms.edf import EDF
+from repro.algorithms.par_edf import run_par_edf
+from repro.core.instance import BatchMode, Instance, ProblemSpec, RequestSequence
+from repro.core.cost import CostModel
+from repro.core.job import Job
+from repro.core.rounds import is_multiple
+from repro.reductions.distribute import distribute_instance, run_distribute
+from repro.reductions.varbatch import varbatch_instance
+from repro.simulation.engine import simulate
+
+
+@st.composite
+def batched_instances(draw, max_colors=4, max_blocks=4, rate_limited=True):
+    """Small random batched instances with power-of-two bounds."""
+    num_colors = draw(st.integers(1, max_colors))
+    delta = draw(st.integers(1, 4))
+    bounds = {
+        color: draw(st.sampled_from([2, 4, 8])) for color in range(num_colors)
+    }
+    jobs: list[Job] = []
+    jid = 0
+    for color, bound in bounds.items():
+        blocks = draw(st.integers(1, max_blocks))
+        for i in range(blocks):
+            limit = bound if rate_limited else 3 * bound
+            size = draw(st.integers(0, limit))
+            for _ in range(size):
+                jobs.append(Job(i * bound, color, bound, jid))
+                jid += 1
+    mode = BatchMode.RATE_LIMITED if rate_limited else BatchMode.BATCHED
+    spec = ProblemSpec(bounds, CostModel(delta), mode, require_power_of_two=True)
+    return Instance(spec, RequestSequence(jobs))
+
+
+@st.composite
+def general_instances(draw, max_colors=3, max_rounds=16):
+    num_colors = draw(st.integers(1, max_colors))
+    delta = draw(st.integers(1, 3))
+    bounds = {
+        color: draw(st.sampled_from([2, 4, 8])) for color in range(num_colors)
+    }
+    jobs: list[Job] = []
+    jid = 0
+    for color, bound in bounds.items():
+        arrivals = draw(
+            st.lists(st.integers(0, max_rounds - 1), max_size=6)
+        )
+        for arrival in arrivals:
+            jobs.append(Job(arrival, color, bound, jid))
+            jid += 1
+    spec = ProblemSpec(bounds, CostModel(delta), BatchMode.GENERAL)
+    return Instance(spec, RequestSequence(jobs))
+
+
+@settings(max_examples=40, deadline=None)
+@given(batched_instances(), st.sampled_from([DeltaLRU, EDF, DeltaLRUEDF]))
+def test_every_scheme_emits_feasible_schedules(instance, scheme_cls):
+    result = simulate(instance, scheme_cls(), 8)
+    assert result.verify().ok
+
+
+@settings(max_examples=40, deadline=None)
+@given(batched_instances())
+def test_cost_identity_and_conservation(instance):
+    result = simulate(instance, DeltaLRUEDF(), 8)
+    cost = result.cost
+    delta = instance.reconfig_cost
+    # Identity: total = Δ * reconfigs + drops.
+    assert cost.total == delta * cost.num_reconfigs + cost.num_drops
+    # Conservation: every job is executed or dropped, exactly once.
+    assert cost.executions + cost.num_drops == len(instance.sequence)
+    # Eligibility split partitions the drops.
+    assert cost.num_eligible_drops + cost.num_ineligible_drops == cost.num_drops
+
+
+@settings(max_examples=40, deadline=None)
+@given(batched_instances(rate_limited=False))
+def test_distribute_preserves_jobs_and_rate_limits(instance):
+    inner, mapping = distribute_instance(instance)
+    assert inner.spec.batch_mode is BatchMode.RATE_LIMITED
+    assert {j.jid for j in inner.sequence} == {j.jid for j in instance.sequence}
+    for job in inner.sequence:
+        assert mapping.original(job.color) is not None
+        assert is_multiple(job.arrival, job.delay_bound)
+
+
+@settings(max_examples=30, deadline=None)
+@given(batched_instances(rate_limited=False))
+def test_distribute_outer_cost_at_most_inner(instance):
+    result = run_distribute(instance, 8)
+    assert result.total_cost <= result.inner.total_cost
+    assert result.schedule.executed_jids == result.inner.schedule.executed_jids
+
+
+@settings(max_examples=40, deadline=None)
+@given(general_instances())
+def test_varbatch_windows_contained(instance):
+    batched = varbatch_instance(instance)
+    originals = {j.jid: j for j in instance.sequence}
+    for job in batched.sequence:
+        original = originals[job.jid]
+        assert job.arrival >= original.arrival
+        assert job.deadline <= original.deadline
+        assert job.color == original.color
+
+
+@settings(max_examples=30, deadline=None)
+@given(batched_instances(), st.integers(1, 4))
+def test_par_edf_monotone_in_resources(instance, m):
+    """More resources never increase Par-EDF's drops."""
+    fewer = run_par_edf(instance, m)
+    more = run_par_edf(instance, m + 1)
+    assert more.num_drops <= fewer.num_drops
+
+
+@settings(max_examples=30, deadline=None)
+@given(batched_instances())
+def test_double_speed_never_drops_more(instance):
+    uni = simulate(instance, DeltaLRUEDF(), 8, speed=1)
+    double = simulate(instance, DeltaLRUEDF(), 8, speed=2)
+    assert double.cost.num_drops <= uni.cost.num_drops
+
+
+@settings(max_examples=25, deadline=None)
+@given(batched_instances(max_colors=2, max_blocks=3))
+def test_exact_optimum_lower_bounds_every_online_run(instance):
+    from repro.offline.lower_bounds import combined_lower_bound
+    from repro.offline.optimal import optimal_offline
+
+    opt = optimal_offline(instance, 2, max_states=400_000)
+    for scheme_cls in (DeltaLRU, EDF, DeltaLRUEDF):
+        online = simulate(instance, scheme_cls(), 4, copies=2)
+        assert opt.cost <= online.total_cost
+    assert combined_lower_bound(instance, 2) <= opt.cost
+
+
+@settings(max_examples=25, deadline=None)
+@given(general_instances(max_colors=2, max_rounds=12))
+def test_punctualization_properties(instance):
+    """Lemma 5.3 as a property: for hindsight-greedy schedules over random
+    general instances, punctualization preserves executions, produces only
+    punctual executions, and stays feasible for both σ and σ'."""
+    from repro.core.validation import verify_schedule
+    from repro.offline.heuristic import LookaheadPolicy
+    from repro.reductions.punctual import punctualize_schedule, split_by_timing
+    from repro.reductions.varbatch import varbatch_instance
+    from repro.simulation.general import simulate_general
+
+    source = simulate_general(instance, LookaheadPolicy(window=8), 2).schedule
+    punctual = punctualize_schedule(source, instance)
+    assert verify_schedule(instance, punctual).ok
+    assert punctual.executed_jids == source.executed_jids
+    timings = split_by_timing(punctual, instance)
+    assert not timings["early"] and not timings["late"]
+    assert verify_schedule(varbatch_instance(instance), punctual).ok
+
+
+@settings(max_examples=30, deadline=None)
+@given(batched_instances())
+def test_csv_round_trip_property(instance):
+    from repro.workloads.traces import instance_from_csv, instance_to_csv
+
+    back = instance_from_csv(instance_to_csv(instance))
+    assert len(back.sequence) == len(instance.sequence)
+    assert back.spec.delay_bounds == instance.spec.delay_bounds
+
+
+@settings(max_examples=30, deadline=None)
+@given(batched_instances())
+def test_timeline_profiles_match_breakdown(instance):
+    from repro.analysis.timeline import reconfiguration_profile
+
+    result = simulate(instance, DeltaLRUEDF(), 8)
+    profile = reconfiguration_profile(result.schedule, instance.horizon)
+    assert sum(profile) == result.cost.num_reconfigs
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(2, 40),
+    st.integers(0, 60),
+)
+def test_arbitrary_bound_transform_window_contained(p, arrival):
+    """§5.3 transform: for ANY delay bound p >= 2 and arrival, the
+    transformed window is contained in the original and arrival moves
+    strictly later (the property the feasibility proof needs)."""
+    from repro.reductions.arbitrary import _transformed_bound
+
+    b = _transformed_bound(p)
+    i = arrival // b
+    new_arrival = (i + 1) * b
+    new_deadline = new_arrival + b
+    assert new_arrival > arrival
+    assert new_deadline <= arrival + p
+    assert b >= 1 and (b & (b - 1)) == 0  # power of two

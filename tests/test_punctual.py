@@ -1,0 +1,113 @@
+"""Tests of the Section 5.2 punctualization (Lemmas 5.1-5.3)."""
+
+import pytest
+
+from repro.core.instance import make_instance
+from repro.core.job import Job, JobFactory
+from repro.core.validation import verify_schedule
+from repro.offline.heuristic import best_offline_heuristic
+from repro.offline.optimal import optimal_offline
+from repro.reductions.punctual import (
+    classify_execution,
+    punctualize_schedule,
+    split_by_timing,
+)
+from repro.reductions.varbatch import varbatch_instance
+from repro.workloads.random_batched import random_general
+
+
+class TestClassification:
+    def test_three_way_classification(self):
+        job = Job(5, 0, 8, 0)  # halfBlock(8, 1) = [4, 8)
+        assert classify_execution(job, 5) == "early"
+        assert classify_execution(job, 8) == "punctual"
+        assert classify_execution(job, 12) == "late"
+
+    def test_boundary_rounds(self):
+        job = Job(4, 0, 8, 0)  # arrival exactly at a half-block start
+        assert classify_execution(job, 7) == "early"
+        assert classify_execution(job, 8) == "punctual"
+        assert classify_execution(job, 11) == "punctual"
+
+    def test_unit_bound_is_punctual(self):
+        assert classify_execution(Job(3, 0, 1, 0), 3) == "punctual"
+
+    def test_outside_window_rejected(self):
+        with pytest.raises(ValueError):
+            classify_execution(Job(5, 0, 8, 0), 20)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_punctualize_optimal_schedules(seed):
+    """Lemma 5.3 end to end on exact optimal schedules."""
+    instance = random_general(3, 2, 20, seed=seed, rate=0.4, bound_choices=(2, 4))
+    m = 2
+    opt = optimal_offline(instance, m, max_states=700_000)
+    punctual = punctualize_schedule(opt.schedule, instance)
+    # (a) feasible for the original instance;
+    report = verify_schedule(instance, punctual)
+    assert report.ok, report.violations[:3]
+    # (b) executes exactly the jobs the input executed;
+    assert punctual.executed_jids == opt.schedule.executed_jids
+    # (c) every execution is punctual;
+    timings = split_by_timing(punctual, instance)
+    assert not timings["early"] and not timings["late"]
+    # (d) uses 7m resources with O(1)x reconfiguration cost.
+    assert punctual.num_resources == 7 * m
+    in_cost = opt.schedule.cost(instance.sequence.jobs, instance.cost_model)
+    out_cost = punctual.cost(instance.sequence.jobs, instance.cost_model)
+    assert out_cost.num_drops == in_cost.num_drops
+    assert out_cost.reconfig_cost <= 12 * max(
+        in_cost.reconfig_cost, instance.reconfig_cost
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_punctualize_heuristic_schedules(seed):
+    instance = random_general(
+        4, 2, 32, seed=seed + 50, rate=0.4, bound_choices=(2, 4, 8)
+    )
+    m = 2
+    heur = best_offline_heuristic(instance, m)
+    punctual = punctualize_schedule(heur.best.schedule, instance)
+    report = verify_schedule(instance, punctual)
+    assert report.ok, report.violations[:3]
+    assert punctual.executed_jids == heur.best.schedule.executed_jids
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_punctual_schedule_transfers_to_varbatch_instance(seed):
+    """The point of Lemma 5.3: a punctual schedule for σ is feasible for
+    the batched instance σ' that VarBatch builds (same jobs, shifted
+    windows) — closing the Theorem 3 loop."""
+    instance = random_general(3, 2, 20, seed=seed, rate=0.35, bound_choices=(2, 4))
+    opt = optimal_offline(instance, 2, max_states=700_000)
+    punctual = punctualize_schedule(opt.schedule, instance)
+    batched = varbatch_instance(instance)
+    report = verify_schedule(batched, punctual)
+    assert report.ok, report.violations[:3]
+
+
+def test_special_jobs_ride_a_dedicated_resource():
+    """A color configured across consecutive half-blocks shifts its early
+    executions wholesale (the Lemma 5.1 'special' path)."""
+    factory = JobFactory()
+    jobs = factory.batch(0, 0, 8, 4)  # arrival 0, window [0, 8)
+    instance = make_instance(jobs, {0: 8}, 2)
+    source = __build_early_schedule(instance, jobs)
+    punctual = punctualize_schedule(source, instance)
+    report = verify_schedule(instance, punctual)
+    assert report.ok, report.violations[:3]
+    timings = split_by_timing(punctual, instance)
+    assert not timings["early"]
+    assert punctual.executed_jids == source.executed_jids
+
+
+def __build_early_schedule(instance, jobs):
+    from repro.core.schedule import Schedule
+
+    schedule = Schedule(1)
+    schedule.reconfigure(0, 0, 0)
+    for round_index, job in enumerate(jobs):
+        schedule.execute(round_index, 0, job)  # rounds 0-3: all early
+    return schedule

@@ -1,0 +1,112 @@
+"""Unit tests for the replicated cache pool."""
+
+import pytest
+
+from repro.core.job import BLACK
+from repro.simulation.resources import CachePool
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CachePool(0)
+        with pytest.raises(ValueError):
+            CachePool(2, copies=0)
+
+    def test_num_resources(self):
+        assert CachePool(4, copies=2).num_resources == 8
+        assert CachePool(4, copies=1).num_resources == 4
+
+
+class TestInsertEvict:
+    def test_insert_returns_all_physical_resources(self):
+        pool = CachePool(2, copies=2)
+        slot, reconfigured, old = pool.insert(7)
+        assert len(reconfigured) == 2
+        assert old == BLACK
+        assert list(slot.resources()) == reconfigured
+        assert 7 in pool
+
+    def test_duplicate_insert_rejected(self):
+        pool = CachePool(2)
+        pool.insert(7)
+        with pytest.raises(ValueError, match="already cached"):
+            pool.insert(7)
+
+    def test_black_insert_rejected(self):
+        with pytest.raises(ValueError, match="BLACK"):
+            CachePool(2).insert(BLACK)
+
+    def test_full_pool_rejects_insert(self):
+        pool = CachePool(1)
+        pool.insert(1)
+        with pytest.raises(ValueError, match="full"):
+            pool.insert(2)
+
+    def test_evict_frees_slot_keeps_physical(self):
+        pool = CachePool(1, copies=2)
+        slot, _, _ = pool.insert(3)
+        pool.evict(3)
+        assert 3 not in pool
+        assert slot.free
+        assert slot.physical == 3
+
+    def test_evict_unknown_color_rejected(self):
+        with pytest.raises(KeyError):
+            CachePool(1).evict(9)
+
+
+class TestPhysicalReuse:
+    def test_reinsert_into_same_colored_slot_is_free(self):
+        pool = CachePool(2, copies=2)
+        pool.insert(3)
+        pool.evict(3)
+        _, reconfigured, old = pool.insert(3)
+        assert reconfigured == []  # slot still physically holds color 3
+        assert old == 3
+
+    def test_reuse_preferred_over_first_free(self):
+        pool = CachePool(3, copies=1)
+        pool.insert(1)
+        pool.insert(2)
+        pool.evict(1)
+        pool.evict(2)
+        # Slot 0 physically holds 1, slot 1 holds 2; inserting 2 should
+        # reuse slot 1, not overwrite slot 0.
+        slot, reconfigured, _ = pool.insert(2)
+        assert slot.index == 1
+        assert reconfigured == []
+
+    def test_logical_insertions_count_everything(self):
+        pool = CachePool(2)
+        pool.insert(1)
+        pool.evict(1)
+        pool.insert(1)
+        assert pool.logical_insertions == 2
+
+
+class TestQueries:
+    def test_occupancy_and_free_count(self):
+        pool = CachePool(3)
+        assert pool.free_slot_count() == 3
+        pool.insert(1)
+        pool.insert(2)
+        assert pool.occupancy() == 2
+        assert pool.free_slot_count() == 1
+        assert not pool.is_full()
+        pool.insert(3)
+        assert pool.is_full()
+
+    def test_cached_colors_and_occupied_slots(self):
+        pool = CachePool(3)
+        pool.insert(5)
+        pool.insert(9)
+        assert pool.cached_colors() == frozenset({5, 9})
+        assert [s.occupant for s in pool.occupied_slots()] == [5, 9]
+
+    def test_slot_of(self):
+        pool = CachePool(2)
+        slot, _, _ = pool.insert(4)
+        assert pool.slot_of(4) is slot
+        with pytest.raises(KeyError):
+            pool.slot_of(8)

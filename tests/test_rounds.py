@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.rounds (block/half-block arithmetic)."""
+
+import pytest
+
+from repro.core.rounds import (
+    Block,
+    block,
+    block_index,
+    block_of,
+    blocks_within,
+    half_block,
+    half_block_index,
+    is_multiple,
+    is_power_of_two,
+    next_multiple,
+    next_power_of_two,
+    prev_multiple,
+    prev_power_of_two,
+)
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("x", [1, 2, 4, 8, 1024])
+    def test_powers_recognized(self, x):
+        assert is_power_of_two(x)
+
+    @pytest.mark.parametrize("x", [0, -2, 3, 6, 12, 1000])
+    def test_non_powers_rejected(self, x):
+        assert not is_power_of_two(x)
+
+    @pytest.mark.parametrize("x,expected", [(1, 1), (2, 2), (3, 4), (9, 16)])
+    def test_next_power(self, x, expected):
+        assert next_power_of_two(x) == expected
+
+    @pytest.mark.parametrize("x,expected", [(1, 1), (2, 2), (3, 2), (9, 8)])
+    def test_prev_power(self, x, expected):
+        assert prev_power_of_two(x) == expected
+
+    def test_next_power_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestMultiples:
+    def test_is_multiple(self):
+        assert is_multiple(0, 4)
+        assert is_multiple(8, 4)
+        assert not is_multiple(9, 4)
+
+    def test_is_multiple_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            is_multiple(4, 0)
+
+    def test_prev_and_next_multiple(self):
+        assert prev_multiple(9, 4) == 8
+        assert prev_multiple(8, 4) == 8
+        assert next_multiple(8, 4) == 12
+        assert next_multiple(9, 4) == 12
+
+
+class TestBlocks:
+    def test_block_definition(self):
+        b = block(4, 3)
+        assert b.start == 12 and b.end == 16 and b.length == 4
+        assert 12 in b and 15 in b and 16 not in b
+
+    def test_block_index_and_of(self):
+        assert block_index(4, 15) == 3
+        assert block_of(4, 15) == block(4, 3)
+
+    def test_block_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            block(0, 0)
+        with pytest.raises(ValueError):
+            block(4, -1)
+        with pytest.raises(ValueError):
+            block_index(4, -1)
+
+    def test_enclosure_with_power_of_two_nesting(self):
+        # block(2, 5) = [10, 12) sits inside block(8, 1) = [8, 16).
+        assert block(8, 1).encloses(block(2, 5))
+        assert not block(8, 0).encloses(block(2, 5))
+
+    def test_overlap(self):
+        assert block(4, 0).overlaps(Block(2, 4))
+        assert not block(4, 0).overlaps(block(4, 1))
+
+    def test_blocks_within(self):
+        bs = blocks_within(4, 10)
+        assert [b.start for b in bs] == [0, 4, 8]
+
+
+class TestHalfBlocks:
+    def test_half_block_definition(self):
+        hb = half_block(8, 3)
+        assert hb.start == 12 and hb.length == 4
+
+    def test_half_block_index(self):
+        assert half_block_index(8, 11) == 2
+        assert half_block_index(8, 12) == 3
+
+    def test_half_block_rejects_odd_bound(self):
+        with pytest.raises(ValueError):
+            half_block(3, 0)
+        with pytest.raises(ValueError):
+            half_block_index(1, 0)
+
+    def test_consecutive_half_blocks_tile_blocks(self):
+        # halfBlock(p, 2i) ∪ halfBlock(p, 2i+1) == block(p, i).
+        p, i = 8, 5
+        first, second = half_block(p, 2 * i), half_block(p, 2 * i + 1)
+        whole = block(p, i)
+        assert first.start == whole.start
+        assert second.end == whole.end
+        assert first.end == second.start

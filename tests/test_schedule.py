@@ -1,0 +1,126 @@
+"""Unit tests for repro.core.schedule."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.job import BLACK, Job
+from repro.core.schedule import Execution, Reconfiguration, Schedule
+
+
+class TestEventValidation:
+    def test_reconfiguration_rejects_black(self):
+        with pytest.raises(ValueError, match="BLACK"):
+            Reconfiguration(0, 0, 0, BLACK)
+
+    def test_reconfiguration_rejects_bad_mini_round(self):
+        with pytest.raises(ValueError):
+            Reconfiguration(0, 2, 0, 1)
+
+    def test_execution_rejects_negative_round(self):
+        with pytest.raises(ValueError):
+            Execution(-1, 0, 0, 0, 0)
+
+
+class TestScheduleConstruction:
+    def test_resource_range_enforced(self):
+        sched = Schedule(2)
+        with pytest.raises(ValueError, match="out of range"):
+            sched.add_reconfiguration(Reconfiguration(0, 0, 2, 1))
+        with pytest.raises(ValueError, match="out of range"):
+            sched.add_execution(Execution(0, 0, 5, 0, 0))
+
+    def test_double_execution_of_job_rejected(self):
+        sched = Schedule(2)
+        sched.add_execution(Execution(0, 0, 0, 7, 1))
+        with pytest.raises(ValueError, match="twice"):
+            sched.add_execution(Execution(1, 0, 1, 7, 1))
+
+    def test_mini_round_requires_double_speed(self):
+        sched = Schedule(2, speed=1)
+        with pytest.raises(ValueError, match="speed"):
+            sched.add_execution(Execution(0, 1, 0, 0, 0))
+        double = Schedule(2, speed=2)
+        double.add_execution(Execution(0, 1, 0, 0, 0))
+
+    def test_events_kept_sorted(self):
+        sched = Schedule(2)
+        sched.reconfigure(5, 0, 1)
+        sched.reconfigure(1, 1, 2)
+        rounds = [r.round_index for r in sched.reconfigurations]
+        assert rounds == sorted(rounds)
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(2, speed=3)
+        with pytest.raises(ValueError):
+            Schedule(0)
+
+
+class TestColorTimeline:
+    def test_color_at_follows_reconfigurations(self):
+        sched = Schedule(1)
+        sched.reconfigure(2, 0, 5)
+        sched.reconfigure(6, 0, 9)
+        assert sched.color_at(0, 0) == BLACK
+        assert sched.color_at(0, 2) == 5
+        assert sched.color_at(0, 5) == 5
+        assert sched.color_at(0, 6) == 9
+
+    def test_reconfiguration_effective_same_mini_round(self):
+        sched = Schedule(1, speed=2)
+        sched.reconfigure(3, 0, 4, mini_round=1)
+        assert sched.color_at(0, 3, mini_round=0) == BLACK
+        assert sched.color_at(0, 3, mini_round=1) == 4
+
+
+class TestScheduleCost:
+    def test_cost_counts_drops_for_unexecuted_jobs(self):
+        jobs = [Job(0, 0, 4, 0), Job(0, 0, 4, 1), Job(0, 1, 4, 2)]
+        sched = Schedule(1)
+        sched.reconfigure(0, 0, 0)
+        sched.execute(0, 0, jobs[0])
+        breakdown = sched.cost(jobs, CostModel(3))
+        assert breakdown.num_reconfigs == 1
+        assert breakdown.num_drops == 2
+        assert breakdown.total == 3 + 2
+        assert breakdown.drops_by_color == {0: 1, 1: 1}
+
+    def test_grouping_views(self):
+        sched = Schedule(2)
+        sched.reconfigure(0, 0, 1)
+        sched.reconfigure(0, 1, 2)
+        sched.execute(0, 0, Job(0, 1, 2, 0))
+        assert set(sched.reconfigurations_by_round()) == {0}
+        assert len(sched.reconfigurations_by_round()[0]) == 2
+        assert len(sched.executions_by_round()[0]) == 1
+        assert sched.executed_jids == frozenset({0})
+
+
+class TestSameRoundReconfigurations:
+    def test_insertion_order_wins_on_ties(self):
+        """A resource recolored twice in one phase: the later event must
+        be the effective color (regression: sorting by color used to
+        reorder the timeline)."""
+        sched = Schedule(1)
+        sched.reconfigure(0, 0, 5)
+        sched.reconfigure(0, 0, 2)  # same round, same resource
+        assert sched.color_at(0, 0) == 2
+        sched2 = Schedule(1)
+        sched2.reconfigure(0, 0, 2)
+        sched2.reconfigure(0, 0, 5)
+        assert sched2.color_at(0, 0) == 5
+
+    def test_validator_accepts_double_reconfig_execution(self):
+        from repro.core.instance import make_instance
+        from repro.core.job import JobFactory
+        from repro.core.validation import verify_schedule
+
+        factory = JobFactory()
+        jobs = factory.batch(0, 0, 4, 1)
+        inst = make_instance(jobs, {0: 4, 1: 4}, 2)
+        sched = Schedule(1)
+        sched.reconfigure(0, 0, 1)
+        sched.reconfigure(0, 0, 0)  # flip again before executing
+        sched.execute(0, 0, jobs[0])
+        report = verify_schedule(inst, sched)
+        assert report.ok, report.violations

@@ -1,0 +1,91 @@
+"""Tests of the Section 3.4 credit assignment against real OFF schedules.
+
+These are the deepest proof artifacts in the paper: Lemma 3.13 (every
+*i*-active color is cached throughout its super-epoch or credited 6Δ),
+Lemma 3.12 (total credit is O(Cost_OFF)), and Lemma 3.17 (credit covers
+Δ per nonspecial epoch).  We replay the credit rules against the *exact*
+offline optimum's schedule on small instances.
+"""
+
+import pytest
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.analysis.credits import audit_super_epoch_credits
+from repro.offline.optimal import optimal_offline
+from repro.simulation.engine import simulate
+from repro.workloads.bursty import bursty_rate_limited
+from repro.workloads.random_batched import random_rate_limited
+
+
+def make_audit(instance, n=16, m=2):
+    result = simulate(instance, DeltaLRUEDF(), n)
+    opt = optimal_offline(instance, m, max_states=800_000)
+    return result, audit_super_epoch_credits(result, opt.schedule, m)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_lemma_3_13_every_active_color_covered(seed):
+    instance = random_rate_limited(
+        4, 2, 24, seed=seed, load=0.8, bound_choices=(2, 4)
+    )
+    _, audit = make_audit(instance)
+    assert audit.lemma_3_13_holds, audit.uncovered
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_lemma_3_12_credit_bounded_by_off_cost(seed):
+    instance = random_rate_limited(
+        4, 2, 24, seed=seed, load=0.8, bound_choices=(2, 4)
+    )
+    _, audit = make_audit(instance)
+    # Each OFF reconfiguration sources at most 3 * 6Δ of credit (rules
+    # 1+2) and each OFF drop at most 6, so 20x is a safe constant.
+    assert audit.lemma_3_12_bound(constant=20.0)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_lemma_3_17_credit_covers_nonspecial_epochs(seed):
+    instance = random_rate_limited(
+        4, 2, 24, seed=seed, load=0.8, bound_choices=(2, 4)
+    )
+    result, audit = make_audit(instance)
+    assert audit.lemma_3_17_holds(result.instance.reconfig_cost)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_bursty_workloads_also_covered(seed):
+    instance = bursty_rate_limited(
+        4, 2, 24, seed=seed, bound_choices=(2, 4)
+    )
+    _, audit = make_audit(instance)
+    assert audit.lemma_3_13_holds, audit.uncovered
+
+
+def test_credit_events_nonnegative_and_located():
+    instance = random_rate_limited(
+        4, 2, 24, seed=9, load=0.8, bound_choices=(2, 4)
+    )
+    result, audit = make_audit(instance)
+    horizon = instance.horizon
+    for (round_index, color), amount in audit.credit_by_event.items():
+        assert amount > 0
+        assert 0 <= round_index <= horizon
+        assert color in instance.spec.delay_bounds
+
+
+def test_empty_off_schedule_gives_drop_credit_only():
+    """With an OFF that drops everything, only rule 3 fires."""
+    from repro.core.schedule import Schedule
+
+    instance = random_rate_limited(
+        3, 2, 16, seed=0, load=0.8, bound_choices=(2, 4)
+    )
+    result = simulate(instance, DeltaLRUEDF(), 16)
+    empty_off = Schedule(2)
+    audit = audit_super_epoch_credits(result, empty_off, 2)
+    delta = instance.reconfig_cost
+    # No reconfigurations -> no 6Δ credits from rules 1-2; all credit is
+    # in multiples of 6 (rule 3).
+    assert all(
+        amount % 6.0 == 0.0 for amount in audit.credit_by_event.values()
+    )

@@ -1,0 +1,70 @@
+"""Tests of the sweep/matrix runner."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dlru import DeltaLRU
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.algorithms.edf import EDF
+from repro.experiments.sweeps import run_matrix
+from repro.workloads.adversarial import appendix_a_instance
+from repro.workloads.random_batched import random_rate_limited
+
+
+@pytest.fixture
+def instances():
+    out = [
+        random_rate_limited(4, 2, 32, seed=s, bound_choices=(2, 4))
+        for s in range(3)
+    ]
+    out.append(appendix_a_instance(8, 2)[1])
+    return out
+
+
+def test_matrix_shapes(instances):
+    sweep = run_matrix(instances, [DeltaLRUEDF, DeltaLRU, EDF], 8)
+    assert sweep.total_costs.shape == (3, 4)
+    assert sweep.scheme_names == ("dLRU-EDF", "dLRU", "EDF")
+    assert len(sweep.instance_names) == 4
+
+
+def test_cost_decomposition_identity(instances):
+    sweep = run_matrix(instances, [DeltaLRUEDF], 8)
+    assert np.array_equal(
+        sweep.total_costs, sweep.reconfig_costs + sweep.drop_costs
+    )
+
+
+def test_best_scheme_on_adversary(instances):
+    sweep = run_matrix(instances, [DeltaLRUEDF, DeltaLRU], 8)
+    winners = sweep.best_scheme_per_instance()
+    assert winners[-1] == "dLRU-EDF"  # the appendix-a column
+
+
+def test_relative_to_baseline(instances):
+    sweep = run_matrix(instances, [DeltaLRUEDF, DeltaLRU], 8)
+    relative = sweep.relative_to("dLRU-EDF")
+    assert np.allclose(relative[0], 1.0)
+    assert relative[1, -1] > 1.0  # ΔLRU loses on the adversary
+
+
+def test_mean_cost_per_scheme(instances):
+    sweep = run_matrix(instances, [DeltaLRUEDF, DeltaLRU], 8)
+    means = sweep.mean_cost_per_scheme()
+    assert set(means) == {"dLRU-EDF", "dLRU"}
+    assert all(v > 0 for v in means.values())
+
+
+def test_empty_inputs_rejected(instances):
+    with pytest.raises(ValueError):
+        run_matrix([], [DeltaLRUEDF], 8)
+    with pytest.raises(ValueError):
+        run_matrix(instances, [], 8)
+
+
+def test_fresh_scheme_per_cell(instances):
+    """Stateful schemes must not leak across cells: running the matrix
+    twice gives identical results."""
+    a = run_matrix(instances, [DeltaLRUEDF], 8)
+    b = run_matrix(instances, [DeltaLRUEDF], 8)
+    assert np.array_equal(a.total_costs, b.total_costs)

@@ -1,0 +1,82 @@
+"""Tests of the explicit constant accounting (Theorem 1 budget)."""
+
+import pytest
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.analysis.theory import (
+    AUGMENTATION_CHAIN,
+    overall_augmentation,
+    theorem1_decomposition,
+)
+from repro.simulation.engine import simulate
+from repro.workloads.adversarial import appendix_a_instance, appendix_b_instance
+from repro.workloads.bursty import bursty_rate_limited
+from repro.workloads.random_batched import random_rate_limited
+
+
+class TestAugmentationChain:
+    def test_layers_documented(self):
+        layers = [name for name, _, _ in AUGMENTATION_CHAIN]
+        assert layers == ["ΔLRU-EDF core", "Distribute / Aggregate", "VarBatch"]
+
+    def test_overall_factor_multiplies(self):
+        assert overall_augmentation() == 8 * 3 * 7
+
+
+class TestTheorem1Budget:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_budget_holds_on_random_runs(self, seed):
+        instance = random_rate_limited(
+            6, 3, 64, seed=seed, load=0.7, bound_choices=(2, 4, 8)
+        )
+        result = simulate(instance, DeltaLRUEDF(), 16)
+        budget = theorem1_decomposition(result)
+        assert budget.per_term_within, budget
+        assert budget.within_budget
+        assert 0.0 <= budget.utilization <= 1.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_budget_holds_on_bursty_runs(self, seed):
+        instance = bursty_rate_limited(
+            6, 3, 64, seed=seed, bound_choices=(2, 4, 8)
+        )
+        result = simulate(instance, DeltaLRUEDF(), 16)
+        assert theorem1_decomposition(result).per_term_within
+
+    def test_budget_holds_on_adversaries(self):
+        for _, instance in (
+            appendix_a_instance(16, 2),
+            appendix_b_instance(4),
+        ):
+            result = simulate(instance, DeltaLRUEDF(), 16)
+            budget = theorem1_decomposition(result)
+            assert budget.within_budget, budget
+
+    def test_requires_divisible_resources(self):
+        instance = random_rate_limited(3, 2, 16, seed=0)
+        result = simulate(instance, DeltaLRUEDF(), 4)
+        with pytest.raises(ValueError, match="divisible"):
+            theorem1_decomposition(result)
+
+    def test_budget_fields_consistent(self):
+        instance = random_rate_limited(
+            4, 2, 32, seed=1, load=0.6, bound_choices=(2, 4)
+        )
+        result = simulate(instance, DeltaLRUEDF(), 16)
+        budget = theorem1_decomposition(result)
+        assert budget.total_cost == (
+            budget.reconfig_cost
+            + budget.eligible_drop_cost
+            + budget.ineligible_drop_cost
+        )
+        assert budget.budget == (
+            budget.reconfig_budget
+            + budget.eligible_budget
+            + budget.ineligible_budget
+        )
+        # The budget is 5 * numEpochs * Δ plus the drop term.
+        delta = instance.reconfig_cost
+        assert (
+            budget.reconfig_budget + budget.ineligible_budget
+            == 5 * budget.num_epochs * delta
+        )

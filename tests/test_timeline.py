@@ -1,0 +1,85 @@
+"""Tests of the ASCII timeline renderer and signature profiles."""
+
+import pytest
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.analysis.timeline import (
+    idle_profile,
+    reconfiguration_profile,
+    render_timeline,
+)
+from repro.core.job import Job
+from repro.core.schedule import Schedule
+from repro.simulation.engine import simulate
+from repro.workloads.random_batched import random_rate_limited
+
+
+@pytest.fixture
+def small_schedule():
+    sched = Schedule(2)
+    sched.reconfigure(0, 0, 5)
+    sched.execute(0, 0, Job(0, 5, 4, 0))
+    sched.reconfigure(2, 1, 7)
+    sched.execute(3, 1, Job(0, 7, 4, 1))
+    return sched
+
+
+def test_render_marks_execution_case(small_schedule):
+    view = render_timeline(small_schedule, horizon=4)
+    lines = view.text.splitlines()
+    row0 = lines[1].split("| ")[1]
+    # Round 0 executed (uppercase), rounds 1-3 idle (lowercase).
+    assert row0 == "Aaaa"
+    row1 = lines[2].split("| ")[1]
+    assert row1 == "..bB"
+
+
+def test_legend_maps_colors(small_schedule):
+    view = render_timeline(small_schedule, horizon=4)
+    assert view.legend == {5: "A", 7: "B"}
+    assert "A=color 5" in view.text
+
+
+def test_black_rendered_as_dots():
+    sched = Schedule(1)
+    view = render_timeline(sched, horizon=3)
+    assert "..." in view.text
+    assert view.legend == {}
+
+
+def test_window_validation(small_schedule):
+    with pytest.raises(ValueError):
+        render_timeline(small_schedule, horizon=4, start=3, end=2)
+
+
+def test_downsampling_wide_windows():
+    inst = random_rate_limited(4, 2, 256, seed=0, bound_choices=(2, 4))
+    result = simulate(inst, DeltaLRUEDF(), 8)
+    view = render_timeline(result.schedule, inst.horizon, max_width=50)
+    lines = view.text.splitlines()
+    assert all(len(line) <= 70 for line in lines[1:-1])
+    assert "1 column" in lines[0]
+
+
+def test_reconfiguration_profile_counts():
+    sched = Schedule(2)
+    sched.reconfigure(0, 0, 1)
+    sched.reconfigure(0, 1, 2)
+    sched.reconfigure(3, 0, 2)
+    profile = reconfiguration_profile(sched, horizon=5)
+    assert profile == [2, 0, 0, 1, 0]
+
+
+def test_idle_profile_counts_configured_minus_executed(small_schedule):
+    profile = idle_profile(small_schedule, horizon=4)
+    # r0 configured from 0 (executes at 0), r1 from 2 (executes at 3).
+    assert profile == [0, 1, 2, 1]
+
+
+def test_real_run_round_trip():
+    inst = random_rate_limited(4, 2, 32, seed=1, bound_choices=(2, 4))
+    result = simulate(inst, DeltaLRUEDF(), 8)
+    view = render_timeline(result.schedule, inst.horizon)
+    assert len(view.text.splitlines()) == 8 + 2  # rows + header + legend
+    recon = reconfiguration_profile(result.schedule, inst.horizon)
+    assert sum(recon) == result.cost.num_reconfigs

@@ -1,0 +1,109 @@
+"""Event-trace JSONL round-trip tests."""
+
+import pytest
+
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.analysis.epochs import analyze_epochs
+from repro.simulation.engine import simulate
+from repro.simulation.trace_io import (
+    load_trace,
+    save_trace,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+from repro.workloads.random_batched import random_rate_limited
+
+
+@pytest.fixture
+def run():
+    inst = random_rate_limited(4, 2, 32, seed=6, bound_choices=(2, 4))
+    return simulate(inst, DeltaLRUEDF(), 8)
+
+
+def test_round_trip_preserves_every_event(run):
+    text = trace_to_jsonl(run.trace)
+    back = trace_from_jsonl(text)
+    assert len(back) == len(run.trace)
+    assert list(back) == list(run.trace)  # events are frozen dataclasses
+
+
+def test_analysis_identical_on_reloaded_trace(run):
+    back = trace_from_jsonl(trace_to_jsonl(run.trace))
+    original = analyze_epochs(run.trace, threshold=2)
+    reloaded = analyze_epochs(back, threshold=2)
+    assert original.num_epochs == reloaded.num_epochs
+    assert len(original.super_epochs) == len(reloaded.super_epochs)
+
+
+def test_file_round_trip(tmp_path, run):
+    path = tmp_path / "trace.jsonl"
+    save_trace(run.trace, path)
+    back = load_trace(path)
+    assert list(back) == list(run.trace)
+
+
+def test_empty_trace():
+    from repro.core.events import Trace
+
+    assert trace_to_jsonl(Trace()) == ""
+    assert len(trace_from_jsonl("")) == 0
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ValueError, match="unknown event type"):
+        trace_from_jsonl('{"type":"MysteryEvent","round_index":0}')
+
+
+def test_unexpected_field_rejected():
+    with pytest.raises(ValueError, match="unexpected fields"):
+        trace_from_jsonl('{"type":"WrapEvent","round_index":0,"color":1,"bogus":2}')
+
+
+def test_lines_are_greppable(run):
+    text = trace_to_jsonl(run.trace)
+    assert all(line.startswith('{"type":"') for line in text.splitlines())
+
+
+class TestScheduleSerialization:
+    def test_round_trip(self, run):
+        from repro.simulation.trace_io import (
+            schedule_from_jsonl,
+            schedule_to_jsonl,
+        )
+
+        back = schedule_from_jsonl(schedule_to_jsonl(run.schedule))
+        assert back.num_resources == run.schedule.num_resources
+        assert back.reconfigurations == run.schedule.reconfigurations
+        assert back.executions == run.schedule.executions
+
+    def test_reloaded_schedule_verifies(self, run):
+        from repro.core.validation import verify_schedule
+        from repro.simulation.trace_io import (
+            schedule_from_jsonl,
+            schedule_to_jsonl,
+        )
+
+        back = schedule_from_jsonl(schedule_to_jsonl(run.schedule))
+        assert verify_schedule(run.instance, back).ok
+
+    def test_bad_header_rejected(self):
+        from repro.simulation.trace_io import schedule_from_jsonl
+
+        with pytest.raises(ValueError, match="ScheduleHeader"):
+            schedule_from_jsonl('{"type":"Execution"}')
+        with pytest.raises(ValueError, match="empty"):
+            schedule_from_jsonl("")
+
+
+class TestSaveRun:
+    def test_full_run_round_trip(self, tmp_path, run):
+        from repro.core.validation import verify_schedule
+        from repro.simulation.trace_io import load_run_schedule, save_run
+
+        paths = save_run(run, tmp_path / "run1")
+        assert all(p.exists() for p in paths.values())
+        instance, schedule = load_run_schedule(tmp_path / "run1")
+        report = verify_schedule(instance, schedule)
+        assert report.ok
+        derived = schedule.cost(instance.sequence.jobs, instance.cost_model)
+        assert derived.total == run.total_cost

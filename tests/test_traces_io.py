@@ -1,0 +1,97 @@
+"""Instance JSON round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.workloads.random_batched import random_general, random_rate_limited
+from repro.workloads.traces import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    save_instance,
+)
+
+
+def assert_same_instance(a, b):
+    assert a.spec.delay_bounds == b.spec.delay_bounds
+    assert a.spec.batch_mode == b.spec.batch_mode
+    assert a.spec.reconfig_cost == b.spec.reconfig_cost
+    assert a.horizon == b.horizon
+    assert [(j.jid, j.arrival, j.color, j.delay_bound) for j in a.sequence] == [
+        (j.jid, j.arrival, j.color, j.delay_bound) for j in b.sequence
+    ]
+
+
+def test_round_trip_rate_limited():
+    inst = random_rate_limited(4, 3, 32, seed=0)
+    assert_same_instance(inst, instance_from_json(instance_to_json(inst)))
+
+
+def test_round_trip_general():
+    inst = random_general(4, 3, 32, seed=1)
+    assert_same_instance(inst, instance_from_json(instance_to_json(inst)))
+
+
+def test_round_trip_preserves_name():
+    inst = random_rate_limited(2, 2, 16, seed=0, name="my-trace")
+    assert instance_from_json(instance_to_json(inst)).name == "my-trace"
+
+
+def test_file_round_trip(tmp_path):
+    inst = random_rate_limited(3, 2, 16, seed=2)
+    path = tmp_path / "trace.json"
+    save_instance(inst, path)
+    assert_same_instance(inst, load_instance(path))
+
+
+def test_unknown_version_rejected():
+    inst = random_rate_limited(2, 2, 16, seed=0)
+    payload = json.loads(instance_to_json(inst))
+    payload["format_version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        instance_from_json(json.dumps(payload))
+
+
+def test_serialized_form_is_compact_batches():
+    inst = random_rate_limited(2, 2, 16, seed=0)
+    payload = json.loads(instance_to_json(inst))
+    assert "batches" in payload
+    for batch in payload["batches"]:
+        assert set(batch) == {"round", "color", "jids"}
+
+
+class TestCsvFormat:
+    def test_csv_round_trip_counts(self):
+        from repro.workloads.traces import instance_from_csv, instance_to_csv
+
+        inst = random_rate_limited(3, 2, 32, seed=4)
+        back = instance_from_csv(instance_to_csv(inst))
+        assert back.spec.delay_bounds == inst.spec.delay_bounds
+        assert back.spec.batch_mode == inst.spec.batch_mode
+        assert back.horizon == inst.horizon
+        assert len(back.sequence) == len(inst.sequence)
+        # Per-(round, color) counts survive; ids are regenerated.
+        def counts(instance):
+            out = {}
+            for job in instance.sequence:
+                out[(job.arrival, job.color)] = (
+                    out.get((job.arrival, job.color), 0) + 1
+                )
+            return out
+
+        assert counts(back) == counts(inst)
+
+    def test_csv_missing_metadata_rejected(self):
+        from repro.workloads.traces import instance_from_csv
+
+        with pytest.raises(ValueError, match="metadata"):
+            instance_from_csv("round,color,count\n0,0,1\n")
+
+    def test_csv_is_human_shaped(self):
+        from repro.workloads.traces import instance_to_csv
+
+        inst = random_rate_limited(2, 2, 16, seed=0)
+        text = instance_to_csv(inst)
+        assert text.splitlines()[5] == "round,color,count"
+        assert text.startswith("# reconfig_cost=2")

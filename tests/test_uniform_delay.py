@@ -1,0 +1,236 @@
+"""Tests of the [Δ | c_ℓ | D | 1] extension (uniform delay, weighted drops)."""
+
+import pytest
+
+from repro.extensions.uniform_delay import (
+    LandlordScheduler,
+    UniformDelayEngine,
+    UnweightedGreedyPolicy,
+    WeightedCostModel,
+    WeightedGreedyPolicy,
+    WeightedInstance,
+    WeightedJob,
+    WeightedStaticPolicy,
+    decoy_flood_instance,
+    random_weighted_instance,
+    shifting_weighted_instance,
+    simulate_weighted,
+    weighted_per_color_lower_bound,
+)
+
+
+class TestWeightedModel:
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            WeightedJob(-1, 0, 0)
+
+    def test_cost_model_validation(self):
+        with pytest.raises(ValueError):
+            WeightedCostModel(0, {0: 1.0})
+        with pytest.raises(ValueError):
+            WeightedCostModel(2, {0: -1.0})
+
+    def test_instance_validation(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            WeightedInstance(
+                (WeightedJob(0, 5, 0),), 4, WeightedCostModel(2, {0: 1.0})
+            )
+        with pytest.raises(ValueError, match="unique"):
+            WeightedInstance(
+                (WeightedJob(0, 0, 0), WeightedJob(1, 0, 0)),
+                4,
+                WeightedCostModel(2, {0: 1.0}),
+            )
+
+    def test_horizon_and_totals(self):
+        inst = WeightedInstance(
+            (WeightedJob(3, 0, 0), WeightedJob(5, 1, 1)),
+            4,
+            WeightedCostModel(2, {0: 1.0, 1: 2.5}),
+        )
+        assert inst.horizon == 10
+        assert inst.total_drop_value() == 3.5
+
+
+class TestEngineSemantics:
+    def make(self, jobs, costs, delay=4, delta=2):
+        return WeightedInstance(tuple(jobs), delay, WeightedCostModel(delta, costs))
+
+    def test_drops_at_uniform_deadline(self):
+        class Never(WeightedStaticPolicy):
+            def reconfigure(self, engine):
+                return None
+
+        inst = self.make([WeightedJob(0, 0, 0)], {0: 2.0}, delay=3)
+        result = simulate_weighted(inst, Never(), 1)
+        assert result.dropped == 1
+        assert result.drop_cost == 2.0
+
+    def test_cached_color_executes_one_per_round(self):
+        jobs = [WeightedJob(0, 0, i) for i in range(3)]
+        inst = self.make(jobs, {0: 1.0}, delay=4)
+        result = simulate_weighted(inst, WeightedStaticPolicy(), 1)
+        assert result.executed == 3
+        assert result.dropped == 0
+
+    def test_capacity_binds(self):
+        jobs = [WeightedJob(0, 0, i) for i in range(6)]
+        inst = self.make(jobs, {0: 1.0}, delay=3)
+        result = simulate_weighted(inst, WeightedStaticPolicy(), 1)
+        assert result.executed == 3
+        assert result.dropped == 3
+
+    def test_total_cost_identity(self):
+        inst = random_weighted_instance(4, 3, 6, 64, seed=0)
+        result = simulate_weighted(inst, WeightedGreedyPolicy(), 2)
+        assert result.total_cost == pytest.approx(
+            result.reconfig_cost + result.drop_cost
+        )
+        assert result.executed + result.dropped == len(inst.jobs)
+
+    def test_engine_validation(self):
+        inst = random_weighted_instance(2, 2, 4, 16, seed=0)
+        with pytest.raises(ValueError):
+            UniformDelayEngine(inst, WeightedGreedyPolicy(), 0)
+
+
+class TestPolicies:
+    def test_landlord_admits_after_credit_fills(self):
+        # Δ = 4, c = 1: the color needs 4 arrivals before admission.
+        jobs = [WeightedJob(k, 0, k) for k in range(8)]
+        inst = WeightedInstance(
+            tuple(jobs), 8, WeightedCostModel(4, {0: 1.0})
+        )
+        result = simulate_weighted(inst, LandlordScheduler(), 1)
+        assert result.reconfigs == 1
+        # Admission happens once credit reaches Δ (at the 4th arrival).
+        assert result.executed >= 4
+
+    def test_landlord_admits_expensive_color_fast(self):
+        # c = Δ: a single arrival fills the credit.
+        jobs = [WeightedJob(0, 0, 0)]
+        inst = WeightedInstance(
+            tuple(jobs), 4, WeightedCostModel(3, {0: 3.0})
+        )
+        result = simulate_weighted(inst, LandlordScheduler(), 1)
+        assert result.reconfigs == 1
+        assert result.executed == 1
+
+    def test_static_configures_once(self):
+        inst = random_weighted_instance(4, 2, 6, 64, seed=1)
+        result = simulate_weighted(inst, WeightedStaticPolicy(), 2)
+        assert result.reconfigs <= 2
+
+    def test_weighted_beats_unweighted_on_decoy(self):
+        inst = decoy_flood_instance(seed=0, horizon=256)
+        weighted = simulate_weighted(inst, WeightedGreedyPolicy(), 2)
+        unweighted = simulate_weighted(inst, UnweightedGreedyPolicy(), 2)
+        assert weighted.total_cost < unweighted.total_cost
+
+    def test_adaptive_beats_static_on_rotation(self):
+        inst = shifting_weighted_instance(6, 4, 8, 256, seed=0, phase_length=64)
+        static = simulate_weighted(inst, WeightedStaticPolicy(), 3)
+        greedy = simulate_weighted(inst, WeightedGreedyPolicy(), 3)
+        assert greedy.total_cost < static.total_cost
+
+
+class TestWeightedBounds:
+    def test_per_color_bound_formula(self):
+        jobs = [WeightedJob(0, 0, 0), WeightedJob(0, 1, 1), WeightedJob(1, 1, 2)]
+        inst = WeightedInstance(
+            tuple(jobs), 4, WeightedCostModel(3, {0: 10.0, 1: 1.0})
+        )
+        # min(3, 10) + min(3, 2) = 5.
+        assert weighted_per_color_lower_bound(inst) == 5.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bound_below_every_policy(self, seed):
+        inst = random_weighted_instance(4, 3, 6, 64, seed=seed)
+        bound = weighted_per_color_lower_bound(inst)
+        for policy in (
+            LandlordScheduler(),
+            WeightedGreedyPolicy(),
+            WeightedStaticPolicy(),
+        ):
+            result = simulate_weighted(inst, policy, 2)
+            assert bound <= result.total_cost + 1e-9
+
+
+class TestGenerators:
+    def test_determinism(self):
+        a = random_weighted_instance(4, 2, 6, 32, seed=5)
+        b = random_weighted_instance(4, 2, 6, 32, seed=5)
+        assert a.jobs == b.jobs
+
+    def test_decoy_shape(self):
+        inst = decoy_flood_instance(seed=0, horizon=64, num_flood_colors=3)
+        costs = inst.cost.drop_costs
+        assert costs[3] > 10 * costs[0]
+        counts = {}
+        for job in inst.jobs:
+            counts[job.color] = counts.get(job.color, 0) + 1
+        assert counts[0] > counts[3]
+
+    def test_shifting_has_rotation(self):
+        inst = shifting_weighted_instance(3, 2, 4, 96, seed=0, phase_length=32)
+        phase_hot = []
+        for phase in range(3):
+            counts = {}
+            for job in inst.jobs:
+                if phase * 32 <= job.arrival < (phase + 1) * 32:
+                    counts[job.color] = counts.get(job.color, 0) + 1
+            phase_hot.append(max(counts, key=counts.get))
+        assert len(set(phase_hot)) == 3
+
+
+class TestWeightedOptimal:
+    def make(self, jobs, costs, delay=4, delta=2):
+        return WeightedInstance(tuple(jobs), delay, WeightedCostModel(delta, costs))
+
+    def test_known_value_serve_expensive_drop_cheap(self):
+        from repro.extensions.weighted_optimal import weighted_bruteforce_optimal
+
+        jobs = [WeightedJob(0, 0, 0), WeightedJob(0, 1, 1)]
+        inst = self.make(jobs, {0: 10.0, 1: 0.5}, delay=2, delta=2)
+        # One slot: serve color 0 (Δ=2), drop color 1 (0.5) -> 2.5.
+        assert weighted_bruteforce_optimal(inst, 1) == pytest.approx(2.5)
+
+    def test_known_value_drop_everything(self):
+        from repro.extensions.weighted_optimal import weighted_bruteforce_optimal
+
+        jobs = [WeightedJob(0, 0, 0)]
+        inst = self.make(jobs, {0: 0.5}, delay=2, delta=5)
+        assert weighted_bruteforce_optimal(inst, 1) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimal_lower_bounds_every_policy(self, seed):
+        from repro.extensions.weighted_optimal import weighted_bruteforce_optimal
+
+        inst = random_weighted_instance(3, 2, 3, 10, seed=seed, rate=0.3)
+        if len(inst.jobs) == 0 or len(inst.jobs) > 14:
+            pytest.skip("draw outside micro range")
+        opt = weighted_bruteforce_optimal(inst, 2)
+        for policy in (
+            LandlordScheduler(),
+            WeightedGreedyPolicy(),
+            UnweightedGreedyPolicy(),
+            WeightedStaticPolicy(),
+        ):
+            result = simulate_weighted(inst, policy, 2)
+            assert opt <= result.total_cost + 1e-9, policy.name
+
+    def test_per_color_bound_below_optimal(self):
+        from repro.extensions.weighted_optimal import weighted_bruteforce_optimal
+
+        inst = random_weighted_instance(2, 2, 3, 10, seed=7, rate=0.3)
+        if len(inst.jobs) == 0:
+            pytest.skip("empty draw")
+        opt = weighted_bruteforce_optimal(inst, 1)
+        assert weighted_per_color_lower_bound(inst) <= opt + 1e-9
+
+    def test_size_guards(self):
+        from repro.extensions.weighted_optimal import weighted_bruteforce_optimal
+
+        big = random_weighted_instance(3, 2, 4, 64, seed=0, rate=1.0)
+        with pytest.raises(ValueError):
+            weighted_bruteforce_optimal(big, 2)

@@ -1,0 +1,99 @@
+"""Unit tests for the schedule feasibility verifier."""
+
+import pytest
+
+from repro.core.instance import make_instance
+from repro.core.job import Job, JobFactory
+from repro.core.schedule import Schedule
+from repro.core.validation import ScheduleError, verify_schedule
+
+
+@pytest.fixture
+def instance():
+    factory = JobFactory()
+    jobs = factory.batch(0, 0, 4, 2) + factory.batch(4, 1, 4, 1)
+    return make_instance(jobs, {0: 4, 1: 4}, 2)
+
+
+def test_valid_schedule_passes(instance):
+    sched = Schedule(1)
+    sched.reconfigure(0, 0, 0)
+    jobs = list(instance.sequence)
+    sched.execute(0, 0, jobs[0])
+    sched.execute(1, 0, jobs[1])
+    sched.reconfigure(4, 0, 1)
+    sched.execute(4, 0, jobs[2])
+    report = verify_schedule(instance, sched)
+    assert report.ok
+    assert report.executed == 3
+    assert report.dropped == 0
+
+
+def test_wrong_resource_color_flagged(instance):
+    sched = Schedule(1)
+    sched.reconfigure(0, 0, 1)  # resource colored 1
+    sched.execute(0, 0, list(instance.sequence)[0])  # job color 0
+    report = verify_schedule(instance, sched)
+    assert not report.ok
+    assert any("configured to" in v for v in report.violations)
+
+
+def test_black_resource_execution_flagged(instance):
+    sched = Schedule(1)
+    sched.execute(0, 0, list(instance.sequence)[0])
+    assert not verify_schedule(instance, sched).ok
+
+
+def test_execution_outside_window_flagged(instance):
+    sched = Schedule(1)
+    sched.reconfigure(0, 0, 0)
+    job = list(instance.sequence)[0]  # window [0, 4)
+    sched.execute(5, 0, job)
+    report = verify_schedule(instance, sched)
+    assert any("outside its window" in v for v in report.violations)
+
+
+def test_double_booking_resource_flagged(instance):
+    jobs = list(instance.sequence)
+    sched = Schedule(1)
+    sched.reconfigure(0, 0, 0)
+    sched.execute(0, 0, jobs[0])
+    sched.execute(0, 0, jobs[1])
+    report = verify_schedule(instance, sched)
+    assert any("two jobs" in v for v in report.violations)
+
+
+def test_unknown_job_flagged(instance):
+    sched = Schedule(1)
+    sched.reconfigure(0, 0, 0)
+    sched.execute(0, 0, Job(0, 0, 4, 999))
+    report = verify_schedule(instance, sched)
+    assert any("unknown job" in v for v in report.violations)
+
+
+def test_same_color_reconfiguration_flagged(instance):
+    sched = Schedule(1)
+    sched.reconfigure(0, 0, 0)
+    sched.reconfigure(2, 0, 0)
+    report = verify_schedule(instance, sched)
+    assert any("current color" in v for v in report.violations)
+
+
+def test_beyond_horizon_reconfiguration_flagged(instance):
+    sched = Schedule(1)
+    sched.reconfigure(instance.horizon + 5, 0, 0)
+    report = verify_schedule(instance, sched)
+    assert any("beyond the horizon" in v for v in report.violations)
+
+
+def test_strict_mode_raises(instance):
+    sched = Schedule(1)
+    sched.execute(0, 0, list(instance.sequence)[0])
+    with pytest.raises(ScheduleError):
+        verify_schedule(instance, sched, strict=True)
+
+
+def test_report_counts_drops(instance):
+    report = verify_schedule(instance, Schedule(1))
+    assert report.ok  # an empty schedule is feasible (drops everything)
+    assert report.dropped == 3

@@ -1,0 +1,139 @@
+"""Tests of Algorithm VarBatch (Section 5.1) and the §5.3 extension."""
+
+import pytest
+
+from repro.core.instance import BatchMode, make_instance
+from repro.core.job import Job, JobFactory
+from repro.core.rounds import half_block_index
+from repro.core.validation import verify_schedule
+from repro.reductions.arbitrary import (
+    _transformed_bound,
+    generalize_bounds_instance,
+    run_arbitrary,
+)
+from repro.reductions.pipeline import run_pipeline
+from repro.reductions.varbatch import run_varbatch, varbatch_instance
+from repro.workloads.poisson import poisson_general
+from repro.workloads.random_batched import random_general
+
+
+class TestVarBatchInstance:
+    def test_rejects_non_power_of_two(self):
+        inst = make_instance([Job(0, 0, 6, 0)], {0: 6}, 2)
+        with pytest.raises(ValueError, match="power-of-two"):
+            varbatch_instance(inst)
+
+    def test_jobs_move_to_next_half_block(self):
+        inst = make_instance([Job(5, 0, 8, 0)], {0: 8}, 2)
+        batched = varbatch_instance(inst)
+        moved = list(batched.sequence)[0]
+        # Arrival 5 is in halfBlock(8, 1) = [4, 8); moved to round 8.
+        assert moved.arrival == 8
+        assert moved.delay_bound == 4
+        assert moved.jid == 0
+
+    def test_window_containment(self):
+        for arrival in range(16):
+            inst = make_instance([Job(arrival, 0, 8, 0)], {0: 8}, 2)
+            moved = list(varbatch_instance(inst).sequence)[0]
+            original = Job(arrival, 0, 8, 0)
+            assert moved.arrival >= original.arrival
+            assert moved.deadline <= original.deadline
+
+    def test_unit_bound_passes_through(self):
+        inst = make_instance([Job(3, 0, 1, 0)], {0: 1}, 2)
+        batched = varbatch_instance(inst)
+        moved = list(batched.sequence)[0]
+        assert moved.arrival == 3
+        assert moved.delay_bound == 1
+
+    def test_result_is_batched_mode(self):
+        inst = random_general(3, 2, 32, seed=0, bound_choices=(2, 4, 8))
+        batched = varbatch_instance(inst)
+        assert batched.spec.batch_mode is BatchMode.BATCHED
+        for job in batched.sequence:
+            assert job.arrival % job.delay_bound == 0
+
+    def test_bounds_halved(self):
+        inst = random_general(3, 2, 32, seed=0, bound_choices=(4, 8))
+        batched = varbatch_instance(inst)
+        for color, bound in inst.spec.delay_bounds.items():
+            assert batched.spec.delay_bound(color) == bound // 2
+
+
+class TestRunVarBatch:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_outer_schedule_feasible_for_original(self, seed):
+        inst = random_general(4, 2, 48, seed=seed, bound_choices=(2, 4, 8))
+        result = run_varbatch(inst, 8)
+        report = verify_schedule(inst, result.schedule)
+        assert report.ok, report.violations[:3]
+
+    def test_cost_accounts_original_jobs(self):
+        inst = random_general(4, 2, 48, seed=1, bound_choices=(2, 4, 8))
+        result = run_varbatch(inst, 8)
+        executed = len(result.schedule.executed_jids)
+        assert result.cost.num_drops == len(inst.sequence) - executed
+
+
+class TestArbitraryBounds:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [(1, 1), (2, 1), (3, 1), (4, 1), (5, 1), (7, 1), (8, 2), (12, 2), (16, 4), (31, 4), (32, 8)],
+    )
+    def test_transformed_bound_values(self, p, expected):
+        assert _transformed_bound(p) == expected
+
+    def test_transformed_window_containment(self):
+        for p in (2, 3, 5, 6, 7, 9, 12, 17, 31):
+            for arrival in range(0, 40, 3):
+                inst = make_instance([Job(arrival, 0, p, 0)], {0: p}, 2)
+                moved = list(generalize_bounds_instance(inst).sequence)[0]
+                assert moved.arrival >= arrival
+                assert moved.deadline <= arrival + p, (p, arrival)
+
+    def test_result_batched_power_of_two(self):
+        inst = poisson_general(3, 2, 32, seed=0, bound_choices=(3, 6, 12))
+        batched = generalize_bounds_instance(inst)
+        assert batched.spec.require_power_of_two
+        assert batched.spec.batch_mode is BatchMode.BATCHED
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_run_arbitrary_feasible(self, seed):
+        inst = poisson_general(
+            3, 2, 48, seed=seed, rates=0.3, bound_choices=(3, 5, 12)
+        )
+        result = run_arbitrary(inst, 8)
+        report = verify_schedule(inst, result.schedule)
+        assert report.ok, report.violations[:3]
+
+
+class TestPipeline:
+    def test_batched_input_skips_varbatch(self):
+        factory = JobFactory()
+        inst = make_instance(
+            factory.batch(0, 0, 4, 6),
+            {0: 4},
+            2,
+            batch_mode=BatchMode.BATCHED,
+        )
+        result = run_pipeline(inst, 8)
+        assert result.stages[0] == "Distribute"
+
+    def test_power_of_two_general_uses_varbatch(self):
+        inst = random_general(3, 2, 32, seed=0, bound_choices=(4, 8))
+        result = run_pipeline(inst, 8)
+        assert result.stages[0] == "VarBatch"
+        assert result.verify().ok
+
+    def test_arbitrary_bounds_use_extension(self):
+        inst = poisson_general(3, 2, 32, seed=0, bound_choices=(3, 6))
+        result = run_pipeline(inst, 8)
+        assert result.stages[0] == "ArbitraryBounds"
+        assert result.verify().ok
+
+    def test_pipeline_cost_consistency(self):
+        inst = random_general(3, 2, 32, seed=2, bound_choices=(4, 8))
+        result = run_pipeline(inst, 8)
+        derived = result.schedule.cost(inst.sequence.jobs, inst.cost_model)
+        assert derived.total == result.total_cost

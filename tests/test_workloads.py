@@ -1,0 +1,198 @@
+"""Tests of the workload generators."""
+
+import pytest
+
+from repro.core.instance import BatchMode
+from repro.core.rounds import is_multiple, is_power_of_two
+from repro.workloads.bursty import bursty_rate_limited
+from repro.workloads.datacenter import datacenter_scenario, motivation_scenario
+from repro.workloads.poisson import poisson_general
+from repro.workloads.random_batched import (
+    random_batched,
+    random_general,
+    random_rate_limited,
+)
+from repro.workloads.router import router_scenario
+
+
+class TestRandomRateLimited:
+    def test_seed_determinism(self):
+        a = random_rate_limited(4, 2, 32, seed=42)
+        b = random_rate_limited(4, 2, 32, seed=42)
+        assert [(j.jid, j.arrival, j.color) for j in a.sequence] == [
+            (j.jid, j.arrival, j.color) for j in b.sequence
+        ]
+
+    def test_different_seeds_differ(self):
+        a = random_rate_limited(4, 2, 32, seed=1)
+        b = random_rate_limited(4, 2, 32, seed=2)
+        assert [(j.arrival, j.color) for j in a.sequence] != [
+            (j.arrival, j.color) for j in b.sequence
+        ]
+
+    def test_mode_declared_and_validated(self):
+        inst = random_rate_limited(4, 2, 32, seed=0)
+        assert inst.spec.batch_mode is BatchMode.RATE_LIMITED
+
+    def test_arrivals_at_multiples(self):
+        inst = random_rate_limited(4, 2, 32, seed=0)
+        for job in inst.sequence:
+            assert is_multiple(job.arrival, job.delay_bound)
+
+    def test_load_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            random_rate_limited(4, 2, 32, seed=0, load=1.5)
+
+    def test_zero_load_empty(self):
+        inst = random_rate_limited(4, 2, 32, seed=0, load=0.0)
+        assert len(inst.sequence) == 0
+
+
+class TestRandomBatched:
+    def test_can_exceed_rate_limit(self):
+        inst = random_batched(4, 2, 64, seed=3, load=1.0, burst_factor=4.0)
+        over = [
+            count
+            for (arrival, color), count in _batch_counts(inst).items()
+            if count > inst.spec.delay_bound(color)
+        ]
+        assert over, "expected at least one oversized batch"
+
+    def test_mode_is_batched(self):
+        inst = random_batched(4, 2, 32, seed=0)
+        assert inst.spec.batch_mode is BatchMode.BATCHED
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_batched(4, 2, 32, seed=0, load=0)
+        with pytest.raises(ValueError):
+            random_batched(4, 2, 32, seed=0, burst_factor=0.5)
+
+
+class TestRandomGeneral:
+    def test_arbitrary_arrival_rounds(self):
+        inst = random_general(4, 2, 64, seed=1, rate=0.5)
+        assert inst.spec.batch_mode is BatchMode.GENERAL
+        non_multiple = [
+            j for j in inst.sequence if not is_multiple(j.arrival, j.delay_bound)
+        ]
+        assert non_multiple, "general arrivals should hit non-multiples"
+
+
+class TestBursty:
+    def test_rate_limited_and_deterministic(self):
+        a = bursty_rate_limited(4, 2, 64, seed=5)
+        b = bursty_rate_limited(4, 2, 64, seed=5)
+        assert a.spec.batch_mode is BatchMode.RATE_LIMITED
+        assert len(a.sequence) == len(b.sequence)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            bursty_rate_limited(4, 2, 64, seed=0, p_on=1.5)
+        with pytest.raises(ValueError):
+            bursty_rate_limited(4, 2, 64, seed=0, on_load=0.0)
+
+    def test_off_periods_exist(self):
+        inst = bursty_rate_limited(2, 2, 256, seed=0, p_on=0.1, p_off=0.5)
+        counts = _batch_counts(inst)
+        # With sticky OFF states some batch slots must be empty.
+        color = inst.sequence.colors[0]
+        bound = inst.spec.delay_bound(color)
+        slots = range(0, 256, bound)
+        empty = [s for s in slots if (s, color) not in counts]
+        assert empty
+
+
+class TestPoisson:
+    def test_heavy_tail_produces_bursts(self):
+        inst = poisson_general(
+            3, 2, 256, seed=0, rates=0.3, heavy_tail=True, tail_alpha=1.1
+        )
+        counts = _batch_counts(inst)
+        assert max(counts.values()) >= 3
+
+    def test_per_color_rates(self):
+        inst = poisson_general(3, 2, 128, seed=0, rates={0: 1.0, 1: 0.0, 2: 0.0})
+        assert inst.sequence.colors == (0,)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_general(2, 2, 32, seed=0, rates=-0.1)
+
+
+class TestScenarios:
+    def test_datacenter_shape(self):
+        inst = datacenter_scenario(seed=0, num_services=4, horizon=256)
+        assert inst.spec.batch_mode is BatchMode.GENERAL
+        assert len(inst.sequence.colors) >= 3
+        bounds = set(inst.spec.delay_bounds.values())
+        assert len(bounds) == 2  # interactive + throughput classes
+
+    def test_datacenter_validation(self):
+        with pytest.raises(ValueError):
+            datacenter_scenario(seed=0, num_services=1)
+
+    def test_motivation_structure(self):
+        inst = motivation_scenario(seed=0, horizon=256, long_bound=64)
+        counts = inst.sequence.count_by_color()
+        background = max(inst.spec.delay_bounds, key=inst.spec.delay_bounds.get)
+        assert counts[background] >= max(
+            v for c, v in counts.items() if c != background
+        )
+
+    def test_motivation_bounds_validation(self):
+        with pytest.raises(ValueError):
+            motivation_scenario(seed=0, short_bound=8, long_bound=8)
+
+    def test_router_categories_power_spread(self):
+        inst = router_scenario(seed=0, horizon=256)
+        bounds = sorted(set(inst.spec.delay_bounds.values()))
+        assert bounds[0] <= 4 and bounds[-1] >= 64
+
+    def test_router_deterministic(self):
+        a = router_scenario(seed=3, horizon=128)
+        b = router_scenario(seed=3, horizon=128)
+        assert len(a.sequence) == len(b.sequence)
+
+
+def _batch_counts(instance):
+    counts = {}
+    for job in instance.sequence:
+        key = (job.arrival, job.color)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class TestInferenceScenario:
+    def test_shape_and_determinism(self):
+        from repro.workloads.inference import inference_scenario
+
+        a = inference_scenario(seed=1, horizon=256)
+        b = inference_scenario(seed=1, horizon=256)
+        assert len(a.sequence) == len(b.sequence)
+        assert a.spec.reconfig_cost == 10
+        assert len(a.spec.delay_bounds) == 6
+
+    def test_diurnal_variation_present(self):
+        from repro.workloads.inference import inference_scenario
+
+        inst = inference_scenario(
+            seed=0, horizon=512, diurnal_period=256, burst_probability=0.0
+        )
+        counts = _batch_counts(inst)
+        color = 0
+        first_half = sum(
+            v for (r, c), v in counts.items() if c == color and r < 256
+        )
+        second_half = sum(
+            v for (r, c), v in counts.items() if c == color and r >= 256
+        )
+        # The sinusoid makes the two halves visibly unequal.
+        assert first_half != second_half
+
+    def test_custom_model_catalog(self):
+        from repro.workloads.inference import inference_scenario
+
+        models = (("a", 2, 0.5, 1.0), ("b", 8, 0.5, 1.0))
+        inst = inference_scenario(seed=0, horizon=128, models=models)
+        assert set(inst.spec.delay_bounds.values()) == {2, 8}
