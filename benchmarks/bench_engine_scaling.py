@@ -1,9 +1,14 @@
 """EXP-S bench plus micro-benchmarks of the hot paths.
 
-The experiment-level bench regenerates the throughput table; the micro
-benches time the individual hot paths (engine round loop, Par-EDF,
-exact offline search, capacity lower bound) under pytest-benchmark's
-statistical clock so regressions show up in ``--benchmark-compare``.
+The experiment-level bench regenerates the throughput table — both
+record modes, dispatched through the session :class:`ParallelRunner` —
+and persists the measured rows as ``benchmarks/reports/BENCH_engine.json``
+(schema :data:`repro.runtime.telemetry.BENCH_SCHEMA`) so throughput and
+fast-path speedup are tracked as machine-readable history, not just
+prose.  The micro benches time the individual hot paths (engine round
+loop full and fast, Par-EDF, exact offline search, capacity lower bound)
+under pytest-benchmark's statistical clock so regressions show up in
+``--benchmark-compare``.
 """
 
 import pytest
@@ -12,13 +17,29 @@ from repro.algorithms.dlru_edf import DeltaLRUEDF
 from repro.algorithms.par_edf import run_par_edf
 from repro.offline.lower_bounds import capacity_lower_bound
 from repro.offline.optimal import optimal_offline
+from repro.runtime.telemetry import read_bench_json, write_bench_json
 from repro.simulation.engine import simulate
 from repro.workloads.random_batched import random_rate_limited
 
 
-def bench_scaling_table(run_and_report):
-    report = run_and_report("EXP-S")
+def bench_scaling_table(run_and_report, parallel_runner, report_dir):
+    report = run_and_report("EXP-S", runner=parallel_runner)
     assert report.summary["min_rounds_per_second"] > 100
+    assert report.summary["fast_path_speedup_geomean"] > 1.0
+    path = report_dir / "BENCH_engine.json"
+    write_bench_json(path, report.rows, summary=report.summary)
+    payload = read_bench_json(path)
+    assert len(payload["rows"]) == len(report.rows)
+
+
+def bench_scaling_smoke(parallel_runner):
+    """Tiny grid for CI: EXP-S end to end in a few seconds, no clock stats."""
+    from repro.experiments.registry import run_experiment
+
+    report = run_experiment("EXP-S", quick=True, runner=parallel_runner)
+    assert report.summary["min_rounds_per_second"] > 100
+    records = {row["record"] for row in report.rows}
+    assert records == {"full", "costs"}
 
 
 @pytest.fixture(scope="module")
@@ -31,6 +52,14 @@ def medium_instance():
 def bench_engine_round_loop(benchmark, medium_instance):
     result = benchmark(lambda: simulate(medium_instance, DeltaLRUEDF(), 16))
     assert result.verify().ok
+
+
+def bench_engine_fast_path(benchmark, medium_instance):
+    result = benchmark(
+        lambda: simulate(medium_instance, DeltaLRUEDF(), 16, record="costs")
+    )
+    full = simulate(medium_instance, DeltaLRUEDF(), 16)
+    assert result.cost.summary() == full.cost.summary()
 
 
 def bench_par_edf(benchmark, medium_instance):

@@ -22,6 +22,19 @@ def report_dir() -> Path:
     return REPORTS_DIR
 
 
+@pytest.fixture(scope="session")
+def parallel_runner():
+    """Session-wide :class:`ParallelRunner`, sized from ``REPRO_PARALLEL``.
+
+    Defaults to the machine's core count; ``REPRO_PARALLEL=0`` forces the
+    serial path (useful when comparing against parallel runs, which are
+    bit-identical but scheduled differently by the OS).
+    """
+    from repro.runtime import ParallelRunner
+
+    return ParallelRunner.from_env()
+
+
 @pytest.fixture
 def run_and_report(benchmark, report_dir):
     """Run an experiment under the benchmark clock and persist its report."""

@@ -57,6 +57,7 @@ from repro.reductions import (
     run_pipeline,
     run_varbatch,
 )
+from repro.runtime import ParallelRunner, derive_seed, spawn_seeds
 
 __version__ = "1.0.0"
 
@@ -93,5 +94,8 @@ __all__ = [
     "run_distribute",
     "run_pipeline",
     "run_varbatch",
+    "ParallelRunner",
+    "derive_seed",
+    "spawn_seeds",
     "__version__",
 ]

@@ -13,6 +13,13 @@ purposes:
 
 Instances are encoded as batch-size matrices (color x block), mutated by
 point edits, and scored with a seeded, deterministic pipeline.
+
+Restarts are independent once their random draws are fixed, so the
+search pre-draws every restart's initial matrix and mutation schedule
+from the single seeded generator (in the exact order a serial climb
+would consume them) and then climbs each restart separately — serially,
+or fanned out over a :class:`~repro.runtime.parallel.ParallelRunner`
+with *identical* results.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.core.instance import BatchMode, Instance, make_instance
 from repro.core.job import JobFactory
 from repro.offline.heuristic import best_offline_heuristic
 from repro.offline.lower_bounds import combined_lower_bound
+from repro.runtime.parallel import ParallelRunner
 from repro.simulation.engine import ReconfigurationScheme, simulate
 
 
@@ -96,7 +104,10 @@ def _score(
 ) -> float:
     if len(instance.sequence) == 0:
         return 0.0
-    online = simulate(instance, scheme_factory(), config.num_resources)
+    # Only the total cost matters here, so take the engine fast path.
+    online = simulate(
+        instance, scheme_factory(), config.num_resources, record="costs"
+    )
     if config.denominator == "lower":
         off = best_offline_heuristic(
             instance,
@@ -134,11 +145,81 @@ def encode_instance(
     return matrix, bounds
 
 
+@dataclass(frozen=True)
+class _RestartPlan:
+    """One restart's pre-drawn randomness: start matrix + mutation schedule."""
+
+    matrix: np.ndarray
+    #: Per step, ``mutations_per_step`` point edits ``(color, block, value)``.
+    mutations: tuple[tuple[tuple[int, int, int], ...], ...]
+
+
+def _plan_restarts(
+    config: SearchConfig,
+    bounds: dict[int, int],
+    max_blocks: int,
+    rng: np.random.Generator,
+) -> list[_RestartPlan]:
+    """Pre-draw every restart's randomness in serial-climb order.
+
+    The hill climber's draws never depend on accept/reject decisions, so
+    consuming the generator up front leaves each restart a deterministic
+    pure function — parallel and serial execution agree bit for bit.
+    """
+    steps = config.iterations // config.restarts
+    plans: list[_RestartPlan] = []
+    for restart in range(config.restarts):
+        if restart == 0 and config.warm_start is not None:
+            matrix, _ = encode_instance(config.warm_start, max_blocks)
+        else:
+            matrix = rng.integers(
+                0, max(config.bounds) + 1, size=(config.num_colors, max_blocks)
+            )
+        mutations = []
+        for _ in range(steps):
+            step = []
+            for _ in range(config.mutations_per_step):
+                color = int(rng.integers(config.num_colors))
+                block_index = int(rng.integers(max_blocks))
+                value = int(rng.integers(0, bounds[color] + 1))
+                step.append((color, block_index, value))
+            mutations.append(tuple(step))
+        plans.append(_RestartPlan(matrix, tuple(mutations)))
+    return plans
+
+
+def _climb_restart(
+    task: tuple[_RestartPlan, SearchConfig, dict[int, int], Callable],
+) -> tuple[np.ndarray, float, list[float], int]:
+    """Run one restart's hill climb; module-level so it pickles to workers."""
+    plan, config, bounds, scheme_factory = task
+    matrix = plan.matrix
+    current_ratio = _score(_decode(matrix, config, bounds), scheme_factory, config)
+    evaluations = 1
+    trajectory: list[float] = []
+    for step in plan.mutations:
+        candidate = matrix.copy()
+        for color, block_index, value in step:
+            candidate[color, block_index] = value
+        ratio = _score(_decode(candidate, config, bounds), scheme_factory, config)
+        evaluations += 1
+        if ratio >= current_ratio:
+            matrix, current_ratio = candidate, ratio
+        trajectory.append(current_ratio)
+    return matrix, current_ratio, trajectory, evaluations
+
+
 def search_adversary(
     scheme_factory: Callable[[], ReconfigurationScheme],
     config: SearchConfig | None = None,
+    *,
+    runner: ParallelRunner | None = None,
 ) -> SearchResult:
-    """Hill-climb batch-size matrices to maximize the measured ratio."""
+    """Hill-climb batch-size matrices to maximize the measured ratio.
+
+    Pass a ``runner`` to climb the restarts in parallel; the result is
+    identical to the serial search (see :func:`_plan_restarts`).
+    """
     config = config or SearchConfig()
     rng = np.random.default_rng(config.seed)
     if config.warm_start is not None:
@@ -155,35 +236,21 @@ def search_adversary(
         _, bounds = encode_instance(config.warm_start, 1)
     max_blocks = config.horizon // min(bounds.values()) + 1
 
+    plans = _plan_restarts(config, bounds, max_blocks, rng)
+    tasks = [(plan, config, bounds, scheme_factory) for plan in plans]
+    climbs = (
+        runner.map(_climb_restart, tasks)
+        if runner is not None
+        else [_climb_restart(task) for task in tasks]
+    )
+
     best_matrix: np.ndarray | None = None
     best_ratio = -1.0
     trajectory: list[float] = []
     evaluations = 0
-
-    for restart in range(config.restarts):
-        if restart == 0 and config.warm_start is not None:
-            matrix, _ = encode_instance(config.warm_start, max_blocks)
-        else:
-            matrix = rng.integers(
-                0, max(config.bounds) + 1, size=(config.num_colors, max_blocks)
-            )
-        current_ratio = _score(_decode(matrix, config, bounds), scheme_factory, config)
-        evaluations += 1
-        for _ in range(config.iterations // config.restarts):
-            candidate = matrix.copy()
-            for _ in range(config.mutations_per_step):
-                color = rng.integers(config.num_colors)
-                block_index = rng.integers(max_blocks)
-                candidate[color, block_index] = rng.integers(
-                    0, bounds[color] + 1
-                )
-            ratio = _score(
-                _decode(candidate, config, bounds), scheme_factory, config
-            )
-            evaluations += 1
-            if ratio >= current_ratio:
-                matrix, current_ratio = candidate, ratio
-            trajectory.append(current_ratio)
+    for matrix, current_ratio, restart_trajectory, restart_evals in climbs:
+        trajectory.extend(restart_trajectory)
+        evaluations += restart_evals
         if current_ratio > best_ratio:
             best_ratio, best_matrix = current_ratio, matrix
 

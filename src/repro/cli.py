@@ -84,6 +84,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     import importlib
 
     from repro.analysis.adversary_search import SearchConfig, search_adversary
+    from repro.runtime import ParallelRunner
 
     module_name, class_name = _SCHEME_CHOICES[args.scheme].split(":")
     scheme_factory = getattr(importlib.import_module(module_name), class_name)
@@ -93,7 +94,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
         seed=args.seed,
         horizon=args.horizon,
     )
-    result = search_adversary(scheme_factory, config)
+    # Restarts are pre-seeded, so parallel results match serial exactly.
+    runner = (
+        ParallelRunner(max_workers=args.jobs)
+        if args.jobs is not None
+        else ParallelRunner.from_env(default_workers=1)
+    )
+    result = search_adversary(scheme_factory, config, runner=runner)
     print(f"scheme:       {args.scheme}")
     print(f"evaluations:  {result.evaluations}")
     print(f"best ratio:   {result.best_ratio:.3f} (vs hindsight OFF)")
@@ -190,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--restarts", type=int, default=3)
     p_search.add_argument("--seed", type=int, default=0)
     p_search.add_argument("--horizon", type=int, default=64)
+    p_search.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for restarts (default: REPRO_PARALLEL or 1)",
+    )
     p_search.add_argument("--save", help="write the found instance as JSON")
     p_search.set_defaults(func=_cmd_search)
 

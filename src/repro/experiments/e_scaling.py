@@ -3,73 +3,124 @@
 An engineering baseline rather than a paper claim: rounds-per-second of
 the batched engine across a (resources, colors, horizon) grid, so
 performance regressions in the hot loop show up in benchmark history.
+
+Each grid cell is timed in both record modes — ``"full"`` (schedule +
+trace, the verification path) and ``"costs"`` (the fast path sweeps and
+searches use) — so the fast-path speedup is itself a tracked number.
+Cells are independent and dispatch through an optional
+:class:`~repro.runtime.parallel.ParallelRunner`; per-cell workload seeds
+are derived with :func:`~repro.runtime.seeding.derive_seed` so the grid
+is reproducible regardless of execution order.  The measured rows feed
+``BENCH_engine.json`` (see ``benchmarks/bench_engine_scaling.py``).
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.algorithms.dlru_edf import DeltaLRUEDF
-from repro.analysis.report import Series, Table
+from repro.analysis.report import Series, Table, geometric_mean
 from repro.experiments.base import ExperimentReport
+from repro.runtime.parallel import ParallelRunner
+from repro.runtime.seeding import derive_seed
 from repro.simulation.engine import simulate
 from repro.workloads.random_batched import random_rate_limited
+
+DEFAULT_GRID: tuple[tuple[int, int, int], ...] = (
+    (8, 4, 256),
+    (16, 8, 256),
+    (32, 16, 256),
+    (16, 8, 1024),
+    (16, 8, 4096),
+)
+
+
+def _scaling_cell(task: tuple) -> dict:
+    """Time one (config, record mode) cell; module-level so it pickles."""
+    resources, colors, horizon, delta, seed, record = task
+    instance = random_rate_limited(
+        colors,
+        delta,
+        horizon,
+        seed=derive_seed(seed, resources, colors, horizon),
+        load=0.6,
+        bound_choices=(2, 4, 8, 16),
+    )
+    result = simulate(instance, DeltaLRUEDF(), resources, record=record)
+    elapsed = result.wall_seconds
+    return {
+        "resources": resources,
+        "colors": colors,
+        "horizon": horizon,
+        "jobs": len(instance.sequence),
+        "record": record,
+        "seconds": elapsed,
+        "rounds_per_second": result.rounds_per_second,
+        "jobs_per_second": len(instance.sequence) / elapsed if elapsed > 0 else 0.0,
+        "total_cost": result.total_cost,
+    }
 
 
 def run(
     *,
-    grid: tuple[tuple[int, int, int], ...] = (
-        (8, 4, 256),
-        (16, 8, 256),
-        (32, 16, 256),
-        (16, 8, 1024),
-        (16, 8, 4096),
-    ),
+    grid: tuple[tuple[int, int, int], ...] = DEFAULT_GRID,
     delta: int = 4,
     seed: int = 0,
+    record_modes: tuple[str, ...] = ("full", "costs"),
+    runner: ParallelRunner | None = None,
 ) -> ExperimentReport:
     report = ExperimentReport("EXP-S", "Simulator throughput scaling")
-    table = Table(
-        "ΔLRU-EDF engine throughput",
-        ("resources", "colors", "horizon", "jobs", "seconds", "rounds/s", "jobs/s"),
+    tasks = [
+        (resources, colors, horizon, delta, seed, record)
+        for resources, colors, horizon in grid
+        for record in record_modes
+    ]
+    rows = (
+        runner.map(_scaling_cell, tasks)
+        if runner is not None
+        else [_scaling_cell(task) for task in tasks]
     )
+    report.rows.extend(rows)
+
+    by_config: dict[tuple[int, int, int], dict[str, dict]] = {}
+    for row in rows:
+        key = (row["resources"], row["colors"], row["horizon"])
+        by_config.setdefault(key, {})[row["record"]] = row
+
+    columns = ["resources", "colors", "horizon", "jobs"]
+    for record in record_modes:
+        columns += [f"{record} s", f"{record} rounds/s"]
+    if {"full", "costs"} <= set(record_modes):
+        columns.append("speedup")
+    table = Table("ΔLRU-EDF engine throughput by record mode", tuple(columns))
     series = Series("Rounds per second by configuration", "config", "rounds/s")
-    for resources, colors, horizon in grid:
-        instance = random_rate_limited(
-            colors, delta, horizon, seed=seed, load=0.6, bound_choices=(2, 4, 8, 16)
-        )
-        start = time.perf_counter()
-        result = simulate(instance, DeltaLRUEDF(), resources)
-        elapsed = time.perf_counter() - start
-        rounds_per_s = instance.horizon / elapsed
-        jobs_per_s = len(instance.sequence) / elapsed
+    speedups = []
+    for (resources, colors, horizon), cells in by_config.items():
+        any_cell = next(iter(cells.values()))
+        row_values = [resources, colors, horizon, any_cell["jobs"]]
+        for record in record_modes:
+            cell = cells[record]
+            row_values += [
+                round(cell["seconds"], 4),
+                round(cell["rounds_per_second"]),
+            ]
+        if "full" in cells and "costs" in cells:
+            full_s, costs_s = cells["full"]["seconds"], cells["costs"]["seconds"]
+            speedup = full_s / costs_s if costs_s > 0 else 0.0
+            speedups.append(speedup)
+            row_values.append(round(speedup, 2))
+        table.add_row(*row_values)
         label = f"n={resources},C={colors},H={horizon}"
-        table.add_row(
-            resources,
-            colors,
-            horizon,
-            len(instance.sequence),
-            round(elapsed, 4),
-            round(rounds_per_s),
-            round(jobs_per_s),
-        )
-        series.add(label, rounds_per_s)
-        report.rows.append(
-            {
-                "resources": resources,
-                "colors": colors,
-                "horizon": horizon,
-                "jobs": len(instance.sequence),
-                "seconds": elapsed,
-                "rounds_per_second": rounds_per_s,
-                "total_cost": result.total_cost,
-            }
-        )
+        best = max(cell["rounds_per_second"] for cell in cells.values())
+        series.add(label, best)
     report.tables.append(table)
     report.series.append(series)
+
     report.summary = {
         "min_rounds_per_second": round(
-            min(r["rounds_per_second"] for r in report.rows)
+            min(r["rounds_per_second"] for r in rows)
         )
     }
+    if speedups:
+        report.summary["fast_path_speedup_geomean"] = round(
+            geometric_mean(speedups), 3
+        )
     return report

@@ -4,6 +4,12 @@ The experiments share a pattern — run several algorithms over several
 instances, collect a numpy cost matrix, summarize.  ``run_matrix`` does
 it once, properly: one fresh scheme per cell (schemes are stateful), all
 schedules verified, vectorized summaries.
+
+Cells are independent, so the matrix dispatches through a
+:class:`~repro.runtime.parallel.ParallelRunner` when one is supplied,
+and ``record="costs"`` selects the engine fast path (no trace/schedule
+objects) when only the cost matrices are needed — the common case for
+large grids.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.instance import Instance
+from repro.runtime.parallel import ParallelRunner
 from repro.simulation.engine import ReconfigurationScheme, RunResult, simulate
 
 
@@ -41,10 +48,40 @@ class SweepResult:
         }
 
     def relative_to(self, baseline: str) -> np.ndarray:
-        """Cost of every scheme divided by the baseline scheme's cost."""
+        """Cost of every scheme divided by the baseline scheme's cost.
+
+        Columns where the baseline is free are not clamped: a scheme
+        that pays anything against a zero-cost baseline is infinitely
+        worse (``inf``), and one that is also free ties at 1.0.
+        Understating those ratios by flooring the denominator would hide
+        exactly the blowups the adversarial experiments look for.
+        """
         index = self.scheme_names.index(baseline)
-        base = np.maximum(self.total_costs[index], 1)
-        return self.total_costs / base
+        base = self.total_costs[index].astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = self.total_costs / base
+        zero_base = base == 0
+        if np.any(zero_base):
+            ratios[:, zero_base] = np.where(
+                self.total_costs[:, zero_base] == 0, 1.0, np.inf
+            )
+        return ratios
+
+
+def _run_cell(task: tuple) -> RunResult:
+    """One (instance, scheme) cell; module-level so it pickles to workers."""
+    instance, factory, num_resources, copies, speed, verify, record = task
+    result = simulate(
+        instance,
+        factory(),
+        num_resources,
+        copies=copies,
+        speed=speed,
+        record=record,
+    )
+    if verify:
+        result.verify(strict=True)
+    return result
 
 
 def run_matrix(
@@ -55,30 +92,51 @@ def run_matrix(
     copies: int = 2,
     speed: int = 1,
     verify: bool = True,
+    record: str = "full",
+    runner: ParallelRunner | None = None,
 ) -> SweepResult:
-    """Simulate every scheme on every instance; return the matrices."""
+    """Simulate every scheme on every instance; return the matrices.
+
+    ``record="costs"`` runs the engine fast path (implies ``verify=False``
+    since no schedule exists to check).  Pass a ``runner`` to fan the
+    cells out over worker processes; results are identical to a serial
+    run — cells are pure and ordered.
+    """
     if not instances or not scheme_factories:
         raise ValueError("need at least one instance and one scheme")
-    runs: list[list[RunResult]] = []
+    names = [factory().name for factory in scheme_factories]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(
+            "duplicate scheme names in the matrix: "
+            + ", ".join(duplicates)
+            + "; summaries key rows by name, so each factory must produce "
+            "a uniquely named scheme"
+        )
+    if record == "costs":
+        verify = False
+    tasks = [
+        (instance, factory, num_resources, copies, speed, verify, record)
+        for factory in scheme_factories
+        for instance in instances
+    ]
+    cells = (
+        runner.map(_run_cell, tasks)
+        if runner is not None
+        else [_run_cell(task) for task in tasks]
+    )
     shape = (len(scheme_factories), len(instances))
     totals = np.zeros(shape, dtype=np.int64)
     reconfigs = np.zeros(shape, dtype=np.int64)
     drops = np.zeros(shape, dtype=np.int64)
-    names: list[str] = []
-    for i, factory in enumerate(scheme_factories):
-        row: list[RunResult] = []
-        for j, instance in enumerate(instances):
-            result = simulate(
-                instance, factory(), num_resources, copies=copies, speed=speed
-            )
-            if verify:
-                result.verify(strict=True)
+    runs: list[list[RunResult]] = []
+    for i in range(len(scheme_factories)):
+        row = cells[i * len(instances) : (i + 1) * len(instances)]
+        for j, result in enumerate(row):
             totals[i, j] = result.total_cost
             reconfigs[i, j] = result.cost.reconfig_cost
             drops[i, j] = result.cost.drop_cost
-            row.append(result)
         runs.append(row)
-        names.append(row[0].algorithm)
     return SweepResult(
         scheme_names=tuple(names),
         instance_names=tuple(

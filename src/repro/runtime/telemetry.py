@@ -1,0 +1,66 @@
+"""Performance telemetry: machine-readable benchmark records.
+
+The EXP-S throughput experiment previously printed a table and forgot
+the numbers; this module gives the perf trajectory a durable home.
+:func:`write_bench_json` renders engine-scaling rows (wall-clock,
+rounds/sec, record mode) plus enough machine context to interpret them
+into ``BENCH_engine.json``, which benchmark runs commit so regressions
+are visible across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+#: Schema tag so future emitters can evolve the layout detectably.
+BENCH_SCHEMA = "repro-bench-engine/v1"
+
+
+def machine_context() -> dict[str, Any]:
+    """Host facts needed to compare benchmark numbers across runs."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def bench_payload(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    summary: Mapping[str, Any] | None = None,
+    context: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the BENCH json document from benchmark rows."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "machine": dict(context) if context is not None else machine_context(),
+        "summary": dict(summary or {}),
+        "rows": [dict(row) for row in rows],
+    }
+
+
+def write_bench_json(
+    path: str | Path,
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    summary: Mapping[str, Any] | None = None,
+    context: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Write the benchmark document to ``path`` and return it."""
+    payload = bench_payload(rows, summary=summary, context=context)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def read_bench_json(path: str | Path) -> dict[str, Any]:
+    """Load a previously written benchmark document."""
+    return json.loads(Path(path).read_text())

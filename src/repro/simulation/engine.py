@@ -11,10 +11,22 @@ which keep the schedule, cost breakdown, and trace consistent.
 
 Double-speed algorithms (Section 3.3) repeat the reconfiguration and
 execution phases twice per round; pass ``speed=2``.
+
+Record modes (the engine fast path)
+-----------------------------------
+``record="full"`` (default) emits the explicit :class:`Schedule` and
+:class:`Trace` the verifier and proof auditors consume.  ``record="costs"``
+skips both — no per-job ``Execution``/event objects, no trace appends —
+and produces only the :class:`CostBreakdown` plus optional metrics.  The
+scheme-visible state (counters, deadlines, eligibility, pending queues,
+wrapping history) is maintained identically in both modes, so costs agree
+exactly; sweeps, adversary searches, and sensitivity grids that only read
+costs run several times faster in ``"costs"`` mode.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
@@ -57,23 +69,42 @@ class ReconfigurationScheme(ABC):
 
 @dataclass
 class RunResult:
-    """Everything produced by one engine run."""
+    """Everything produced by one engine run.
+
+    ``schedule`` and ``trace`` are ``None`` for ``record="costs"`` runs —
+    the fast path never builds them.  ``wall_seconds`` is the wall-clock
+    time of the round loop (instance construction excluded).
+    """
 
     instance: Instance
     algorithm: str
     num_resources: int
     speed: int
-    schedule: Schedule
+    schedule: Schedule | None
     cost: CostBreakdown
-    trace: Trace
+    trace: Trace | None
     metrics: MetricsCollector | None = None
+    record: str = "full"
+    wall_seconds: float = 0.0
 
     @property
     def total_cost(self) -> int:
         return self.cost.total
 
+    @property
+    def rounds_per_second(self) -> float:
+        """Simulated rounds per wall-clock second (0 when untimed)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.instance.horizon / self.wall_seconds
+
     def verify(self, *, strict: bool = False) -> ValidationReport:
         """Re-check the emitted schedule against the instance."""
+        if self.schedule is None:
+            raise RuntimeError(
+                "this run used record='costs' and has no schedule to "
+                "verify; rerun with record='full'"
+            )
         return verify_schedule(self.instance, self.schedule, strict=strict)
 
 
@@ -93,6 +124,9 @@ class BatchedEngine:
         resources (2 for the Section 3.1 algorithms, 1 for Seq-EDF).
     speed:
         1 for uni-speed, 2 for double-speed (Section 3.3).
+    record:
+        ``"full"`` emits the schedule and trace; ``"costs"`` skips both
+        (fast path) and only maintains the cost breakdown.
     """
 
     def __init__(
@@ -104,6 +138,7 @@ class BatchedEngine:
         copies: int = 2,
         speed: int = 1,
         collect_metrics: bool = False,
+        record: str = "full",
     ) -> None:
         if not instance.spec.batch_mode.is_batched:
             raise ValueError(
@@ -117,11 +152,14 @@ class BatchedEngine:
             )
         if speed not in (1, 2):
             raise ValueError("speed must be 1 (uni) or 2 (double)")
+        if record not in ("full", "costs"):
+            raise ValueError("record must be 'full' or 'costs'")
         self.instance = instance
         self.scheme = scheme
         self.num_resources = num_resources
         self.copies = copies
         self.speed = speed
+        self.record = record
         self.delta = instance.reconfig_cost
 
         self.cache = CachePool(num_resources // copies, copies)
@@ -129,9 +167,12 @@ class BatchedEngine:
             color: ColorState(color, bound)
             for color, bound in instance.spec.delay_bounds.items()
         }
-        self.schedule = Schedule(num_resources, speed=speed)
+        full = record == "full"
+        self.schedule: Schedule | None = (
+            Schedule(num_resources, speed=speed) if full else None
+        )
         self.cost = CostBreakdown(instance.cost_model)
-        self.trace = Trace()
+        self.trace: Trace | None = Trace() if full else None
         self.metrics = (
             MetricsCollector(instance.horizon) if collect_metrics else None
         )
@@ -147,6 +188,7 @@ class BatchedEngine:
             raise RuntimeError("engine instances are single-use; build a new one")
         self._ran = True
         self.scheme.setup(self)
+        start = time.perf_counter()
         for k in range(self.instance.horizon):
             self.round_index = k
             self._drop_phase(k)
@@ -157,6 +199,9 @@ class BatchedEngine:
                 self._execution_phase(k, mini)
             if self.metrics is not None:
                 self.metrics.end_round(k, self)
+        elapsed = time.perf_counter() - start
+        if self.metrics is not None:
+            self.metrics.record_wall_clock(elapsed, self.instance.horizon)
         return RunResult(
             instance=self.instance,
             algorithm=self.scheme.name,
@@ -166,28 +211,33 @@ class BatchedEngine:
             cost=self.cost,
             trace=self.trace,
             metrics=self.metrics,
+            record=self.record,
+            wall_seconds=elapsed,
         )
 
     # --------------------------------------------------------------- phases
 
     def _drop_phase(self, k: int) -> None:
+        trace = self.trace
         for color, st in self.states.items():
             if k == 0 or k % st.delay_bound != 0:
                 # Round 0 is a multiple of every bound but nothing can be
                 # pending yet and eligibility is vacuously false.
                 continue
-            dropped = st.clear_pending()
+            dropped = len(st.pending)
             if dropped:
-                self.trace.append(
-                    DropEvent(k, color, len(dropped), eligible=st.eligible)
-                )
-                self.cost.record_drop(color, len(dropped), eligible=st.eligible)
+                st.pending.clear()
+                if trace is not None:
+                    trace.append(DropEvent(k, color, dropped, eligible=st.eligible))
+                self.cost.record_drop(color, dropped, eligible=st.eligible)
             if st.eligible and color not in self.cache:
                 st.eligible = False
                 st.cnt = 0
-                self.trace.append(IneligibleEvent(k, color))
+                if trace is not None:
+                    trace.append(IneligibleEvent(k, color))
 
     def _arrival_phase(self, k: int) -> None:
+        trace = self.trace
         arrivals: dict[int, list] = {}
         for job in self.instance.sequence.arrivals(k):
             arrivals.setdefault(job.color, []).append(job)
@@ -197,29 +247,50 @@ class BatchedEngine:
             batch = arrivals.get(color, [])
             st.dd = k + st.delay_bound
             st.cnt += len(batch)
-            if batch:
-                self.trace.append(ArrivalEvent(k, color, len(batch)))
+            if batch and trace is not None:
+                trace.append(ArrivalEvent(k, color, len(batch)))
             if st.cnt >= self.delta:
-                st.cnt %= self.delta
+                # One batch can advance the counter past several multiples
+                # of Δ (a rate-limited batch of size D_ℓ ≥ 2Δ already
+                # does); each crossed multiple is its own wrapping event —
+                # the credit auditors count wraps, not arrival rounds.
+                wraps, st.cnt = divmod(st.cnt, self.delta)
                 st.record_wrap(k)
-                self.trace.append(WrapEvent(k, color))
+                if trace is not None:
+                    for _ in range(wraps):
+                        trace.append(WrapEvent(k, color))
                 if not st.eligible:
                     st.eligible = True
-                    self.trace.append(EligibleEvent(k, color))
+                    if trace is not None:
+                        trace.append(EligibleEvent(k, color))
             st.pending.extend(batch)
-            ts = st.timestamp(k)
-            if ts != st.last_timestamp:
-                st.last_timestamp = ts
-                self.trace.append(TimestampEvent(k, color, ts))
+            if trace is not None:
+                ts = st.timestamp(k)
+                if ts != st.last_timestamp:
+                    st.last_timestamp = ts
+                    trace.append(TimestampEvent(k, color, ts))
 
     def _execution_phase(self, k: int, mini: int) -> None:
+        schedule, trace = self.schedule, self.trace
+        if schedule is None:
+            # Fast path: within a batched color every pending job is
+            # interchangeable for cost purposes, so count executions in
+            # bulk instead of materializing Execution/event objects.
+            for slot in self.cache.occupied_slots():
+                st = self.states[slot.occupant]
+                taken = min(self.copies, len(st.pending))
+                if taken:
+                    for _ in range(taken):
+                        st.pending.popleft()
+                    self.cost.record_execution(slot.occupant, taken)
+            return
         for slot in self.cache.occupied_slots():
             st = self.states[slot.occupant]
             for resource, job in zip(slot.resources(), st.take_pending(self.copies)):
-                self.schedule.add_execution(
+                schedule.add_execution(
                     Execution(k, mini, resource, job.jid, job.color)
                 )
-                self.trace.append(ExecuteEvent(k, mini, resource, job.color, job.jid))
+                trace.append(ExecuteEvent(k, mini, resource, job.color, job.jid))
                 self.cost.record_execution(job.color)
 
     # ------------------------------------------------- scheme-facing helpers
@@ -264,6 +335,9 @@ class BatchedEngine:
     def cache_insert(self, color: int, *, section: str = "main") -> None:
         """Bring ``color`` into the cache, recording costs and events."""
         slot, reconfigured, old_physical = self.cache.insert(color)
+        if self.trace is None:
+            self.cost.record_reconfig(color, len(reconfigured))
+            return
         for resource in reconfigured:
             self.schedule.add_reconfiguration(
                 Reconfiguration(self.round_index, self.mini_round, resource, color)
@@ -281,7 +355,8 @@ class BatchedEngine:
     def cache_evict(self, color: int) -> None:
         """Drop ``color`` from the cache (free of charge; slots persist)."""
         self.cache.evict(color)
-        self.trace.append(CacheOutEvent(self.round_index, self.mini_round, color))
+        if self.trace is not None:
+            self.trace.append(CacheOutEvent(self.round_index, self.mini_round, color))
 
 
 def simulate(
@@ -292,6 +367,7 @@ def simulate(
     copies: int = 2,
     speed: int = 1,
     collect_metrics: bool = False,
+    record: str = "full",
 ) -> RunResult:
     """Build a :class:`BatchedEngine`, run it, and return the result."""
     return BatchedEngine(
@@ -301,4 +377,5 @@ def simulate(
         copies=copies,
         speed=speed,
         collect_metrics=collect_metrics,
+        record=record,
     ).run()

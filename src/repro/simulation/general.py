@@ -13,10 +13,15 @@ deadlines.  This engine implements the bare Section 2 round semantics:
 
 Within a color, arrivals are FIFO and each color has a single delay bound,
 so the queue front is always the earliest deadline.
+
+Like :class:`~repro.simulation.engine.BatchedEngine`, the general engine
+supports ``record="costs"`` — the fast path that skips ``Trace`` and
+``Schedule`` construction when callers only need the cost breakdown.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from collections import deque
 
@@ -63,6 +68,7 @@ class GeneralEngine:
         copies: int = 1,
         speed: int = 1,
         collect_metrics: bool = False,
+        record: str = "full",
     ) -> None:
         if num_resources <= 0 or num_resources % copies != 0:
             raise ValueError(
@@ -71,20 +77,26 @@ class GeneralEngine:
             )
         if speed not in (1, 2):
             raise ValueError("speed must be 1 (uni) or 2 (double)")
+        if record not in ("full", "costs"):
+            raise ValueError("record must be 'full' or 'costs'")
         self.instance = instance
         self.policy = policy
         self.num_resources = num_resources
         self.copies = copies
         self.speed = speed
+        self.record = record
         self.delta = instance.reconfig_cost
 
         self.cache = CachePool(num_resources // copies, copies)
         self.pending: dict[int, deque[Job]] = {
             color: deque() for color in instance.spec.delay_bounds
         }
-        self.schedule = Schedule(num_resources, speed=speed)
+        full = record == "full"
+        self.schedule: Schedule | None = (
+            Schedule(num_resources, speed=speed) if full else None
+        )
         self.cost = CostBreakdown(instance.cost_model)
-        self.trace = Trace()
+        self.trace: Trace | None = Trace() if full else None
         self.metrics = (
             MetricsCollector(instance.horizon) if collect_metrics else None
         )
@@ -100,6 +112,7 @@ class GeneralEngine:
             raise RuntimeError("engine instances are single-use; build a new one")
         self._ran = True
         self.policy.setup(self)
+        start = time.perf_counter()
         for k in range(self.instance.horizon):
             self.round_index = k
             self._drop_phase(k)
@@ -110,6 +123,9 @@ class GeneralEngine:
                 self._execution_phase(k, mini)
             if self.metrics is not None:
                 self.metrics.end_round(k, self)  # type: ignore[arg-type]
+        elapsed = time.perf_counter() - start
+        if self.metrics is not None:
+            self.metrics.record_wall_clock(elapsed, self.instance.horizon)
         return RunResult(
             instance=self.instance,
             algorithm=self.policy.name,
@@ -119,39 +135,56 @@ class GeneralEngine:
             cost=self.cost,
             trace=self.trace,
             metrics=self.metrics,
+            record=self.record,
+            wall_seconds=elapsed,
         )
 
     # --------------------------------------------------------------- phases
 
     def _drop_phase(self, k: int) -> None:
+        trace = self.trace
         for color, queue in self.pending.items():
             dropped = 0
             while queue and queue[0].deadline <= k:
                 queue.popleft()
                 dropped += 1
             if dropped:
-                self.trace.append(DropEvent(k, color, dropped, eligible=True))
+                if trace is not None:
+                    trace.append(DropEvent(k, color, dropped, eligible=True))
                 self.cost.record_drop(color, dropped)
 
     def _arrival_phase(self, k: int) -> None:
+        trace = self.trace
         counts: dict[int, int] = {}
         for job in self.instance.sequence.arrivals(k):
             self.pending[job.color].append(job)
             counts[job.color] = counts.get(job.color, 0) + 1
-        for color, count in counts.items():
-            self.trace.append(ArrivalEvent(k, color, count))
+        if trace is not None:
+            for color, count in counts.items():
+                trace.append(ArrivalEvent(k, color, count))
 
     def _execution_phase(self, k: int, mini: int) -> None:
+        schedule, trace = self.schedule, self.trace
+        if schedule is None:
+            # Fast path: only the execution count per color matters.
+            for slot in self.cache.occupied_slots():
+                queue = self.pending[slot.occupant]
+                taken = min(self.copies, len(queue))
+                if taken:
+                    for _ in range(taken):
+                        queue.popleft()
+                    self.cost.record_execution(slot.occupant, taken)
+            return
         for slot in self.cache.occupied_slots():
             queue = self.pending[slot.occupant]
             for resource in slot.resources():
                 if not queue:
                     break
                 job = queue.popleft()
-                self.schedule.add_execution(
+                schedule.add_execution(
                     Execution(k, mini, resource, job.jid, job.color)
                 )
-                self.trace.append(ExecuteEvent(k, mini, resource, job.color, job.jid))
+                trace.append(ExecuteEvent(k, mini, resource, job.color, job.jid))
                 self.cost.record_execution(job.color)
 
     # ------------------------------------------------- policy-facing helpers
@@ -178,6 +211,9 @@ class GeneralEngine:
 
     def cache_insert(self, color: int, *, section: str = "main") -> None:
         slot, reconfigured, old_physical = self.cache.insert(color)
+        if self.trace is None:
+            self.cost.record_reconfig(color, len(reconfigured))
+            return
         for resource in reconfigured:
             self.schedule.add_reconfiguration(
                 Reconfiguration(self.round_index, self.mini_round, resource, color)
@@ -194,7 +230,8 @@ class GeneralEngine:
 
     def cache_evict(self, color: int) -> None:
         self.cache.evict(color)
-        self.trace.append(CacheOutEvent(self.round_index, self.mini_round, color))
+        if self.trace is not None:
+            self.trace.append(CacheOutEvent(self.round_index, self.mini_round, color))
 
 
 def simulate_general(
@@ -205,6 +242,7 @@ def simulate_general(
     copies: int = 1,
     speed: int = 1,
     collect_metrics: bool = False,
+    record: str = "full",
 ) -> RunResult:
     """Build a :class:`GeneralEngine`, run it, and return the result."""
     return GeneralEngine(
@@ -214,4 +252,5 @@ def simulate_general(
         copies=copies,
         speed=speed,
         collect_metrics=collect_metrics,
+        record=record,
     ).run()

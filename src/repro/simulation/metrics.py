@@ -42,7 +42,14 @@ class RoundMetrics:
 
 
 class MetricsCollector:
-    """Accumulates per-round counters during an engine run."""
+    """Accumulates per-round counters during an engine run.
+
+    Besides the per-round series, the collector carries the run's perf
+    telemetry: the engines report the round loop's wall-clock time via
+    :meth:`record_wall_clock`, exposed as :attr:`wall_seconds` and
+    :attr:`rounds_per_second` so throughput trajectories (EXP-S,
+    ``BENCH_engine.json``) read it from one place.
+    """
 
     def __init__(self, horizon: int) -> None:
         if horizon <= 0:
@@ -56,6 +63,22 @@ class MetricsCollector:
         self._prev_exec = 0
         self._prev_drops = 0
         self._prev_reconfigs = 0
+        self.wall_seconds: float | None = None
+        self._timed_rounds = 0
+
+    def record_wall_clock(self, seconds: float, rounds: int) -> None:
+        """Record the wall-clock duration of ``rounds`` simulated rounds."""
+        if seconds < 0:
+            raise ValueError("wall-clock seconds must be nonnegative")
+        self.wall_seconds = seconds
+        self._timed_rounds = rounds
+
+    @property
+    def rounds_per_second(self) -> float:
+        """Simulated-round throughput (0 until a run has been timed)."""
+        if not self.wall_seconds or self._timed_rounds <= 0:
+            return 0.0
+        return self._timed_rounds / self.wall_seconds
 
     def end_round(self, k: int, engine: "BatchedEngine") -> None:
         """Record deltas for round ``k`` from the engine's accumulators."""

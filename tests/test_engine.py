@@ -71,6 +71,36 @@ class TestEligibilityProtocol:
         assert not result.trace.of_type(IneligibleEvent)
 
 
+class TestWrapMultiplicity:
+    """One arrival batch can cross several multiples of Δ; each crossed
+    multiple is its own wrapping event (regression: only one was emitted)."""
+
+    def test_large_batch_emits_one_wrap_per_crossed_multiple(self):
+        # Δ = 2, a single batch of 8: the counter crosses 2, 4, 6, 8.
+        inst = single_color_instance(batch_size=8, delta=2, batches=1, bound=8)
+        result = simulate(inst, CacheNothing(), 4)
+        wraps = result.trace.of_type(WrapEvent)
+        assert len(wraps) == 4
+        assert all(w.round_index == 0 for w in wraps)
+        # Eligibility still flips exactly once.
+        assert len(result.trace.of_type(EligibleEvent)) == 1
+
+    def test_counter_remainder_carries_across_batches(self):
+        # Δ = 3, batches of 4 on a cached color (no ineligibility reset):
+        # cnt 4 -> 1 wrap (rem 1); cnt 5 -> 1 wrap (rem 2); cnt 6 -> 2
+        # wraps (rem 0).
+        inst = single_color_instance(batch_size=4, delta=3, batches=3, bound=4)
+        result = simulate(inst, CacheEverything(), 4)
+        rounds = [w.round_index for w in result.trace.of_type(WrapEvent)]
+        assert rounds == [0, 4, 8, 8]
+
+    def test_multi_wrap_keeps_cost_parity_with_fast_path(self):
+        inst = single_color_instance(batch_size=8, delta=2, batches=2, bound=8)
+        full = simulate(inst, CacheEverything(), 4)
+        fast = simulate(inst, CacheEverything(), 4, record="costs")
+        assert fast.cost.summary() == full.cost.summary()
+
+
 class TestDropPhase:
     def test_uncached_jobs_drop_at_deadline(self):
         inst = single_color_instance(batch_size=3, delta=2, batches=2)

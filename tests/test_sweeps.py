@@ -6,7 +6,8 @@ import pytest
 from repro.algorithms.dlru import DeltaLRU
 from repro.algorithms.dlru_edf import DeltaLRUEDF
 from repro.algorithms.edf import EDF
-from repro.experiments.sweeps import run_matrix
+from repro.core.instance import BatchMode, make_instance
+from repro.experiments.sweeps import SweepResult, run_matrix
 from repro.workloads.adversarial import appendix_a_instance
 from repro.workloads.random_batched import random_rate_limited
 
@@ -53,6 +54,47 @@ def test_mean_cost_per_scheme(instances):
     means = sweep.mean_cost_per_scheme()
     assert set(means) == {"dLRU-EDF", "dLRU"}
     assert all(v > 0 for v in means.values())
+
+
+def test_relative_to_zero_cost_baseline(instances):
+    """Columns where the baseline is free must read inf, not a floored
+    ratio (regression: the denominator used to be clamped to 1)."""
+    # An empty instance costs nothing under every scheme.
+    free = make_instance(
+        [], {0: 4}, 2, batch_mode=BatchMode.RATE_LIMITED, horizon=8
+    )
+    sweep = run_matrix(instances + [free], [DeltaLRUEDF, DeltaLRU], 8)
+    relative = sweep.relative_to("dLRU-EDF")
+    assert np.isinf(relative[1, :-1]).sum() == 0  # normal columns: finite
+    assert relative[1, -1] == 1.0  # free vs free ties at 1.0
+    # Synthetic check of the paying-vs-free case.
+    paying = SweepResult(
+        scheme_names=("base", "other"),
+        instance_names=("i",),
+        total_costs=np.array([[0], [7]]),
+        reconfig_costs=np.zeros((2, 1), dtype=np.int64),
+        drop_costs=np.zeros((2, 1), dtype=np.int64),
+        runs=[[], []],
+    )
+    ratios = paying.relative_to("base")
+    assert ratios[0, 0] == 1.0
+    assert np.isposinf(ratios[1, 0])
+
+
+def test_duplicate_scheme_names_rejected(instances):
+    with pytest.raises(ValueError, match="duplicate scheme names"):
+        run_matrix(instances, [DeltaLRUEDF, DeltaLRUEDF], 8)
+
+
+def test_costs_record_matches_full(instances):
+    full = run_matrix(instances, [DeltaLRUEDF, DeltaLRU, EDF], 8)
+    fast = run_matrix(
+        instances, [DeltaLRUEDF, DeltaLRU, EDF], 8, record="costs"
+    )
+    assert np.array_equal(full.total_costs, fast.total_costs)
+    assert np.array_equal(full.reconfig_costs, fast.reconfig_costs)
+    assert np.array_equal(full.drop_costs, fast.drop_costs)
+    assert all(r.schedule is None for row in fast.runs for r in row)
 
 
 def test_empty_inputs_rejected(instances):
