@@ -1,0 +1,102 @@
+"""CI benchmark-regression guard.
+
+Re-runs the EXP-S smoke grid (the quick cells, a subset of the full
+grid) and compares each cell's rounds/sec against the committed
+``benchmarks/reports/BENCH_engine.json`` baseline, row for row.  Exits
+non-zero if any matched cell regressed by more than the tolerance
+(default 30%, overridable via ``--tolerance``), so a hot-loop slowdown
+fails the PR instead of landing silently.
+
+Noise note: CI machines are slower and noisier than the machine that
+produced the baseline, which is why the tolerance is wide and the guard
+compares cell-by-cell rather than against the summary geomeans.  The
+baseline's machine context is printed on failure so a "regression" on a
+much weaker runner is easy to diagnose.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).parent / "reports" / "BENCH_engine.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional rounds/sec drop before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE,
+        help="path to the committed BENCH_engine.json",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.registry import run_experiment
+    from repro.runtime.telemetry import (
+        BENCH_SCHEMA,
+        read_bench_json,
+        throughput_regressions,
+    )
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; nothing to compare — pass")
+        return 0
+    baseline = read_bench_json(args.baseline)
+    if baseline.get("schema") != BENCH_SCHEMA:
+        print(
+            f"baseline schema {baseline.get('schema')!r} != {BENCH_SCHEMA!r}; "
+            "regenerate it with bench_scaling_table — pass"
+        )
+        return 0
+
+    report = run_experiment("EXP-S", quick=True)
+    regressions = throughput_regressions(
+        baseline["rows"], report.rows, tolerance=args.tolerance
+    )
+    matched = [
+        row
+        for row in report.rows
+        if "rounds_per_second" in row
+    ]
+    print(
+        f"EXP-S quick: {len(matched)} cells measured, "
+        f"tolerance {args.tolerance:.0%}"
+    )
+    if not regressions:
+        print("no throughput regressions against the committed baseline")
+        return 0
+
+    print(f"\n{len(regressions)} cell(s) regressed beyond tolerance:")
+    for reg in regressions:
+        key = reg["key"]
+        print(
+            f"  {key}: {reg['fresh_rounds_per_second']:.0f} rounds/s vs "
+            f"baseline {reg['baseline_rounds_per_second']:.0f} "
+            f"(x{reg['ratio']:.2f})"
+        )
+    print("\nbaseline machine context:")
+    print(json.dumps(baseline.get("machine", {}), indent=2))
+    print(
+        "\nIf the slowdown is intentional (or the baseline machine is simply "
+        "faster), regenerate the baseline:\n"
+        "  PYTHONPATH=src python -m pytest "
+        "benchmarks/bench_engine_scaling.py::bench_scaling_table -q"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,8 +26,13 @@ class DeltaLRU(ReconfigurationScheme):
     """
 
     name = "dLRU"
+    # Pure function of (eligibility, timestamps, cache); once desired ⊆
+    # cache holds, repeat calls with frozen state are no-ops.
+    stationary = True
 
     def reconfigure(self, engine: BatchedEngine) -> None:
+        if engine.at_fixed_point():
+            return
         capacity = engine.cache.capacity
         desired = set(engine.lru_order()[:capacity])
         cached = engine.cache.cached_colors()
@@ -38,3 +43,4 @@ class DeltaLRU(ReconfigurationScheme):
         for color in engine.lru_order():
             if color in desired and color not in engine.cache:
                 engine.cache_insert(color, section="lru")
+        engine.mark_fixed_point()

@@ -26,6 +26,10 @@ class DeltaLRUEDF(ReconfigurationScheme):
     """Combined recency + deadline reconfiguration scheme."""
 
     name = "dLRU-EDF"
+    # Both components are pure functions of the scheme-visible state; the
+    # LRU set is cached after one call and the EDF component only admits
+    # nonidle colors, so frozen state ⇒ no-op.
+    stationary = True
 
     def __init__(self, lru_fraction: float = 0.5) -> None:
         """``lru_fraction`` splits the distinct-color capacity between the
@@ -38,6 +42,8 @@ class DeltaLRUEDF(ReconfigurationScheme):
         self.lru_fraction = lru_fraction
 
     def reconfigure(self, engine: BatchedEngine) -> None:
+        if engine.at_fixed_point():
+            return
         capacity = engine.cache.capacity
         lru_capacity = int(capacity * self.lru_fraction)
         edf_capacity = capacity - lru_capacity
@@ -72,6 +78,7 @@ class DeltaLRUEDF(ReconfigurationScheme):
                 victim = self._lowest_ranked_cached(engine, non_lru_ranking)
                 engine.cache_evict(victim)
             engine.cache_insert(color, section="edf")
+        engine.mark_fixed_point()
 
     @staticmethod
     def _lowest_ranked_cached(

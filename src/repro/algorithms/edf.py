@@ -21,8 +21,13 @@ class EDF(ReconfigurationScheme):
     """Earliest-deadline-first reconfiguration over eligible colors."""
 
     name = "EDF"
+    # Admits only nonidle colors and never evicts without admitting, so
+    # empty-queue stretches are fixed points.
+    stationary = True
 
     def reconfigure(self, engine: BatchedEngine) -> None:
+        if engine.at_fixed_point():
+            return
         capacity = engine.cache.capacity
         ranking = engine.rank_eligible()
         # Rank position of every eligible color; cached colors are always
@@ -37,6 +42,7 @@ class EDF(ReconfigurationScheme):
                 victim = self._lowest_ranked_cached(engine, ranking)
                 engine.cache_evict(victim)
             engine.cache_insert(color, section="edf")
+        engine.mark_fixed_point()
 
     @staticmethod
     def _lowest_ranked_cached(engine: BatchedEngine, ranking: list[int]) -> int:

@@ -17,6 +17,9 @@ class GreedyPendingPolicy(GeneralPolicy):
     """Cache the colors with the most pending jobs, with sticky swaps."""
 
     name = "greedy-pending"
+    # Zero backlog ⇒ no challengers ⇒ no-op, and evictions only happen
+    # paired with an insertion.
+    stationary = True
 
     def __init__(self, hysteresis: float = 1.0) -> None:
         if hysteresis < 0:

@@ -15,6 +15,7 @@ class NeverReconfigurePolicy(GeneralPolicy):
     """Leave every resource black forever; all jobs are dropped."""
 
     name = "never-reconfigure"
+    stationary = True
 
     def reconfigure(self, engine: GeneralEngine) -> None:
         return None
@@ -24,6 +25,8 @@ class AlwaysReconfigurePolicy(GeneralPolicy):
     """Chase the instantaneous backlog with zero stickiness."""
 
     name = "always-reconfigure"
+    # NOT stationary: an empty backlog makes it evict every cached color,
+    # so empty-queue rounds still mutate the cache and cannot be skipped.
 
     def reconfigure(self, engine: GeneralEngine) -> None:
         capacity = engine.cache.capacity

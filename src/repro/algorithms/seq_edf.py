@@ -25,6 +25,9 @@ class SeqEDF(EDF):
     """EDF over a distinct-color cache without replication."""
 
     name = "Seq-EDF"
+    # Inherits EDF's stationarity (same admission rule, different cache
+    # geometry); stated explicitly so the sparse-core contract is visible.
+    stationary = True
 
 
 def run_seq_edf(instance: Instance, num_resources: int) -> RunResult:

@@ -18,6 +18,9 @@ class StaticPartitionPolicy(GeneralPolicy):
     """Configure a fixed color per slot in round 0 and never change it."""
 
     name = "static"
+    # Only acts in (round 0, mini-round 0), which the sparse core never
+    # skips; every later call is a no-op by construction.
+    stationary = True
 
     def __init__(
         self,

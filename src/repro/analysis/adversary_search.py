@@ -55,6 +55,11 @@ class SearchConfig:
     #: bound — right for showing an algorithm is bad); "upper" scores
     #: against the certified lower bound on OFF.
     denominator: str = "lower"
+    #: Lookahead windows tried by the hindsight-schedule denominator
+    #: (``denominator="lower"``).  More windows score tighter but slower.
+    offline_windows: Sequence[int] = (32,)
+    #: Hysteresis values tried by the hindsight-schedule denominator.
+    offline_hysteresis: Sequence[float] = (1.0,)
     #: Optional warm start: a rate-limited instance to seed the first
     #: restart with (its per-color delay bounds override the random
     #: bound assignment).  Random mutation rarely synthesizes the
@@ -73,6 +78,16 @@ class SearchResult:
     best_ratio: float
     trajectory: list[float] = field(default_factory=list)
     evaluations: int = 0
+    #: Scoring-pipeline memoization telemetry, summed over restarts (a
+    #: hit means a simulation or offline estimate was skipped entirely).
+    score_cache_hits: int = 0
+    score_cache_misses: int = 0
+
+    @property
+    def score_cache_hit_rate(self) -> float:
+        """Fraction of score lookups answered from the cache."""
+        lookups = self.score_cache_hits + self.score_cache_misses
+        return self.score_cache_hits / lookups if lookups else 0.0
 
 
 def _decode(matrix: np.ndarray, config: SearchConfig, bounds: dict[int, int]) -> Instance:
@@ -97,29 +112,123 @@ def _decode(matrix: np.ndarray, config: SearchConfig, bounds: dict[int, int]) ->
     )
 
 
+class ScoreCache:
+    """Content-addressed memo for the adversary scoring pipeline.
+
+    Keys are the exact bytes of a batch-size matrix plus the bound
+    assignment and a config fingerprint, so a hit can only ever return
+    what recomputation would — caching never perturbs the (serial or
+    parallel) search trajectory.  Hill climbs revisit matrices often: a
+    point mutation that rewrites a cell to its current value reproduces
+    the incumbent bit for bit.  Online and offline scores are cached
+    separately because the offline denominator does not depend on the
+    scheme under attack.
+    """
+
+    __slots__ = ("_online", "_offline", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._online: dict[tuple, int] = {}
+        self._offline: dict[tuple, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _lookup(self, table: dict, key: tuple, compute: Callable[[], int]) -> int:
+        try:
+            value = table[key]
+            self.hits += 1
+        except KeyError:
+            value = table[key] = compute()
+            self.misses += 1
+        return value
+
+    def online_cost(self, key: tuple, compute: Callable[[], int]) -> int:
+        return self._lookup(self._online, key, compute)
+
+    def offline_cost(self, key: tuple, compute: Callable[[], int]) -> int:
+        return self._lookup(self._offline, key, compute)
+
+
+def _matrix_key(matrix: np.ndarray, bounds: dict[int, int], horizon: int) -> tuple:
+    """Content address of one candidate: canonical matrix bytes + bounds.
+
+    The key uses the matrix as :func:`_decode` actually reads it — batch
+    sizes clamped to the rate limit and blocks starting at or beyond the
+    horizon zeroed — so mutations that only touch clamped or dead cells
+    hit the cache instead of re-simulating an identical instance.
+    """
+    canon = matrix.copy()
+    num_blocks = canon.shape[1]
+    for color in range(canon.shape[0]):
+        bound = bounds[color]
+        np.clip(canon[color], 0, bound, out=canon[color])
+        first_dead = (horizon + bound - 1) // bound
+        if first_dead < num_blocks:
+            canon[color, first_dead:] = 0
+    return (canon.shape, canon.tobytes(), tuple(sorted(bounds.items())))
+
+
+def _online_fingerprint(config: SearchConfig, scheme_name: str) -> tuple:
+    return (
+        scheme_name,
+        config.num_resources,
+        config.delta,
+        config.horizon,
+    )
+
+
+def _offline_fingerprint(config: SearchConfig) -> tuple:
+    return (
+        config.denominator,
+        config.offline_resources,
+        config.delta,
+        config.horizon,
+        tuple(config.offline_windows),
+        tuple(config.offline_hysteresis),
+    )
+
+
 def _score(
     instance: Instance,
     scheme_factory: Callable[[], ReconfigurationScheme],
     config: SearchConfig,
+    *,
+    cache: ScoreCache | None = None,
+    content_key: tuple | None = None,
 ) -> float:
     if len(instance.sequence) == 0:
         return 0.0
-    # Only the total cost matters here, so take the engine fast path.
-    online = simulate(
-        instance, scheme_factory(), config.num_resources, record="costs"
-    )
-    if config.denominator == "lower":
-        off = best_offline_heuristic(
-            instance,
-            config.offline_resources,
-            windows=(32,),
-            hysteresis_values=(1.0,),
-        ).cost
+
+    def run_online() -> int:
+        # Only the total cost matters here, so take the engine fast path.
+        return simulate(
+            instance, scheme_factory(), config.num_resources, record="costs"
+        ).total_cost
+
+    def run_offline() -> int:
+        if config.denominator == "lower":
+            return best_offline_heuristic(
+                instance,
+                config.offline_resources,
+                windows=tuple(config.offline_windows),
+                hysteresis_values=tuple(config.offline_hysteresis),
+            ).cost
+        return combined_lower_bound(instance, config.offline_resources)
+
+    if cache is not None and content_key is not None:
+        scheme_name = scheme_factory().name
+        online_cost = cache.online_cost(
+            (content_key, _online_fingerprint(config, scheme_name)), run_online
+        )
+        off = cache.offline_cost(
+            (content_key, _offline_fingerprint(config)), run_offline
+        )
     else:
-        off = combined_lower_bound(instance, config.offline_resources)
+        online_cost = run_online()
+        off = run_offline()
     if off <= 0:
-        return 0.0 if online.total_cost == 0 else float(online.total_cost)
-    return online.total_cost / off
+        return 0.0 if online_cost == 0 else float(online_cost)
+    return online_cost / off
 
 
 def encode_instance(
@@ -190,23 +299,39 @@ def _plan_restarts(
 
 def _climb_restart(
     task: tuple[_RestartPlan, SearchConfig, dict[int, int], Callable],
-) -> tuple[np.ndarray, float, list[float], int]:
-    """Run one restart's hill climb; module-level so it pickles to workers."""
+) -> tuple[np.ndarray, float, list[float], int, int, int]:
+    """Run one restart's hill climb; module-level so it pickles to workers.
+
+    The :class:`ScoreCache` lives for the whole restart, so every step
+    that reproduces an already-scored matrix (point mutations frequently
+    rewrite cells to their current values) skips its simulations.
+    """
     plan, config, bounds, scheme_factory = task
+    cache = ScoreCache()
+
+    def scored(candidate: np.ndarray) -> float:
+        return _score(
+            _decode(candidate, config, bounds),
+            scheme_factory,
+            config,
+            cache=cache,
+            content_key=_matrix_key(candidate, bounds, config.horizon),
+        )
+
     matrix = plan.matrix
-    current_ratio = _score(_decode(matrix, config, bounds), scheme_factory, config)
+    current_ratio = scored(matrix)
     evaluations = 1
     trajectory: list[float] = []
     for step in plan.mutations:
         candidate = matrix.copy()
         for color, block_index, value in step:
             candidate[color, block_index] = value
-        ratio = _score(_decode(candidate, config, bounds), scheme_factory, config)
+        ratio = scored(candidate)
         evaluations += 1
         if ratio >= current_ratio:
             matrix, current_ratio = candidate, ratio
         trajectory.append(current_ratio)
-    return matrix, current_ratio, trajectory, evaluations
+    return matrix, current_ratio, trajectory, evaluations, cache.hits, cache.misses
 
 
 def search_adversary(
@@ -248,9 +373,13 @@ def search_adversary(
     best_ratio = -1.0
     trajectory: list[float] = []
     evaluations = 0
-    for matrix, current_ratio, restart_trajectory, restart_evals in climbs:
+    cache_hits = 0
+    cache_misses = 0
+    for matrix, current_ratio, restart_trajectory, restart_evals, hits, misses in climbs:
         trajectory.extend(restart_trajectory)
         evaluations += restart_evals
+        cache_hits += hits
+        cache_misses += misses
         if current_ratio > best_ratio:
             best_ratio, best_matrix = current_ratio, matrix
 
@@ -260,4 +389,6 @@ def search_adversary(
         best_ratio=best_ratio,
         trajectory=trajectory,
         evaluations=evaluations,
+        score_cache_hits=cache_hits,
+        score_cache_misses=cache_misses,
     )

@@ -6,8 +6,12 @@ performance regressions in the hot loop show up in benchmark history.
 
 Each grid cell is timed in both record modes — ``"full"`` (schedule +
 trace, the verification path) and ``"costs"`` (the fast path sweeps and
-searches use) — so the fast-path speedup is itself a tracked number.
-Cells are independent and dispatch through an optional
+searches use) — so the fast-path speedup is itself a tracked number.  A
+second, sparse-friendly grid (many colors, large delay bounds, low load)
+times the ``"costs"`` mode under both engine cores — ``dense`` (every
+round simulated) and ``sparse`` (boundary calendar + inactive-stretch
+fast-forward) — so the sparse-core speedup and the active-round fraction
+are tracked too.  Cells are independent and dispatch through an optional
 :class:`~repro.runtime.parallel.ParallelRunner`; per-cell workload seeds
 are derived with :func:`~repro.runtime.seeding.derive_seed` so the grid
 is reproducible regardless of execution order.  The measured rows feed
@@ -32,19 +36,33 @@ DEFAULT_GRID: tuple[tuple[int, int, int], ...] = (
     (16, 8, 4096),
 )
 
+#: Sparse-friendly cells: many colors with large delay bounds at low
+#: load, so most rounds are boundary-free and most queues drain — the
+#: regime the sparse engine core fast-forwards through.
+SPARSE_GRID: tuple[tuple[int, int, int], ...] = ((64, 128, 4096),)
+
+DENSE_WORKLOAD = {"load": 0.6, "bound_choices": (2, 4, 8, 16)}
+SPARSE_WORKLOAD = {"load": 0.2, "bound_choices": (64, 128, 256)}
+
 
 def _scaling_cell(task: tuple) -> dict:
-    """Time one (config, record mode) cell; module-level so it pickles."""
-    resources, colors, horizon, delta, seed, record = task
+    """Time one (config, record mode, engine) cell; module-level so it pickles."""
+    resources, colors, horizon, delta, seed, record, load, bounds, engine = task
     instance = random_rate_limited(
         colors,
         delta,
         horizon,
         seed=derive_seed(seed, resources, colors, horizon),
-        load=0.6,
-        bound_choices=(2, 4, 8, 16),
+        load=load,
+        bound_choices=bounds,
     )
-    result = simulate(instance, DeltaLRUEDF(), resources, record=record)
+    result = simulate(
+        instance,
+        DeltaLRUEDF(),
+        resources,
+        record=record,
+        sparse=(engine == "sparse"),
+    )
     elapsed = result.wall_seconds
     return {
         "resources": resources,
@@ -52,9 +70,12 @@ def _scaling_cell(task: tuple) -> dict:
         "horizon": horizon,
         "jobs": len(instance.sequence),
         "record": record,
+        "engine": engine,
+        "load": load,
         "seconds": elapsed,
         "rounds_per_second": result.rounds_per_second,
         "jobs_per_second": len(instance.sequence) / elapsed if elapsed > 0 else 0.0,
+        "active_round_fraction": result.active_round_fraction,
         "total_cost": result.total_cost,
     }
 
@@ -62,6 +83,7 @@ def _scaling_cell(task: tuple) -> dict:
 def run(
     *,
     grid: tuple[tuple[int, int, int], ...] = DEFAULT_GRID,
+    sparse_grid: tuple[tuple[int, int, int], ...] = SPARSE_GRID,
     delta: int = 4,
     seed: int = 0,
     record_modes: tuple[str, ...] = ("full", "costs"),
@@ -69,9 +91,36 @@ def run(
 ) -> ExperimentReport:
     report = ExperimentReport("EXP-S", "Simulator throughput scaling")
     tasks = [
-        (resources, colors, horizon, delta, seed, record)
+        (
+            resources,
+            colors,
+            horizon,
+            delta,
+            seed,
+            record,
+            DENSE_WORKLOAD["load"],
+            DENSE_WORKLOAD["bound_choices"],
+            "sparse",
+        )
         for resources, colors, horizon in grid
         for record in record_modes
+    ]
+    # Sparse-friendly cells compare the two engine cores head to head on
+    # the fast path the sweeps and searches actually use.
+    tasks += [
+        (
+            resources,
+            colors,
+            horizon,
+            delta,
+            seed,
+            "costs",
+            SPARSE_WORKLOAD["load"],
+            SPARSE_WORKLOAD["bound_choices"],
+            engine,
+        )
+        for resources, colors, horizon in sparse_grid
+        for engine in ("dense", "sparse")
     ]
     rows = (
         runner.map(_scaling_cell, tasks)
@@ -80,8 +129,11 @@ def run(
     )
     report.rows.extend(rows)
 
+    grid_rows = [row for row in rows if row["load"] == DENSE_WORKLOAD["load"]]
+    sparse_rows = [row for row in rows if row["load"] == SPARSE_WORKLOAD["load"]]
+
     by_config: dict[tuple[int, int, int], dict[str, dict]] = {}
-    for row in rows:
+    for row in grid_rows:
         key = (row["resources"], row["colors"], row["horizon"])
         by_config.setdefault(key, {})[row["record"]] = row
 
@@ -114,13 +166,54 @@ def run(
     report.tables.append(table)
     report.series.append(series)
 
+    sparse_by_config: dict[tuple[int, int, int], dict[str, dict]] = {}
+    for row in sparse_rows:
+        key = (row["resources"], row["colors"], row["horizon"])
+        sparse_by_config.setdefault(key, {})[row["engine"]] = row
+    sparse_speedups = []
+    if sparse_by_config:
+        sparse_table = Table(
+            "Sparse core vs dense core (costs mode, sparse-friendly cells)",
+            (
+                "resources",
+                "colors",
+                "horizon",
+                "dense s",
+                "sparse s",
+                "speedup",
+                "active fraction",
+            ),
+        )
+        for (resources, colors, horizon), cells in sparse_by_config.items():
+            dense_s = cells["dense"]["seconds"]
+            sparse_s = cells["sparse"]["seconds"]
+            speedup = dense_s / sparse_s if sparse_s > 0 else 0.0
+            sparse_speedups.append(speedup)
+            sparse_table.add_row(
+                resources,
+                colors,
+                horizon,
+                round(dense_s, 4),
+                round(sparse_s, 4),
+                round(speedup, 2),
+                round(cells["sparse"]["active_round_fraction"], 3),
+            )
+        report.tables.append(sparse_table)
+
     report.summary = {
         "min_rounds_per_second": round(
-            min(r["rounds_per_second"] for r in rows)
+            min(r["rounds_per_second"] for r in grid_rows)
         )
     }
     if speedups:
         report.summary["fast_path_speedup_geomean"] = round(
             geometric_mean(speedups), 3
+        )
+    if sparse_speedups:
+        report.summary["sparse_core_speedup_geomean"] = round(
+            geometric_mean(sparse_speedups), 3
+        )
+        report.summary["min_active_round_fraction"] = round(
+            min(r["active_round_fraction"] for r in sparse_rows), 3
         )
     return report

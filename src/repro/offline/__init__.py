@@ -25,7 +25,11 @@ from repro.offline.lower_bounds import (
     par_edf_drop_lower_bound,
     per_color_lower_bound,
 )
-from repro.offline.optimal import OptimalResult, optimal_offline
+from repro.offline.optimal import (
+    OptimalResult,
+    optimal_offline,
+    optimal_offline_exhaustive,
+)
 from repro.offline.heuristic import LookaheadPolicy, best_offline_heuristic
 
 __all__ = [
@@ -37,6 +41,7 @@ __all__ = [
     "per_color_lower_bound",
     "OptimalResult",
     "optimal_offline",
+    "optimal_offline_exhaustive",
     "LookaheadPolicy",
     "best_offline_heuristic",
 ]

@@ -91,6 +91,57 @@ def capacity_lower_bound(
     return best * instance.spec.cost.drop_cost
 
 
+def pending_drop_floor(
+    pending,
+    start_round: int,
+    capacity_per_round: int,
+    drop_cost: int = 1,
+) -> int:
+    """Capacity floor on drops among ``pending`` jobs from ``start_round``.
+
+    ``pending`` iterates ``((color, deadline), count)`` pairs.  Jobs with
+    deadline ``d`` can only execute during rounds ``[start_round, d)`` —
+    at most ``capacity_per_round * (d - start_round)`` of them in total —
+    so any excess must be dropped.  Used as an admissible suffix bound by
+    the branch-and-bound offline search: future arrivals can only raise
+    the optimum, so a floor on the pending-only subproblem is valid.
+    """
+    per_deadline: dict[int, int] = {}
+    for (_, deadline), count in pending:
+        per_deadline[deadline] = per_deadline.get(deadline, 0) + count
+    best = 0
+    confined = 0
+    for deadline in sorted(per_deadline):
+        confined += per_deadline[deadline]
+        slack = confined - capacity_per_round * max(0, deadline - start_round)
+        if slack > best:
+            best = slack
+    return best * drop_cost
+
+
+def pending_reconfig_floor(
+    pending,
+    cached_colors,
+    delta: int,
+    drop_cost: int = 1,
+) -> int:
+    """Per-color floor over pending colors outside ``cached_colors``.
+
+    The state-level analogue of :func:`per_color_lower_bound`: each
+    pending color not currently cached forces the schedule to either
+    recolor a slot to it (``>= Δ``) or drop all of its pending jobs.
+    The charges are disjoint across colors, so the sum is admissible.
+    """
+    per_color: dict[int, int] = {}
+    for (color, _), count in pending:
+        per_color[color] = per_color.get(color, 0) + count
+    return sum(
+        min(delta, count * drop_cost)
+        for color, count in per_color.items()
+        if color not in cached_colors
+    )
+
+
 def combined_lower_bound(
     instance: Instance,
     num_resources: int,

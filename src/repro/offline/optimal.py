@@ -1,4 +1,4 @@
-"""Exact offline optimum by memoized exhaustive search.
+"""Exact offline optimum by memoized branch-and-bound search.
 
 For small instances this computes the true ``Cost_OFF`` the paper's
 ratios are defined against.  The search space is kept finite by three
@@ -16,15 +16,25 @@ facts about the problem:
   depends only on the cache multiset and the pending multiset
   ``{(color, deadline) -> count}``.
 
-The search memoizes ``(round, cache, pending) -> (min future cost, best
-configuration)`` and replays the decisions to emit a feasible
+:func:`optimal_offline` runs an *iterative* depth-first branch-and-bound:
+candidate configurations at each node are ordered by an optimistic cost
+(reconfiguration plus an admissible suffix lower bound from
+:mod:`repro.offline.lower_bounds`), so a good incumbent is found early
+and provably-dominated candidates are cut without expanding their
+subtrees.  Rounds with nothing pending fast-forward to the next arrival.
+The pruning is per-node — a candidate is cut only when its optimistic
+cost cannot beat the node's own incumbent — so every memoized value
+``(round, cache, pending) -> (min future cost, best configuration)``
+stays exact and the decisions replay into a feasible
 :class:`~repro.core.schedule.Schedule` checked by the shared verifier.
 A ``max_states`` guard protects against accidental use on large
-instances.
+instances.  :func:`optimal_offline_exhaustive` keeps the original
+recursive exhaustive search for cross-checking.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import Counter
 from dataclasses import dataclass
 from itertools import combinations_with_replacement
@@ -35,6 +45,7 @@ from repro.core.instance import Instance
 from repro.core.job import BLACK, Job
 from repro.core.schedule import Schedule
 from repro.core.validation import verify_schedule
+from repro.offline.lower_bounds import pending_drop_floor, pending_reconfig_floor
 
 #: pending is a sorted tuple of ((color, deadline), count).
 PendingKey = tuple[tuple[tuple[int, int], int], ...]
@@ -150,13 +161,253 @@ def _execute_abstract(cache: CacheKey, pending: PendingKey) -> PendingKey:
     return tuple(sorted(items.items()))
 
 
+def _future_arrivals_by_color(
+    arrivals: dict[int, dict[tuple[int, int], int]],
+) -> dict[int, tuple[list[int], list[int]]]:
+    """Per color: sorted arrival rounds and suffix job totals.
+
+    ``suffix[i]`` is the number of the color's jobs arriving at or after
+    ``rounds[i]`` — the lookup behind the future-aware reconfiguration
+    floor of the branch-and-bound suffix bound.
+    """
+    per_color: dict[int, dict[int, int]] = {}
+    for k, batch in arrivals.items():
+        for (color, _), count in batch.items():
+            rounds = per_color.setdefault(color, {})
+            rounds[k] = rounds.get(k, 0) + count
+    out: dict[int, tuple[list[int], list[int]]] = {}
+    for color, by_round in per_color.items():
+        rounds = sorted(by_round)
+        suffix = [0] * len(rounds)
+        acc = 0
+        for i in range(len(rounds) - 1, -1, -1):
+            acc += by_round[rounds[i]]
+            suffix[i] = acc
+        out[color] = (rounds, suffix)
+    return out
+
+
+class _Frame:
+    """One open node of the iterative depth-first branch-and-bound."""
+
+    __slots__ = (
+        "key",
+        "phase_cost",
+        "cands",
+        "idx",
+        "best_cost",
+        "best_cache",
+        "pending2",
+    )
+
+    def __init__(self, key, phase_cost, cands, best_cache, pending2=()):
+        self.key = key
+        self.phase_cost = phase_cost
+        #: ``None`` marks a fast-forward frame (nothing pending).
+        #: Otherwise ``[reconfig_cost, candidate, after-or-None]`` rows
+        #: sorted by reconfiguration cost; ``after`` is filled lazily.
+        self.cands = cands
+        self.idx = 0
+        self.best_cost: int | None = None
+        self.best_cache: CacheKey = best_cache
+        #: Post-drop/arrival pending state (for lazy execution).
+        self.pending2: PendingKey = pending2
+
+
 def optimal_offline(
     instance: Instance,
     num_resources: int,
     *,
     max_states: int = 2_000_000,
 ) -> OptimalResult:
-    """Compute the exact optimal offline cost and a witness schedule."""
+    """Compute the exact optimal offline cost and a witness schedule.
+
+    Iterative depth-first branch-and-bound; see the module docstring.
+    ``states_explored`` counts expanded decision nodes, so it is directly
+    comparable to (and strictly smaller on pruned instances than) the
+    memo size of :func:`optimal_offline_exhaustive`.
+    """
+    if num_resources <= 0:
+        raise ValueError("need at least one resource")
+    m = num_resources
+    delta = instance.spec.reconfig_cost
+    drop_cost = instance.spec.cost.drop_cost
+    horizon = instance.horizon
+    arrivals = _arrivals_by_round(instance)
+    arrival_rounds = sorted(arrivals)
+    future_by_color = _future_arrivals_by_color(arrivals)
+
+    memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey]] = {}
+    expanded = 0
+
+    def suffix_bound(start_round: int, cache: CacheKey, pending: PendingKey) -> int:
+        """Admissible bound on the cost-to-go from a search state.
+
+        Maximum of the capacity drop floor over the pending jobs and the
+        per-color reconfiguration floor over pending *plus future* jobs:
+        an uncached color's jobs — whenever they arrive — still force a
+        recoloring (``>= Δ``) or their drops, so counting them keeps the
+        bound admissible while making it decisive near the root.
+        """
+        per_color: dict[int, int] = {}
+        for (color, _), count in pending:
+            per_color[color] = per_color.get(color, 0) + count
+        for color, (rounds, suffix) in future_by_color.items():
+            i = bisect_right(rounds, start_round - 1)
+            if i < len(rounds):
+                per_color[color] = per_color.get(color, 0) + suffix[i]
+        merged = [((color, 0), count) for color, count in per_color.items()]
+        floor = pending_reconfig_floor(merged, set(cache), delta, drop_cost)
+        if pending:
+            floor = max(
+                floor, pending_drop_floor(pending, start_round, m, drop_cost)
+            )
+        return floor
+
+    def expand(key: tuple[int, CacheKey, PendingKey]) -> _Frame:
+        nonlocal expanded
+        expanded += 1
+        if expanded > max_states:
+            raise SearchSpaceExceeded(
+                f"optimal_offline exceeded {max_states} states; the "
+                f"instance is too large for exact search"
+            )
+        k, cache, pending = key
+        dropped, pending2 = _drop_and_arrive(k, pending, arrivals)
+        phase_cost = dropped * drop_cost
+        if not pending2:
+            # Inactive stretch: with nothing pending, keeping the current
+            # configuration dominates (configuration timing is free), so
+            # the node fast-forwards to the next arrival round.
+            return _Frame(key, phase_cost, None, cache)
+        pending_colors = tuple(sorted({c for ((c, _), _) in pending2}))
+        # Cheapest reconfigurations first: a good incumbent early makes
+        # the sorted-order cutoff in the main loop cheap and decisive.
+        # The post-execution state and suffix bound are computed lazily,
+        # only for candidates that survive the reconfiguration cutoff.
+        cands = [
+            [_reconfig_count(cache, candidate) * delta, candidate, None]
+            for candidate in _candidate_caches(cache, pending_colors, m)
+        ]
+        cands.sort(key=lambda entry: (entry[0], entry[1]))
+        return _Frame(key, phase_cost, cands, cache, pending2)
+
+    root = (0, (BLACK,) * m, ())
+    stack = [expand(root)]
+    ret: int | None = None  # value bubbling up from a finished child
+
+    while stack:
+        fr = stack[-1]
+        k = fr.key[0]
+
+        if fr.cands is None:
+            # Fast-forward frame: value = phase drops + cost from the
+            # next arrival round with the same cache.
+            cache = fr.key[1]
+            nxt = bisect_right(arrival_rounds, k)
+            if nxt == len(arrival_rounds):
+                next_k, value = horizon, 0
+            elif ret is not None:
+                next_k, value = arrival_rounds[nxt], ret
+                ret = None
+            else:
+                next_k = arrival_rounds[nxt]
+                child_key = (next_k, cache, ())
+                entry = memo.get(child_key)
+                if entry is None:
+                    stack.append(expand(child_key))
+                    continue
+                value = entry[0]
+            # Fill the skipped rounds so schedule replay (which walks
+            # every round) still finds its decisions.
+            for j in range(k + 1, next_k):
+                memo[(j, cache, ())] = (value, cache)
+            memo[fr.key] = (fr.phase_cost + value, cache)
+            ret = fr.phase_cost + value
+            stack.pop()
+            continue
+
+        if ret is not None:
+            # A child just finished: fold its value into the incumbent.
+            row = fr.cands[fr.idx]
+            total = fr.phase_cost + row[0] + ret
+            ret = None
+            if fr.best_cost is None or total < fr.best_cost:
+                fr.best_cost = total
+                fr.best_cache = row[1]
+            fr.idx += 1
+
+        descended = False
+        while fr.idx < len(fr.cands):
+            row = fr.cands[fr.idx]
+            reconfig, candidate = row[0], row[1]
+            have_incumbent = fr.best_cost is not None
+            if have_incumbent and fr.phase_cost + reconfig >= fr.best_cost:
+                # Candidates are sorted by reconfiguration cost and the
+                # suffix cost is nonnegative: every remaining candidate
+                # is dominated by the incumbent.
+                fr.idx = len(fr.cands)
+                break
+            after = row[2]
+            if after is None:
+                after = row[2] = _execute_abstract(candidate, fr.pending2)
+            if k + 1 >= horizon:
+                # Horizon extends past every deadline: leftovers drop.
+                value = sum(count for _, count in after) * drop_cost
+            else:
+                child_key = (k + 1, candidate, after)
+                entry = memo.get(child_key)
+                if entry is None:
+                    if have_incumbent and (
+                        fr.phase_cost
+                        + reconfig
+                        + suffix_bound(k + 1, candidate, after)
+                        >= fr.best_cost
+                    ):
+                        # Admissible bound: the candidate provably cannot
+                        # beat the incumbent — cut its unexpanded subtree.
+                        fr.idx += 1
+                        continue
+                    stack.append(expand(child_key))
+                    descended = True
+                    break
+                value = entry[0]
+            total = fr.phase_cost + reconfig + value
+            if fr.best_cost is None or total < fr.best_cost:
+                fr.best_cost = total
+                fr.best_cache = candidate
+            fr.idx += 1
+        if descended:
+            continue
+
+        assert fr.best_cost is not None
+        memo[fr.key] = (fr.best_cost, fr.best_cache)
+        ret = fr.best_cost
+        stack.pop()
+
+    assert ret is not None
+    total_cost = ret
+    schedule = _replay(instance, m, memo, arrivals)
+    breakdown = schedule.cost(instance.sequence.jobs, instance.cost_model)
+    if breakdown.total != total_cost:
+        raise AssertionError(
+            f"replayed schedule cost {breakdown.total} != search cost {total_cost}"
+        )
+    verify_schedule(instance, schedule).raise_if_invalid()
+    return OptimalResult(total_cost, schedule, breakdown, expanded)
+
+
+def optimal_offline_exhaustive(
+    instance: Instance,
+    num_resources: int,
+    *,
+    max_states: int = 2_000_000,
+) -> OptimalResult:
+    """Original recursive memoized exhaustive search.
+
+    Kept as the reference implementation: the property tests cross-check
+    :func:`optimal_offline`'s branch-and-bound answers against it.
+    """
     if num_resources <= 0:
         raise ValueError("need at least one resource")
     m = num_resources

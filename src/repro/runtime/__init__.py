@@ -24,6 +24,7 @@ from repro.runtime.telemetry import (
     bench_payload,
     machine_context,
     read_bench_json,
+    throughput_regressions,
     write_bench_json,
 )
 
@@ -35,5 +36,6 @@ __all__ = [
     "bench_payload",
     "machine_context",
     "read_bench_json",
+    "throughput_regressions",
     "write_bench_json",
 ]

@@ -3,9 +3,11 @@
 The EXP-S throughput experiment previously printed a table and forgot
 the numbers; this module gives the perf trajectory a durable home.
 :func:`write_bench_json` renders engine-scaling rows (wall-clock,
-rounds/sec, record mode) plus enough machine context to interpret them
-into ``BENCH_engine.json``, which benchmark runs commit so regressions
-are visible across PRs.
+rounds/sec, record mode, engine core, active-round fraction) plus enough
+machine context to interpret them into ``BENCH_engine.json``, which
+benchmark runs commit so regressions are visible across PRs.
+:func:`throughput_regressions` diffs a fresh run against that committed
+baseline — the CI regression guard is built on it.
 """
 
 from __future__ import annotations
@@ -18,7 +20,12 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 #: Schema tag so future emitters can evolve the layout detectably.
-BENCH_SCHEMA = "repro-bench-engine/v1"
+#: v2 added the engine-core dimension ("engine", "active_round_fraction"
+#: on throughput rows) plus offline-search and adversary-cache rows.
+BENCH_SCHEMA = "repro-bench-engine/v2"
+
+#: Fields identifying one throughput measurement across runs.
+THROUGHPUT_KEY = ("resources", "colors", "horizon", "record", "engine")
 
 
 def machine_context() -> dict[str, Any]:
@@ -64,3 +71,54 @@ def write_bench_json(
 def read_bench_json(path: str | Path) -> dict[str, Any]:
     """Load a previously written benchmark document."""
     return json.loads(Path(path).read_text())
+
+
+def _throughput_index(
+    rows: Sequence[Mapping[str, Any]],
+) -> dict[tuple, Mapping[str, Any]]:
+    """Index throughput rows (those carrying rounds/sec) by identity key."""
+    indexed: dict[tuple, Mapping[str, Any]] = {}
+    for row in rows:
+        if "rounds_per_second" not in row:
+            continue
+        key = tuple(row.get(field) for field in THROUGHPUT_KEY)
+        indexed[key] = row
+    return indexed
+
+
+def throughput_regressions(
+    baseline_rows: Sequence[Mapping[str, Any]],
+    fresh_rows: Sequence[Mapping[str, Any]],
+    *,
+    tolerance: float = 0.30,
+) -> list[dict[str, Any]]:
+    """Rows whose fresh rounds/sec dropped more than ``tolerance``.
+
+    Rows are matched by :data:`THROUGHPUT_KEY`; cells present on only
+    one side are ignored (grids may grow or shrink between runs).  Each
+    returned record carries the matching key, both throughputs, and the
+    fresh/baseline ratio, so callers can render an actionable failure.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must lie in [0, 1)")
+    baseline_index = _throughput_index(baseline_rows)
+    regressions: list[dict[str, Any]] = []
+    for key, fresh in _throughput_index(fresh_rows).items():
+        baseline = baseline_index.get(key)
+        if baseline is None:
+            continue
+        base_rps = float(baseline["rounds_per_second"])
+        fresh_rps = float(fresh["rounds_per_second"])
+        if base_rps <= 0:
+            continue
+        ratio = fresh_rps / base_rps
+        if ratio < 1.0 - tolerance:
+            regressions.append(
+                {
+                    "key": dict(zip(THROUGHPUT_KEY, key)),
+                    "baseline_rounds_per_second": base_rps,
+                    "fresh_rounds_per_second": fresh_rps,
+                    "ratio": ratio,
+                }
+            )
+    return regressions

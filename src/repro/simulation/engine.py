@@ -22,12 +22,38 @@ scheme-visible state (counters, deadlines, eligibility, pending queues,
 wrapping history) is maintained identically in both modes, so costs agree
 exactly; sweeps, adversary searches, and sensitivity grids that only read
 costs run several times faster in ``"costs"`` mode.
+
+The sparse core (boundary calendar + round skipping)
+----------------------------------------------------
+The Section 3.1 protocol only *acts* on a color at integral multiples of
+its delay bound: drops, deadline resets, counter updates, and
+eligibility transitions are all confined to those boundary rounds.  The
+default ``sparse=True`` core exploits this three ways:
+
+* **Boundary calendar** — a precomputed per-round schedule of delay-bound
+  multiples, so the drop and arrival phases touch only the colors with a
+  boundary this round instead of scanning every color every round.
+* **Incremental orderings** — the eligible-color set is maintained as a
+  sorted list across eligibility transitions (which only happen on
+  boundary rounds), and the ΔLRU / EDF orderings are cached between the
+  events that can change them (boundaries, and pending queues draining
+  empty) instead of being re-sorted from scratch every mini-round.
+* **Round skipping** — in ``record="costs"`` mode with a
+  :attr:`~ReconfigurationScheme.stationary` scheme and no metrics
+  collector, whole inactive stretches (no pending jobs anywhere, no
+  boundary, no eligible-but-uncached color) are fast-forwarded in O(1):
+  every phase of such a round is provably a no-op.
+
+``sparse=False`` keeps the PR-1 dense round loop; the two cores are
+cost- and trace-exact against each other (property-tested), and the
+dense core remains available as the before/after benchmark baseline.
 """
 
 from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from bisect import insort
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -59,6 +85,17 @@ class ReconfigurationScheme(ABC):
     #: Human-readable algorithm name used in reports.
     name: str = "abstract"
 
+    #: Stationarity contract, opted into by schemes that qualify: the
+    #: scheme's ``reconfigure`` is a deterministic function of the
+    #: scheme-visible engine state (eligibility, timestamps, deadlines,
+    #: idleness, cache contents), and whenever every pending queue is
+    #: empty, no phase boundary intervenes, and every eligible color is
+    #: cached, calling it again performs no cache mutations.  The sparse
+    #: engine core only fast-forwards inactive stretches for stationary
+    #: schemes; the conservative default keeps custom/randomized schemes
+    #: exact.
+    stationary: bool = False
+
     def setup(self, engine: "BatchedEngine") -> None:
         """Hook called once before round 0 (default: no-op)."""
 
@@ -74,6 +111,9 @@ class RunResult:
     ``schedule`` and ``trace`` are ``None`` for ``record="costs"`` runs —
     the fast path never builds them.  ``wall_seconds`` is the wall-clock
     time of the round loop (instance construction excluded).
+    ``rounds_executed`` counts the rounds the loop actually simulated;
+    the sparse core may fast-forward the rest (``None`` when the engine
+    predates the sparse core or did not track it).
     """
 
     instance: Instance
@@ -86,6 +126,7 @@ class RunResult:
     metrics: MetricsCollector | None = None
     record: str = "full"
     wall_seconds: float = 0.0
+    rounds_executed: int | None = None
 
     @property
     def total_cost(self) -> int:
@@ -93,10 +134,22 @@ class RunResult:
 
     @property
     def rounds_per_second(self) -> float:
-        """Simulated rounds per wall-clock second (0 when untimed)."""
+        """Simulated mini-rounds per wall-clock second (0 when untimed).
+
+        Double-speed runs execute two reconfiguration+execution phases
+        per round, so the horizon is scaled by ``speed`` — throughput
+        rows of ``speed=2`` runs are comparable to uni-speed rows.
+        """
         if self.wall_seconds <= 0:
             return 0.0
-        return self.instance.horizon / self.wall_seconds
+        return self.instance.horizon * self.speed / self.wall_seconds
+
+    @property
+    def active_round_fraction(self) -> float:
+        """Fraction of rounds the loop simulated (1.0 when none skipped)."""
+        if self.rounds_executed is None:
+            return 1.0
+        return self.rounds_executed / max(1, self.instance.horizon)
 
     def verify(self, *, strict: bool = False) -> ValidationReport:
         """Re-check the emitted schedule against the instance."""
@@ -127,6 +180,12 @@ class BatchedEngine:
     record:
         ``"full"`` emits the schedule and trace; ``"costs"`` skips both
         (fast path) and only maintains the cost breakdown.
+    sparse:
+        ``True`` (default) runs the boundary-calendar core with cached
+        orderings and (in ``"costs"`` mode, for stationary schemes)
+        inactive-stretch skipping.  ``False`` runs the dense per-round
+        all-colors loop; both produce identical costs, schedules, and
+        traces.
     """
 
     def __init__(
@@ -139,6 +198,7 @@ class BatchedEngine:
         speed: int = 1,
         collect_metrics: bool = False,
         record: str = "full",
+        sparse: bool = True,
     ) -> None:
         if not instance.spec.batch_mode.is_batched:
             raise ValueError(
@@ -160,6 +220,7 @@ class BatchedEngine:
         self.copies = copies
         self.speed = speed
         self.record = record
+        self.sparse = bool(sparse)
         self.delta = instance.reconfig_cost
 
         self.cache = CachePool(num_resources // copies, copies)
@@ -178,7 +239,26 @@ class BatchedEngine:
         )
         self.round_index = 0
         self.mini_round = 0
+        self.rounds_executed = 0
         self._ran = False
+
+        # Incremental bookkeeping for the sparse core.  All counters are
+        # maintained in both cores (the updates are O(1)); the cached
+        # orderings are only *consulted* in sparse mode so the dense core
+        # remains the faithful PR-1 baseline.
+        self._total_pending = 0
+        self._eligible_sorted: list[int] = []
+        self._num_eligible_uncached = 0
+        self._rank_cache: list[int] | None = None
+        self._lru_cache: list[int] | None = None
+        #: Monotone counter of scheme-visible ordering changes
+        #: (eligibility, timestamps, deadlines, idleness).  Bumped in both
+        #: cores; stationary schemes use it to skip a reconfiguration pass
+        #: entirely when nothing changed since their last completed pass.
+        self.order_epoch = 0
+        #: Epoch at which the scheme last completed a reconfiguration
+        #: pass (see :meth:`at_fixed_point`); ``None`` until it does.
+        self._scheme_pass_epoch: int | None = None
 
     # ------------------------------------------------------------------ run
 
@@ -189,19 +269,15 @@ class BatchedEngine:
         self._ran = True
         self.scheme.setup(self)
         start = time.perf_counter()
-        for k in range(self.instance.horizon):
-            self.round_index = k
-            self._drop_phase(k)
-            self._arrival_phase(k)
-            for mini in range(self.speed):
-                self.mini_round = mini
-                self.scheme.reconfigure(self)
-                self._execution_phase(k, mini)
-            if self.metrics is not None:
-                self.metrics.end_round(k, self)
+        if self.sparse:
+            self._run_sparse()
+        else:
+            self._run_dense()
         elapsed = time.perf_counter() - start
         if self.metrics is not None:
-            self.metrics.record_wall_clock(elapsed, self.instance.horizon)
+            self.metrics.record_wall_clock(
+                elapsed, self.instance.horizon * self.speed
+            )
         return RunResult(
             instance=self.instance,
             algorithm=self.scheme.name,
@@ -213,66 +289,185 @@ class BatchedEngine:
             metrics=self.metrics,
             record=self.record,
             wall_seconds=elapsed,
+            rounds_executed=self.rounds_executed,
         )
+
+    def _run_dense(self) -> None:
+        """The PR-1 round loop: every phase scans every color, no skips."""
+        for k in range(self.instance.horizon):
+            self.round_index = k
+            self._drop_phase(k)
+            self._arrival_phase(k)
+            for mini in range(self.speed):
+                self.mini_round = mini
+                self.scheme.reconfigure(self)
+                self._execution_phase(k, mini)
+            if self.metrics is not None:
+                self.metrics.end_round(k, self)
+        self.rounds_executed = self.instance.horizon
+
+    def _run_sparse(self) -> None:
+        """Boundary-calendar loop with inactive-stretch fast-forwarding."""
+        horizon = self.instance.horizon
+        calendar, boundary_rounds = self._build_calendar(horizon)
+        # Skipping is only sound when nothing observes the skipped rounds
+        # (no trace/schedule, no per-round metrics) and the scheme is
+        # stationary; see ReconfigurationScheme.stationary.
+        can_skip = (
+            self.record == "costs"
+            and self.metrics is None
+            and self.scheme.stationary
+        )
+        num_boundaries = len(boundary_rounds)
+        bi = 0  # index of the first boundary round >= current k
+        k = 0
+        while k < horizon:
+            self.round_index = k
+            boundary_colors = calendar.get(k)
+            if boundary_colors is not None:
+                # dd, timestamps, and eligibility may all change here.
+                self._touch_orders()
+                if k > 0:
+                    self._drop_phase_sparse(k, boundary_colors)
+                self._arrival_phase_sparse(k, boundary_colors)
+            for mini in range(self.speed):
+                self.mini_round = mini
+                self.scheme.reconfigure(self)
+                self._execution_phase(k, mini)
+            if self.metrics is not None:
+                self.metrics.end_round(k, self)
+            self.rounds_executed += 1
+            k += 1
+            if (
+                can_skip
+                and self._total_pending == 0
+                and self._num_eligible_uncached == 0
+            ):
+                while bi < num_boundaries and boundary_rounds[bi] < k:
+                    bi += 1
+                next_boundary = (
+                    boundary_rounds[bi] if bi < num_boundaries else horizon
+                )
+                # Every round in [k, next_boundary) is a global no-op:
+                # no drops or arrivals (no boundary), no executions (no
+                # pending work), and a stationary scheme at its fixed
+                # point performs no reconfigurations.
+                k = min(next_boundary, horizon)
+
+    def _build_calendar(
+        self, horizon: int
+    ) -> tuple[dict[int, list[int]], list[int]]:
+        """Per-round lists of colors with a delay-bound multiple.
+
+        Building cost is ``Σ_ℓ horizon / D_ℓ`` — proportional to the
+        boundary events themselves, not ``horizon × colors``.  Each
+        round's list preserves the consistent iteration order of
+        ``self.states`` so sparse traces replay the dense ones exactly.
+        """
+        calendar: dict[int, list[int]] = {}
+        for color, st in self.states.items():
+            for k in st.boundaries(horizon):
+                bucket = calendar.get(k)
+                if bucket is None:
+                    calendar[k] = [color]
+                else:
+                    bucket.append(color)
+        return calendar, sorted(calendar)
 
     # --------------------------------------------------------------- phases
 
     def _drop_phase(self, k: int) -> None:
         trace = self.trace
+        touched = False
         for color, st in self.states.items():
             if k == 0 or k % st.delay_bound != 0:
                 # Round 0 is a multiple of every bound but nothing can be
                 # pending yet and eligibility is vacuously false.
                 continue
-            dropped = len(st.pending)
-            if dropped:
-                st.pending.clear()
-                if trace is not None:
-                    trace.append(DropEvent(k, color, dropped, eligible=st.eligible))
-                self.cost.record_drop(color, dropped, eligible=st.eligible)
-            if st.eligible and color not in self.cache:
-                st.eligible = False
-                st.cnt = 0
-                if trace is not None:
-                    trace.append(IneligibleEvent(k, color))
+            if not touched:
+                touched = True
+                self._touch_orders()
+            self._drop_one(k, color, st, trace)
+
+    def _drop_phase_sparse(self, k: int, colors: list[int]) -> None:
+        trace = self.trace
+        states = self.states
+        for color in colors:
+            self._drop_one(k, color, states[color], trace)
+
+    def _drop_one(self, k: int, color: int, st: ColorState, trace) -> None:
+        dropped = len(st.pending)
+        if dropped:
+            st.pending.clear()
+            self._total_pending -= dropped
+            if trace is not None:
+                trace.append(DropEvent(k, color, dropped, eligible=st.eligible))
+            self.cost.record_drop(color, dropped, eligible=st.eligible)
+        if st.eligible and color not in self.cache:
+            st.eligible = False
+            st.cnt = 0
+            self._eligible_remove(color)
+            if trace is not None:
+                trace.append(IneligibleEvent(k, color))
 
     def _arrival_phase(self, k: int) -> None:
         trace = self.trace
         arrivals: dict[int, list] = {}
         for job in self.instance.sequence.arrivals(k):
             arrivals.setdefault(job.color, []).append(job)
+        touched = False
         for color, st in self.states.items():
             if k % st.delay_bound != 0:
                 continue
-            batch = arrivals.get(color, [])
-            st.dd = k + st.delay_bound
-            st.cnt += len(batch)
-            if batch and trace is not None:
-                trace.append(ArrivalEvent(k, color, len(batch)))
-            if st.cnt >= self.delta:
-                # One batch can advance the counter past several multiples
-                # of Δ (a rate-limited batch of size D_ℓ ≥ 2Δ already
-                # does); each crossed multiple is its own wrapping event —
-                # the credit auditors count wraps, not arrival rounds.
-                wraps, st.cnt = divmod(st.cnt, self.delta)
-                st.record_wrap(k)
-                if trace is not None:
-                    for _ in range(wraps):
-                        trace.append(WrapEvent(k, color))
-                if not st.eligible:
-                    st.eligible = True
-                    if trace is not None:
-                        trace.append(EligibleEvent(k, color))
-            st.pending.extend(batch)
+            if not touched:
+                touched = True
+                self._touch_orders()
+            self._arrive_one(k, color, st, arrivals.get(color, []), trace)
+
+    def _arrival_phase_sparse(self, k: int, colors: list[int]) -> None:
+        trace = self.trace
+        arrivals: dict[int, list] = {}
+        for job in self.instance.sequence.arrivals(k):
+            arrivals.setdefault(job.color, []).append(job)
+        states = self.states
+        for color in colors:
+            self._arrive_one(k, color, states[color], arrivals.get(color, []), trace)
+
+    def _arrive_one(
+        self, k: int, color: int, st: ColorState, batch: list, trace
+    ) -> None:
+        st.dd = k + st.delay_bound
+        st.cnt += len(batch)
+        if batch and trace is not None:
+            trace.append(ArrivalEvent(k, color, len(batch)))
+        if st.cnt >= self.delta:
+            # One batch can advance the counter past several multiples
+            # of Δ (a rate-limited batch of size D_ℓ ≥ 2Δ already
+            # does); each crossed multiple is its own wrapping event —
+            # the credit auditors count wraps, not arrival rounds.
+            wraps, st.cnt = divmod(st.cnt, self.delta)
+            st.record_wrap(k)
             if trace is not None:
-                ts = st.timestamp(k)
-                if ts != st.last_timestamp:
-                    st.last_timestamp = ts
-                    trace.append(TimestampEvent(k, color, ts))
+                for _ in range(wraps):
+                    trace.append(WrapEvent(k, color))
+            if not st.eligible:
+                st.eligible = True
+                self._eligible_add(color)
+                if trace is not None:
+                    trace.append(EligibleEvent(k, color))
+        st.pending.extend(batch)
+        self._total_pending += len(batch)
+        if trace is not None:
+            ts = st.timestamp(k)
+            if ts != st.last_timestamp:
+                st.last_timestamp = ts
+                trace.append(TimestampEvent(k, color, ts))
 
     def _execution_phase(self, k: int, mini: int) -> None:
         schedule, trace = self.schedule, self.trace
         if schedule is None:
+            if self._total_pending == 0:
+                return
             # Fast path: within a batched color every pending job is
             # interchangeable for cost purposes, so count executions in
             # bulk instead of materializing Execution/event objects.
@@ -282,16 +477,63 @@ class BatchedEngine:
                 if taken:
                     for _ in range(taken):
                         st.pending.popleft()
+                    self._total_pending -= taken
+                    if not st.pending:
+                        # Idle flips reorder the EDF ranking (idleness is
+                        # its leading sort key); recency is unaffected.
+                        self.order_epoch += 1
+                        self._rank_cache = None
                     self.cost.record_execution(slot.occupant, taken)
             return
         for slot in self.cache.occupied_slots():
             st = self.states[slot.occupant]
-            for resource, job in zip(slot.resources(), st.take_pending(self.copies)):
+            taken = st.take_pending(self.copies)
+            if taken:
+                self._total_pending -= len(taken)
+                if not st.pending:
+                    self.order_epoch += 1
+                    self._rank_cache = None
+            for resource, job in zip(slot.resources(), taken):
                 schedule.add_execution(
                     Execution(k, mini, resource, job.jid, job.color)
                 )
                 trace.append(ExecuteEvent(k, mini, resource, job.color, job.jid))
                 self.cost.record_execution(job.color)
+
+    # ----------------------------------------- incremental eligible tracking
+
+    def _touch_orders(self) -> None:
+        """Note an ordering-relevant state change (boundary processing)."""
+        self.order_epoch += 1
+        self._rank_cache = None
+        self._lru_cache = None
+
+    def at_fixed_point(self) -> bool:
+        """True when the scheme already completed a pass at this epoch.
+
+        Stationary schemes call this at the top of ``reconfigure`` and
+        return immediately on True: nothing they look at (eligibility,
+        timestamps, deadlines, idleness, cache contents) has changed
+        since their last completed pass, and a completed pass of a
+        stationary scheme is idempotent.  Only honored by the sparse
+        core so dense runs keep the unoptimized baseline behavior.
+        """
+        return self.sparse and self._scheme_pass_epoch == self.order_epoch
+
+    def mark_fixed_point(self) -> None:
+        """Record that the scheme completed a full pass at this epoch."""
+        self._scheme_pass_epoch = self.order_epoch
+
+    def _eligible_add(self, color: int) -> None:
+        insort(self._eligible_sorted, color)
+        if color not in self.cache:
+            self._num_eligible_uncached += 1
+
+    def _eligible_remove(self, color: int) -> None:
+        # Only ever called from the drop phase, where the color is
+        # uncached by definition (cached colors keep their eligibility).
+        self._eligible_sorted.remove(color)
+        self._num_eligible_uncached -= 1
 
     # ------------------------------------------------- scheme-facing helpers
 
@@ -300,6 +542,8 @@ class BatchedEngine:
 
     def eligible_colors(self) -> list[int]:
         """Eligible colors in the consistent (ascending color) order."""
+        if self.sparse:
+            return list(self._eligible_sorted)
         return [c for c in sorted(self.states) if self.states[c].eligible]
 
     def timestamp(self, color: int) -> int:
@@ -311,23 +555,37 @@ class BatchedEngine:
 
         Nonidle colors come first; then ascending deadline, breaking ties
         by increasing delay bound, then the consistent order of colors.
+        Calls over the full eligible pool are cached between the events
+        that can reorder them (phase boundaries, idle flips).
         """
+        if colors is None and self.sparse:
+            if self._rank_cache is None:
+                self._rank_cache = sorted(
+                    self._eligible_sorted, key=self._rank_key
+                )
+            return list(self._rank_cache)
         pool = self.eligible_colors() if colors is None else list(colors)
-        return sorted(
-            pool,
-            key=lambda c: (
-                self.states[c].idle,
-                self.states[c].dd,
-                self.states[c].delay_bound,
-                c,
-            ),
-        )
+        return sorted(pool, key=self._rank_key)
+
+    def _rank_key(self, color: int):
+        st = self.states[color]
+        return (st.idle, st.dd, st.delay_bound, color)
 
     def lru_order(self, colors: Sequence[int] | None = None) -> list[int]:
         """Eligible colors by timestamp recency (most recent first).
 
         Ties broken by the consistent order of colors for determinism.
+        Full-pool calls are cached between phase boundaries (timestamps
+        only move at delay-bound multiples).
         """
+        if colors is None and self.sparse:
+            if self._lru_cache is None:
+                now = self.round_index
+                self._lru_cache = sorted(
+                    self._eligible_sorted,
+                    key=lambda c: (-self.states[c].timestamp(now), c),
+                )
+            return list(self._lru_cache)
         pool = self.eligible_colors() if colors is None else list(colors)
         now = self.round_index
         return sorted(pool, key=lambda c: (-self.states[c].timestamp(now), c))
@@ -335,6 +593,9 @@ class BatchedEngine:
     def cache_insert(self, color: int, *, section: str = "main") -> None:
         """Bring ``color`` into the cache, recording costs and events."""
         slot, reconfigured, old_physical = self.cache.insert(color)
+        st = self.states.get(color)
+        if st is not None and st.eligible:
+            self._num_eligible_uncached -= 1
         if self.trace is None:
             self.cost.record_reconfig(color, len(reconfigured))
             return
@@ -355,6 +616,9 @@ class BatchedEngine:
     def cache_evict(self, color: int) -> None:
         """Drop ``color`` from the cache (free of charge; slots persist)."""
         self.cache.evict(color)
+        st = self.states.get(color)
+        if st is not None and st.eligible:
+            self._num_eligible_uncached += 1
         if self.trace is not None:
             self.trace.append(CacheOutEvent(self.round_index, self.mini_round, color))
 
@@ -368,6 +632,7 @@ def simulate(
     speed: int = 1,
     collect_metrics: bool = False,
     record: str = "full",
+    sparse: bool = True,
 ) -> RunResult:
     """Build a :class:`BatchedEngine`, run it, and return the result."""
     return BatchedEngine(
@@ -378,4 +643,5 @@ def simulate(
         speed=speed,
         collect_metrics=collect_metrics,
         record=record,
+        sparse=sparse,
     ).run()

@@ -16,7 +16,12 @@ so the queue front is always the earliest deadline.
 
 Like :class:`~repro.simulation.engine.BatchedEngine`, the general engine
 supports ``record="costs"`` — the fast path that skips ``Trace`` and
-``Schedule`` construction when callers only need the cost breakdown.
+``Schedule`` construction when callers only need the cost breakdown —
+and the sparse core's round skipping: with ``sparse=True`` (default),
+``record="costs"``, no metrics collector, and a
+:attr:`~GeneralPolicy.stationary` policy, stretches with no pending jobs
+and no arrivals are fast-forwarded to the next arrival round in O(1)
+(every phase of such a round is a no-op).
 """
 
 from __future__ import annotations
@@ -48,6 +53,14 @@ class GeneralPolicy(ABC):
 
     name: str = "abstract"
 
+    #: Stationarity contract (see
+    #: :attr:`~repro.simulation.engine.ReconfigurationScheme.stationary`):
+    #: after round 0, whenever every pending queue is empty and no
+    #: arrivals intervene, ``reconfigure`` performs no cache mutations.
+    #: Policies that evict on empty backlogs (or randomize) must keep the
+    #: conservative ``False`` default.
+    stationary: bool = False
+
     def setup(self, engine: "GeneralEngine") -> None:
         """Hook called once before round 0 (default: no-op)."""
 
@@ -69,6 +82,7 @@ class GeneralEngine:
         speed: int = 1,
         collect_metrics: bool = False,
         record: str = "full",
+        sparse: bool = True,
     ) -> None:
         if num_resources <= 0 or num_resources % copies != 0:
             raise ValueError(
@@ -85,6 +99,7 @@ class GeneralEngine:
         self.copies = copies
         self.speed = speed
         self.record = record
+        self.sparse = bool(sparse)
         self.delta = instance.reconfig_cost
 
         self.cache = CachePool(num_resources // copies, copies)
@@ -102,8 +117,10 @@ class GeneralEngine:
         )
         self.round_index = 0
         self.mini_round = 0
+        self.rounds_executed = 0
         self._ran = False
         self._prev_counters = (0, 0, 0)
+        self._total_pending = 0
 
     # ------------------------------------------------------------------ run
 
@@ -113,7 +130,18 @@ class GeneralEngine:
         self._ran = True
         self.policy.setup(self)
         start = time.perf_counter()
-        for k in range(self.instance.horizon):
+        horizon = self.instance.horizon
+        can_skip = (
+            self.sparse
+            and self.record == "costs"
+            and self.metrics is None
+            and self.policy.stationary
+        )
+        arrival_rounds = self.instance.sequence.arrival_rounds()
+        num_arrival_rounds = len(arrival_rounds)
+        ai = 0  # index of the first arrival round >= current k
+        k = 0
+        while k < horizon:
             self.round_index = k
             self._drop_phase(k)
             self._arrival_phase(k)
@@ -123,9 +151,23 @@ class GeneralEngine:
                 self._execution_phase(k, mini)
             if self.metrics is not None:
                 self.metrics.end_round(k, self)  # type: ignore[arg-type]
+            self.rounds_executed += 1
+            k += 1
+            if can_skip and self._total_pending == 0:
+                while ai < num_arrival_rounds and arrival_rounds[ai] < k:
+                    ai += 1
+                next_arrival = (
+                    arrival_rounds[ai] if ai < num_arrival_rounds else horizon
+                )
+                # No pending work and no arrivals until next_arrival:
+                # drop, arrival, and execution are no-ops, and a
+                # stationary policy performs no reconfigurations.
+                k = min(next_arrival, horizon)
         elapsed = time.perf_counter() - start
         if self.metrics is not None:
-            self.metrics.record_wall_clock(elapsed, self.instance.horizon)
+            self.metrics.record_wall_clock(
+                elapsed, self.instance.horizon * self.speed
+            )
         return RunResult(
             instance=self.instance,
             algorithm=self.policy.name,
@@ -137,11 +179,14 @@ class GeneralEngine:
             metrics=self.metrics,
             record=self.record,
             wall_seconds=elapsed,
+            rounds_executed=self.rounds_executed,
         )
 
     # --------------------------------------------------------------- phases
 
     def _drop_phase(self, k: int) -> None:
+        if self._total_pending == 0:
+            return
         trace = self.trace
         for color, queue in self.pending.items():
             dropped = 0
@@ -149,6 +194,7 @@ class GeneralEngine:
                 queue.popleft()
                 dropped += 1
             if dropped:
+                self._total_pending -= dropped
                 if trace is not None:
                     trace.append(DropEvent(k, color, dropped, eligible=True))
                 self.cost.record_drop(color, dropped)
@@ -158,6 +204,7 @@ class GeneralEngine:
         counts: dict[int, int] = {}
         for job in self.instance.sequence.arrivals(k):
             self.pending[job.color].append(job)
+            self._total_pending += 1
             counts[job.color] = counts.get(job.color, 0) + 1
         if trace is not None:
             for color, count in counts.items():
@@ -165,6 +212,8 @@ class GeneralEngine:
 
     def _execution_phase(self, k: int, mini: int) -> None:
         schedule, trace = self.schedule, self.trace
+        if self._total_pending == 0 and schedule is None:
+            return
         if schedule is None:
             # Fast path: only the execution count per color matters.
             for slot in self.cache.occupied_slots():
@@ -173,6 +222,7 @@ class GeneralEngine:
                 if taken:
                     for _ in range(taken):
                         queue.popleft()
+                    self._total_pending -= taken
                     self.cost.record_execution(slot.occupant, taken)
             return
         for slot in self.cache.occupied_slots():
@@ -181,6 +231,7 @@ class GeneralEngine:
                 if not queue:
                     break
                 job = queue.popleft()
+                self._total_pending -= 1
                 schedule.add_execution(
                     Execution(k, mini, resource, job.jid, job.color)
                 )
@@ -243,6 +294,7 @@ def simulate_general(
     speed: int = 1,
     collect_metrics: bool = False,
     record: str = "full",
+    sparse: bool = True,
 ) -> RunResult:
     """Build a :class:`GeneralEngine`, run it, and return the result."""
     return GeneralEngine(
@@ -253,4 +305,5 @@ def simulate_general(
         speed=speed,
         collect_metrics=collect_metrics,
         record=record,
+        sparse=sparse,
     ).run()

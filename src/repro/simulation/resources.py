@@ -63,6 +63,10 @@ class CachePool:
         #: Paper-style accounting: every insertion counts, even when the
         #: physical resources already hold the color.
         self.logical_insertions = 0
+        # occupied_slots() is called every mini-round of the engines'
+        # execution phases; occupancy changes far less often, so the
+        # scan is cached and invalidated on insert/evict.
+        self._occupied_cache: list[Slot] | None = []
 
     # -- queries -----------------------------------------------------------
 
@@ -123,6 +127,7 @@ class CachePool:
         target.physical = color
         self._slot_of[color] = target
         self.logical_insertions += 1
+        self._occupied_cache = None
         return target, reconfigured, old_physical
 
     def evict(self, color: int) -> Slot:
@@ -130,10 +135,15 @@ class CachePool:
         slot = self.slot_of(color)
         slot.occupant = BLACK
         del self._slot_of[color]
+        self._occupied_cache = None
         return slot
 
     # -- iteration ---------------------------------------------------------
 
     def occupied_slots(self) -> list[Slot]:
-        """Slots currently caching a color, in slot order."""
-        return [slot for slot in self._slots if not slot.free]
+        """Slots currently caching a color, in slot order (cached)."""
+        occupied = self._occupied_cache
+        if occupied is None:
+            occupied = [slot for slot in self._slots if not slot.free]
+            self._occupied_cache = occupied
+        return occupied

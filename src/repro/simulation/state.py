@@ -81,6 +81,15 @@ class ColorState:
             return self.prev_wrap
         return 0
 
+    def boundaries(self, horizon: int) -> range:
+        """Integral multiples of ``D_ℓ`` within ``[0, horizon)``.
+
+        These are the only rounds the Section 3.1 protocol acts on this
+        color — the sparse engine core's boundary calendar is exactly the
+        union of these ranges over all colors.
+        """
+        return range(0, horizon, self.delay_bound)
+
     def take_pending(self, count: int) -> list[Job]:
         """Remove and return up to ``count`` pending jobs (FIFO)."""
         taken: list[Job] = []

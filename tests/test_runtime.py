@@ -32,6 +32,7 @@ from repro.runtime import (
     derive_seed,
     read_bench_json,
     spawn_seeds,
+    throughput_regressions,
     write_bench_json,
 )
 from repro.simulation.engine import simulate
@@ -129,10 +130,36 @@ class TestTelemetry:
         path = tmp_path / "BENCH_engine.json"
         write_bench_json(path, rows, summary={"min_rounds_per_second": 123})
         payload = read_bench_json(path)
-        assert payload["schema"] == "repro-bench-engine/v1"
+        assert payload["schema"] == "repro-bench-engine/v2"
         assert payload["rows"] == rows
         assert payload["summary"]["min_rounds_per_second"] == 123
         assert payload["machine"]["cpu_count"] >= 1
+
+    def test_throughput_regressions_matches_rows_by_key(self):
+        baseline = [
+            {
+                "resources": 8,
+                "colors": 4,
+                "horizon": 256,
+                "record": "costs",
+                "engine": "sparse",
+                "rounds_per_second": 1000.0,
+            },
+            {"kind": "adversary_cache", "score_cache_hit_rate": 0.2},
+        ]
+        fresh = [dict(baseline[0], rounds_per_second=650.0)]
+        regs = throughput_regressions(baseline, fresh, tolerance=0.30)
+        assert len(regs) == 1
+        assert regs[0]["ratio"] == pytest.approx(0.65)
+        assert regs[0]["key"]["engine"] == "sparse"
+        # Within tolerance: no report.
+        ok = [dict(baseline[0], rounds_per_second=750.0)]
+        assert throughput_regressions(baseline, ok, tolerance=0.30) == []
+        # Unmatched cells (new grid point) are ignored, not failed.
+        unmatched = [dict(baseline[0], horizon=512, rounds_per_second=1.0)]
+        assert throughput_regressions(baseline, unmatched) == []
+        with pytest.raises(ValueError):
+            throughput_regressions(baseline, fresh, tolerance=1.5)
 
     def test_metrics_wall_clock(self):
         collector = MetricsCollector(100)

@@ -1,0 +1,149 @@
+"""Sparse engine core: dense/sparse parity and branch-and-bound parity.
+
+The sparse core (boundary calendar, inactive-stretch fast-forward,
+fixed-point reconfigure skipping) is a pure performance layer — every
+test here pins it to the dense core bit for bit.  Likewise the
+branch-and-bound offline solver must reproduce the exhaustive reference
+exactly while expanding no more states.
+"""
+
+import pytest
+
+from repro.algorithms.dlru import DeltaLRU
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.algorithms.edf import EDF
+from repro.algorithms.seq_edf import SeqEDF
+from repro.offline.optimal import optimal_offline, optimal_offline_exhaustive
+from repro.simulation.engine import simulate
+from repro.workloads.random_batched import (
+    random_batched,
+    random_general,
+    random_rate_limited,
+)
+
+SCHEMES = [
+    pytest.param(DeltaLRU, id="dlru"),
+    pytest.param(EDF, id="edf"),
+    pytest.param(DeltaLRUEDF, id="dlru-edf"),
+    pytest.param(SeqEDF, id="seq-edf"),
+]
+
+
+def _workloads(seed):
+    yield random_rate_limited(
+        6, 3, 96, seed=seed, load=0.7, bound_choices=(2, 4, 8)
+    )
+    yield random_batched(
+        5, 2, 96, seed=seed + 100, load=0.5, bound_choices=(3, 6, 12)
+    )
+
+
+def _run_pair(instance, scheme_cls, *, speed, record):
+    copies = 1 if scheme_cls is SeqEDF else 2
+    dense = simulate(
+        instance,
+        scheme_cls(),
+        4,
+        copies=copies,
+        speed=speed,
+        record=record,
+        sparse=False,
+    )
+    sparse = simulate(
+        instance,
+        scheme_cls(),
+        4,
+        copies=copies,
+        speed=speed,
+        record=record,
+        sparse=True,
+    )
+    return dense, sparse
+
+
+class TestDenseSparseParity:
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    @pytest.mark.parametrize("speed", [1, 2])
+    def test_full_record_traces_match(self, scheme_cls, speed):
+        for seed in (0, 1, 2):
+            for instance in _workloads(seed):
+                dense, sparse = _run_pair(
+                    instance, scheme_cls, speed=speed, record="full"
+                )
+                assert dense.total_cost == sparse.total_cost
+                assert dense.cost.num_reconfigs == sparse.cost.num_reconfigs
+                assert dense.cost.num_drops == sparse.cost.num_drops
+                assert list(dense.trace) == list(sparse.trace)
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    @pytest.mark.parametrize("speed", [1, 2])
+    def test_costs_record_costs_match(self, scheme_cls, speed):
+        for seed in (0, 1, 2):
+            for instance in _workloads(seed):
+                dense, sparse = _run_pair(
+                    instance, scheme_cls, speed=speed, record="costs"
+                )
+                assert dense.total_cost == sparse.total_cost
+                assert dense.cost.num_reconfigs == sparse.cost.num_reconfigs
+                assert (
+                    dense.cost.drops_by_color == sparse.cost.drops_by_color
+                )
+
+    def test_sparse_core_actually_skips_rounds(self):
+        # Low load with large delay bounds: long stretches have no
+        # boundaries and no pending work, which is exactly what the
+        # calendar fast-forwards through in costs mode.
+        instance = random_rate_limited(
+            16, 3, 2048, seed=7, load=0.15, bound_choices=(64, 128)
+        )
+        dense, sparse = _run_pair(
+            instance, DeltaLRUEDF, speed=1, record="costs"
+        )
+        assert sparse.total_cost == dense.total_cost
+        assert sparse.rounds_executed is not None
+        assert sparse.rounds_executed < instance.horizon
+        assert 0.0 < sparse.active_round_fraction < 1.0
+
+    def test_full_record_never_skips(self):
+        instance = random_rate_limited(
+            16, 3, 512, seed=7, load=0.15, bound_choices=(64, 128)
+        )
+        result = simulate(
+            instance, DeltaLRUEDF(), 4, record="full", sparse=True
+        )
+        assert result.active_round_fraction == 1.0
+
+
+class TestBranchAndBoundParity:
+    def _instances(self):
+        for seed in (0, 1, 2):
+            yield random_rate_limited(
+                3, 2, 20, seed=seed, load=0.7, bound_choices=(2, 4)
+            )
+            yield random_batched(
+                3, 2, 16, seed=seed + 50, load=0.6, bound_choices=(2, 4)
+            )
+        yield random_general(
+            3, 2, 16, seed=9, rate=0.5, bound_choices=(2, 3, 5)
+        )
+
+    def test_bnb_matches_exhaustive_and_prunes(self):
+        total_bnb = total_exhaustive = 0
+        for instance in self._instances():
+            bnb = optimal_offline(instance, 2)
+            ref = optimal_offline_exhaustive(instance, 2)
+            assert bnb.cost == ref.cost
+            total_bnb += bnb.states_explored
+            total_exhaustive += ref.states_explored
+        # The admissible bound plus candidate ordering must prune in
+        # aggregate, not merely break even.
+        assert total_bnb < total_exhaustive
+
+    def test_bnb_schedule_is_a_real_witness(self):
+        instance = random_rate_limited(
+            3, 2, 24, seed=3, load=0.8, bound_choices=(2, 4)
+        )
+        result = optimal_offline(instance, 2)
+        # optimal_offline verifies internally; re-derive the cost from
+        # the returned schedule to pin the witness, not just the number.
+        assert result.breakdown.total == result.cost
