@@ -61,6 +61,25 @@ def _adversary_cache_row():
     }
 
 
+def _instrumented_metrics_snapshot():
+    """Engine metrics from one instrumented mid-size cell (schema v3).
+
+    A single EXP-S-representative run with a
+    :class:`~repro.obs.metrics.MetricsRegistry` attached — the snapshot
+    rides along in ``BENCH_engine.json`` so counter/histogram drift
+    (drops, cache hits, backlog-age shape) is reviewable next to the
+    throughput numbers it may explain.
+    """
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    instance = random_rate_limited(
+        8, 4, 512, seed=0, load=0.6, bound_choices=(2, 4, 8, 16)
+    )
+    simulate(instance, DeltaLRUEDF(), 16, record="costs", registry=registry)
+    return registry.snapshot()
+
+
 def bench_scaling_table(run_and_report, parallel_runner, report_dir):
     report = run_and_report("EXP-S", runner=parallel_runner)
     assert report.summary["min_rounds_per_second"] > 100
@@ -83,10 +102,14 @@ def bench_scaling_table(run_and_report, parallel_runner, report_dir):
         cache_row["score_cache_hit_rate"], 3
     )
 
+    metrics = _instrumented_metrics_snapshot()
+    assert metrics["counters"]["engine.rounds_executed"] > 0
+
     path = report_dir / "BENCH_engine.json"
-    write_bench_json(path, rows, summary=summary)
+    write_bench_json(path, rows, summary=summary, metrics=metrics)
     payload = read_bench_json(path)
     assert len(payload["rows"]) == len(rows)
+    assert "metrics" in payload
 
 
 def bench_scaling_smoke(parallel_runner):

@@ -79,9 +79,16 @@ def main(argv: list[str] | None = None) -> int:
         print("no throughput regressions against the committed baseline")
         return 0
 
-    print(f"\n{len(regressions)} cell(s) regressed beyond tolerance:")
+    print(f"\n{len(regressions)} cell(s) flagged:")
     for reg in regressions:
         key = reg["key"]
+        if reg.get("kind") == "missing_baseline":
+            print(
+                f"  {key}: baseline row has no rounds_per_second "
+                f"(fresh {reg['fresh_rounds_per_second']:.0f} rounds/s) — "
+                "regenerate the baseline"
+            )
+            continue
         print(
             f"  {key}: {reg['fresh_rounds_per_second']:.0f} rounds/s vs "
             f"baseline {reg['baseline_rounds_per_second']:.0f} "

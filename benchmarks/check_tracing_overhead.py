@@ -1,0 +1,116 @@
+"""CI gate for the trace bus's zero-overhead contract.
+
+The engines promise that an attached-but-disabled tracer — a
+:class:`~repro.obs.tracing.Tracer` over a
+:class:`~repro.obs.tracing.NullSink` — costs the hot round loop nothing
+beyond one ``is not None`` check per emission site (the tracer is
+normalized to ``None`` at engine construction).  This script measures
+that promise: it times the EXP-S quick cells untraced and with a
+null-sink tracer attached, *interleaved and best-of-N* so the pairs see
+the same thermal/cache conditions, and fails if the geomean slowdown
+exceeds the threshold (default 3%).
+
+Best-of-N is the right statistic here: both variants run identical code
+(the null-sink branch is taken before the loop starts), so any observed
+gap is scheduling noise, and the minimum is the noise-robust estimator.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_tracing_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+
+#: (colors, delta, horizon, resources) — mirrors the EXP-S quick cells.
+CELLS = (
+    (4, 2, 512, 8),
+    (8, 4, 512, 16),
+    (8, 4, 2048, 16),
+)
+
+
+def _run_cell(instance, resources, tracer):
+    from repro.algorithms.dlru_edf import DeltaLRUEDF
+    from repro.simulation.engine import simulate
+
+    start = time.perf_counter()
+    result = simulate(
+        instance,
+        DeltaLRUEDF(),
+        resources,
+        record="costs",
+        tracer=tracer,
+    )
+    return time.perf_counter() - start, result.total_cost
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.03,
+        help="allowed fractional null-sink slowdown (default 0.03)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=7,
+        help="paired repetitions per cell; best-of wins (default 7)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import NullSink, Tracer
+    from repro.workloads.random_batched import random_rate_limited
+
+    ratios = []
+    print(f"tracing-overhead gate: {args.repeats} paired runs per cell")
+    for colors, delta, horizon, resources in CELLS:
+        instance = random_rate_limited(
+            colors, delta, horizon, seed=0, load=0.6, bound_choices=(2, 4, 8)
+        )
+        best_plain = math.inf
+        best_nulled = math.inf
+        cost_plain = cost_nulled = None
+        for _ in range(args.repeats):
+            # Interleave the pair so both see the same machine state.
+            seconds, cost_plain = _run_cell(instance, resources, None)
+            best_plain = min(best_plain, seconds)
+            seconds, cost_nulled = _run_cell(
+                instance, resources, Tracer(NullSink())
+            )
+            best_nulled = min(best_nulled, seconds)
+        if cost_plain != cost_nulled:
+            print(
+                f"  FATAL: cell {(colors, delta, horizon, resources)} "
+                f"cost diverged: {cost_plain} untraced vs {cost_nulled} nulled"
+            )
+            return 1
+        ratio = best_nulled / best_plain
+        ratios.append(ratio)
+        print(
+            f"  colors={colors} horizon={horizon}: "
+            f"{best_plain * 1e3:.1f}ms untraced, "
+            f"{best_nulled * 1e3:.1f}ms null-sink (x{ratio:.3f})"
+        )
+
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    overhead = geomean - 1.0
+    print(f"geomean null-sink overhead: {overhead:+.1%} (gate {args.threshold:.0%})")
+    if overhead > args.threshold:
+        print(
+            "FAIL: a disabled tracer must be free — a hot-loop emission "
+            "site is probably paying more than its `is not None` check"
+        )
+        return 1
+    print("pass: disabled tracing is within the overhead budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.instance import BatchMode, Instance, make_instance
 from repro.core.job import JobFactory
+from repro.obs.tracing import MemorySink, Tracer
 from repro.offline.heuristic import best_offline_heuristic
 from repro.offline.lower_bounds import combined_lower_bound
 from repro.runtime.parallel import ParallelRunner
@@ -298,16 +299,28 @@ def _plan_restarts(
 
 
 def _climb_restart(
-    task: tuple[_RestartPlan, SearchConfig, dict[int, int], Callable],
-) -> tuple[np.ndarray, float, list[float], int, int, int]:
+    task: tuple[_RestartPlan, SearchConfig, dict[int, int], Callable, int, bool],
+) -> tuple[tuple[np.ndarray, float, list[float], int, int, int], list]:
     """Run one restart's hill climb; module-level so it pickles to workers.
 
     The :class:`ScoreCache` lives for the whole restart, so every step
     that reproduces an already-scored matrix (point mutations frequently
     rewrite cells to their current values) skips its simulations.
+
+    When ``traced`` is set, the climb narrates itself into a local
+    ``MemorySink`` — a ``restart`` span plus one ``improvement`` event
+    per accepted step — and returns the records alongside the result so
+    the orchestrator can replay them into its tracer tagged with the
+    restart id (see :meth:`~repro.runtime.parallel.ParallelRunner.map_traced`).
     """
-    plan, config, bounds, scheme_factory = task
+    plan, config, bounds, scheme_factory, restart_index, traced = task
     cache = ScoreCache()
+    tracer: Tracer | None = None
+    sink: MemorySink | None = None
+    if traced:
+        sink = MemorySink(capacity=None)
+        tracer = Tracer(sink)
+        tracer.begin("restart", restart=restart_index, seed=config.seed)
 
     def scored(candidate: np.ndarray) -> float:
         return _score(
@@ -322,16 +335,36 @@ def _climb_restart(
     current_ratio = scored(matrix)
     evaluations = 1
     trajectory: list[float] = []
-    for step in plan.mutations:
+    for step_index, step in enumerate(plan.mutations):
         candidate = matrix.copy()
         for color, block_index, value in step:
             candidate[color, block_index] = value
         ratio = scored(candidate)
         evaluations += 1
         if ratio >= current_ratio:
+            if tracer is not None and ratio > current_ratio:
+                tracer.event(
+                    "improvement",
+                    restart=restart_index,
+                    step=step_index,
+                    ratio=round(ratio, 6),
+                )
             matrix, current_ratio = candidate, ratio
         trajectory.append(current_ratio)
-    return matrix, current_ratio, trajectory, evaluations, cache.hits, cache.misses
+    if tracer is not None:
+        tracer.end(
+            "restart",
+            restart=restart_index,
+            best_ratio=round(current_ratio, 6),
+            evaluations=evaluations,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+        )
+    records = sink.records if sink is not None else []
+    return (
+        (matrix, current_ratio, trajectory, evaluations, cache.hits, cache.misses),
+        records,
+    )
 
 
 def search_adversary(
@@ -339,11 +372,20 @@ def search_adversary(
     config: SearchConfig | None = None,
     *,
     runner: ParallelRunner | None = None,
+    tracer=None,
+    registry=None,
 ) -> SearchResult:
     """Hill-climb batch-size matrices to maximize the measured ratio.
 
     Pass a ``runner`` to climb the restarts in parallel; the result is
     identical to the serial search (see :func:`_plan_restarts`).
+
+    Pass a ``tracer`` to record a ``search`` span with per-restart
+    ``restart`` spans and ``improvement`` events — restart records are
+    collected worker-side and replayed in restart order tagged
+    ``restart-{i}/seed-{s}``, so serial and parallel searches emit the
+    same trace.  Pass a metrics ``registry`` to accumulate
+    ``adversary.*`` counters (evaluations, score-cache hits/misses).
     """
     config = config or SearchConfig()
     rng = np.random.default_rng(config.seed)
@@ -361,12 +403,35 @@ def search_adversary(
         _, bounds = encode_instance(config.warm_start, 1)
     max_blocks = config.horizon // min(bounds.values()) + 1
 
+    active_tracer = (
+        tracer
+        if tracer is not None and getattr(tracer, "enabled", True)
+        else None
+    )
+    scheme_name = scheme_factory().name
+    if active_tracer is not None:
+        active_tracer.begin(
+            "search",
+            algorithm=scheme_name,
+            restarts=config.restarts,
+            iterations=config.iterations,
+            seed=config.seed,
+        )
+
     plans = _plan_restarts(config, bounds, max_blocks, rng)
-    tasks = [(plan, config, bounds, scheme_factory) for plan in plans]
-    climbs = (
-        runner.map(_climb_restart, tasks)
-        if runner is not None
-        else [_climb_restart(task) for task in tasks]
+    traced = active_tracer is not None
+    tasks = [
+        (plan, config, bounds, scheme_factory, index, traced)
+        for index, plan in enumerate(plans)
+    ]
+    tags = [
+        f"restart-{index}/seed-{config.seed}" for index in range(len(plans))
+    ]
+    effective_runner = (
+        runner if runner is not None else ParallelRunner(force_serial=True)
+    )
+    climbs = effective_runner.map_traced(
+        _climb_restart, tasks, tracer=active_tracer, tags=tags
     )
 
     best_matrix: np.ndarray | None = None
@@ -382,6 +447,22 @@ def search_adversary(
         cache_misses += misses
         if current_ratio > best_ratio:
             best_ratio, best_matrix = current_ratio, matrix
+
+    if registry is not None:
+        registry.counter("adversary.evaluations").inc(evaluations)
+        registry.counter("adversary.score_cache_hits").inc(cache_hits)
+        registry.counter("adversary.score_cache_misses").inc(cache_misses)
+        registry.counter("adversary.restarts").inc(len(plans))
+        registry.gauge("adversary.best_ratio").set(best_ratio)
+    if active_tracer is not None:
+        active_tracer.end(
+            "search",
+            algorithm=scheme_name,
+            best_ratio=round(best_ratio, 6),
+            evaluations=evaluations,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+        )
 
     assert best_matrix is not None
     return SearchResult(

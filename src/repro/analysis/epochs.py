@@ -153,3 +153,40 @@ def analyze_epochs(trace: Trace, *, threshold: int) -> EpochAnalysis:
         SuperEpoch(index, start_round, None, frozenset(seen))
     )
     return analysis
+
+
+def annotate_epochs(analysis: EpochAnalysis, tracer) -> int:
+    """Write an analysis' epoch structure onto the trace bus.
+
+    Emits one ``epoch`` annotation per extracted epoch — anchored at the
+    round the epoch closed (its start round for the trailing incomplete
+    epoch) — and one ``super_epoch`` annotation per super-epoch, so a
+    rendered timeline (``repro trace``) shows the Section 3.2 epoch
+    boundaries inline with the engine's own events.  Returns the number
+    of annotations emitted; a ``None`` or disabled tracer emits nothing.
+    """
+    if tracer is None or not getattr(tracer, "enabled", True):
+        return 0
+    count = 0
+    for color in sorted(analysis.epochs_by_color):
+        for epoch in analysis.epochs_by_color[color]:
+            tracer.annotation(
+                "epoch",
+                epoch.end if epoch.end is not None else epoch.start,
+                color=color,
+                index=epoch.index,
+                start=epoch.start,
+                complete=epoch.complete,
+            )
+            count += 1
+    for super_epoch in analysis.super_epochs:
+        tracer.annotation(
+            "super_epoch",
+            super_epoch.end if super_epoch.end is not None else super_epoch.start,
+            index=super_epoch.index,
+            start=super_epoch.start,
+            complete=super_epoch.complete,
+            active_colors=sorted(super_epoch.active_colors),
+        )
+        count += 1
+    return count

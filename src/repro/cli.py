@@ -8,6 +8,9 @@ Subcommands::
     repro export EXP-A --dir out/   # run + write .txt/.json/.csv bundle
     repro search dlru-edf           # adversary-hunt a scheme
     repro describe trace.json       # workload statistics for a saved trace
+    repro record run.jsonl          # traced run: JSONL trace + metrics
+    repro trace run.jsonl           # render a recorded trace as a timeline
+    repro stats run.jsonl           # aggregate statistics of a recorded run
     repro demo                      # 30-second tour on a random workload
 
 Reports are printed as fixed-width tables plus ASCII series; pass
@@ -113,6 +116,87 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.obs import (
+        JsonlSink,
+        MetricsRegistry,
+        PhaseProfiler,
+        Tracer,
+        flame_table,
+        render_metrics,
+    )
+    from repro.simulation.engine import simulate
+    from repro.workloads.random_batched import random_batched
+
+    module_name, class_name = _SCHEME_CHOICES[args.scheme].split(":")
+    scheme_factory = getattr(importlib.import_module(module_name), class_name)
+    if args.epochs and args.record != "full":
+        print("--epochs needs the full event trace; pass --record full")
+        return 2
+    instance = random_batched(
+        args.colors,
+        args.delta,
+        args.horizon,
+        seed=args.seed,
+        load=args.load,
+        name=f"record-seed{args.seed}",
+    )
+    registry = MetricsRegistry()
+    profiler = PhaseProfiler() if args.profile else None
+    with JsonlSink(args.out) as sink:
+        tracer = Tracer(sink)
+        result = simulate(
+            instance,
+            scheme_factory(),
+            args.resources,
+            speed=args.speed,
+            record=args.record,
+            sparse=args.engine == "sparse",
+            tracer=tracer,
+            registry=registry,
+            profiler=profiler,
+        )
+        if args.epochs:
+            from repro.analysis.epochs import analyze_epochs, annotate_epochs
+
+            analysis = analyze_epochs(
+                result.trace, threshold=max(1, args.resources // 4)
+            )
+            emitted = annotate_epochs(analysis, tracer)
+            print(f"annotated {emitted} epoch/super-epoch boundaries")
+    print(
+        f"{instance.name}: total cost {result.total_cost} "
+        f"(reconfig {result.cost.reconfig_cost}, drops {result.cost.drop_cost})"
+    )
+    print(f"trace written to {args.out}")
+    print()
+    print(render_metrics(registry.snapshot()))
+    if profiler is not None:
+        print()
+        print(flame_table(profiler))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.render import render_trace_timeline
+    from repro.obs.tracing import read_jsonl_trace
+
+    records = read_jsonl_trace(args.trace)
+    print(render_trace_timeline(records, max_rounds=args.rounds))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.render import render_trace_stats
+    from repro.obs.tracing import read_jsonl_trace
+
+    records = read_jsonl_trace(args.trace)
+    print(render_trace_stats(records))
+    return 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     from repro.workloads.stats import describe_workload
     from repro.workloads.traces import instance_from_csv, load_instance
@@ -211,6 +295,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_describe.add_argument("trace", help="path to a saved instance")
     p_describe.set_defaults(func=_cmd_describe)
+
+    p_record = sub.add_parser(
+        "record",
+        help="run a seeded workload with the trace bus on, writing JSONL",
+    )
+    p_record.add_argument("out", help="JSONL trace output path")
+    p_record.add_argument(
+        "--scheme", choices=sorted(_SCHEME_CHOICES), default="dlru-edf"
+    )
+    p_record.add_argument("--colors", type=int, default=8)
+    p_record.add_argument("--delta", type=int, default=4)
+    p_record.add_argument("--horizon", type=int, default=256)
+    p_record.add_argument("--seed", type=int, default=7)
+    p_record.add_argument(
+        "--load", type=float, default=0.35, help="offered load (default 0.35)"
+    )
+    p_record.add_argument("--resources", type=int, default=8)
+    p_record.add_argument("--speed", type=int, default=1)
+    p_record.add_argument(
+        "--engine", choices=("sparse", "dense"), default="sparse"
+    )
+    p_record.add_argument(
+        "--record", choices=("costs", "full"), default="costs"
+    )
+    p_record.add_argument(
+        "--epochs",
+        action="store_true",
+        help="annotate epoch/super-epoch boundaries (needs --record full)",
+    )
+    p_record.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the phase profiler and print its flame table",
+    )
+    p_record.set_defaults(func=_cmd_record)
+
+    p_trace = sub.add_parser(
+        "trace", help="render a recorded JSONL trace as a round timeline"
+    )
+    p_trace.add_argument("trace", help="path to a JSONL trace from `record`")
+    p_trace.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="cap on rendered rounds with events (default: all)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="aggregate statistics of a recorded JSONL trace"
+    )
+    p_stats.add_argument("trace", help="path to a JSONL trace from `record`")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_demo = sub.add_parser("demo", help="30-second tour")
     p_demo.set_defaults(func=_cmd_demo)

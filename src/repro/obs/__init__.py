@@ -1,0 +1,57 @@
+"""Observability: structured tracing, metrics registry, profiling hooks.
+
+Three dependency-free layers, all strictly observational (attaching any
+of them never changes a computed cost — property-tested):
+
+* :mod:`repro.obs.tracing` — the trace bus: typed span/event records
+  (run → round → phase, plus reconfigure/drop/execute/fast-forward/
+  cache-hit events) over pluggable sinks (ring buffer, JSONL, null).
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  in a named registry; snapshots feed the telemetry payloads
+  (``BENCH_engine.json`` schema v3).
+* :mod:`repro.obs.profiling` — per-phase wall-clock attribution for the
+  engine cores and the ``--profile`` flame table.
+
+Entry points: pass ``tracer=`` / ``registry=`` / ``profiler=`` to
+:func:`repro.simulate` / :func:`repro.simulate_general` /
+:func:`repro.analysis.adversary_search.search_adversary` /
+:func:`repro.offline.optimal.optimal_offline`, or use the CLI
+(``repro record`` / ``repro trace`` / ``repro stats``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    POW2_BUCKETS,
+    render_metrics,
+)
+from repro.obs.profiling import PhaseProfiler, flame_table
+from repro.obs.tracing import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    TraceRecord,
+    Tracer,
+    read_jsonl_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "POW2_BUCKETS",
+    "PhaseProfiler",
+    "Sink",
+    "TraceRecord",
+    "Tracer",
+    "flame_table",
+    "read_jsonl_trace",
+    "render_metrics",
+]

@@ -1,0 +1,216 @@
+"""Render JSONL traces as round timelines and summary statistics.
+
+Backs the ``repro trace`` and ``repro stats`` subcommands: both consume
+the records of one engine run (written by
+:class:`~repro.obs.tracing.JsonlSink`, read back with
+:func:`~repro.obs.tracing.read_jsonl_trace`) and produce fixed-width
+text — no plotting dependencies, diffable in a terminal.
+
+The timeline renders one line per simulated round, leaf events inlined
+in emission order, fast-forwarded stretches as explicit skip markers,
+and after-the-fact ``epoch`` / ``super_epoch`` annotations attached to
+the rounds they anchor on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.obs.tracing import TraceRecord
+
+#: Compact event glyphs for the timeline, keyed by record name.
+_EVENT_LABELS = {
+    "drop": lambda d: f"drop c{d.get('color')}x{d.get('count')}",
+    "arrival": lambda d: f"arr c{d.get('color')}x{d.get('count')}",
+    "wrap": lambda d: f"wrap c{d.get('color')}"
+    + (f"x{d['count']}" if d.get("count", 1) != 1 else ""),
+    "eligible": lambda d: f"+elig c{d.get('color')}",
+    "ineligible": lambda d: f"-elig c{d.get('color')}",
+    "reconfig": lambda d: f"reconfig c{d.get('color')}(+{d.get('resources')})",
+    "cache_in": lambda d: f"in c{d.get('color')}",
+    "cache_out": lambda d: f"out c{d.get('color')}",
+    "execute": lambda d: f"exec c{d.get('color')}x{d.get('count')}",
+    "cache_hit": lambda d: f"hit:{d.get('target', 'cache')}",
+    "fast_forward": lambda d: (
+        f">> fast-forward to {d.get('to_round')} ({d.get('rounds')} rounds)"
+    ),
+    "epoch": lambda d: (
+        f"[epoch c{d.get('color')}#{d.get('index')} from {d.get('start')}"
+        + ("" if d.get("complete") else " open")
+        + "]"
+    ),
+    "super_epoch": lambda d: (
+        f"[super-epoch #{d.get('index')} from {d.get('start')}"
+        + ("" if d.get("complete") else " open")
+        + "]"
+    ),
+}
+
+
+def _label(record: TraceRecord) -> str | None:
+    formatter = _EVENT_LABELS.get(record.name)
+    if formatter is None:
+        return None
+    return formatter(record.data)
+
+
+def render_trace_timeline(
+    records: Sequence[TraceRecord], *, max_rounds: int | None = None
+) -> str:
+    """One line per simulated round, events inlined in emission order."""
+    header: TraceRecord | None = None
+    footer: TraceRecord | None = None
+    # round index -> labels, in first-touch order (annotations land on
+    # the round they anchor to even though they are emitted at the end).
+    by_round: dict[int, list[str]] = {}
+    simulated: list[int] = []
+    for record in records:
+        if record.name == "run":
+            if record.kind == "span_start":
+                header = record
+            else:
+                footer = record
+            continue
+        if record.name == "round":
+            if record.kind == "span_start" and record.round_index is not None:
+                simulated.append(record.round_index)
+                by_round.setdefault(record.round_index, [])
+            continue
+        if record.name == "phase":
+            continue
+        label = _label(record)
+        if label is None or record.round_index is None:
+            continue
+        by_round.setdefault(record.round_index, []).append(label)
+
+    lines: list[str] = []
+    if header is not None:
+        d = header.data
+        lines.append(
+            f"run {d.get('algorithm')}  n={d.get('resources')} "
+            f"speed={d.get('speed')} record={d.get('record')} "
+            f"engine={d.get('engine')} horizon={d.get('horizon')}"
+        )
+    width = len(str(max(by_round, default=0)))
+    shown = 0
+    idle_streak = 0
+
+    def flush_idle() -> None:
+        nonlocal idle_streak
+        if idle_streak:
+            lines.append(f"{'':>{width + 6}}  ({idle_streak} idle rounds)")
+            idle_streak = 0
+
+    for round_index in sorted(by_round):
+        labels = by_round[round_index]
+        if not labels:
+            idle_streak += 1
+            continue
+        flush_idle()
+        if max_rounds is not None and shown >= max_rounds:
+            remaining = sum(
+                1 for k in by_round if k > round_index and by_round[k]
+            )
+            lines.append(f"... ({remaining + 1} more rounds with events)")
+            break
+        lines.append(f"round {round_index:>{width}}  " + " · ".join(labels))
+        shown += 1
+    else:
+        flush_idle()
+    if footer is not None:
+        d = footer.data
+        lines.append(
+            f"total cost {d.get('total_cost')} "
+            f"(reconfig {d.get('reconfig_cost')}, drops {d.get('drop_cost')}) "
+            f"over {d.get('rounds_executed')} simulated rounds"
+        )
+    return "\n".join(lines) if lines else "(empty trace)"
+
+
+def summarize_trace(records: Iterable[TraceRecord]) -> dict:
+    """Aggregate counts from one run's records (``repro stats``)."""
+    totals: dict[str, int] = {}
+    drops_by_color: dict[int, int] = {}
+    execs_by_color: dict[int, int] = {}
+    workers: set[str] = set()
+    rounds_simulated = 0
+    rounds_fast_forwarded = 0
+    run_info: dict = {}
+    for record in records:
+        if record.worker is not None:
+            workers.add(record.worker)
+        if record.name == "run":
+            run_info.update(record.data)
+            continue
+        if record.name == "round":
+            if record.kind == "span_start":
+                rounds_simulated += 1
+            continue
+        if record.name == "phase":
+            continue
+        totals[record.name] = totals.get(record.name, 0) + 1
+        data = record.data
+        if record.name == "fast_forward":
+            rounds_fast_forwarded += int(data.get("rounds", 0))
+        elif record.name == "drop":
+            color = data.get("color")
+            if color is not None:
+                drops_by_color[color] = drops_by_color.get(color, 0) + int(
+                    data.get("count", 1)
+                )
+        elif record.name == "execute":
+            color = data.get("color")
+            if color is not None:
+                execs_by_color[color] = execs_by_color.get(color, 0) + int(
+                    data.get("count", 1)
+                )
+    return {
+        "run": run_info,
+        "rounds_simulated": rounds_simulated,
+        "rounds_fast_forwarded": rounds_fast_forwarded,
+        "events": totals,
+        "drops_by_color": drops_by_color,
+        "executions_by_color": execs_by_color,
+        "workers": sorted(workers),
+    }
+
+
+def render_trace_stats(records: Sequence[TraceRecord]) -> str:
+    """Fixed-width statistics summary of one run's records."""
+    if not records:
+        return "(empty trace)"
+    summary = summarize_trace(records)
+    lines: list[str] = []
+    run = summary["run"]
+    if run:
+        lines.append(
+            f"run {run.get('algorithm')}  n={run.get('resources')} "
+            f"speed={run.get('speed')} record={run.get('record')} "
+            f"engine={run.get('engine')} horizon={run.get('horizon')}"
+        )
+        if "total_cost" in run:
+            lines.append(
+                f"cost {run['total_cost']} (reconfig {run.get('reconfig_cost')}, "
+                f"drops {run.get('drop_cost')})"
+            )
+    lines.append(
+        f"rounds: {summary['rounds_simulated']} simulated, "
+        f"{summary['rounds_fast_forwarded']} fast-forwarded"
+    )
+    events = summary["events"]
+    if events:
+        lines.append("events")
+        pad = max(len(name) for name in events)
+        for name in sorted(events):
+            lines.append(f"  {name.ljust(pad)}  {events[name]}")
+    for title, key in (
+        ("drops by color", "drops_by_color"),
+        ("executions by color", "executions_by_color"),
+    ):
+        per_color = summary[key]
+        if per_color:
+            parts = [f"c{color}: {per_color[color]}" for color in sorted(per_color)]
+            lines.append(f"{title}: " + "  ".join(parts))
+    if summary["workers"]:
+        lines.append("workers: " + ", ".join(summary["workers"]))
+    return "\n".join(lines) if lines else "(empty trace)"

@@ -58,12 +58,19 @@ class SearchSpaceExceeded(RuntimeError):
 
 @dataclass(frozen=True)
 class OptimalResult:
-    """Exact optimum plus a witness schedule."""
+    """Exact optimum plus a witness schedule.
+
+    ``candidates_pruned`` counts candidate configurations cut without
+    expanding their subtrees (sorted-order cutoffs plus admissible
+    suffix-bound cuts) — the branch-and-bound's effectiveness metric,
+    exported to the ``offline.*`` telemetry instruments.
+    """
 
     cost: int
     schedule: Schedule
     breakdown: CostBreakdown
     states_explored: int
+    candidates_pruned: int = 0
 
     @property
     def num_reconfigs(self) -> int:
@@ -219,6 +226,8 @@ def optimal_offline(
     num_resources: int,
     *,
     max_states: int = 2_000_000,
+    tracer=None,
+    registry=None,
 ) -> OptimalResult:
     """Compute the exact optimal offline cost and a witness schedule.
 
@@ -226,9 +235,26 @@ def optimal_offline(
     ``states_explored`` counts expanded decision nodes, so it is directly
     comparable to (and strictly smaller on pruned instances than) the
     memo size of :func:`optimal_offline_exhaustive`.
+
+    Optional observability: a ``tracer`` records an ``offline_solve``
+    span (instance, resources → cost, states, prunes); a metrics
+    ``registry`` accumulates ``offline.states_expanded`` and
+    ``offline.candidates_pruned`` counters.
     """
     if num_resources <= 0:
         raise ValueError("need at least one resource")
+    active_tracer = (
+        tracer
+        if tracer is not None and getattr(tracer, "enabled", True)
+        else None
+    )
+    if active_tracer is not None:
+        active_tracer.begin(
+            "offline_solve",
+            instance=instance.name or "instance",
+            resources=num_resources,
+            horizon=instance.horizon,
+        )
     m = num_resources
     delta = instance.spec.reconfig_cost
     drop_cost = instance.spec.cost.drop_cost
@@ -239,6 +265,7 @@ def optimal_offline(
 
     memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey]] = {}
     expanded = 0
+    pruned = 0
 
     def suffix_bound(start_round: int, cache: CacheKey, pending: PendingKey) -> int:
         """Admissible bound on the cost-to-go from a search state.
@@ -346,6 +373,7 @@ def optimal_offline(
                 # Candidates are sorted by reconfiguration cost and the
                 # suffix cost is nonnegative: every remaining candidate
                 # is dominated by the incumbent.
+                pruned += len(fr.cands) - fr.idx
                 fr.idx = len(fr.cands)
                 break
             after = row[2]
@@ -366,6 +394,7 @@ def optimal_offline(
                     ):
                         # Admissible bound: the candidate provably cannot
                         # beat the incumbent — cut its unexpanded subtree.
+                        pruned += 1
                         fr.idx += 1
                         continue
                     stack.append(expand(child_key))
@@ -394,7 +423,17 @@ def optimal_offline(
             f"replayed schedule cost {breakdown.total} != search cost {total_cost}"
         )
     verify_schedule(instance, schedule).raise_if_invalid()
-    return OptimalResult(total_cost, schedule, breakdown, expanded)
+    if registry is not None:
+        registry.counter("offline.states_expanded").inc(expanded)
+        registry.counter("offline.candidates_pruned").inc(pruned)
+    if active_tracer is not None:
+        active_tracer.end(
+            "offline_solve",
+            cost=total_cost,
+            states_explored=expanded,
+            candidates_pruned=pruned,
+        )
+    return OptimalResult(total_cost, schedule, breakdown, expanded, pruned)
 
 
 def optimal_offline_exhaustive(
@@ -417,8 +456,10 @@ def optimal_offline_exhaustive(
     arrivals = _arrivals_by_round(instance)
 
     memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey]] = {}
+    pruned = 0
 
     def solve(k: int, cache: CacheKey, pending: PendingKey) -> int:
+        nonlocal pruned
         if k >= horizon:
             # The horizon extends past every deadline, so nothing pends.
             return sum(count for _, count in pending) * drop_cost
@@ -441,6 +482,7 @@ def optimal_offline_exhaustive(
             if best_cost is not None and phase_cost + reconfig >= best_cost:
                 # Reconfiguration alone already exceeds the incumbent;
                 # future cost is nonnegative, so prune.
+                pruned += 1
                 continue
             after = _execute_abstract(candidate, pending2)
             total = phase_cost + reconfig + solve(k + 1, candidate, after)
@@ -468,7 +510,7 @@ def optimal_offline_exhaustive(
             f"replayed schedule cost {breakdown.total} != search cost {total_cost}"
         )
     verify_schedule(instance, schedule).raise_if_invalid()
-    return OptimalResult(total_cost, schedule, breakdown, len(memo))
+    return OptimalResult(total_cost, schedule, breakdown, len(memo), pruned)
 
 
 def _replay(

@@ -130,3 +130,36 @@ class ParallelRunner:
             # are pure, so a full serial re-run is safe and identical (a
             # genuine task failure re-raises the same error serially).
             return [fn(task) for task in task_list]
+
+    def map_traced(
+        self,
+        fn: Callable[[T], tuple[R, Sequence[Any]]],
+        tasks: Sequence[T],
+        *,
+        tracer: Any = None,
+        tags: Sequence[str] | None = None,
+    ) -> list[R]:
+        """:meth:`map` for task functions that also return trace records.
+
+        ``fn`` must return ``(result, records)`` where ``records`` is a
+        list of :class:`repro.obs.tracing.TraceRecord` collected in the
+        worker (e.g. via a local ``MemorySink``).  Records are replayed
+        into ``tracer`` in task order — so parallel and serial runs
+        produce the same trace — tagged with ``tags[i]`` (default
+        ``"task-{i}"``) identifying the worker task (seed/restart id)
+        that produced them.  With ``tracer=None`` (or a disabled tracer)
+        the records are discarded and only the results are returned.
+        """
+        outputs = self.map(fn, tasks)
+        active = (
+            tracer
+            if tracer is not None and getattr(tracer, "enabled", True)
+            else None
+        )
+        results: list[R] = []
+        for index, (result, records) in enumerate(outputs):
+            if active is not None and records:
+                tag = tags[index] if tags is not None else f"task-{index}"
+                active.replay(records, worker=tag)
+            results.append(result)
+        return results

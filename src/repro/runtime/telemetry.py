@@ -22,7 +22,12 @@ from typing import Any, Mapping, Sequence
 #: Schema tag so future emitters can evolve the layout detectably.
 #: v2 added the engine-core dimension ("engine", "active_round_fraction"
 #: on throughput rows) plus offline-search and adversary-cache rows.
-BENCH_SCHEMA = "repro-bench-engine/v2"
+#: v3 adds the optional top-level "metrics" block (a
+#: :meth:`repro.obs.metrics.MetricsRegistry.snapshot` payload) and typed
+#: diff entries from :func:`throughput_regressions` — each entry carries
+#: a "kind" ("regression" or "missing_baseline") instead of silently
+#: skipping baseline rows without a throughput figure.
+BENCH_SCHEMA = "repro-bench-engine/v3"
 
 #: Fields identifying one throughput measurement across runs.
 THROUGHPUT_KEY = ("resources", "colors", "horizon", "record", "engine")
@@ -43,14 +48,24 @@ def bench_payload(
     *,
     summary: Mapping[str, Any] | None = None,
     context: Mapping[str, Any] | None = None,
+    metrics: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Assemble the BENCH json document from benchmark rows."""
-    return {
+    """Assemble the BENCH json document from benchmark rows.
+
+    ``metrics`` (schema v3) is an optional
+    :meth:`repro.obs.metrics.MetricsRegistry.snapshot` payload recorded
+    alongside the rows — counters/histograms from the instrumented run
+    that produced them.
+    """
+    payload = {
         "schema": BENCH_SCHEMA,
         "machine": dict(context) if context is not None else machine_context(),
         "summary": dict(summary or {}),
         "rows": [dict(row) for row in rows],
     }
+    if metrics is not None:
+        payload["metrics"] = dict(metrics)
+    return payload
 
 
 def write_bench_json(
@@ -59,9 +74,10 @@ def write_bench_json(
     *,
     summary: Mapping[str, Any] | None = None,
     context: Mapping[str, Any] | None = None,
+    metrics: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Write the benchmark document to ``path`` and return it."""
-    payload = bench_payload(rows, summary=summary, context=context)
+    payload = bench_payload(rows, summary=summary, context=context, metrics=metrics)
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -75,11 +91,23 @@ def read_bench_json(path: str | Path) -> dict[str, Any]:
 
 def _throughput_index(
     rows: Sequence[Mapping[str, Any]],
+    *,
+    require_rps: bool = True,
 ) -> dict[tuple, Mapping[str, Any]]:
-    """Index throughput rows (those carrying rounds/sec) by identity key."""
+    """Index throughput rows by identity key.
+
+    With ``require_rps`` (the default) only rows carrying a measured
+    ``rounds_per_second`` qualify.  Baselines are indexed with
+    ``require_rps=False`` so that throughput-shaped rows (all
+    :data:`THROUGHPUT_KEY` fields present) missing the measurement are
+    still matchable — and reportable as ``missing_baseline`` — instead
+    of silently invisible.
+    """
     indexed: dict[tuple, Mapping[str, Any]] = {}
     for row in rows:
-        if "rounds_per_second" not in row:
+        if "rounds_per_second" not in row and (
+            require_rps or not all(field in row for field in THROUGHPUT_KEY)
+        ):
             continue
         key = tuple(row.get(field) for field in THROUGHPUT_KEY)
         indexed[key] = row
@@ -96,25 +124,42 @@ def throughput_regressions(
 
     Rows are matched by :data:`THROUGHPUT_KEY`; cells present on only
     one side are ignored (grids may grow or shrink between runs).  Each
-    returned record carries the matching key, both throughputs, and the
-    fresh/baseline ratio, so callers can render an actionable failure.
+    returned record carries ``kind="regression"``, the matching key,
+    both throughputs, and the fresh/baseline ratio, so callers can
+    render an actionable failure.
+
+    A baseline row that matches a fresh cell but lacks a
+    ``rounds_per_second`` measurement (e.g. a truncated or hand-edited
+    baseline) produces a ``kind="missing_baseline"`` entry instead of
+    being silently skipped — a corrupt baseline must not read as "no
+    regressions".
     """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError("tolerance must lie in [0, 1)")
-    baseline_index = _throughput_index(baseline_rows)
+    baseline_index = _throughput_index(baseline_rows, require_rps=False)
     regressions: list[dict[str, Any]] = []
     for key, fresh in _throughput_index(fresh_rows).items():
         baseline = baseline_index.get(key)
         if baseline is None:
             continue
-        base_rps = float(baseline["rounds_per_second"])
         fresh_rps = float(fresh["rounds_per_second"])
+        if "rounds_per_second" not in baseline:
+            regressions.append(
+                {
+                    "kind": "missing_baseline",
+                    "key": dict(zip(THROUGHPUT_KEY, key)),
+                    "fresh_rounds_per_second": fresh_rps,
+                }
+            )
+            continue
+        base_rps = float(baseline["rounds_per_second"])
         if base_rps <= 0:
             continue
         ratio = fresh_rps / base_rps
         if ratio < 1.0 - tolerance:
             regressions.append(
                 {
+                    "kind": "regression",
                     "key": dict(zip(THROUGHPUT_KEY, key)),
                     "baseline_rounds_per_second": base_rps,
                     "fresh_rounds_per_second": fresh_rps,

@@ -47,6 +47,27 @@ default ``sparse=True`` core exploits this three ways:
 ``sparse=False`` keeps the PR-1 dense round loop; the two cores are
 cost- and trace-exact against each other (property-tested), and the
 dense core remains available as the before/after benchmark baseline.
+
+Observability hooks
+-------------------
+Three optional, strictly observational attachments (``repro.obs``):
+
+* ``tracer`` — a :class:`repro.obs.tracing.Tracer`; the engine opens a
+  ``run`` span, a ``round`` span per simulated round, emits ``phase``
+  markers (drop/arrival/reconfigure/execute) and leaf events (``drop``,
+  ``arrival``, ``reconfig``, ``execute``, ``wrap``, ``eligible``,
+  ``ineligible``, ``cache_in``/``cache_out``, ``fast_forward``,
+  ``cache_hit``).  Disabled tracers (null sink) are normalized to
+  ``None`` so the hot loop pays only ``is not None`` checks.
+* ``registry`` — a :class:`repro.obs.metrics.MetricsRegistry`;
+  ``engine.*`` counters and histograms (queue depth, backlog age,
+  reconfig interarrival, order-cache hits) accumulate without retaining
+  per-event records.
+* ``profiler`` — a :class:`repro.obs.profiling.PhaseProfiler`;
+  per-phase wall-clock attribution for the ``--profile`` flame table.
+
+None of the three ever mutates simulation state: traced and untraced
+runs produce bit-identical :class:`CostBreakdown`\\ s (property-tested).
 """
 
 from __future__ import annotations
@@ -77,6 +98,91 @@ from repro.core.validation import ValidationReport, verify_schedule
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.resources import CachePool
 from repro.simulation.state import ColorState
+
+
+class EngineInstruments:
+    """``engine.*`` instrument bundle over a metrics registry.
+
+    Resolves every instrument once at construction so the round loop
+    never pays registry lookups; shared by both engine cores (batched
+    and general).  The registry is duck-typed (anything exposing
+    ``counter``/``gauge``/``histogram`` works) so the simulation layer
+    needs no import of :mod:`repro.obs`.
+    """
+
+    __slots__ = (
+        "registry",
+        "drops",
+        "executions",
+        "reconfigs",
+        "rounds_executed",
+        "rounds_fast_forwarded",
+        "fixed_point_skips",
+        "order_cache_hits",
+        "order_cache_misses",
+        "queue_depth",
+        "backlog_age",
+        "reconfig_interarrival",
+        "_age_by_color",
+        "_last_reconfig_round",
+    )
+
+    def __init__(self, registry) -> None:
+        self.registry = registry
+        self.drops = registry.counter("engine.drops")
+        self.executions = registry.counter("engine.executions")
+        self.reconfigs = registry.counter("engine.reconfigs")
+        self.rounds_executed = registry.counter("engine.rounds_executed")
+        self.rounds_fast_forwarded = registry.counter("engine.rounds_fast_forwarded")
+        self.fixed_point_skips = registry.counter("engine.fixed_point_skips")
+        self.order_cache_hits = registry.counter("engine.order_cache_hits")
+        self.order_cache_misses = registry.counter("engine.order_cache_misses")
+        self.queue_depth = registry.histogram("engine.queue_depth")
+        self.backlog_age = registry.histogram("engine.backlog_age")
+        self.reconfig_interarrival = registry.histogram("engine.reconfig_interarrival")
+        self._age_by_color: dict[int, object] = {}
+        self._last_reconfig_round: int | None = None
+
+    def _color_age(self, color: int):
+        histogram = self._age_by_color.get(color)
+        if histogram is None:
+            histogram = self.registry.histogram(f"engine.backlog_age.color.{color}")
+            self._age_by_color[color] = histogram
+        return histogram
+
+    def record_drop(self, color: int, count: int, age: int) -> None:
+        self.drops.inc(count)
+        self.backlog_age.observe(age, count)
+        self._color_age(color).observe(age, count)
+
+    def record_execution(self, color: int, age: int) -> None:
+        self.executions.inc()
+        self.backlog_age.observe(age)
+        self._color_age(color).observe(age)
+
+    def record_reconfig(self, round_index: int, resources: int) -> None:
+        self.reconfigs.inc(resources)
+        if self._last_reconfig_round is not None:
+            self.reconfig_interarrival.observe(
+                round_index - self._last_reconfig_round
+            )
+        self._last_reconfig_round = round_index
+
+
+def _active_tracer(tracer):
+    """Normalize disabled tracers (null sink) to ``None``.
+
+    The engines' zero-overhead contract: a tracer whose sink is null
+    costs exactly the same as no tracer, because the round loop only
+    ever checks ``is not None``.
+    """
+    if tracer is not None and getattr(tracer, "enabled", True):
+        return tracer
+    return None
+
+
+def _noop_phase() -> None:
+    """Placeholder for phases with no work this round (sparse core)."""
 
 
 class ReconfigurationScheme(ABC):
@@ -199,6 +305,9 @@ class BatchedEngine:
         collect_metrics: bool = False,
         record: str = "full",
         sparse: bool = True,
+        tracer=None,
+        registry=None,
+        profiler=None,
     ) -> None:
         if not instance.spec.batch_mode.is_batched:
             raise ValueError(
@@ -237,6 +346,9 @@ class BatchedEngine:
         self.metrics = (
             MetricsCollector(instance.horizon) if collect_metrics else None
         )
+        self.tracer = _active_tracer(tracer)
+        self.profiler = profiler
+        self.obs = EngineInstruments(registry) if registry is not None else None
         self.round_index = 0
         self.mini_round = 0
         self.rounds_executed = 0
@@ -267,6 +379,17 @@ class BatchedEngine:
         if self._ran:
             raise RuntimeError("engine instances are single-use; build a new one")
         self._ran = True
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin(
+                "run",
+                algorithm=self.scheme.name,
+                resources=self.num_resources,
+                speed=self.speed,
+                record=self.record,
+                engine="sparse" if self.sparse else "dense",
+                horizon=self.instance.horizon,
+            )
         self.scheme.setup(self)
         start = time.perf_counter()
         if self.sparse:
@@ -277,6 +400,17 @@ class BatchedEngine:
         if self.metrics is not None:
             self.metrics.record_wall_clock(
                 elapsed, self.instance.horizon * self.speed
+            )
+        if self.obs is not None:
+            self.obs.rounds_executed.inc(self.rounds_executed)
+        if tracer is not None:
+            tracer.end(
+                "run",
+                total_cost=self.cost.total,
+                reconfig_cost=self.cost.reconfig_cost,
+                drop_cost=self.cost.drop_cost,
+                rounds_executed=self.rounds_executed,
+                wall_seconds=round(elapsed, 6),
             )
         return RunResult(
             instance=self.instance,
@@ -292,8 +426,62 @@ class BatchedEngine:
             rounds_executed=self.rounds_executed,
         )
 
+    def _run_phase(self, name: str, k: int, fn, *args, mini: int | None = None) -> None:
+        """Run one phase with trace marker + wall-clock attribution."""
+        tracer, prof = self.tracer, self.profiler
+        if tracer is not None:
+            if mini is None:
+                tracer.event("phase", k, phase=name)
+            else:
+                tracer.event("phase", k, phase=name, mini=mini)
+        if prof is None:
+            fn(*args)
+        else:
+            t0 = time.perf_counter()
+            fn(*args)
+            prof.add(name, time.perf_counter() - t0)
+
+    def _round_instrumented(self, k: int, drop_fn, drop_args, arrival_fn, arrival_args) -> None:
+        """One observed round: span + phase markers + queue-depth sample.
+
+        Only entered when a tracer, profiler, or metrics registry is
+        attached — the uninstrumented loops below stay byte-identical to
+        the plain hot path.
+        """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("round", k)
+        self._run_phase("drop", k, drop_fn, *drop_args)
+        self._run_phase("arrival", k, arrival_fn, *arrival_args)
+        for mini in range(self.speed):
+            self.mini_round = mini
+            self._run_phase("reconfigure", k, self.scheme.reconfigure, self, mini=mini)
+            self._run_phase("execute", k, self._execution_phase, k, mini, mini=mini)
+        if self.obs is not None:
+            self.obs.queue_depth.observe(self._total_pending)
+        if self.metrics is not None:
+            self.metrics.end_round(k, self)
+        if tracer is not None:
+            tracer.end("round", k)
+
+    @property
+    def _instrumented(self) -> bool:
+        return (
+            self.tracer is not None
+            or self.profiler is not None
+            or self.obs is not None
+        )
+
     def _run_dense(self) -> None:
         """The PR-1 round loop: every phase scans every color, no skips."""
+        if self._instrumented:
+            for k in range(self.instance.horizon):
+                self.round_index = k
+                self._round_instrumented(
+                    k, self._drop_phase, (k,), self._arrival_phase, (k,)
+                )
+            self.rounds_executed = self.instance.horizon
+            return
         for k in range(self.instance.horizon):
             self.round_index = k
             self._drop_phase(k)
@@ -312,30 +500,50 @@ class BatchedEngine:
         calendar, boundary_rounds = self._build_calendar(horizon)
         # Skipping is only sound when nothing observes the skipped rounds
         # (no trace/schedule, no per-round metrics) and the scheme is
-        # stationary; see ReconfigurationScheme.stationary.
+        # stationary; see ReconfigurationScheme.stationary.  Observability
+        # attachments (tracer/registry/profiler) do NOT disable skipping:
+        # skipped rounds are provable global no-ops, so the trace records
+        # a single ``fast_forward`` event instead of empty rounds.
         can_skip = (
             self.record == "costs"
             and self.metrics is None
             and self.scheme.stationary
         )
+        instrumented = self._instrumented
+        tr, obs = self.tracer, self.obs
         num_boundaries = len(boundary_rounds)
         bi = 0  # index of the first boundary round >= current k
         k = 0
         while k < horizon:
             self.round_index = k
             boundary_colors = calendar.get(k)
-            if boundary_colors is not None:
-                # dd, timestamps, and eligibility may all change here.
-                self._touch_orders()
-                if k > 0:
-                    self._drop_phase_sparse(k, boundary_colors)
-                self._arrival_phase_sparse(k, boundary_colors)
-            for mini in range(self.speed):
-                self.mini_round = mini
-                self.scheme.reconfigure(self)
-                self._execution_phase(k, mini)
-            if self.metrics is not None:
-                self.metrics.end_round(k, self)
+            if instrumented:
+                if boundary_colors is not None:
+                    # dd, timestamps, and eligibility may all change here.
+                    self._touch_orders()
+                    drop = (
+                        (self._drop_phase_sparse, (k, boundary_colors))
+                        if k > 0
+                        else (_noop_phase, ())
+                    )
+                    arrival = (self._arrival_phase_sparse, (k, boundary_colors))
+                else:
+                    drop = (_noop_phase, ())
+                    arrival = (_noop_phase, ())
+                self._round_instrumented(k, drop[0], drop[1], arrival[0], arrival[1])
+            else:
+                if boundary_colors is not None:
+                    # dd, timestamps, and eligibility may all change here.
+                    self._touch_orders()
+                    if k > 0:
+                        self._drop_phase_sparse(k, boundary_colors)
+                    self._arrival_phase_sparse(k, boundary_colors)
+                for mini in range(self.speed):
+                    self.mini_round = mini
+                    self.scheme.reconfigure(self)
+                    self._execution_phase(k, mini)
+                if self.metrics is not None:
+                    self.metrics.end_round(k, self)
             self.rounds_executed += 1
             k += 1
             if (
@@ -352,7 +560,15 @@ class BatchedEngine:
                 # no drops or arrivals (no boundary), no executions (no
                 # pending work), and a stationary scheme at its fixed
                 # point performs no reconfigurations.
-                k = min(next_boundary, horizon)
+                target = min(next_boundary, horizon)
+                if target > k:
+                    if tr is not None:
+                        tr.event(
+                            "fast_forward", k, to_round=target, rounds=target - k
+                        )
+                    if obs is not None:
+                        obs.rounds_fast_forwarded.inc(target - k)
+                k = target
 
     def _build_calendar(
         self, horizon: int
@@ -403,12 +619,22 @@ class BatchedEngine:
             if trace is not None:
                 trace.append(DropEvent(k, color, dropped, eligible=st.eligible))
             self.cost.record_drop(color, dropped, eligible=st.eligible)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "drop", k, color=color, count=dropped, eligible=st.eligible
+                )
+            if self.obs is not None:
+                # Dropped jobs arrived at the previous boundary of this
+                # color, so every one ages out at exactly its bound.
+                self.obs.record_drop(color, dropped, st.delay_bound)
         if st.eligible and color not in self.cache:
             st.eligible = False
             st.cnt = 0
             self._eligible_remove(color)
             if trace is not None:
                 trace.append(IneligibleEvent(k, color))
+            if self.tracer is not None:
+                self.tracer.event("ineligible", k, color=color)
 
     def _arrival_phase(self, k: int) -> None:
         trace = self.trace
@@ -438,8 +664,12 @@ class BatchedEngine:
     ) -> None:
         st.dd = k + st.delay_bound
         st.cnt += len(batch)
-        if batch and trace is not None:
-            trace.append(ArrivalEvent(k, color, len(batch)))
+        tracer = self.tracer
+        if batch:
+            if trace is not None:
+                trace.append(ArrivalEvent(k, color, len(batch)))
+            if tracer is not None:
+                tracer.event("arrival", k, color=color, count=len(batch))
         if st.cnt >= self.delta:
             # One batch can advance the counter past several multiples
             # of Δ (a rate-limited batch of size D_ℓ ≥ 2Δ already
@@ -450,11 +680,15 @@ class BatchedEngine:
             if trace is not None:
                 for _ in range(wraps):
                     trace.append(WrapEvent(k, color))
+            if tracer is not None:
+                tracer.event("wrap", k, color=color, count=wraps)
             if not st.eligible:
                 st.eligible = True
                 self._eligible_add(color)
                 if trace is not None:
                     trace.append(EligibleEvent(k, color))
+                if tracer is not None:
+                    tracer.event("eligible", k, color=color)
         st.pending.extend(batch)
         self._total_pending += len(batch)
         if trace is not None:
@@ -465,25 +699,47 @@ class BatchedEngine:
 
     def _execution_phase(self, k: int, mini: int) -> None:
         schedule, trace = self.schedule, self.trace
+        tracer, obs = self.tracer, self.obs
         if schedule is None:
             if self._total_pending == 0:
                 return
-            # Fast path: within a batched color every pending job is
-            # interchangeable for cost purposes, so count executions in
-            # bulk instead of materializing Execution/event objects.
+            if tracer is None and obs is None:
+                # Fast path: within a batched color every pending job is
+                # interchangeable for cost purposes, so count executions
+                # in bulk instead of materializing Execution/event
+                # objects.
+                for slot in self.cache.occupied_slots():
+                    st = self.states[slot.occupant]
+                    taken = min(self.copies, len(st.pending))
+                    if taken:
+                        for _ in range(taken):
+                            st.pending.popleft()
+                        self._total_pending -= taken
+                        if not st.pending:
+                            # Idle flips reorder the EDF ranking (idleness
+                            # is its leading sort key); recency is
+                            # unaffected.
+                            self.order_epoch += 1
+                            self._rank_cache = None
+                        self.cost.record_execution(slot.occupant, taken)
+                return
             for slot in self.cache.occupied_slots():
                 st = self.states[slot.occupant]
                 taken = min(self.copies, len(st.pending))
                 if taken:
                     for _ in range(taken):
-                        st.pending.popleft()
+                        job = st.pending.popleft()
+                        if obs is not None:
+                            obs.record_execution(job.color, k - job.arrival)
                     self._total_pending -= taken
                     if not st.pending:
-                        # Idle flips reorder the EDF ranking (idleness is
-                        # its leading sort key); recency is unaffected.
                         self.order_epoch += 1
                         self._rank_cache = None
                     self.cost.record_execution(slot.occupant, taken)
+                    if tracer is not None:
+                        tracer.event(
+                            "execute", k, color=slot.occupant, count=taken, mini=mini
+                        )
             return
         for slot in self.cache.occupied_slots():
             st = self.states[slot.occupant]
@@ -499,6 +755,12 @@ class BatchedEngine:
                 )
                 trace.append(ExecuteEvent(k, mini, resource, job.color, job.jid))
                 self.cost.record_execution(job.color)
+                if obs is not None:
+                    obs.record_execution(job.color, k - job.arrival)
+            if taken and tracer is not None:
+                tracer.event(
+                    "execute", k, color=slot.occupant, count=len(taken), mini=mini
+                )
 
     # ----------------------------------------- incremental eligible tracking
 
@@ -518,7 +780,18 @@ class BatchedEngine:
         stationary scheme is idempotent.  Only honored by the sparse
         core so dense runs keep the unoptimized baseline behavior.
         """
-        return self.sparse and self._scheme_pass_epoch == self.order_epoch
+        if self.sparse and self._scheme_pass_epoch == self.order_epoch:
+            if self.tracer is not None:
+                self.tracer.event(
+                    "cache_hit",
+                    self.round_index,
+                    target="fixed_point",
+                    mini=self.mini_round,
+                )
+            if self.obs is not None:
+                self.obs.fixed_point_skips.inc()
+            return True
+        return False
 
     def mark_fixed_point(self) -> None:
         """Record that the scheme completed a full pass at this epoch."""
@@ -560,9 +833,13 @@ class BatchedEngine:
         """
         if colors is None and self.sparse:
             if self._rank_cache is None:
+                if self.obs is not None:
+                    self.obs.order_cache_misses.inc()
                 self._rank_cache = sorted(
                     self._eligible_sorted, key=self._rank_key
                 )
+            elif self.obs is not None:
+                self.obs.order_cache_hits.inc()
             return list(self._rank_cache)
         pool = self.eligible_colors() if colors is None else list(colors)
         return sorted(pool, key=self._rank_key)
@@ -580,11 +857,15 @@ class BatchedEngine:
         """
         if colors is None and self.sparse:
             if self._lru_cache is None:
+                if self.obs is not None:
+                    self.obs.order_cache_misses.inc()
                 now = self.round_index
                 self._lru_cache = sorted(
                     self._eligible_sorted,
                     key=lambda c: (-self.states[c].timestamp(now), c),
                 )
+            elif self.obs is not None:
+                self.obs.order_cache_hits.inc()
             return list(self._lru_cache)
         pool = self.eligible_colors() if colors is None else list(colors)
         now = self.round_index
@@ -596,6 +877,25 @@ class BatchedEngine:
         st = self.states.get(color)
         if st is not None and st.eligible:
             self._num_eligible_uncached -= 1
+        tracer = self.tracer
+        if tracer is not None:
+            if reconfigured:
+                tracer.event(
+                    "reconfig",
+                    self.round_index,
+                    color=color,
+                    resources=len(reconfigured),
+                    mini=self.mini_round,
+                )
+            tracer.event(
+                "cache_in",
+                self.round_index,
+                color=color,
+                section=section,
+                mini=self.mini_round,
+            )
+        if self.obs is not None and reconfigured:
+            self.obs.record_reconfig(self.round_index, len(reconfigured))
         if self.trace is None:
             self.cost.record_reconfig(color, len(reconfigured))
             return
@@ -621,6 +921,10 @@ class BatchedEngine:
             self._num_eligible_uncached += 1
         if self.trace is not None:
             self.trace.append(CacheOutEvent(self.round_index, self.mini_round, color))
+        if self.tracer is not None:
+            self.tracer.event(
+                "cache_out", self.round_index, color=color, mini=self.mini_round
+            )
 
 
 def simulate(
@@ -633,6 +937,9 @@ def simulate(
     collect_metrics: bool = False,
     record: str = "full",
     sparse: bool = True,
+    tracer=None,
+    registry=None,
+    profiler=None,
 ) -> RunResult:
     """Build a :class:`BatchedEngine`, run it, and return the result."""
     return BatchedEngine(
@@ -644,4 +951,7 @@ def simulate(
         collect_metrics=collect_metrics,
         record=record,
         sparse=sparse,
+        tracer=tracer,
+        registry=registry,
+        profiler=profiler,
     ).run()

@@ -22,6 +22,12 @@ and the sparse core's round skipping: with ``sparse=True`` (default),
 :attr:`~GeneralPolicy.stationary` policy, stretches with no pending jobs
 and no arrivals are fast-forwarded to the next arrival round in O(1)
 (every phase of such a round is a no-op).
+
+It also accepts the same observability attachments as the batched
+engine (``tracer`` / ``registry`` / ``profiler``, see
+:mod:`repro.obs`): run/round spans, phase markers, drop/arrival/
+execute/reconfig/fast-forward events, and the ``engine.*`` instrument
+bundle, all strictly observational.
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ from repro.core.events import (
 from repro.core.instance import Instance
 from repro.core.job import Job
 from repro.core.schedule import Execution, Reconfiguration, Schedule
-from repro.simulation.engine import RunResult
+from repro.simulation.engine import EngineInstruments, RunResult, _active_tracer
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.resources import CachePool
 
@@ -83,6 +89,9 @@ class GeneralEngine:
         collect_metrics: bool = False,
         record: str = "full",
         sparse: bool = True,
+        tracer=None,
+        registry=None,
+        profiler=None,
     ) -> None:
         if num_resources <= 0 or num_resources % copies != 0:
             raise ValueError(
@@ -115,6 +124,9 @@ class GeneralEngine:
         self.metrics = (
             MetricsCollector(instance.horizon) if collect_metrics else None
         )
+        self.tracer = _active_tracer(tracer)
+        self.profiler = profiler
+        self.obs = EngineInstruments(registry) if registry is not None else None
         self.round_index = 0
         self.mini_round = 0
         self.rounds_executed = 0
@@ -128,6 +140,17 @@ class GeneralEngine:
         if self._ran:
             raise RuntimeError("engine instances are single-use; build a new one")
         self._ran = True
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin(
+                "run",
+                algorithm=self.policy.name,
+                resources=self.num_resources,
+                speed=self.speed,
+                record=self.record,
+                engine="general",
+                horizon=self.instance.horizon,
+            )
         self.policy.setup(self)
         start = time.perf_counter()
         horizon = self.instance.horizon
@@ -137,20 +160,27 @@ class GeneralEngine:
             and self.metrics is None
             and self.policy.stationary
         )
+        instrumented = (
+            tracer is not None or self.profiler is not None or self.obs is not None
+        )
+        obs = self.obs
         arrival_rounds = self.instance.sequence.arrival_rounds()
         num_arrival_rounds = len(arrival_rounds)
         ai = 0  # index of the first arrival round >= current k
         k = 0
         while k < horizon:
             self.round_index = k
-            self._drop_phase(k)
-            self._arrival_phase(k)
-            for mini in range(self.speed):
-                self.mini_round = mini
-                self.policy.reconfigure(self)
-                self._execution_phase(k, mini)
-            if self.metrics is not None:
-                self.metrics.end_round(k, self)  # type: ignore[arg-type]
+            if instrumented:
+                self._round_instrumented(k)
+            else:
+                self._drop_phase(k)
+                self._arrival_phase(k)
+                for mini in range(self.speed):
+                    self.mini_round = mini
+                    self.policy.reconfigure(self)
+                    self._execution_phase(k, mini)
+                if self.metrics is not None:
+                    self.metrics.end_round(k, self)  # type: ignore[arg-type]
             self.rounds_executed += 1
             k += 1
             if can_skip and self._total_pending == 0:
@@ -162,11 +192,30 @@ class GeneralEngine:
                 # No pending work and no arrivals until next_arrival:
                 # drop, arrival, and execution are no-ops, and a
                 # stationary policy performs no reconfigurations.
-                k = min(next_arrival, horizon)
+                target = min(next_arrival, horizon)
+                if target > k:
+                    if tracer is not None:
+                        tracer.event(
+                            "fast_forward", k, to_round=target, rounds=target - k
+                        )
+                    if obs is not None:
+                        obs.rounds_fast_forwarded.inc(target - k)
+                k = target
         elapsed = time.perf_counter() - start
         if self.metrics is not None:
             self.metrics.record_wall_clock(
                 elapsed, self.instance.horizon * self.speed
+            )
+        if obs is not None:
+            obs.rounds_executed.inc(self.rounds_executed)
+        if tracer is not None:
+            tracer.end(
+                "run",
+                total_cost=self.cost.total,
+                reconfig_cost=self.cost.reconfig_cost,
+                drop_cost=self.cost.drop_cost,
+                rounds_executed=self.rounds_executed,
+                wall_seconds=round(elapsed, 6),
             )
         return RunResult(
             instance=self.instance,
@@ -184,23 +233,60 @@ class GeneralEngine:
 
     # --------------------------------------------------------------- phases
 
+    def _run_phase(self, name: str, k: int, fn, *args, mini: int | None = None) -> None:
+        """Run one phase with trace marker + wall-clock attribution."""
+        tracer, prof = self.tracer, self.profiler
+        if tracer is not None:
+            if mini is None:
+                tracer.event("phase", k, phase=name)
+            else:
+                tracer.event("phase", k, phase=name, mini=mini)
+        if prof is None:
+            fn(*args)
+        else:
+            t0 = time.perf_counter()
+            fn(*args)
+            prof.add(name, time.perf_counter() - t0)
+
+    def _round_instrumented(self, k: int) -> None:
+        """One observed round (tracer/profiler/registry attached)."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("round", k)
+        self._run_phase("drop", k, self._drop_phase, k)
+        self._run_phase("arrival", k, self._arrival_phase, k)
+        for mini in range(self.speed):
+            self.mini_round = mini
+            self._run_phase("reconfigure", k, self.policy.reconfigure, self, mini=mini)
+            self._run_phase("execute", k, self._execution_phase, k, mini, mini=mini)
+        if self.obs is not None:
+            self.obs.queue_depth.observe(self._total_pending)
+        if self.metrics is not None:
+            self.metrics.end_round(k, self)  # type: ignore[arg-type]
+        if tracer is not None:
+            tracer.end("round", k)
+
     def _drop_phase(self, k: int) -> None:
         if self._total_pending == 0:
             return
-        trace = self.trace
+        trace, tracer, obs = self.trace, self.tracer, self.obs
         for color, queue in self.pending.items():
             dropped = 0
             while queue and queue[0].deadline <= k:
-                queue.popleft()
+                job = queue.popleft()
                 dropped += 1
+                if obs is not None:
+                    obs.record_drop(color, 1, k - job.arrival)
             if dropped:
                 self._total_pending -= dropped
                 if trace is not None:
                     trace.append(DropEvent(k, color, dropped, eligible=True))
+                if tracer is not None:
+                    tracer.event("drop", k, color=color, count=dropped)
                 self.cost.record_drop(color, dropped)
 
     def _arrival_phase(self, k: int) -> None:
-        trace = self.trace
+        trace, tracer = self.trace, self.tracer
         counts: dict[int, int] = {}
         for job in self.instance.sequence.arrivals(k):
             self.pending[job.color].append(job)
@@ -209,34 +295,62 @@ class GeneralEngine:
         if trace is not None:
             for color, count in counts.items():
                 trace.append(ArrivalEvent(k, color, count))
+        if tracer is not None:
+            for color, count in counts.items():
+                tracer.event("arrival", k, color=color, count=count)
 
     def _execution_phase(self, k: int, mini: int) -> None:
         schedule, trace = self.schedule, self.trace
         if self._total_pending == 0 and schedule is None:
             return
+        tracer, obs = self.tracer, self.obs
         if schedule is None:
-            # Fast path: only the execution count per color matters.
+            if tracer is None and obs is None:
+                # Fast path: only the execution count per color matters.
+                for slot in self.cache.occupied_slots():
+                    queue = self.pending[slot.occupant]
+                    taken = min(self.copies, len(queue))
+                    if taken:
+                        for _ in range(taken):
+                            queue.popleft()
+                        self._total_pending -= taken
+                        self.cost.record_execution(slot.occupant, taken)
+                return
             for slot in self.cache.occupied_slots():
                 queue = self.pending[slot.occupant]
                 taken = min(self.copies, len(queue))
                 if taken:
                     for _ in range(taken):
-                        queue.popleft()
+                        job = queue.popleft()
+                        if obs is not None:
+                            obs.record_execution(job.color, k - job.arrival)
                     self._total_pending -= taken
                     self.cost.record_execution(slot.occupant, taken)
+                    if tracer is not None:
+                        tracer.event(
+                            "execute", k, color=slot.occupant, count=taken, mini=mini
+                        )
             return
         for slot in self.cache.occupied_slots():
             queue = self.pending[slot.occupant]
+            executed = 0
             for resource in slot.resources():
                 if not queue:
                     break
                 job = queue.popleft()
                 self._total_pending -= 1
+                executed += 1
                 schedule.add_execution(
                     Execution(k, mini, resource, job.jid, job.color)
                 )
                 trace.append(ExecuteEvent(k, mini, resource, job.color, job.jid))
                 self.cost.record_execution(job.color)
+                if obs is not None:
+                    obs.record_execution(job.color, k - job.arrival)
+            if executed and tracer is not None:
+                tracer.event(
+                    "execute", k, color=slot.occupant, count=executed, mini=mini
+                )
 
     # ------------------------------------------------- policy-facing helpers
 
@@ -262,6 +376,25 @@ class GeneralEngine:
 
     def cache_insert(self, color: int, *, section: str = "main") -> None:
         slot, reconfigured, old_physical = self.cache.insert(color)
+        tracer = self.tracer
+        if tracer is not None:
+            if reconfigured:
+                tracer.event(
+                    "reconfig",
+                    self.round_index,
+                    color=color,
+                    resources=len(reconfigured),
+                    mini=self.mini_round,
+                )
+            tracer.event(
+                "cache_in",
+                self.round_index,
+                color=color,
+                section=section,
+                mini=self.mini_round,
+            )
+        if self.obs is not None and reconfigured:
+            self.obs.record_reconfig(self.round_index, len(reconfigured))
         if self.trace is None:
             self.cost.record_reconfig(color, len(reconfigured))
             return
@@ -283,6 +416,10 @@ class GeneralEngine:
         self.cache.evict(color)
         if self.trace is not None:
             self.trace.append(CacheOutEvent(self.round_index, self.mini_round, color))
+        if self.tracer is not None:
+            self.tracer.event(
+                "cache_out", self.round_index, color=color, mini=self.mini_round
+            )
 
 
 def simulate_general(
@@ -295,6 +432,9 @@ def simulate_general(
     collect_metrics: bool = False,
     record: str = "full",
     sparse: bool = True,
+    tracer=None,
+    registry=None,
+    profiler=None,
 ) -> RunResult:
     """Build a :class:`GeneralEngine`, run it, and return the result."""
     return GeneralEngine(
@@ -306,4 +446,7 @@ def simulate_general(
         collect_metrics=collect_metrics,
         record=record,
         sparse=sparse,
+        tracer=tracer,
+        registry=registry,
+        profiler=profiler,
     ).run()

@@ -130,10 +130,21 @@ class TestTelemetry:
         path = tmp_path / "BENCH_engine.json"
         write_bench_json(path, rows, summary={"min_rounds_per_second": 123})
         payload = read_bench_json(path)
-        assert payload["schema"] == "repro-bench-engine/v2"
+        assert payload["schema"] == "repro-bench-engine/v3"
         assert payload["rows"] == rows
         assert payload["summary"]["min_rounds_per_second"] == 123
         assert payload["machine"]["cpu_count"] >= 1
+        assert "metrics" not in payload
+
+    def test_round_trip_with_metrics_block(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("engine.drops").inc(7)
+        path = tmp_path / "BENCH_engine.json"
+        write_bench_json(path, [], metrics=registry.snapshot())
+        payload = read_bench_json(path)
+        assert payload["metrics"]["counters"]["engine.drops"] == 7
 
     def test_throughput_regressions_matches_rows_by_key(self):
         baseline = [
@@ -150,6 +161,7 @@ class TestTelemetry:
         fresh = [dict(baseline[0], rounds_per_second=650.0)]
         regs = throughput_regressions(baseline, fresh, tolerance=0.30)
         assert len(regs) == 1
+        assert regs[0]["kind"] == "regression"
         assert regs[0]["ratio"] == pytest.approx(0.65)
         assert regs[0]["key"]["engine"] == "sparse"
         # Within tolerance: no report.
@@ -160,6 +172,26 @@ class TestTelemetry:
         assert throughput_regressions(baseline, unmatched) == []
         with pytest.raises(ValueError):
             throughput_regressions(baseline, fresh, tolerance=1.5)
+
+    def test_throughput_regressions_reports_missing_baseline(self):
+        # A throughput-shaped baseline row without the measurement must
+        # surface as missing_baseline, not silently pass.
+        broken = {
+            "resources": 8,
+            "colors": 4,
+            "horizon": 256,
+            "record": "costs",
+            "engine": "sparse",
+        }
+        fresh = [dict(broken, rounds_per_second=900.0)]
+        regs = throughput_regressions([broken], fresh)
+        assert len(regs) == 1
+        assert regs[0]["kind"] == "missing_baseline"
+        assert regs[0]["key"]["resources"] == 8
+        assert regs[0]["fresh_rounds_per_second"] == pytest.approx(900.0)
+        # Non-throughput rows (e.g. adversary_cache) still don't match.
+        other = {"kind": "adversary_cache", "score_cache_hit_rate": 0.2}
+        assert throughput_regressions([other], fresh) == []
 
     def test_metrics_wall_clock(self):
         collector = MetricsCollector(100)
