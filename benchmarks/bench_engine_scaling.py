@@ -85,6 +85,9 @@ def bench_scaling_table(run_and_report, parallel_runner, report_dir):
     assert report.summary["min_rounds_per_second"] > 100
     assert report.summary["fast_path_speedup_geomean"] > 1.0
     assert report.summary["sparse_core_speedup_geomean"] > 1.0
+    # The general engine's sparse core must pay for itself decisively on
+    # its sparse-friendly cells (the ISSUE-4 acceptance floor).
+    assert report.summary["general_sparse_speedup_geomean"] >= 2.0
     rows = list(report.rows)
     summary = dict(report.summary)
 
@@ -119,10 +122,11 @@ def bench_scaling_smoke(parallel_runner):
     report = run_experiment("EXP-S", quick=True, runner=parallel_runner)
     assert report.summary["min_rounds_per_second"] > 100
     assert report.summary["sparse_core_speedup_geomean"] > 1.0
+    assert report.summary["general_sparse_speedup_geomean"] > 1.0
     records = {row["record"] for row in report.rows}
     assert records == {"full", "costs"}
     engines = {row["engine"] for row in report.rows}
-    assert engines == {"dense", "sparse"}
+    assert engines == {"dense", "sparse", "general-dense", "general-sparse"}
 
 
 @pytest.fixture(scope="module")

@@ -84,9 +84,9 @@ def main(argv: list[str] | None = None) -> int:
         key = reg["key"]
         if reg.get("kind") == "missing_baseline":
             print(
-                f"  {key}: baseline row has no rounds_per_second "
+                f"  {key}: no baseline measurement for this cell "
                 f"(fresh {reg['fresh_rounds_per_second']:.0f} rounds/s) — "
-                "regenerate the baseline"
+                "a new or corrupt cell; regenerate the baseline"
             )
             continue
         print(

@@ -27,6 +27,14 @@ class GreedyPendingPolicy(GeneralPolicy):
         self.hysteresis = hysteresis
 
     def reconfigure(self, engine: GeneralEngine) -> None:
+        # A completed pass is idempotent only with positive hysteresis
+        # (at margin 0, equal-backlog colors can swap endlessly), so the
+        # fixed-point elision of the O(colors) backlog scan is gated on
+        # it; the dense core never honors at_fixed_point, keeping parity
+        # testable.
+        sticky = self.hysteresis > 0
+        if sticky and engine.at_fixed_point():
+            return
         capacity = engine.cache.capacity
         margin = self.hysteresis * engine.delta
         backlog = {
@@ -50,3 +58,5 @@ class GreedyPendingPolicy(GeneralPolicy):
                 engine.cache_insert(color, section="greedy")
             else:
                 break
+        if sticky:
+            engine.mark_fixed_point()

@@ -12,14 +12,45 @@ these schemes explore whether randomization helps here:
 * :class:`RandomEvict` — the fully oblivious baseline: evict a uniformly
   random cached color.
 
-Both take an explicit seed; runs are deterministic given it.
+Both take an explicit seed; runs are deterministic given it.  The
+generator is (re-)derived from that seed through
+:func:`~repro.runtime.seeding.derive_seed` in :meth:`reset`, which every
+engine calls at construction — so a scheme instance reused across sweep
+repeats or adversary-search restarts replays the identical stream
+instead of silently continuing the previous run's.
+
+Sparse-core contract: neither scheme is stationary (an eviction draw is
+random), but both expose their full generator state as the
+:meth:`~repro.simulation.engine.ReconfigurationScheme.fixed_point_token`,
+so the engine fast-forwards an inactive stretch only after a probe round
+proves no randomness would have been consumed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.seeding import derive_seed
 from repro.simulation.engine import BatchedEngine, ReconfigurationScheme
+
+
+def rng_state_token(rng: np.random.Generator) -> tuple:
+    """Equality-comparable digest of a generator's full internal state.
+
+    Two equal tokens mean the generator would produce identical draws —
+    exactly the evidence the probe protocol needs to prove an inactive
+    round consumed no randomness.
+    """
+    state = rng.bit_generator.state
+    inner = state.get("state")
+    if isinstance(inner, dict):
+        inner = tuple(sorted(inner.items()))
+    return (
+        state.get("bit_generator"),
+        inner,
+        state.get("has_uint32"),
+        state.get("uinteger"),
+    )
 
 
 class RandomEvict(ReconfigurationScheme):
@@ -28,7 +59,16 @@ class RandomEvict(ReconfigurationScheme):
     name = "random-evict"
 
     def __init__(self, seed: int = 0) -> None:
-        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        self.reset()
+
+    def reset(self, seed: int | None = None) -> None:
+        if seed is not None:
+            self._seed = seed
+        self._rng = np.random.default_rng(derive_seed(self._seed, self.name))
+
+    def fixed_point_token(self) -> tuple:
+        return rng_state_token(self._rng)
 
     def reconfigure(self, engine: BatchedEngine) -> None:
         capacity = engine.cache.capacity
@@ -49,11 +89,24 @@ class RandomizedMarking(ReconfigurationScheme):
     name = "randomized-marking"
 
     def __init__(self, seed: int = 0) -> None:
-        self._rng = np.random.default_rng(seed)
+        self._seed = seed
         self._marked: set[int] = set()
+        self.reset()
+
+    def reset(self, seed: int | None = None) -> None:
+        if seed is not None:
+            self._seed = seed
+        self._rng = np.random.default_rng(derive_seed(self._seed, self.name))
+        self._marked = set()
 
     def setup(self, engine: BatchedEngine) -> None:
         self._marked = set()
+
+    def fixed_point_token(self) -> tuple:
+        # The mark set is decision state the engine cannot see; include
+        # it alongside the RNG digest so a skip also certifies that no
+        # marking-phase transition would have happened.
+        return (rng_state_token(self._rng), tuple(sorted(self._marked)))
 
     def reconfigure(self, engine: BatchedEngine) -> None:
         capacity = engine.cache.capacity

@@ -11,7 +11,12 @@ second, sparse-friendly grid (many colors, large delay bounds, low load)
 times the ``"costs"`` mode under both engine cores — ``dense`` (every
 round simulated) and ``sparse`` (boundary calendar + inactive-stretch
 fast-forward) — so the sparse-core speedup and the active-round fraction
-are tracked too.  Cells are independent and dispatch through an optional
+are tracked too.  A third grid does the same head-to-head for the
+*general* engine (per-job arrivals, ``engine="general-dense"`` vs
+``"general-sparse"``), which gained the deadline calendar and
+fixed-point fast-forward of the sparse core; its speedup geomean is the
+tracked evidence that reduction pipelines run sparse end to end.  Cells
+are independent and dispatch through an optional
 :class:`~repro.runtime.parallel.ParallelRunner`; per-cell workload seeds
 are derived with :func:`~repro.runtime.seeding.derive_seed` so the grid
 is reproducible regardless of execution order.  The measured rows feed
@@ -41,28 +46,58 @@ DEFAULT_GRID: tuple[tuple[int, int, int], ...] = (
 #: regime the sparse engine core fast-forwards through.
 SPARSE_GRID: tuple[tuple[int, int, int], ...] = ((64, 128, 4096),)
 
+#: General-engine cells (per-job arrivals): low Poisson rate with large
+#: delay bounds leaves long arrival-free stretches for the deadline
+#: calendar + fixed-point fast-forward to skip; capacity covers the
+#: color universe so queues actually drain between arrivals.
+GENERAL_GRID: tuple[tuple[int, int, int], ...] = ((16, 16, 512), (16, 16, 4096))
+
 DENSE_WORKLOAD = {"load": 0.6, "bound_choices": (2, 4, 8, 16)}
 SPARSE_WORKLOAD = {"load": 0.2, "bound_choices": (64, 128, 256)}
+#: ``load`` doubles as the per-round Poisson rate for general cells.
+GENERAL_WORKLOAD = {"load": 0.02, "bound_choices": (64, 128, 256)}
 
 
 def _scaling_cell(task: tuple) -> dict:
     """Time one (config, record mode, engine) cell; module-level so it pickles."""
     resources, colors, horizon, delta, seed, record, load, bounds, engine = task
-    instance = random_rate_limited(
-        colors,
-        delta,
-        horizon,
-        seed=derive_seed(seed, resources, colors, horizon),
-        load=load,
-        bound_choices=bounds,
-    )
-    result = simulate(
-        instance,
-        DeltaLRUEDF(),
-        resources,
-        record=record,
-        sparse=(engine == "sparse"),
-    )
+    cell_seed = derive_seed(seed, resources, colors, horizon)
+    if engine.startswith("general"):
+        from repro.algorithms.greedy import GreedyPendingPolicy
+        from repro.simulation.general import simulate_general
+        from repro.workloads.random_batched import random_general
+
+        instance = random_general(
+            colors,
+            delta,
+            horizon,
+            seed=cell_seed,
+            rate=load,
+            bound_choices=bounds,
+        )
+        result = simulate_general(
+            instance,
+            GreedyPendingPolicy(),
+            resources,
+            record=record,
+            sparse=(engine == "general-sparse"),
+        )
+    else:
+        instance = random_rate_limited(
+            colors,
+            delta,
+            horizon,
+            seed=cell_seed,
+            load=load,
+            bound_choices=bounds,
+        )
+        result = simulate(
+            instance,
+            DeltaLRUEDF(),
+            resources,
+            record=record,
+            sparse=(engine == "sparse"),
+        )
     elapsed = result.wall_seconds
     return {
         "resources": resources,
@@ -84,6 +119,7 @@ def run(
     *,
     grid: tuple[tuple[int, int, int], ...] = DEFAULT_GRID,
     sparse_grid: tuple[tuple[int, int, int], ...] = SPARSE_GRID,
+    general_grid: tuple[tuple[int, int, int], ...] = GENERAL_GRID,
     delta: int = 4,
     seed: int = 0,
     record_modes: tuple[str, ...] = ("full", "costs"),
@@ -122,6 +158,23 @@ def run(
         for resources, colors, horizon in sparse_grid
         for engine in ("dense", "sparse")
     ]
+    # Same head-to-head for the general (per-job arrival) engine, which
+    # is what the reduction pipelines ultimately drive.
+    tasks += [
+        (
+            resources,
+            colors,
+            horizon,
+            delta,
+            seed,
+            "costs",
+            GENERAL_WORKLOAD["load"],
+            GENERAL_WORKLOAD["bound_choices"],
+            engine,
+        )
+        for resources, colors, horizon in general_grid
+        for engine in ("general-dense", "general-sparse")
+    ]
     rows = (
         runner.map(_scaling_cell, tasks)
         if runner is not None
@@ -129,8 +182,18 @@ def run(
     )
     report.rows.extend(rows)
 
-    grid_rows = [row for row in rows if row["load"] == DENSE_WORKLOAD["load"]]
-    sparse_rows = [row for row in rows if row["load"] == SPARSE_WORKLOAD["load"]]
+    general_rows = [
+        row for row in rows if row["engine"].startswith("general")
+    ]
+    batched_rows = [
+        row for row in rows if not row["engine"].startswith("general")
+    ]
+    grid_rows = [
+        row for row in batched_rows if row["load"] == DENSE_WORKLOAD["load"]
+    ]
+    sparse_rows = [
+        row for row in batched_rows if row["load"] == SPARSE_WORKLOAD["load"]
+    ]
 
     by_config: dict[tuple[int, int, int], dict[str, dict]] = {}
     for row in grid_rows:
@@ -200,6 +263,40 @@ def run(
             )
         report.tables.append(sparse_table)
 
+    general_by_config: dict[tuple[int, int, int], dict[str, dict]] = {}
+    for row in general_rows:
+        key = (row["resources"], row["colors"], row["horizon"])
+        general_by_config.setdefault(key, {})[row["engine"]] = row
+    general_speedups = []
+    if general_by_config:
+        general_table = Table(
+            "General engine: sparse vs dense (costs mode, per-job arrivals)",
+            (
+                "resources",
+                "colors",
+                "horizon",
+                "dense s",
+                "sparse s",
+                "speedup",
+                "active fraction",
+            ),
+        )
+        for (resources, colors, horizon), cells in general_by_config.items():
+            dense_s = cells["general-dense"]["seconds"]
+            sparse_s = cells["general-sparse"]["seconds"]
+            speedup = dense_s / sparse_s if sparse_s > 0 else 0.0
+            general_speedups.append(speedup)
+            general_table.add_row(
+                resources,
+                colors,
+                horizon,
+                round(dense_s, 4),
+                round(sparse_s, 4),
+                round(speedup, 2),
+                round(cells["general-sparse"]["active_round_fraction"], 3),
+            )
+        report.tables.append(general_table)
+
     report.summary = {
         "min_rounds_per_second": round(
             min(r["rounds_per_second"] for r in grid_rows)
@@ -215,5 +312,17 @@ def run(
         )
         report.summary["min_active_round_fraction"] = round(
             min(r["active_round_fraction"] for r in sparse_rows), 3
+        )
+    if general_speedups:
+        report.summary["general_sparse_speedup_geomean"] = round(
+            geometric_mean(general_speedups), 3
+        )
+        report.summary["general_min_active_round_fraction"] = round(
+            min(
+                r["active_round_fraction"]
+                for r in general_rows
+                if r["engine"] == "general-sparse"
+            ),
+            3,
         )
     return report

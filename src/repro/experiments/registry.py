@@ -106,7 +106,10 @@ EXPERIMENTS: dict[str, Experiment] = {
             # Quick cells are a subset of the full grids so the CI
             # regression guard can compare them against the committed
             # BENCH_engine.json baseline row for row.
-            quick_params={"grid": ((8, 4, 256), (16, 8, 256))},
+            quick_params={
+                "grid": ((8, 4, 256), (16, 8, 256)),
+                "general_grid": ((16, 16, 512),),
+            },
         ),
         Experiment(
             "EXP-ADV",

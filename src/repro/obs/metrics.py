@@ -90,10 +90,22 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def merge(self, other: "Histogram") -> None:
-        """Element-wise merge (requires identical bucket boundaries)."""
+        """Element-wise merge (requires identical bucket boundaries).
+
+        Raises instead of silently mis-binning: mismatched bounds would
+        add apples to oranges, and a counts vector of the wrong length
+        (e.g. from a hand-built or corrupted snapshot) would otherwise
+        fold in only a prefix of the cells.
+        """
         if other.bounds != self.bounds:
             raise ValueError(
                 f"cannot merge histogram {other.name!r}: bucket bounds differ"
+            )
+        if len(other.counts) != len(self.counts):
+            raise ValueError(
+                f"cannot merge histogram {other.name!r}: expected "
+                f"{len(self.counts)} cells (including overflow), got "
+                f"{len(other.counts)}"
             )
         for index, count in enumerate(other.counts):
             self.counts[index] += count

@@ -67,12 +67,16 @@ def generalize_bounds_instance(instance: Instance) -> Instance:
 
 @dataclass
 class ArbitraryBoundsResult:
-    """Outer schedule for the arbitrary-bound instance plus inner stack."""
+    """Outer schedule for the arbitrary-bound instance plus inner stack.
+
+    ``schedule`` is ``None`` for ``record="costs"`` runs (the sparse cost
+    path carries no schedule; the breakdown is still exact).
+    """
 
     instance: Instance
     batched_instance: Instance
     distribute: DistributeResult
-    schedule: Schedule
+    schedule: Schedule | None
     cost: CostBreakdown
 
     @property
@@ -91,8 +95,15 @@ def run_arbitrary(
     scheme_factory: Callable[[], ReconfigurationScheme] | None = None,
     copies: int = 2,
     speed: int = 1,
+    record: str = "full",
+    sparse: bool = True,
 ) -> ArbitraryBoundsResult:
-    """Run the §5.3 reduction end to end on any general instance."""
+    """Run the §5.3 reduction end to end on any general instance.
+
+    ``record="costs"`` reuses the Distribute stage's streamed breakdown:
+    the block shift preserves jid and color of every job, so the batched
+    job multiset costs identically to the original one.
+    """
     batched = generalize_bounds_instance(instance)
     distribute = run_distribute(
         batched,
@@ -100,7 +111,12 @@ def run_arbitrary(
         scheme_factory=scheme_factory,
         copies=copies,
         speed=speed,
+        record=record,
+        sparse=sparse,
     )
     schedule = distribute.schedule
-    cost = schedule.cost(instance.sequence.jobs, instance.cost_model)
+    if schedule is None:
+        cost = distribute.cost
+    else:
+        cost = schedule.cost(instance.sequence.jobs, instance.cost_model)
     return ArbitraryBoundsResult(instance, batched, distribute, schedule, cost)

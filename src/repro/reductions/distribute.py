@@ -21,6 +21,7 @@ can be strict.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Callable
 
@@ -92,12 +93,17 @@ def distribute_instance(instance: Instance) -> tuple[Instance, SubcolorMap]:
 
 @dataclass
 class DistributeResult:
-    """Inner run plus the mapped-back outer schedule and cost."""
+    """Inner run plus the mapped-back outer schedule and cost.
+
+    ``schedule`` is ``None`` for ``record="costs"`` runs, which stream the
+    outer cost directly off the inner engine instead of materializing and
+    mapping back a schedule.
+    """
 
     instance: Instance
     inner: RunResult
     mapping: SubcolorMap
-    schedule: Schedule
+    schedule: Schedule | None
     cost: CostBreakdown
 
     @property
@@ -145,6 +151,57 @@ def map_back_schedule(
     return outer
 
 
+class OuterCostMapper:
+    """Streams the mapped-back outer cost without building a schedule.
+
+    ``record="costs"`` runs have no inner :class:`Schedule` to hand to
+    :func:`map_back_schedule`, so the outer cost is reconstructed from two
+    exact identities instead:
+
+    * **Reconfigurations** — the engine fires this mapper (via its
+      ``reconfig_observer`` hook) once per cache insert that physically
+      reconfigured resources, in event order.  Replaying
+      :func:`map_back_schedule`'s per-resource same-color elision against
+      that stream yields the outer reconfiguration multiset exactly.
+    * **Drops** — jobs keep their identity through recoloring and are
+      executed at most once, so per original color
+      ``drops = #jobs − #mapped executions``; the inner breakdown's
+      ``executions_by_color`` supplies the executions.
+    """
+
+    def __init__(self, mapping: SubcolorMap) -> None:
+        self._mapping = mapping
+        self._current: dict[int, int] = {}
+        self._reconfigs: Counter = Counter()
+
+    def __call__(self, subcolor: int, resources: list[int]) -> None:
+        color = self._mapping.original(subcolor)
+        current = self._current
+        for resource in resources:
+            if current.get(resource, BLACK) == color:
+                continue
+            current[resource] = color
+            self._reconfigs[color] += 1
+
+    def finish(self, instance: Instance, inner_cost: CostBreakdown) -> CostBreakdown:
+        """Assemble the outer breakdown for ``instance``'s original jobs."""
+        cost = CostBreakdown(instance.cost_model)
+        for color, count in sorted(self._reconfigs.items()):
+            cost.record_reconfig(color, count)
+        executed: Counter = Counter()
+        for subcolor, count in inner_cost.executions_by_color.items():
+            executed[self._mapping.original(subcolor)] += count
+        for color, count in sorted(executed.items()):
+            if count:
+                cost.record_execution(color, count)
+        job_counts = Counter(job.color for job in instance.sequence.jobs)
+        for color, total in sorted(job_counts.items()):
+            dropped = total - executed.get(color, 0)
+            if dropped:
+                cost.record_drop(color, dropped)
+        return cost
+
+
 def run_distribute(
     instance: Instance,
     num_resources: int,
@@ -152,14 +209,43 @@ def run_distribute(
     scheme_factory: Callable[[], ReconfigurationScheme] | None = None,
     copies: int = 2,
     speed: int = 1,
+    record: str = "full",
+    sparse: bool = True,
 ) -> DistributeResult:
-    """Run Algorithm Distribute end to end on a batched instance."""
+    """Run Algorithm Distribute end to end on a batched instance.
+
+    ``record="costs"`` skips schedule/trace materialization end to end:
+    the inner engine runs on its fast (and, when ``sparse``, round-
+    skipping) path and the outer cost streams through
+    :class:`OuterCostMapper`; the resulting breakdown is identical to the
+    ``record="full"`` one.
+    """
     from repro.algorithms.dlru_edf import DeltaLRUEDF
 
     inner_instance, mapping = distribute_instance(instance)
     scheme = scheme_factory() if scheme_factory is not None else DeltaLRUEDF()
+    if record == "costs":
+        mapper = OuterCostMapper(mapping)
+        inner = simulate(
+            inner_instance,
+            scheme,
+            num_resources,
+            copies=copies,
+            speed=speed,
+            record="costs",
+            sparse=sparse,
+            reconfig_observer=mapper,
+        )
+        cost = mapper.finish(instance, inner.cost)
+        return DistributeResult(instance, inner, mapping, None, cost)
     inner = simulate(
-        inner_instance, scheme, num_resources, copies=copies, speed=speed
+        inner_instance,
+        scheme,
+        num_resources,
+        copies=copies,
+        speed=speed,
+        record=record,
+        sparse=sparse,
     )
     outer_schedule = map_back_schedule(instance, inner.schedule, mapping)
     cost = outer_schedule.cost(instance.sequence.jobs, instance.cost_model)

@@ -30,10 +30,15 @@ from repro.simulation.engine import ReconfigurationScheme
 
 @dataclass
 class PipelineResult:
-    """Outcome of the full online stack on a general instance."""
+    """Outcome of the full online stack on a general instance.
+
+    ``schedule`` is ``None`` for ``record="costs"`` runs; the cost
+    breakdown is still exact (bit-identical to the ``record="full"``
+    one), but there is nothing to :meth:`verify`.
+    """
 
     instance: Instance
-    schedule: Schedule
+    schedule: Schedule | None
     cost: CostBreakdown
     algorithm: str
     num_resources: int
@@ -44,6 +49,11 @@ class PipelineResult:
         return self.cost.total
 
     def verify(self, *, strict: bool = False) -> ValidationReport:
+        if self.schedule is None:
+            raise RuntimeError(
+                "this pipeline ran with record='costs' and has no schedule "
+                "to verify; rerun with record='full'"
+            )
         return verify_schedule(self.instance, self.schedule, strict=strict)
 
 
@@ -54,12 +64,18 @@ def run_pipeline(
     scheme_factory: Callable[[], ReconfigurationScheme] | None = None,
     copies: int = 2,
     speed: int = 1,
+    record: str = "full",
+    sparse: bool = True,
 ) -> PipelineResult:
     """Run the appropriate reduction stack for ``instance``.
 
     Already-batched instances skip VarBatch; rate-limited instances with
     power-of-two bounds go straight to the core algorithm via Distribute
     (which is then a no-op recoloring).
+
+    ``record="costs"`` runs the whole stack on the engine's schedule-free
+    fast path (with sparse round skipping when ``sparse``); the cost
+    breakdown is exact but ``schedule`` comes back ``None``.
     """
     power_of_two = all(
         is_power_of_two(bound)
@@ -72,6 +88,8 @@ def run_pipeline(
             scheme_factory=scheme_factory,
             copies=copies,
             speed=speed,
+            record=record,
+            sparse=sparse,
         )
         stages = ("Distribute", result.inner.algorithm)
         schedule, cost = result.schedule, result.cost
@@ -83,6 +101,8 @@ def run_pipeline(
             scheme_factory=scheme_factory,
             copies=copies,
             speed=speed,
+            record=record,
+            sparse=sparse,
         )
         stages = ("VarBatch", "Distribute", vb.distribute.inner.algorithm)
         schedule, cost = vb.schedule, vb.cost
@@ -94,6 +114,8 @@ def run_pipeline(
             scheme_factory=scheme_factory,
             copies=copies,
             speed=speed,
+            record=record,
+            sparse=sparse,
         )
         stages = ("ArbitraryBounds", "Distribute", ar.distribute.inner.algorithm)
         schedule, cost = ar.schedule, ar.cost

@@ -66,12 +66,16 @@ def varbatch_instance(instance: Instance) -> Instance:
 
 @dataclass
 class VarBatchResult:
-    """Outer schedule for the original instance plus the inner stack."""
+    """Outer schedule for the original instance plus the inner stack.
+
+    ``schedule`` is ``None`` for ``record="costs"`` runs (the sparse cost
+    path carries no schedule; the breakdown is still exact).
+    """
 
     instance: Instance
     batched_instance: Instance
     distribute: DistributeResult
-    schedule: Schedule
+    schedule: Schedule | None
     cost: CostBreakdown
 
     @property
@@ -90,6 +94,8 @@ def run_varbatch(
     scheme_factory: Callable[[], ReconfigurationScheme] | None = None,
     copies: int = 2,
     speed: int = 1,
+    record: str = "full",
+    sparse: bool = True,
 ) -> VarBatchResult:
     """Run Algorithm VarBatch end to end on a general instance.
 
@@ -98,6 +104,11 @@ def run_varbatch(
     schedule is emitted unchanged as the schedule for the original
     instance; only the drop/cost accounting is recomputed against the
     original job set.
+
+    ``record="costs"`` has no schedule to re-cost, but the half-block
+    shift preserves both jid and color of every job, so the Distribute
+    stage's streamed breakdown — computed against the batched job set —
+    is already the breakdown against the original one.
     """
     batched = varbatch_instance(instance)
     distribute = run_distribute(
@@ -106,7 +117,12 @@ def run_varbatch(
         scheme_factory=scheme_factory,
         copies=copies,
         speed=speed,
+        record=record,
+        sparse=sparse,
     )
     schedule = distribute.schedule
-    cost = schedule.cost(instance.sequence.jobs, instance.cost_model)
+    if schedule is None:
+        cost = distribute.cost
+    else:
+        cost = schedule.cost(instance.sequence.jobs, instance.cost_model)
     return VarBatchResult(instance, batched, distribute, schedule, cost)

@@ -122,17 +122,19 @@ def throughput_regressions(
 ) -> list[dict[str, Any]]:
     """Rows whose fresh rounds/sec dropped more than ``tolerance``.
 
-    Rows are matched by :data:`THROUGHPUT_KEY`; cells present on only
-    one side are ignored (grids may grow or shrink between runs).  Each
+    Rows are matched by :data:`THROUGHPUT_KEY`; baseline cells with no
+    fresh counterpart are ignored (grids may shrink between runs).  Each
     returned record carries ``kind="regression"``, the matching key,
     both throughputs, and the fresh/baseline ratio, so callers can
     render an actionable failure.
 
-    A baseline row that matches a fresh cell but lacks a
-    ``rounds_per_second`` measurement (e.g. a truncated or hand-edited
-    baseline) produces a ``kind="missing_baseline"`` entry instead of
-    being silently skipped — a corrupt baseline must not read as "no
-    regressions".
+    A fresh cell with no usable baseline measurement — either the
+    matching baseline row lacks ``rounds_per_second`` (a truncated or
+    hand-edited baseline) or no baseline row exists at all (a grid that
+    just grew) — produces a ``kind="missing_baseline"`` entry instead of
+    being silently skipped: a corrupt baseline must not read as "no
+    regressions", and new cells should visibly enter the baseline via a
+    regeneration rather than float unguarded.
     """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError("tolerance must lie in [0, 1)")
@@ -140,10 +142,8 @@ def throughput_regressions(
     regressions: list[dict[str, Any]] = []
     for key, fresh in _throughput_index(fresh_rows).items():
         baseline = baseline_index.get(key)
-        if baseline is None:
-            continue
         fresh_rps = float(fresh["rounds_per_second"])
-        if "rounds_per_second" not in baseline:
+        if baseline is None or "rounds_per_second" not in baseline:
             regressions.append(
                 {
                     "kind": "missing_baseline",

@@ -38,11 +38,15 @@ default ``sparse=True`` core exploits this three ways:
   boundary rounds), and the ΔLRU / EDF orderings are cached between the
   events that can change them (boundaries, and pending queues draining
   empty) instead of being re-sorted from scratch every mini-round.
-* **Round skipping** — in ``record="costs"`` mode with a
-  :attr:`~ReconfigurationScheme.stationary` scheme and no metrics
+* **Round skipping** — in ``record="costs"`` mode with no metrics
   collector, whole inactive stretches (no pending jobs anywhere, no
   boundary, no eligible-but-uncached color) are fast-forwarded in O(1):
-  every phase of such a round is provably a no-op.
+  every phase of such a round is provably a no-op.  Which schemes
+  qualify is a per-scheme contract,
+  :meth:`ReconfigurationScheme.fixed_point_token`: stationary schemes
+  skip immediately, schemes with verifiable decision state (RNG digests,
+  credit vectors) skip after a one-round probe, and schemes returning
+  ``None`` are never skipped.
 
 ``sparse=False`` keeps the PR-1 dense round loop; the two cores are
 cost- and trace-exact against each other (property-tested), and the
@@ -185,6 +189,21 @@ def _noop_phase() -> None:
     """Placeholder for phases with no work this round (sparse core)."""
 
 
+class _StationaryToken:
+    """Singleton sentinel for :meth:`ReconfigurationScheme.fixed_point_token`."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "STATIONARY_TOKEN"
+
+
+#: Returned by ``fixed_point_token()`` for stationary schemes: the engine
+#: may fast-forward an inactive stretch immediately, without the one-round
+#: probe that non-stationary tokens require (see ``fixed_point_token``).
+STATIONARY_TOKEN = _StationaryToken()
+
+
 class ReconfigurationScheme(ABC):
     """Strategy invoked in the reconfiguration phase of every mini-round."""
 
@@ -197,13 +216,54 @@ class ReconfigurationScheme(ABC):
     #: idleness, cache contents), and whenever every pending queue is
     #: empty, no phase boundary intervenes, and every eligible color is
     #: cached, calling it again performs no cache mutations.  The sparse
-    #: engine core only fast-forwards inactive stretches for stationary
-    #: schemes; the conservative default keeps custom/randomized schemes
-    #: exact.
+    #: engine core fast-forwards inactive stretches immediately for
+    #: stationary schemes; non-stationary schemes can still opt into
+    #: probe-verified skipping via :meth:`fixed_point_token`.
     stationary: bool = False
 
     def setup(self, engine: "BatchedEngine") -> None:
         """Hook called once before round 0 (default: no-op)."""
+
+    def reset(self, seed: int | None = None) -> None:
+        """Re-initialize per-run mutable state (default: no-op).
+
+        Called once at engine construction, before :meth:`setup`, so a
+        scheme instance reused across sweep repeats or adversary-search
+        restarts starts every run from the same state.  Randomized
+        schemes re-derive their generator here (from ``seed`` when
+        given, else from the seed they were constructed with) so
+        back-to-back runs of the same cell are bit-identical instead of
+        silently continuing one RNG stream.
+        """
+
+    def fixed_point_token(self) -> object | None:
+        """Opaque digest of the scheme's inactive-round decision state.
+
+        The sparse core consults this in ``record="costs"`` mode when an
+        *inactive stretch* begins (no pending jobs anywhere, no eligible
+        uncached color, no boundary until the next calendar round):
+
+        * ``None`` — never skip; the engine executes every round.  This
+          is the conservative default for non-stationary schemes.
+        * :data:`STATIONARY_TOKEN` — skip immediately; the stationarity
+          contract already proves inactive rounds are no-ops.
+        * any other equality-comparable value — *probe protocol*: the
+          engine executes one more inactive round and skips only if the
+          token and the engine's order/cache epochs all came back
+          unchanged, i.e. the executed round was observably an identity
+          map on scheme and engine state.  Randomized schemes return an
+          RNG-state digest (a skip is taken only when no randomness
+          would have been consumed); credit schemes return their credit
+          vector.
+
+        Contract for non-``None``, non-sentinel tokens: ``reconfigure``
+        must be a deterministic function of the token-covered internal
+        state and the scheme-visible engine state, and must not depend
+        on the raw round index within a boundary-free stretch.  The
+        default derives the token from :attr:`stationary`, so existing
+        schemes keep their exact behavior.
+        """
+        return STATIONARY_TOKEN if self.stationary else None
 
     @abstractmethod
     def reconfigure(self, engine: "BatchedEngine") -> None:
@@ -308,6 +368,7 @@ class BatchedEngine:
         tracer=None,
         registry=None,
         profiler=None,
+        reconfig_observer=None,
     ) -> None:
         if not instance.spec.batch_mode.is_batched:
             raise ValueError(
@@ -348,6 +409,12 @@ class BatchedEngine:
         )
         self.tracer = _active_tracer(tracer)
         self.profiler = profiler
+        #: Optional ``(color, resources)`` callback fired on every cache
+        #: insert that physically reconfigured resources, in event order.
+        #: Lets reduction pipelines stream the outer-schedule reconfig
+        #: accounting in ``record="costs"`` mode, where no Schedule object
+        #: exists to map back (see reductions/distribute.py).
+        self._reconfig_observer = reconfig_observer
         self.obs = EngineInstruments(registry) if registry is not None else None
         self.round_index = 0
         self.mini_round = 0
@@ -371,6 +438,16 @@ class BatchedEngine:
         #: Epoch at which the scheme last completed a reconfiguration
         #: pass (see :meth:`at_fixed_point`); ``None`` until it does.
         self._scheme_pass_epoch: int | None = None
+        #: Monotone counter of cache mutations (inserts and evictions).
+        #: Together with ``order_epoch`` it lets the probe protocol prove
+        #: an executed round was an identity map: equal epochs before and
+        #: after mean the scheme touched nothing the engine can see.
+        self._cache_epoch = 0
+        #: Last ``(order_epoch, cache_epoch, token)`` observed at a skip
+        #: checkpoint; a repeat observation proves the round in between
+        #: was a no-op (see ReconfigurationScheme.fixed_point_token).
+        self._probe_state: tuple | None = None
+        scheme.reset()
 
     # ------------------------------------------------------------------ run
 
@@ -499,16 +576,14 @@ class BatchedEngine:
         horizon = self.instance.horizon
         calendar, boundary_rounds = self._build_calendar(horizon)
         # Skipping is only sound when nothing observes the skipped rounds
-        # (no trace/schedule, no per-round metrics) and the scheme is
-        # stationary; see ReconfigurationScheme.stationary.  Observability
-        # attachments (tracer/registry/profiler) do NOT disable skipping:
-        # skipped rounds are provable global no-ops, so the trace records
-        # a single ``fast_forward`` event instead of empty rounds.
-        can_skip = (
-            self.record == "costs"
-            and self.metrics is None
-            and self.scheme.stationary
-        )
+        # (no trace/schedule, no per-round metrics) and the scheme vouches
+        # for its inactive-round behavior through fixed_point_token().
+        # Observability attachments (tracer/registry/profiler) do NOT
+        # disable skipping: skipped rounds are provable global no-ops, so
+        # the trace records a single ``fast_forward`` event instead of
+        # empty rounds.
+        can_skip = self.record == "costs" and self.metrics is None
+        token_fn = self.scheme.fixed_point_token
         instrumented = self._instrumented
         tr, obs = self.tracer, self.obs
         num_boundaries = len(boundary_rounds)
@@ -551,6 +626,22 @@ class BatchedEngine:
                 and self._total_pending == 0
                 and self._num_eligible_uncached == 0
             ):
+                token = token_fn()
+                if token is None:
+                    self._probe_state = None
+                    continue
+                skip = token is STATIONARY_TOKEN
+                if not skip:
+                    state = (self.order_epoch, self._cache_epoch, token)
+                    # Probe protocol: skip only after one fully executed
+                    # inactive round left the token and both engine
+                    # epochs unchanged — that round was observably an
+                    # identity map, and nothing differs for the rounds
+                    # up to the next boundary.
+                    skip = state == self._probe_state
+                    self._probe_state = state
+                if not skip:
+                    continue
                 while bi < num_boundaries and boundary_rounds[bi] < k:
                     bi += 1
                 next_boundary = (
@@ -558,8 +649,13 @@ class BatchedEngine:
                 )
                 # Every round in [k, next_boundary) is a global no-op:
                 # no drops or arrivals (no boundary), no executions (no
-                # pending work), and a stationary scheme at its fixed
-                # point performs no reconfigurations.
+                # pending work), and the token contract proves the
+                # reconfiguration phases perform no mutations.  The clamp
+                # keeps a fast-forward from overshooting the horizon; no
+                # end-of-horizon drop can be lost to it because instances
+                # place every deadline before ``horizon``, making each
+                # drop round a calendar round the skip lands on, never
+                # jumps over — pinned by the horizon-edge boundary tests.
                 target = min(next_boundary, horizon)
                 if target > k:
                     if tr is not None:
@@ -569,6 +665,8 @@ class BatchedEngine:
                     if obs is not None:
                         obs.rounds_fast_forwarded.inc(target - k)
                 k = target
+            else:
+                self._probe_state = None
 
     def _build_calendar(
         self, horizon: int
@@ -874,6 +972,9 @@ class BatchedEngine:
     def cache_insert(self, color: int, *, section: str = "main") -> None:
         """Bring ``color`` into the cache, recording costs and events."""
         slot, reconfigured, old_physical = self.cache.insert(color)
+        self._cache_epoch += 1
+        if self._reconfig_observer is not None and reconfigured:
+            self._reconfig_observer(color, reconfigured)
         st = self.states.get(color)
         if st is not None and st.eligible:
             self._num_eligible_uncached -= 1
@@ -916,6 +1017,7 @@ class BatchedEngine:
     def cache_evict(self, color: int) -> None:
         """Drop ``color`` from the cache (free of charge; slots persist)."""
         self.cache.evict(color)
+        self._cache_epoch += 1
         st = self.states.get(color)
         if st is not None and st.eligible:
             self._num_eligible_uncached += 1
@@ -940,6 +1042,7 @@ def simulate(
     tracer=None,
     registry=None,
     profiler=None,
+    reconfig_observer=None,
 ) -> RunResult:
     """Build a :class:`BatchedEngine`, run it, and return the result."""
     return BatchedEngine(
@@ -954,4 +1057,5 @@ def simulate(
         tracer=tracer,
         registry=registry,
         profiler=profiler,
+        reconfig_observer=reconfig_observer,
     ).run()

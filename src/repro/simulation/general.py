@@ -17,11 +17,25 @@ so the queue front is always the earliest deadline.
 Like :class:`~repro.simulation.engine.BatchedEngine`, the general engine
 supports ``record="costs"`` — the fast path that skips ``Trace`` and
 ``Schedule`` construction when callers only need the cost breakdown —
-and the sparse core's round skipping: with ``sparse=True`` (default),
-``record="costs"``, no metrics collector, and a
-:attr:`~GeneralPolicy.stationary` policy, stretches with no pending jobs
-and no arrivals are fast-forwarded to the next arrival round in O(1)
-(every phase of such a round is a no-op).
+and the full sparse core:
+
+* **Deadline calendar** — a precomputed per-round schedule of the rounds
+  carrying a job deadline, so the drop phase touches only the colors
+  that can actually drop this round instead of scanning every queue
+  every round (within a color, arrivals are FIFO and share one delay
+  bound, so the queue front is always the earliest deadline).
+* **Round skipping** — with ``sparse=True`` (default), ``record="costs"``
+  and no metrics collector, stretches with no pending jobs and no
+  arrivals are fast-forwarded to the next arrival round in O(1) (every
+  phase of such a round is a no-op).  Which policies qualify is the same
+  per-scheme contract as the batched core,
+  :meth:`GeneralPolicy.fixed_point_token`: stationary policies skip
+  immediately, policies with verifiable decision state skip after a
+  one-round probe, and policies returning ``None`` are never skipped.
+* **Fixed-point reconfigure skipping** — policies whose pass is
+  idempotent call :meth:`GeneralEngine.at_fixed_point` /
+  :meth:`GeneralEngine.mark_fixed_point` to elide whole reconfiguration
+  passes between backlog changes, exactly as in the batched core.
 
 It also accepts the same observability attachments as the batched
 engine (``tracer`` / ``registry`` / ``profiler``, see
@@ -49,7 +63,13 @@ from repro.core.events import (
 from repro.core.instance import Instance
 from repro.core.job import Job
 from repro.core.schedule import Execution, Reconfiguration, Schedule
-from repro.simulation.engine import EngineInstruments, RunResult, _active_tracer
+from repro.simulation.engine import (
+    STATIONARY_TOKEN,
+    EngineInstruments,
+    RunResult,
+    _active_tracer,
+    _noop_phase,
+)
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.resources import CachePool
 
@@ -64,11 +84,30 @@ class GeneralPolicy(ABC):
     #: after round 0, whenever every pending queue is empty and no
     #: arrivals intervene, ``reconfigure`` performs no cache mutations.
     #: Policies that evict on empty backlogs (or randomize) must keep the
-    #: conservative ``False`` default.
+    #: conservative ``False`` default — they can still opt into
+    #: probe-verified skipping through :meth:`fixed_point_token`.
     stationary: bool = False
 
     def setup(self, engine: "GeneralEngine") -> None:
         """Hook called once before round 0 (default: no-op)."""
+
+    def reset(self, seed: int | None = None) -> None:
+        """Re-initialize per-run mutable state (default: no-op).
+
+        Called once at engine construction, before :meth:`setup`; see
+        :meth:`repro.simulation.engine.ReconfigurationScheme.reset`.
+        """
+
+    def fixed_point_token(self) -> object | None:
+        """Inactive-round decision-state digest.
+
+        Same contract as
+        :meth:`repro.simulation.engine.ReconfigurationScheme.fixed_point_token`:
+        ``None`` = never skip, :data:`~repro.simulation.engine.STATIONARY_TOKEN`
+        = skip immediately, anything else = skip after a one-round probe
+        proves the token and the engine epochs did not move.
+        """
+        return STATIONARY_TOKEN if self.stationary else None
 
     @abstractmethod
     def reconfigure(self, engine: "GeneralEngine") -> None:
@@ -133,6 +172,15 @@ class GeneralEngine:
         self._ran = False
         self._prev_counters = (0, 0, 0)
         self._total_pending = 0
+        #: Monotone counter of scheme-visible backlog changes (arrivals,
+        #: drops, executions); mirrors BatchedEngine.order_epoch and
+        #: backs :meth:`at_fixed_point` plus the skip probe protocol.
+        self.order_epoch = 0
+        self._scheme_pass_epoch: int | None = None
+        #: Monotone counter of cache mutations (see BatchedEngine).
+        self._cache_epoch = 0
+        self._probe_state: tuple | None = None
+        policy.reset()
 
     # ------------------------------------------------------------------ run
 
@@ -155,25 +203,31 @@ class GeneralEngine:
         start = time.perf_counter()
         horizon = self.instance.horizon
         can_skip = (
-            self.sparse
-            and self.record == "costs"
-            and self.metrics is None
-            and self.policy.stationary
+            self.sparse and self.record == "costs" and self.metrics is None
         )
+        token_fn = self.policy.fixed_point_token
         instrumented = (
             tracer is not None or self.profiler is not None or self.obs is not None
         )
         obs = self.obs
         arrival_rounds = self.instance.sequence.arrival_rounds()
         num_arrival_rounds = len(arrival_rounds)
+        # Deadline calendar (sparse core): the only rounds whose drop
+        # phase can do anything, keyed to the colors that can drop there.
+        calendar = self._build_deadline_calendar(horizon) if self.sparse else None
         ai = 0  # index of the first arrival round >= current k
         k = 0
         while k < horizon:
             self.round_index = k
             if instrumented:
-                self._round_instrumented(k)
+                self._round_instrumented(k, calendar)
             else:
-                self._drop_phase(k)
+                if calendar is None:
+                    self._drop_phase(k)
+                elif self._total_pending:
+                    deadline_colors = calendar.get(k)
+                    if deadline_colors is not None:
+                        self._drop_phase_sparse(k, deadline_colors)
                 self._arrival_phase(k)
                 for mini in range(self.speed):
                     self.mini_round = mini
@@ -184,14 +238,32 @@ class GeneralEngine:
             self.rounds_executed += 1
             k += 1
             if can_skip and self._total_pending == 0:
+                token = token_fn()
+                if token is None:
+                    self._probe_state = None
+                    continue
+                skip = token is STATIONARY_TOKEN
+                if not skip:
+                    state = (self.order_epoch, self._cache_epoch, token)
+                    # Probe protocol (see BatchedEngine._run_sparse):
+                    # one fully executed empty round whose token and
+                    # epochs came back unchanged proves the round was an
+                    # identity map, and nothing differs for the rounds
+                    # up to the next arrival.
+                    skip = state == self._probe_state
+                    self._probe_state = state
+                if not skip:
+                    continue
                 while ai < num_arrival_rounds and arrival_rounds[ai] < k:
                     ai += 1
                 next_arrival = (
                     arrival_rounds[ai] if ai < num_arrival_rounds else horizon
                 )
                 # No pending work and no arrivals until next_arrival:
-                # drop, arrival, and execution are no-ops, and a
-                # stationary policy performs no reconfigurations.
+                # drop, arrival, and execution are no-ops (empty queues
+                # hold no deadlines), and the token contract proves the
+                # reconfiguration phases perform no mutations.  The
+                # min() clamp keeps the fast-forward inside the horizon.
                 target = min(next_arrival, horizon)
                 if target > k:
                     if tracer is not None:
@@ -201,6 +273,8 @@ class GeneralEngine:
                     if obs is not None:
                         obs.rounds_fast_forwarded.inc(target - k)
                 k = target
+            else:
+                self._probe_state = None
         elapsed = time.perf_counter() - start
         if self.metrics is not None:
             self.metrics.record_wall_clock(
@@ -248,12 +322,23 @@ class GeneralEngine:
             fn(*args)
             prof.add(name, time.perf_counter() - t0)
 
-    def _round_instrumented(self, k: int) -> None:
+    def _round_instrumented(self, k: int, calendar=None) -> None:
         """One observed round (tracer/profiler/registry attached)."""
         tracer = self.tracer
         if tracer is not None:
             tracer.begin("round", k)
-        self._run_phase("drop", k, self._drop_phase, k)
+        if calendar is None:
+            drop = (self._drop_phase, (k,))
+        else:
+            deadline_colors = (
+                calendar.get(k) if self._total_pending else None
+            )
+            drop = (
+                (self._drop_phase_sparse, (k, deadline_colors))
+                if deadline_colors is not None
+                else (_noop_phase, ())
+            )
+        self._run_phase("drop", k, drop[0], *drop[1])
         self._run_phase("arrival", k, self._arrival_phase, k)
         for mini in range(self.speed):
             self.mini_round = mini
@@ -266,24 +351,58 @@ class GeneralEngine:
         if tracer is not None:
             tracer.end("round", k)
 
+    def _build_deadline_calendar(self, horizon: int) -> dict[int, list[int]]:
+        """Per-round lists of colors with a job deadline that round.
+
+        Building cost is O(num_jobs); a round absent from the calendar
+        can never drop anything (within a color, FIFO order is deadline
+        order, so the queue front bounds every deadline behind it).
+        Deadlines at or past ``horizon`` are excluded — the dense loop
+        never reaches them either.
+        """
+        calendar: dict[int, list[int]] = {}
+        for job in self.instance.sequence:
+            if job.deadline >= horizon:
+                continue
+            bucket = calendar.get(job.deadline)
+            if bucket is None:
+                calendar[job.deadline] = [job.color]
+            elif job.color not in bucket:
+                bucket.append(job.color)
+        for bucket in calendar.values():
+            bucket.sort()
+        return calendar
+
     def _drop_phase(self, k: int) -> None:
         if self._total_pending == 0:
             return
-        trace, tracer, obs = self.trace, self.tracer, self.obs
         for color, queue in self.pending.items():
-            dropped = 0
-            while queue and queue[0].deadline <= k:
-                job = queue.popleft()
-                dropped += 1
-                if obs is not None:
-                    obs.record_drop(color, 1, k - job.arrival)
-            if dropped:
-                self._total_pending -= dropped
-                if trace is not None:
-                    trace.append(DropEvent(k, color, dropped, eligible=True))
-                if tracer is not None:
-                    tracer.event("drop", k, color=color, count=dropped)
-                self.cost.record_drop(color, dropped)
+            if queue:
+                self._drop_color(k, color, queue)
+
+    def _drop_phase_sparse(self, k: int, colors: list[int]) -> None:
+        pending = self.pending
+        for color in colors:
+            queue = pending[color]
+            if queue:
+                self._drop_color(k, color, queue)
+
+    def _drop_color(self, k: int, color: int, queue: deque[Job]) -> None:
+        obs = self.obs
+        dropped = 0
+        while queue and queue[0].deadline <= k:
+            job = queue.popleft()
+            dropped += 1
+            if obs is not None:
+                obs.record_drop(color, 1, k - job.arrival)
+        if dropped:
+            self._total_pending -= dropped
+            self.order_epoch += 1
+            if self.trace is not None:
+                self.trace.append(DropEvent(k, color, dropped, eligible=True))
+            if self.tracer is not None:
+                self.tracer.event("drop", k, color=color, count=dropped)
+            self.cost.record_drop(color, dropped)
 
     def _arrival_phase(self, k: int) -> None:
         trace, tracer = self.trace, self.tracer
@@ -292,6 +411,8 @@ class GeneralEngine:
             self.pending[job.color].append(job)
             self._total_pending += 1
             counts[job.color] = counts.get(job.color, 0) + 1
+        if counts:
+            self.order_epoch += 1
         if trace is not None:
             for color, count in counts.items():
                 trace.append(ArrivalEvent(k, color, count))
@@ -314,6 +435,7 @@ class GeneralEngine:
                         for _ in range(taken):
                             queue.popleft()
                         self._total_pending -= taken
+                        self.order_epoch += 1
                         self.cost.record_execution(slot.occupant, taken)
                 return
             for slot in self.cache.occupied_slots():
@@ -325,6 +447,7 @@ class GeneralEngine:
                         if obs is not None:
                             obs.record_execution(job.color, k - job.arrival)
                     self._total_pending -= taken
+                    self.order_epoch += 1
                     self.cost.record_execution(slot.occupant, taken)
                     if tracer is not None:
                         tracer.event(
@@ -339,6 +462,7 @@ class GeneralEngine:
                     break
                 job = queue.popleft()
                 self._total_pending -= 1
+                self.order_epoch += 1
                 executed += 1
                 schedule.add_execution(
                     Execution(k, mini, resource, job.jid, job.color)
@@ -353,6 +477,33 @@ class GeneralEngine:
                 )
 
     # ------------------------------------------------- policy-facing helpers
+
+    def at_fixed_point(self) -> bool:
+        """True when the policy already completed a pass at this epoch.
+
+        Same contract as
+        :meth:`repro.simulation.engine.BatchedEngine.at_fixed_point`:
+        idempotent policies call this at the top of ``reconfigure`` and
+        return on True — no backlog change (arrival, drop, execution)
+        happened since their last completed pass.  Only honored by the
+        sparse core so dense runs keep the unoptimized baseline behavior.
+        """
+        if self.sparse and self._scheme_pass_epoch == self.order_epoch:
+            if self.tracer is not None:
+                self.tracer.event(
+                    "cache_hit",
+                    self.round_index,
+                    target="fixed_point",
+                    mini=self.mini_round,
+                )
+            if self.obs is not None:
+                self.obs.fixed_point_skips.inc()
+            return True
+        return False
+
+    def mark_fixed_point(self) -> None:
+        """Record that the policy completed a full pass at this epoch."""
+        self._scheme_pass_epoch = self.order_epoch
 
     def pending_count(self, color: int) -> int:
         return len(self.pending[color])
@@ -376,6 +527,7 @@ class GeneralEngine:
 
     def cache_insert(self, color: int, *, section: str = "main") -> None:
         slot, reconfigured, old_physical = self.cache.insert(color)
+        self._cache_epoch += 1
         tracer = self.tracer
         if tracer is not None:
             if reconfigured:
@@ -414,6 +566,7 @@ class GeneralEngine:
 
     def cache_evict(self, color: int) -> None:
         self.cache.evict(color)
+        self._cache_epoch += 1
         if self.trace is not None:
             self.trace.append(CacheOutEvent(self.round_index, self.mini_round, color))
         if self.tracer is not None:

@@ -1,0 +1,471 @@
+"""Fixed-point token contract: parity, soundness, and lifecycle tests.
+
+The sparse cores may skip an inactive stretch only when the scheme's
+``fixed_point_token()`` proves the skipped rounds are identity maps —
+immediately for :data:`STATIONARY_TOKEN`, via the one-round probe
+protocol for any other token, never for ``None``.  Everything here pins
+that contract:
+
+* randomized and credit schemes (probe tokens) stay bit-identical to the
+  dense core across speeds and record modes, on workloads where the
+  sparse core genuinely skips;
+* the filtered obs event streams of the two cores are identical;
+* a scheme without a token is never skipped, and a hostile scheme that
+  mutates the cache behind a constant token is never skipped either
+  (the cache epoch defeats it);
+* ``reset()`` makes back-to-back runs of one scheme instance
+  bit-identical (the RNG-lifecycle regression);
+* fast-forward targets are clamped at the horizon and never jump a
+  final drop round, in both engine cores.
+"""
+
+import pytest
+
+from repro.algorithms.greedy import GreedyPendingPolicy
+from repro.algorithms.never import AlwaysReconfigurePolicy, NeverReconfigurePolicy
+from repro.algorithms.randomized import RandomEvict, RandomizedMarking
+from repro.algorithms.static import StaticPartitionPolicy
+from repro.analysis.credits import CreditScheme
+from repro.core.instance import BatchMode, make_instance
+from repro.core.job import JobFactory
+from repro.obs import MemorySink, MetricsRegistry, Tracer
+from repro.simulation.engine import (
+    STATIONARY_TOKEN,
+    ReconfigurationScheme,
+    simulate,
+)
+from repro.simulation.general import simulate_general
+from repro.workloads.random_batched import random_general, random_rate_limited
+
+TOKEN_SCHEMES = [
+    pytest.param(RandomEvict, id="random-evict"),
+    pytest.param(RandomizedMarking, id="randomized-marking"),
+    pytest.param(CreditScheme, id="credit-edf"),
+]
+
+GENERAL_POLICIES = [
+    pytest.param(GreedyPendingPolicy, id="greedy"),
+    pytest.param(StaticPartitionPolicy, id="static"),
+    pytest.param(AlwaysReconfigurePolicy, id="always"),
+    pytest.param(NeverReconfigurePolicy, id="never"),
+]
+
+
+def _assert_costs_identical(a, b):
+    """Bit-identical CostBreakdown, per-color attributions included."""
+    assert a.summary() == b.summary()
+    assert a.reconfigs_by_color == b.reconfigs_by_color
+    assert a.drops_by_color == b.drops_by_color
+    assert a.executions_by_color == b.executions_by_color
+
+
+def _quiet_tail_instance(horizon=1024):
+    """A burst per color, then long empty stretches — the skip regime."""
+    factory = JobFactory()
+    bounds = {0: 4, 1: 8, 2: 4, 3: 16}
+    jobs = []
+    for color, bound in bounds.items():
+        jobs += factory.batch(0, color, bound, 6)
+        jobs += factory.batch(bound * 2, color, bound, 3)
+    return make_instance(
+        jobs, bounds, 4, batch_mode=BatchMode.BATCHED, horizon=horizon
+    )
+
+
+def _batched_workloads(seed):
+    yield random_rate_limited(
+        6, 3, 96, seed=seed, load=0.7, bound_choices=(2, 4, 8)
+    )
+    yield random_rate_limited(
+        8, 4, 192, seed=seed + 50, load=0.2, bound_choices=(8, 16, 32)
+    )
+    yield _quiet_tail_instance()
+
+
+class TestTokenSchemeParity:
+    """Randomized & credit schemes: sparse == dense, bit for bit."""
+
+    @pytest.mark.parametrize("scheme_cls", TOKEN_SCHEMES)
+    @pytest.mark.parametrize("speed", [1, 2])
+    @pytest.mark.parametrize("record", ["costs", "full"])
+    def test_sparse_matches_dense(self, scheme_cls, speed, record):
+        for seed in (0, 1):
+            for instance in _batched_workloads(seed):
+                dense = simulate(
+                    instance, scheme_cls(), 8, speed=speed,
+                    record=record, sparse=False,
+                )
+                sparse = simulate(
+                    instance, scheme_cls(), 8, speed=speed,
+                    record=record, sparse=True,
+                )
+                _assert_costs_identical(dense.cost, sparse.cost)
+                if record == "full":
+                    assert list(dense.trace) == list(sparse.trace)
+
+    @pytest.mark.parametrize("scheme_cls", TOKEN_SCHEMES)
+    def test_probe_protocol_actually_skips(self, scheme_cls):
+        # The quiet-tail workload must be skipped through, not merely
+        # survived: a probe token that never matches would silently
+        # degrade the sparse core to dense speed.
+        sparse = simulate(
+            _quiet_tail_instance(), scheme_cls(), 8,
+            record="costs", sparse=True,
+        )
+        assert sparse.rounds_executed is not None
+        assert sparse.active_round_fraction < 0.8
+
+    @pytest.mark.parametrize("scheme_cls", TOKEN_SCHEMES)
+    def test_obs_event_streams_match(self, scheme_cls):
+        # The cost-relevant event stream (drops, arrivals, reconfigs,
+        # executions, ...) must be identical; only the sparse-core
+        # markers (fast_forward, cache_hit) and per-round scaffolding
+        # (phase markers, round spans) may differ.
+        def run(sparse):
+            sink = MemorySink()
+            registry = MetricsRegistry()
+            simulate(
+                _quiet_tail_instance(), scheme_cls(), 8,
+                record="costs", sparse=sparse,
+                tracer=Tracer(sink), registry=registry,
+            )
+            events = [
+                (r.name, r.round_index, tuple(sorted(r.data.items())))
+                for r in sink.records
+                if r.kind == "event"
+                and r.name not in ("phase", "fast_forward", "cache_hit")
+            ]
+            return events, registry.snapshot()["counters"]
+
+        dense_events, dense_counters = run(sparse=False)
+        sparse_events, sparse_counters = run(sparse=True)
+        assert dense_events == sparse_events
+        for name in ("engine.drops", "engine.reconfigs", "engine.executions"):
+            assert dense_counters.get(name, 0) == sparse_counters.get(name, 0)
+        assert dense_counters.get("engine.rounds_fast_forwarded", 0) == 0
+        assert sparse_counters["engine.rounds_fast_forwarded"] > 0
+        assert (
+            sparse_counters["engine.rounds_executed"]
+            + sparse_counters["engine.rounds_fast_forwarded"]
+            == dense_counters["engine.rounds_executed"]
+        )
+
+
+class _TokenlessScheme(ReconfigurationScheme):
+    """Opts out of skipping entirely: ``fixed_point_token() -> None``."""
+
+    name = "tokenless"
+
+    def fixed_point_token(self):
+        return None
+
+    def reconfigure(self, engine):
+        return None
+
+
+class _HostileScheme(ReconfigurationScheme):
+    """Mutates the cache every call behind a constant token.
+
+    A constant token alone must never authorize a skip: the cache epoch
+    in the probe tuple changes every round, so the probe never proves a
+    fixed point and the engine must execute every round.
+    """
+
+    name = "hostile"
+
+    def fixed_point_token(self):
+        return "constant"
+
+    def reconfigure(self, engine):
+        if 0 in engine.cache:
+            engine.cache_evict(0)
+        else:
+            engine.cache_insert(0)
+
+
+class TestSkipSoundness:
+    def test_tokenless_scheme_never_skipped(self):
+        # Default contract sanity first.
+        assert _TokenlessScheme().fixed_point_token() is None
+        assert RandomEvict().fixed_point_token() is not STATIONARY_TOKEN
+        result = simulate(
+            _quiet_tail_instance(), _TokenlessScheme(), 8,
+            record="costs", sparse=True,
+        )
+        assert result.active_round_fraction == 1.0
+
+    def test_hostile_constant_token_never_skipped(self):
+        instance = _quiet_tail_instance(horizon=256)
+        sparse = simulate(
+            instance, _HostileScheme(), 8, record="costs", sparse=True
+        )
+        dense = simulate(
+            instance, _HostileScheme(), 8, record="costs", sparse=False
+        )
+        # The evict/insert churn bumps the cache epoch every round even
+        # though the physical slot keeps its color (same-color reinsert
+        # is elided), so the probe must fail on the epoch, not the bill.
+        assert sparse.active_round_fraction == 1.0
+        _assert_costs_identical(dense.cost, sparse.cost)
+
+
+class TestResetLifecycle:
+    @pytest.mark.parametrize("scheme_cls", TOKEN_SCHEMES)
+    def test_back_to_back_runs_are_bit_identical(self, scheme_cls):
+        # One scheme instance, two engines: reset() at engine
+        # construction must re-derive the RNG/credit state so the second
+        # run replays the first instead of continuing its streams.
+        instance = random_rate_limited(
+            6, 3, 96, seed=5, load=0.7, bound_choices=(2, 4, 8)
+        )
+        scheme = scheme_cls()
+        first = simulate(instance, scheme, 8, record="costs")
+        second = simulate(instance, scheme, 8, record="costs")
+        _assert_costs_identical(first.cost, second.cost)
+
+    def test_reset_reroots_the_seed(self):
+        # reset(seed) adopts the new seed durably: the next no-arg reset
+        # (e.g. at the next engine construction) replays the new stream,
+        # not the constructor's.
+        a, b = RandomEvict(seed=1), RandomEvict(seed=2)
+        a.reset(seed=2)
+        assert a.fixed_point_token() == b.fixed_point_token()
+        a._rng.random()
+        a.reset()
+        assert a.fixed_point_token() == b.fixed_point_token()
+
+
+class _InertScheme(ReconfigurationScheme):
+    """Never caches anything; every job is dropped at its deadline."""
+
+    name = "inert"
+    stationary = True
+
+    def reconfigure(self, engine):
+        return None
+
+
+class TestHorizonEdge:
+    """Fast-forward may clamp to the horizon but never jump a drop."""
+
+    def test_batched_final_drop_round_survives_fast_forward(self):
+        # Quiet rounds 0..55, then a batch whose deadline (64) is the
+        # last legal round of the minimum horizon (65).  The sparse core
+        # skips the leading stretch; the deadline round is a calendar
+        # boundary, so every one of the 20 drops must still be charged.
+        factory = JobFactory()
+        jobs = factory.batch(56, 0, 8, 20)
+        instance = make_instance(
+            jobs, {0: 8}, 4, batch_mode=BatchMode.BATCHED, horizon=65
+        )
+        sink = MemorySink()
+        sparse = simulate(
+            instance, _InertScheme(), 4, record="costs",
+            sparse=True, tracer=Tracer(sink),
+        )
+        dense = simulate(
+            instance, _InertScheme(), 4, record="costs", sparse=False
+        )
+        _assert_costs_identical(dense.cost, sparse.cost)
+        assert sparse.cost.num_drops == 20
+        forwards = [r for r in sink.records if r.name == "fast_forward"]
+        assert forwards  # the leading stretch was skipped
+        assert all(
+            r.data["to_round"] <= instance.horizon for r in forwards
+        )
+        drops = [r for r in sink.records if r.name == "drop"]
+        assert [r.round_index for r in drops] == [64]
+
+    def test_batched_fast_forward_clamps_at_horizon(self):
+        # After the last deadline, the tail has no boundaries for large
+        # bounds: the target must clamp to the horizon, not overshoot.
+        factory = JobFactory()
+        jobs = factory.batch(0, 0, 64, 4)
+        instance = make_instance(
+            jobs, {0: 64}, 4, batch_mode=BatchMode.BATCHED, horizon=1000
+        )
+        sink = MemorySink()
+        result = simulate(
+            instance, _InertScheme(), 4, record="costs",
+            sparse=True, tracer=Tracer(sink),
+        )
+        assert result.rounds_executed < instance.horizon
+        forwards = [r for r in sink.records if r.name == "fast_forward"]
+        assert forwards
+        assert max(r.data["to_round"] for r in forwards) == instance.horizon
+
+    def test_general_final_drop_round_survives_fast_forward(self):
+        factory = JobFactory()
+        jobs = factory.batch(56, 0, 8, 5)
+        instance = make_instance(
+            jobs, {0: 8}, 4, batch_mode=BatchMode.GENERAL, horizon=65
+        )
+        sink = MemorySink()
+        sparse = simulate_general(
+            instance, NeverReconfigurePolicy(), 4, record="costs",
+            sparse=True, tracer=Tracer(sink),
+        )
+        dense = simulate_general(
+            instance, NeverReconfigurePolicy(), 4, record="costs",
+            sparse=False,
+        )
+        _assert_costs_identical(dense.cost, sparse.cost)
+        assert sparse.cost.num_drops == 5
+        forwards = [r for r in sink.records if r.name == "fast_forward"]
+        assert forwards
+        assert all(
+            r.data["to_round"] <= instance.horizon for r in forwards
+        )
+        drops = [r for r in sink.records if r.name == "drop"]
+        assert [r.round_index for r in drops] == [64]
+
+    def test_general_fast_forward_clamps_at_horizon(self):
+        factory = JobFactory()
+        jobs = factory.batch(0, 0, 8, 2)
+        instance = make_instance(
+            jobs, {0: 8}, 4, batch_mode=BatchMode.GENERAL, horizon=1000
+        )
+        sink = MemorySink()
+        result = simulate_general(
+            instance, NeverReconfigurePolicy(), 4, record="costs",
+            sparse=True, tracer=Tracer(sink),
+        )
+        assert result.rounds_executed < instance.horizon
+        forwards = [r for r in sink.records if r.name == "fast_forward"]
+        assert forwards
+        assert max(r.data["to_round"] for r in forwards) == instance.horizon
+
+
+class TestGeneralEngineParity:
+    """The general engine's new sparse path against its dense core."""
+
+    @pytest.mark.parametrize("policy_cls", GENERAL_POLICIES)
+    @pytest.mark.parametrize("speed", [1, 2])
+    @pytest.mark.parametrize("record", ["costs", "full"])
+    def test_sparse_matches_dense(self, policy_cls, speed, record):
+        for seed in (0, 1):
+            instance = random_general(
+                6, 4, 192, seed=seed, rate=0.1, bound_choices=(4, 8, 16)
+            )
+            dense = simulate_general(
+                instance, policy_cls(), 8, speed=speed,
+                record=record, sparse=False,
+            )
+            sparse = simulate_general(
+                instance, policy_cls(), 8, speed=speed,
+                record=record, sparse=True,
+            )
+            _assert_costs_identical(dense.cost, sparse.cost)
+            if record == "full":
+                assert list(dense.trace) == list(sparse.trace)
+
+    def test_general_sparse_actually_skips(self):
+        instance = random_general(
+            8, 4, 2048, seed=3, rate=0.01, bound_choices=(32, 64)
+        )
+        sparse = simulate_general(
+            instance, GreedyPendingPolicy(), 8, record="costs", sparse=True
+        )
+        dense = simulate_general(
+            instance, GreedyPendingPolicy(), 8, record="costs", sparse=False
+        )
+        _assert_costs_identical(dense.cost, sparse.cost)
+        assert sparse.rounds_executed < instance.horizon
+        assert 0.0 < sparse.active_round_fraction < 1.0
+
+    def test_general_full_record_never_skips(self):
+        instance = random_general(
+            8, 4, 512, seed=3, rate=0.01, bound_choices=(32, 64)
+        )
+        result = simulate_general(
+            instance, GreedyPendingPolicy(), 8, record="full", sparse=True
+        )
+        assert result.active_round_fraction == 1.0
+
+    def test_obs_event_streams_match(self):
+        instance = random_general(
+            8, 4, 1024, seed=3, rate=0.02, bound_choices=(32, 64)
+        )
+
+        def run(sparse):
+            sink = MemorySink()
+            registry = MetricsRegistry()
+            simulate_general(
+                instance, GreedyPendingPolicy(), 8,
+                record="costs", sparse=sparse,
+                tracer=Tracer(sink), registry=registry,
+            )
+            events = [
+                (r.name, r.round_index, tuple(sorted(r.data.items())))
+                for r in sink.records
+                if r.kind == "event"
+                and r.name not in ("phase", "fast_forward", "cache_hit")
+            ]
+            return events, registry.snapshot()["counters"]
+
+        dense_events, dense_counters = run(sparse=False)
+        sparse_events, sparse_counters = run(sparse=True)
+        assert dense_events == sparse_events
+        for name in ("engine.drops", "engine.reconfigs", "engine.executions"):
+            assert dense_counters.get(name, 0) == sparse_counters.get(name, 0)
+        assert sparse_counters["engine.rounds_fast_forwarded"] > 0
+        assert (
+            sparse_counters["engine.rounds_executed"]
+            + sparse_counters["engine.rounds_fast_forwarded"]
+            == dense_counters["engine.rounds_executed"]
+        )
+
+
+class TestReductionsCostsMode:
+    """record='costs' through Distribute/VarBatch/Arbitrary/pipeline."""
+
+    def test_distribute_costs_mode_matches_full(self):
+        from repro.reductions.distribute import run_distribute
+        from repro.workloads.random_batched import random_batched
+
+        for seed in (0, 1, 2):
+            instance = random_batched(
+                6, 4, 96, seed=seed, load=0.5, bound_choices=(2, 4, 8)
+            )
+            for speed in (1, 2):
+                full = run_distribute(instance, 8, speed=speed)
+                costs = run_distribute(
+                    instance, 8, speed=speed, record="costs"
+                )
+                assert costs.schedule is None
+                assert costs.inner.schedule is None
+                _assert_costs_identical(full.cost, costs.cost)
+
+    def test_pipeline_costs_mode_matches_full_all_stacks(self):
+        from repro.reductions.pipeline import run_pipeline
+        from repro.workloads.random_batched import random_batched
+
+        cases = [
+            # batched -> Distribute
+            random_batched(5, 3, 64, seed=0, load=0.5, bound_choices=(2, 4)),
+            # general, power-of-two -> VarBatch
+            random_general(5, 3, 64, seed=1, rate=0.4, bound_choices=(2, 4, 8)),
+            # general, arbitrary bounds -> ArbitraryBounds
+            random_general(5, 3, 64, seed=2, rate=0.4, bound_choices=(3, 5, 12)),
+        ]
+        for instance in cases:
+            full = run_pipeline(instance, 8)
+            costs = run_pipeline(instance, 8, record="costs")
+            assert costs.schedule is None
+            assert costs.stages == full.stages
+            _assert_costs_identical(full.cost, costs.cost)
+            with pytest.raises(RuntimeError, match="record='costs'"):
+                costs.verify()
+
+    def test_pipeline_costs_mode_runs_sparse_inner_engine(self):
+        # The point of the whole exercise: the reduction stack's inner
+        # engine must actually fast-forward on a sparse-friendly
+        # workload in costs mode.
+        from repro.reductions.distribute import run_distribute
+
+        instance = _quiet_tail_instance(horizon=1024)
+        result = run_distribute(instance, 8, record="costs")
+        assert result.inner.rounds_executed is not None
+        assert result.inner.active_round_fraction < 1.0
+        full = run_distribute(instance, 8)
+        _assert_costs_identical(full.cost, result.cost)

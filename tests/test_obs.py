@@ -173,6 +173,30 @@ class TestMetrics:
         with pytest.raises(ValueError):
             a.merge(Histogram("h", (1, 2, 4)))
 
+    def test_histogram_merge_rejects_wrong_cell_count(self):
+        # Same bounds but a counts vector of the wrong length (as a
+        # corrupted or hand-built snapshot could produce) must raise, not
+        # silently fold in a prefix of the cells.
+        a = Histogram("h", (1, 2))
+        bad = Histogram("h", (1, 2))
+        bad.counts = [1, 2]  # missing the overflow cell
+        with pytest.raises(ValueError, match="cells"):
+            a.merge(bad)
+        assert a.counts == [0, 0, 0]  # untouched on failure
+        long = Histogram("h", (1, 2))
+        long.counts = [1, 2, 3, 4]
+        with pytest.raises(ValueError, match="cells"):
+            a.merge(long)
+
+    def test_merge_snapshot_rejects_malformed_counts(self):
+        worker = MetricsRegistry()
+        worker.histogram("engine.queue_depth", (1, 2)).observe(1)
+        snapshot = worker.snapshot()
+        snapshot["histograms"]["engine.queue_depth"]["counts"] = [1]
+        main = MetricsRegistry()
+        with pytest.raises(ValueError, match="cells"):
+            main.merge_snapshot(snapshot)
+
     def test_registry_is_create_or_get_with_type_guard(self):
         registry = MetricsRegistry()
         counter = registry.counter("engine.drops")

@@ -167,9 +167,16 @@ class TestTelemetry:
         # Within tolerance: no report.
         ok = [dict(baseline[0], rounds_per_second=750.0)]
         assert throughput_regressions(baseline, ok, tolerance=0.30) == []
-        # Unmatched cells (new grid point) are ignored, not failed.
+        # A fresh cell with no baseline row (a grid that grew) surfaces
+        # as missing_baseline so it enters the baseline on regeneration.
         unmatched = [dict(baseline[0], horizon=512, rounds_per_second=1.0)]
-        assert throughput_regressions(baseline, unmatched) == []
+        grown = throughput_regressions(baseline, unmatched)
+        assert [r["kind"] for r in grown] == ["missing_baseline"]
+        assert grown[0]["key"]["horizon"] == 512
+        # Baseline cells with no fresh counterpart stay ignored.
+        assert throughput_regressions(baseline + unmatched, fresh) == [
+            regs[0]
+        ]
         with pytest.raises(ValueError):
             throughput_regressions(baseline, fresh, tolerance=1.5)
 
@@ -189,9 +196,12 @@ class TestTelemetry:
         assert regs[0]["kind"] == "missing_baseline"
         assert regs[0]["key"]["resources"] == 8
         assert regs[0]["fresh_rounds_per_second"] == pytest.approx(900.0)
-        # Non-throughput rows (e.g. adversary_cache) still don't match.
+        # Non-throughput rows (e.g. adversary_cache) never match, so a
+        # baseline of only those leaves the fresh cell baseline-less —
+        # which must also surface as missing_baseline, not pass.
         other = {"kind": "adversary_cache", "score_cache_hit_rate": 0.2}
-        assert throughput_regressions([other], fresh) == []
+        regs = throughput_regressions([other], fresh)
+        assert [r["kind"] for r in regs] == ["missing_baseline"]
 
     def test_metrics_wall_clock(self):
         collector = MetricsCollector(100)
