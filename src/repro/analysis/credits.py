@@ -17,13 +17,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.epochs import EpochAnalysis, analyze_epochs
+from repro.analysis.epochs import (
+    EpochAnalysis,
+    analyze_epochs,
+    super_epoch_threshold,
+)
 from repro.core.events import CacheInEvent, DropEvent
 from repro.simulation.engine import (
     BatchedEngine,
     ReconfigurationScheme,
     RunResult,
 )
+
+
+def scheme_copies(algorithm: str) -> int:
+    """Logical copies per cache insertion for an algorithm by name.
+
+    The paper's ΔLRU/EDF/ΔLRU-EDF keep two locations per cached color
+    (Lemma 3.3 charges ``2Δ`` per insertion); every other scheme is
+    single-copy.  Shared by the offline auditors and the live monitors.
+    """
+    return 2 if algorithm in ("dLRU", "EDF", "dLRU-EDF") else 1
 
 
 @dataclass
@@ -45,6 +59,57 @@ class CreditAudit:
         return self.charged / self.budget if self.budget else 0.0
 
 
+class EpochCreditLedger:
+    """Streaming Lemma 3.3 / 3.4 accounting.
+
+    The shared core behind :func:`audit_epoch_credits` and
+    :func:`audit_ineligible_drops`: feed it cache insertions and drops in
+    stream order (from a finished ``Trace`` or live from the trace bus)
+    and ask for the audits at any point.  Because the offline auditors
+    and the live monitors drive the *same* ledger, their verdicts agree
+    bit for bit.
+    """
+
+    def __init__(self, *, delta: int, copies: int) -> None:
+        self.delta = delta
+        self.copies = copies
+        self.charged = 0
+        self.per_color: dict[int, int] = {}
+        self.ineligible_dropped = 0
+        self.ineligible_per_color: dict[int, int] = {}
+
+    def on_cache_in(self, color: int) -> None:
+        cost = self.copies * self.delta
+        self.charged += cost
+        self.per_color[color] = self.per_color.get(color, 0) + cost
+
+    def on_drop(self, color: int, count: int, *, eligible: bool) -> None:
+        if eligible:
+            return
+        self.ineligible_dropped += count
+        self.ineligible_per_color[color] = (
+            self.ineligible_per_color.get(color, 0) + count
+        )
+
+    def epoch_credit_audit(self, num_epochs: int) -> CreditAudit:
+        """The Lemma 3.3 audit given the current epoch count."""
+        return CreditAudit(
+            "lemma-3.3-epoch-credits",
+            self.charged,
+            4 * num_epochs * self.delta,
+            dict(self.per_color),
+        )
+
+    def ineligible_drop_audit(self, num_epochs: int) -> CreditAudit:
+        """The Lemma 3.4 audit given the current epoch count."""
+        return CreditAudit(
+            "lemma-3.4-ineligible-drops",
+            self.ineligible_dropped,
+            num_epochs * self.delta,
+            dict(self.ineligible_per_color),
+        )
+
+
 def audit_epoch_credits(
     result: RunResult, *, analysis: EpochAnalysis | None = None
 ) -> CreditAudit:
@@ -59,17 +124,15 @@ def audit_epoch_credits(
     """
     delta = result.instance.reconfig_cost
     if analysis is None:
-        capacity = result.num_resources // 2
-        analysis = analyze_epochs(result.trace, threshold=max(1, capacity // 2))
-    copies = 2 if result.algorithm in ("dLRU", "EDF", "dLRU-EDF") else 1
-    per_color: dict[int, int] = {}
-    charged = 0
+        analysis = analyze_epochs(
+            result.trace, threshold=super_epoch_threshold(result.num_resources)
+        )
+    ledger = EpochCreditLedger(
+        delta=delta, copies=scheme_copies(result.algorithm)
+    )
     for event in result.trace.of_type(CacheInEvent):
-        cost = copies * delta
-        charged += cost
-        per_color[event.color] = per_color.get(event.color, 0) + cost
-    budget = 4 * analysis.num_epochs * delta
-    return CreditAudit("lemma-3.3-epoch-credits", charged, budget, per_color)
+        ledger.on_cache_in(event.color)
+    return ledger.epoch_credit_audit(analysis.num_epochs)
 
 
 def audit_ineligible_drops(
@@ -84,17 +147,13 @@ def audit_ineligible_drops(
     """
     delta = result.instance.reconfig_cost
     if analysis is None:
-        capacity = result.num_resources // 2
-        analysis = analyze_epochs(result.trace, threshold=max(1, capacity // 2))
-    per_color: dict[int, int] = {}
-    charged = 0
+        analysis = analyze_epochs(
+            result.trace, threshold=super_epoch_threshold(result.num_resources)
+        )
+    ledger = EpochCreditLedger(delta=delta, copies=1)
     for event in result.trace.of_type(DropEvent):
-        if event.eligible:
-            continue
-        charged += event.count
-        per_color[event.color] = per_color.get(event.color, 0) + event.count
-    budget = analysis.num_epochs * delta
-    return CreditAudit("lemma-3.4-ineligible-drops", charged, budget, per_color)
+        ledger.on_drop(event.color, event.count, eligible=event.eligible)
+    return ledger.ineligible_drop_audit(analysis.num_epochs)
 
 
 @dataclass
@@ -127,6 +186,117 @@ class SuperEpochAudit:
         return self.total_credit >= delta * self.num_nonspecial_epochs
 
 
+def off_side_events(
+    off_schedule, instance
+) -> tuple[dict[int, list[int]], dict[int, list[int]]]:
+    """Extract the OFF-side inputs of the §3.4 credit rules.
+
+    Returns ``(off_reconfigs, off_drops)``: per-color lists of the rounds
+    OFF reconfigured *from or to* the color, and per-color lists of the
+    arrival rounds of jobs OFF dropped (never executed).  Shared by the
+    offline auditor and the live super-epoch credit monitor.
+    """
+    off_reconfigs: dict[int, list[int]] = {}
+    current_color: dict[int, int] = {}
+    for event in off_schedule.reconfigurations:
+        old = current_color.get(event.resource)
+        if old is not None:
+            off_reconfigs.setdefault(old, []).append(event.round_index)
+        off_reconfigs.setdefault(event.new_color, []).append(event.round_index)
+        current_color[event.resource] = event.new_color
+    executed = off_schedule.executed_jids
+    off_drops: dict[int, list[int]] = {}
+    for job in instance.sequence:
+        if job.jid not in executed:
+            off_drops.setdefault(job.color, []).append(job.arrival)
+    return off_reconfigs, off_drops
+
+
+def super_epoch_credit_core(
+    *,
+    delta: int,
+    drop_unit: float,
+    analysis: EpochAnalysis,
+    updates_by_color: dict[int, list[int]],
+    cache_timeline: dict[int, list[tuple[int, int, bool]]],
+    off_reconfigs: dict[int, list[int]],
+    off_drops: dict[int, list[int]],
+) -> tuple[dict[tuple[int, int], float], list[tuple[int, int]]]:
+    """The §3.4 credit rules over plain event structures.
+
+    ``updates_by_color`` holds each color's timestamp-update rounds in
+    stream order; ``cache_timeline`` holds each color's
+    ``(round, mini, entering)`` cache transitions (entering=True for
+    cache-in).  Returns ``(credit_by_event, uncovered)``.  Both the
+    offline :func:`audit_super_epoch_credits` and the live monitor
+    extract these structures from their respective streams and call this
+    one core, so their verdicts agree bit for bit.
+    """
+    credit: dict[tuple[int, int], float] = {}
+
+    def give(round_index: int, color: int, amount: float) -> None:
+        key = (round_index, color)
+        credit[key] = credit.get(key, 0.0) + amount
+
+    # Rule 2: each OFF reconfiguration credits the next two update events.
+    for color, rounds in off_reconfigs.items():
+        events = updates_by_color.get(color, [])
+        for reconfig_round in rounds:
+            following = [r for r in events if r >= reconfig_round]
+            for update_round in following[:2]:
+                give(update_round, color, 6.0 * delta)
+
+    # Rule 3: each OFF-dropped job credits the first update event after
+    # its arrival (the wrapping event it feeds precedes that update).
+    for color, arrivals in off_drops.items():
+        events = updates_by_color.get(color, [])
+        for arrival in arrivals:
+            following = [r for r in events if r > arrival]
+            if following:
+                give(following[0], color, drop_unit)
+
+    # Rule 1 + Lemma 3.13 check per complete super-epoch.
+    uncovered: list[tuple[int, int]] = []
+    for super_epoch in analysis.super_epochs:
+        if not super_epoch.complete:
+            continue
+        start, end = super_epoch.start, super_epoch.end
+        for color in sorted(super_epoch.active_colors):
+            events = [
+                r
+                for r in updates_by_color.get(color, [])
+                if start <= r <= (end or start)
+            ]
+            if not events:
+                continue
+            first = events[0]
+            # Rule 1: OFF touched ℓ inside the super-epoch.
+            touched = any(
+                start <= r <= (end or start)
+                for r in off_reconfigs.get(color, [])
+            )
+            if touched:
+                give(first, color, 6.0 * delta)
+            # Cached throughout [start, end]? Replay the color's cache
+            # in/out events: cached at `start` and never evicted inside.
+            # The sort keeps cache-out before cache-in at an equal
+            # (round, mini) — False orders before True.
+            timeline = sorted(cache_timeline.get(color, []))
+            cached_at_start = False
+            evicted_inside = False
+            for round_index, _, entering in timeline:
+                if round_index <= start:
+                    cached_at_start = entering
+                elif round_index <= (end or start) and not entering:
+                    evicted_inside = True
+            cached_throughout = cached_at_start and not evicted_inside
+            has_credit = credit.get((first, color), 0.0) >= 6.0 * delta
+            if not cached_throughout and not has_credit:
+                uncovered.append((super_epoch.index, color))
+
+    return credit, uncovered
+
+
 def audit_super_epoch_credits(
     result: RunResult,
     off_schedule,
@@ -153,102 +323,35 @@ def audit_super_epoch_credits(
     from repro.core.events import CacheInEvent, CacheOutEvent, TimestampEvent
 
     delta = result.instance.reconfig_cost
-    capacity = result.num_resources // 2
-    analysis = analyze_epochs(result.trace, threshold=max(1, capacity // 2))
+    analysis = analyze_epochs(
+        result.trace, threshold=super_epoch_threshold(result.num_resources)
+    )
 
-    # OFF-side events: reconfiguration rounds per color, dropped jobs.
-    off_reconfigs: dict[int, list[int]] = {}
-    current_color: dict[int, int] = {}
-    for event in off_schedule.reconfigurations:
-        old = current_color.get(event.resource)
-        if old is not None:
-            off_reconfigs.setdefault(old, []).append(event.round_index)
-        off_reconfigs.setdefault(event.new_color, []).append(event.round_index)
-        current_color[event.resource] = event.new_color
-    executed = off_schedule.executed_jids
-    off_drops: dict[int, list[int]] = {}
-    for job in result.instance.sequence:
-        if job.jid not in executed:
-            off_drops.setdefault(job.color, []).append(job.arrival)
+    off_reconfigs, off_drops = off_side_events(off_schedule, result.instance)
 
-    updates = result.trace.of_type(TimestampEvent)
-    updates_by_color: dict[int, list[TimestampEvent]] = {}
-    for event in updates:
-        updates_by_color.setdefault(event.color, []).append(event)
+    updates_by_color: dict[int, list[int]] = {}
+    for event in result.trace.of_type(TimestampEvent):
+        updates_by_color.setdefault(event.color, []).append(event.round_index)
 
-    credit: dict[tuple[int, int], float] = {}
+    cache_timeline: dict[int, list[tuple[int, int, bool]]] = {}
+    for event in result.trace.of_type(CacheInEvent):
+        cache_timeline.setdefault(event.color, []).append(
+            (event.round_index, event.mini_round, True)
+        )
+    for event in result.trace.of_type(CacheOutEvent):
+        cache_timeline.setdefault(event.color, []).append(
+            (event.round_index, event.mini_round, False)
+        )
 
-    def give(event: "TimestampEvent", amount: float) -> None:
-        key = (event.round_index, event.color)
-        credit[key] = credit.get(key, 0.0) + amount
-
-    # Rule 2: each OFF reconfiguration credits the next two update events.
-    for color, rounds in off_reconfigs.items():
-        events = updates_by_color.get(color, [])
-        for reconfig_round in rounds:
-            following = [e for e in events if e.round_index >= reconfig_round]
-            for event in following[:2]:
-                give(event, 6.0 * delta)
-
-    # Rule 3: each OFF-dropped job credits the first update event after
-    # its arrival (the wrapping event it feeds precedes that update).
-    drop_unit = 6.0 * result.instance.spec.cost.drop_cost
-    for color, arrivals in off_drops.items():
-        events = updates_by_color.get(color, [])
-        for arrival in arrivals:
-            following = [e for e in events if e.round_index > arrival]
-            if following:
-                give(following[0], drop_unit)
-
-    # Rule 1 + Lemma 3.13 check per complete super-epoch.
-    cache_in = result.trace.of_type(CacheInEvent)
-    cache_out = result.trace.of_type(CacheOutEvent)
-    uncovered: list[tuple[int, int]] = []
-    for super_epoch in analysis.super_epochs:
-        if not super_epoch.complete:
-            continue
-        start, end = super_epoch.start, super_epoch.end
-        for color in sorted(super_epoch.active_colors):
-            events = [
-                e
-                for e in updates_by_color.get(color, [])
-                if start <= e.round_index <= (end or start)
-            ]
-            if not events:
-                continue
-            first = events[0]
-            # Rule 1: OFF touched ℓ inside the super-epoch.
-            touched = any(
-                start <= r <= (end or start)
-                for r in off_reconfigs.get(color, [])
-            )
-            if touched:
-                give(first, 6.0 * delta)
-            # Cached throughout [start, end]? Replay the color's cache
-            # in/out events: cached at `start` and never evicted inside.
-            timeline = sorted(
-                [
-                    (e.round_index, e.mini_round, True)
-                    for e in cache_in
-                    if e.color == color
-                ]
-                + [
-                    (e.round_index, e.mini_round, False)
-                    for e in cache_out
-                    if e.color == color
-                ]
-            )
-            cached_at_start = False
-            evicted_inside = False
-            for round_index, _, entering in timeline:
-                if round_index <= start:
-                    cached_at_start = entering
-                elif round_index <= (end or start) and not entering:
-                    evicted_inside = True
-            cached_throughout = cached_at_start and not evicted_inside
-            has_credit = credit.get((first.round_index, first.color), 0.0) >= 6.0 * delta
-            if not cached_throughout and not has_credit:
-                uncovered.append((super_epoch.index, color))
+    credit, uncovered = super_epoch_credit_core(
+        delta=delta,
+        drop_unit=6.0 * result.instance.spec.cost.drop_cost,
+        analysis=analysis,
+        updates_by_color=updates_by_color,
+        cache_timeline=cache_timeline,
+        off_reconfigs=off_reconfigs,
+        off_drops=off_drops,
+    )
 
     off_cost = sum(
         1 for _ in off_schedule.reconfigurations
@@ -268,8 +371,9 @@ def per_epoch_ineligible_drops(result: RunResult) -> dict[tuple[int, int], int]:
 
     Lemma 3.4's inner claim: every value is at most ``Δ``.
     """
-    capacity = result.num_resources // 2
-    analysis = analyze_epochs(result.trace, threshold=max(1, capacity // 2))
+    analysis = analyze_epochs(
+        result.trace, threshold=super_epoch_threshold(result.num_resources)
+    )
     attributed: dict[tuple[int, int], int] = {}
     for event in result.trace.of_type(DropEvent):
         if event.eligible:

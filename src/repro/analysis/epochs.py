@@ -106,53 +106,120 @@ class EpochAnalysis:
         ]
 
 
+def super_epoch_threshold(num_resources: int) -> int:
+    """The super-epoch closing count for ``num_resources`` resources.
+
+    The paper parameterizes ΔLRU-EDF with ``n = 8m`` resources and closes
+    a super-epoch after ``2m = n/4`` distinct timestamp updates; with the
+    repo's ``capacity = n/2`` cache that is ``capacity / 2``, floored and
+    clamped to at least 1 so tiny test instances still form super-epochs.
+    Shared by the offline auditors and the live monitors so both sides
+    always agree on the structure they are checking.
+    """
+    capacity = num_resources // 2
+    return max(1, capacity // 2)
+
+
+class EpochStreamBuilder:
+    """Incremental epoch/super-epoch reconstruction from an event stream.
+
+    The single source of truth for the Section 3.2/3.4 structure: the
+    offline :func:`analyze_epochs` drives it from a finished ``Trace``
+    and the live monitors (:mod:`repro.obs.monitor`) drive it record by
+    record from the trace bus, so the two paths cannot drift — they run
+    the same transitions in the same order.
+
+    Feed it ``on_activity`` (arrival or eligibility of a color),
+    ``on_ineligible`` (closes the color's current epoch), and
+    ``on_timestamp`` (advances the super-epoch machinery; returns the
+    :class:`SuperEpoch` it closed, if any).  :meth:`finish` materializes
+    the full :class:`EpochAnalysis`; it is non-destructive, so a monitor
+    can snapshot mid-stream.
+    """
+
+    def __init__(self, *, threshold: int) -> None:
+        if threshold <= 0:
+            raise ValueError("super-epoch threshold must be positive")
+        self.threshold = threshold
+        self._active: set[int] = set()
+        self._closings: dict[int, list[int]] = {}
+        self._complete_super_epochs: list[SuperEpoch] = []
+        self._se_start = 0
+        self._se_seen: set[int] = set()
+        self._se_index = 0
+
+    def on_activity(self, color: int) -> None:
+        """An arrival or eligibility event: the color has epoch activity."""
+        self._active.add(color)
+
+    def on_ineligible(self, color: int, round_index: int) -> None:
+        """The color became ineligible: close its current epoch."""
+        self._active.add(color)
+        self._closings.setdefault(color, []).append(round_index)
+
+    def on_timestamp(self, color: int, round_index: int) -> SuperEpoch | None:
+        """A timestamp update; returns the super-epoch it closed, if any."""
+        seen = self._se_seen
+        seen.add(color)
+        if len(seen) >= self.threshold:
+            closed = SuperEpoch(
+                self._se_index, self._se_start, round_index, frozenset(seen)
+            )
+            self._complete_super_epochs.append(closed)
+            self._se_index += 1
+            self._se_start = round_index
+            self._se_seen = set()
+            return closed
+        return None
+
+    def epochs_closed(self, color: int) -> int:
+        """Complete epochs of ``color`` so far (live-monitor hook)."""
+        return len(self._closings.get(color, []))
+
+    @property
+    def num_epochs(self) -> int:
+        """``numEpochs(σ)`` so far: every active color's closed epochs
+        plus its trailing incomplete one."""
+        return len(self._active) + sum(
+            len(ends) for ends in self._closings.values()
+        )
+
+    def finish(self) -> EpochAnalysis:
+        """Materialize the analysis seen so far (non-destructive)."""
+        analysis = EpochAnalysis(threshold=self.threshold)
+        for color in sorted(self._active):
+            epochs: list[Epoch] = []
+            start = 0
+            for index, end in enumerate(self._closings.get(color, [])):
+                epochs.append(Epoch(color, index, start, end))
+                start = end
+            epochs.append(Epoch(color, len(epochs), start, None))
+            analysis.epochs_by_color[color] = epochs
+        analysis.super_epochs = list(self._complete_super_epochs)
+        analysis.super_epochs.append(
+            SuperEpoch(self._se_index, self._se_start, None, frozenset(self._se_seen))
+        )
+        return analysis
+
+
 def analyze_epochs(trace: Trace, *, threshold: int) -> EpochAnalysis:
     """Extract epochs and super-epochs from a batched-engine trace.
 
     ``threshold`` is the super-epoch closing count (``2m = n/4`` for the
-    paper's parameterization of ΔLRU-EDF).
+    paper's parameterization of ΔLRU-EDF).  A thin driver over
+    :class:`EpochStreamBuilder` — the live monitors run the same builder
+    off the trace bus, so online and offline verdicts agree by
+    construction.
     """
-    if threshold <= 0:
-        raise ValueError("super-epoch threshold must be positive")
-    analysis = EpochAnalysis(threshold=threshold)
-
-    # Epochs: colors with any arrival activity have at least one epoch;
-    # each IneligibleEvent closes one and opens the next.
-    active_colors: set[int] = set()
-    closings: dict[int, list[int]] = {}
+    builder = EpochStreamBuilder(threshold=threshold)
     for event in trace:
         if isinstance(event, (ArrivalEvent, EligibleEvent)):
-            active_colors.add(event.color)
+            builder.on_activity(event.color)
         elif isinstance(event, IneligibleEvent):
-            active_colors.add(event.color)
-            closings.setdefault(event.color, []).append(event.round_index)
-    for color in sorted(active_colors):
-        epochs: list[Epoch] = []
-        start = 0
-        for index, end in enumerate(closings.get(color, [])):
-            epochs.append(Epoch(color, index, start, end))
-            start = end
-        epochs.append(Epoch(color, len(epochs), start, None))
-        analysis.epochs_by_color[color] = epochs
-
-    # Super-epochs from timestamp update events.
-    updates = trace.of_type(TimestampEvent)
-    start_round = 0
-    seen: set[int] = set()
-    index = 0
-    for event in updates:
-        seen.add(event.color)
-        if len(seen) >= threshold:
-            analysis.super_epochs.append(
-                SuperEpoch(index, start_round, event.round_index, frozenset(seen))
-            )
-            index += 1
-            start_round = event.round_index
-            seen = set()
-    analysis.super_epochs.append(
-        SuperEpoch(index, start_round, None, frozenset(seen))
-    )
-    return analysis
+            builder.on_ineligible(event.color, event.round_index)
+        elif isinstance(event, TimestampEvent):
+            builder.on_timestamp(event.color, event.round_index)
+    return builder.finish()
 
 
 def annotate_epochs(analysis: EpochAnalysis, tracer) -> int:

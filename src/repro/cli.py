@@ -11,6 +11,9 @@ Subcommands::
     repro record run.jsonl          # traced run: JSONL trace + metrics
     repro trace run.jsonl           # render a recorded trace as a timeline
     repro stats run.jsonl           # aggregate statistics of a recorded run
+    repro obs monitor               # run with live invariant monitors attached
+    repro obs diff a.jsonl b.jsonl  # first divergence + cost attribution
+    repro obs export SRC --chrome=… # Perfetto / Prometheus exporters
     repro demo                      # 30-second tour on a random workload
 
 Reports are printed as fixed-width tables plus ASCII series; pass
@@ -197,6 +200,116 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_monitor(args: argparse.Namespace) -> int:
+    import importlib
+    import json
+
+    from repro.obs import (
+        JsonlSink,
+        MemorySink,
+        MetricsRegistry,
+        MonitorError,
+        TeeSink,
+        Tracer,
+        standard_monitors,
+    )
+    from repro.simulation.engine import simulate
+    from repro.workloads.random_batched import random_batched
+
+    module_name, class_name = _SCHEME_CHOICES[args.scheme].split(":")
+    scheme_factory = getattr(importlib.import_module(module_name), class_name)
+    instance = random_batched(
+        args.colors,
+        args.delta,
+        args.horizon,
+        seed=args.seed,
+        load=args.load,
+        name=f"monitor-seed{args.seed}",
+    )
+    registry = MetricsRegistry()
+    monitors = standard_monitors(instance, policy=args.policy, registry=registry)
+    sinks = [JsonlSink(args.out)] if args.out else [MemorySink()]
+    tracer = Tracer(TeeSink(*sinks, *monitors))
+    try:
+        result = simulate(
+            instance,
+            scheme_factory(),
+            args.resources,
+            speed=args.speed,
+            record="costs",
+            sparse=args.engine == "sparse",
+            tracer=tracer,
+            registry=registry,
+        )
+        tracer.close()
+    except MonitorError as error:
+        print(f"VIOLATION (policy=raise): {error}")
+        return 1
+    print(
+        f"{instance.name}: total cost {result.total_cost} "
+        f"(reconfig {result.cost.reconfig_cost}, drops {result.cost.drop_cost})"
+    )
+    failures = 0
+    for monitor in monitors:
+        if monitor.ok:
+            extra = ""
+            if monitor.name == "ratio" and monitor.ratio is not None:
+                extra = (
+                    f"  (cost x{monitor.ratio:.2f} of lower bound "
+                    f"{monitor.lower_bound})"
+                )
+            print(f"  {monitor.name}: ok ({monitor.records_seen} records){extra}")
+        else:
+            failures += len(monitor.violations)
+            for violation in monitor.violations:
+                print(f"  {violation}")
+    if args.out:
+        print(f"trace written to {args.out}")
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(registry.snapshot(), indent=2) + "\n"
+        )
+        print(f"metrics snapshot written to {args.metrics_out}")
+    if failures:
+        print(f"{failures} violation(s)")
+        return 1
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_traces, read_jsonl_trace, render_trace_diff
+
+    diff = diff_traces(
+        read_jsonl_trace(args.trace_a),
+        read_jsonl_trace(args.trace_b),
+        num_ranges=args.ranges,
+    )
+    print(render_trace_diff(diff))
+    return 0 if diff.identical else 1
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    import json
+
+    if (args.chrome is None) == (args.prom is None):
+        print("pass exactly one of --chrome or --prom")
+        return 2
+    if args.chrome:
+        from repro.obs import read_jsonl_trace, write_chrome_trace
+
+        count = write_chrome_trace(read_jsonl_trace(args.source), args.chrome)
+        print(f"{count} trace events written to {args.chrome}")
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+        return 0
+    from repro.obs import prometheus_text
+
+    snapshot = json.loads(Path(args.source).read_text())
+    text = prometheus_text(snapshot)
+    Path(args.prom).write_text(text)
+    print(f"{len(text.splitlines())} exposition lines written to {args.prom}")
+    return 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     from repro.workloads.stats import describe_workload
     from repro.workloads.traces import instance_from_csv, load_instance
@@ -348,6 +461,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("trace", help="path to a JSONL trace from `record`")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_obs = sub.add_parser(
+        "obs", help="live monitors, trace diffing, and exporters"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_mon = obs_sub.add_parser(
+        "monitor",
+        help="run a seeded workload with all invariant monitors attached",
+    )
+    p_mon.add_argument(
+        "--scheme", choices=sorted(_SCHEME_CHOICES), default="dlru-edf"
+    )
+    p_mon.add_argument("--colors", type=int, default=8)
+    p_mon.add_argument("--delta", type=int, default=4)
+    p_mon.add_argument("--horizon", type=int, default=256)
+    p_mon.add_argument("--seed", type=int, default=7)
+    p_mon.add_argument(
+        "--load", type=float, default=0.35, help="offered load (default 0.35)"
+    )
+    p_mon.add_argument("--resources", type=int, default=8)
+    p_mon.add_argument("--speed", type=int, default=1)
+    p_mon.add_argument(
+        "--engine", choices=("sparse", "dense"), default="sparse"
+    )
+    p_mon.add_argument(
+        "--policy",
+        choices=("collect", "raise"),
+        default="collect",
+        help="collect violations (default) or raise at the offending record",
+    )
+    p_mon.add_argument("--out", help="also tee the trace to this JSONL path")
+    p_mon.add_argument(
+        "--metrics-out", help="write the metrics snapshot JSON to this path"
+    )
+    p_mon.set_defaults(func=_cmd_obs_monitor)
+
+    p_diff = obs_sub.add_parser(
+        "diff",
+        help="first diverging record + cost attribution of two JSONL traces",
+    )
+    p_diff.add_argument("trace_a", help="baseline JSONL trace")
+    p_diff.add_argument("trace_b", help="candidate JSONL trace")
+    p_diff.add_argument(
+        "--ranges",
+        type=int,
+        default=8,
+        help="round-range buckets for the attribution (default 8)",
+    )
+    p_diff.set_defaults(func=_cmd_obs_diff)
+
+    p_oexp = obs_sub.add_parser(
+        "export",
+        help="convert a JSONL trace to Perfetto JSON or a metrics snapshot "
+        "to Prometheus text",
+    )
+    p_oexp.add_argument(
+        "source",
+        help="JSONL trace (--chrome) or metrics snapshot JSON (--prom)",
+    )
+    p_oexp.add_argument("--chrome", help="write Chrome trace-event JSON here")
+    p_oexp.add_argument("--prom", help="write Prometheus text exposition here")
+    p_oexp.set_defaults(func=_cmd_obs_export)
 
     p_demo = sub.add_parser("demo", help="30-second tour")
     p_demo.set_defaults(func=_cmd_demo)

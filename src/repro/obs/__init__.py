@@ -11,14 +11,29 @@ of them never changes a computed cost — property-tested):
   (``BENCH_engine.json`` schema v3).
 * :mod:`repro.obs.profiling` — per-phase wall-clock attribution for the
   engine cores and the ``--profile`` flame table.
+* :mod:`repro.obs.monitor` — live invariant monitors: sinks that
+  reconstruct the paper's epoch/credit structure from the record stream
+  and check the Lemma 3.3–3.17 budgets online, emitting typed
+  :class:`~repro.obs.monitor.Violation` findings.
+* :mod:`repro.obs.analyze` — trace diffing with cost-delta attribution
+  by phase/color/round-range.
+* :mod:`repro.obs.export` — Prometheus text exposition and Chrome
+  trace-event / Perfetto JSON.
 
 Entry points: pass ``tracer=`` / ``registry=`` / ``profiler=`` to
 :func:`repro.simulate` / :func:`repro.simulate_general` /
 :func:`repro.analysis.adversary_search.search_adversary` /
 :func:`repro.offline.optimal.optimal_offline`, or use the CLI
-(``repro record`` / ``repro trace`` / ``repro stats``).
+(``repro record`` / ``repro trace`` / ``repro stats`` /
+``repro obs monitor|diff|export``).
 """
 
+from repro.obs.analyze import TraceDiff, diff_traces, render_trace_diff
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_text,
+    write_chrome_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -27,12 +42,25 @@ from repro.obs.metrics import (
     POW2_BUCKETS,
     render_metrics,
 )
+from repro.obs.monitor import (
+    CreditMonitor,
+    DropContainmentMonitor,
+    EpochMonitor,
+    MonitorError,
+    RatioMonitor,
+    SuperEpochCreditMonitor,
+    TraceMonitor,
+    Violation,
+    standard_monitors,
+)
 from repro.obs.profiling import PhaseProfiler, flame_table
 from repro.obs.tracing import (
     JsonlSink,
     MemorySink,
     NullSink,
     Sink,
+    TeeSink,
+    TraceIntegrityError,
     TraceRecord,
     Tracer,
     read_jsonl_trace,
@@ -40,18 +68,35 @@ from repro.obs.tracing import (
 
 __all__ = [
     "Counter",
+    "CreditMonitor",
+    "DropContainmentMonitor",
+    "EpochMonitor",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MemorySink",
     "MetricsRegistry",
+    "MonitorError",
     "NullSink",
     "POW2_BUCKETS",
     "PhaseProfiler",
+    "RatioMonitor",
     "Sink",
+    "SuperEpochCreditMonitor",
+    "TeeSink",
+    "TraceDiff",
+    "TraceIntegrityError",
+    "TraceMonitor",
     "TraceRecord",
     "Tracer",
+    "Violation",
+    "chrome_trace_events",
+    "diff_traces",
     "flame_table",
+    "prometheus_text",
     "read_jsonl_trace",
     "render_metrics",
+    "render_trace_diff",
+    "standard_monitors",
+    "write_chrome_trace",
 ]

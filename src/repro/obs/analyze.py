@@ -1,0 +1,232 @@
+"""Trace analytics: structural diffing and cost-delta attribution.
+
+When two runs that should agree do not — sparse vs dense parity, a
+refactor against its baseline, two CI commits — the interesting questions
+are *where the streams first part ways* and *which events carry the cost
+difference*.  :func:`diff_traces` answers both from plain record lists:
+it scans for the first structurally diverging record (kind, name, round,
+payload — sequence numbers are compared implicitly by position) and
+attributes the ``Δ·#reconfigs + drop_cost·#drops`` objective to
+phase (reconfig vs drop), color, and round-range buckets on each side.
+
+Used by ``repro obs diff`` and the CI ``obs`` smoke job (two seeded
+runs: identical seeds must produce an empty diff, a perturbed instance a
+non-empty attribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.obs.tracing import TraceRecord
+
+
+#: Payload keys that legitimately differ between reruns of the same
+#: deterministic computation (wall-clock measurements); never diffed.
+VOLATILE_KEYS = frozenset({"wall_seconds"})
+
+
+def _record_key(record: TraceRecord) -> tuple:
+    """Everything that makes two records "the same" except the seq stamp."""
+    return (
+        record.kind,
+        record.name,
+        record.round_index,
+        record.worker,
+        tuple(
+            sorted(
+                (k, v)
+                for k, v in record.data.items()
+                if k not in VOLATILE_KEYS
+            )
+        ),
+    )
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of :func:`diff_traces`.
+
+    ``first_divergence`` is the record index where the streams part ways
+    (``None`` when identical); when one stream is a strict prefix of the
+    other, it is the shorter length and the missing side's record is
+    ``None``.  The ``by_*`` attributions map to ``(cost_a, cost_b)``
+    pairs so a renderer can show both sides and their delta.
+    """
+
+    identical: bool
+    length_a: int
+    length_b: int
+    first_divergence: int | None = None
+    record_a: TraceRecord | None = None
+    record_b: TraceRecord | None = None
+    cost_a: int = 0
+    cost_b: int = 0
+    by_phase: dict[str, tuple[int, int]] = field(default_factory=dict)
+    by_color: dict[int, tuple[int, int]] = field(default_factory=dict)
+    by_round_range: dict[tuple[int, int], tuple[int, int]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def cost_delta(self) -> int:
+        return self.cost_b - self.cost_a
+
+
+def _costed(record: TraceRecord, delta: int, drop_cost: int) -> int:
+    """The objective contribution of one record (0 for uncosted events)."""
+    if record.kind != "event":
+        return 0
+    if record.name == "reconfig":
+        return delta * int(record.data.get("resources", 1))
+    if record.name == "drop":
+        return drop_cost * int(record.data.get("count", 1))
+    return 0
+
+
+def _accumulate(
+    records: Sequence[TraceRecord],
+    side: int,
+    delta: int,
+    drop_cost: int,
+    horizon: int,
+    num_ranges: int,
+    by_phase: dict[str, list[int]],
+    by_color: dict[int, list[int]],
+    by_range: dict[tuple[int, int], list[int]],
+) -> int:
+    range_width = max(1, -(-horizon // num_ranges))  # ceil division
+    total = 0
+    for record in records:
+        cost = _costed(record, delta, drop_cost)
+        if not cost:
+            continue
+        total += cost
+        by_phase.setdefault(record.name, [0, 0])[side] += cost
+        color = record.data.get("color")
+        if color is not None:
+            by_color.setdefault(color, [0, 0])[side] += cost
+        k = record.round_index or 0
+        lo = (k // range_width) * range_width
+        by_range.setdefault((lo, lo + range_width - 1), [0, 0])[side] += cost
+    return total
+
+
+def diff_traces(
+    a: Sequence[TraceRecord],
+    b: Sequence[TraceRecord],
+    *,
+    num_ranges: int = 8,
+    drop_cost: int | None = None,
+) -> TraceDiff:
+    """Structurally diff two record streams and attribute the cost delta.
+
+    ``Δ`` and the horizon are read from each stream's ``run`` span-start
+    payload (defaulting to 1 when absent, e.g. for hand-built streams);
+    ``drop_cost`` defaults to the paper's unit cost.  Records compare by
+    kind/name/round/worker/payload — sequence numbers are positional, so
+    replayed or re-stamped streams diff cleanly.
+    """
+    a = list(a)
+    b = list(b)
+
+    def run_payload(records: Sequence[TraceRecord]) -> dict:
+        for record in records:
+            if record.kind == "span_start" and record.name == "run":
+                return record.data
+        return {}
+
+    payload_a, payload_b = run_payload(a), run_payload(b)
+    delta_a = int(payload_a.get("delta", 1))
+    delta_b = int(payload_b.get("delta", 1))
+    horizon = max(
+        int(payload_a.get("horizon", 0)),
+        int(payload_b.get("horizon", 0)),
+        1,
+    )
+    drop_a = drop_b = drop_cost if drop_cost is not None else 1
+
+    first = None
+    for index, (ra, rb) in enumerate(zip(a, b)):
+        if _record_key(ra) != _record_key(rb):
+            first = index
+            break
+    if first is None and len(a) != len(b):
+        first = min(len(a), len(b))
+
+    by_phase: dict[str, list[int]] = {}
+    by_color: dict[int, list[int]] = {}
+    by_range: dict[tuple[int, int], list[int]] = {}
+    cost_a = _accumulate(
+        a, 0, delta_a, drop_a, horizon, num_ranges, by_phase, by_color, by_range
+    )
+    cost_b = _accumulate(
+        b, 1, delta_b, drop_b, horizon, num_ranges, by_phase, by_color, by_range
+    )
+
+    return TraceDiff(
+        identical=first is None,
+        length_a=len(a),
+        length_b=len(b),
+        first_divergence=first,
+        record_a=a[first] if first is not None and first < len(a) else None,
+        record_b=b[first] if first is not None and first < len(b) else None,
+        cost_a=cost_a,
+        cost_b=cost_b,
+        by_phase={k: tuple(v) for k, v in sorted(by_phase.items())},
+        by_color={k: tuple(v) for k, v in sorted(by_color.items())},
+        by_round_range={k: tuple(v) for k, v in sorted(by_range.items())},
+    )
+
+
+def render_trace_diff(diff: TraceDiff) -> str:
+    """Human-readable report of a :class:`TraceDiff` (``repro obs diff``)."""
+    lines: list[str] = []
+    if diff.identical:
+        lines.append(
+            f"traces identical ({diff.length_a} records, "
+            f"cost {diff.cost_a} on both sides)"
+        )
+        return "\n".join(lines)
+    lines.append(
+        f"traces diverge at record #{diff.first_divergence} "
+        f"({diff.length_a} vs {diff.length_b} records)"
+    )
+    for label, record in (("a", diff.record_a), ("b", diff.record_b)):
+        if record is None:
+            lines.append(f"  {label}: <stream ended>")
+        else:
+            where = (
+                f" round={record.round_index}"
+                if record.round_index is not None
+                else ""
+            )
+            lines.append(
+                f"  {label}: {record.kind}:{record.name}{where} {record.data}"
+            )
+    lines.append(
+        f"cost: {diff.cost_a} vs {diff.cost_b} ({diff.cost_delta:+d})"
+    )
+    interesting = [
+        (f"phase {name}", pair)
+        for name, pair in diff.by_phase.items()
+        if pair[0] != pair[1]
+    ]
+    interesting += [
+        (f"color {color}", pair)
+        for color, pair in diff.by_color.items()
+        if pair[0] != pair[1]
+    ]
+    interesting += [
+        (f"rounds {lo}-{hi}", pair)
+        for (lo, hi), pair in diff.by_round_range.items()
+        if pair[0] != pair[1]
+    ]
+    if interesting:
+        lines.append("cost delta attribution:")
+        for label, (ca, cb) in interesting:
+            lines.append(f"  {label}: {ca} vs {cb} ({cb - ca:+d})")
+    elif diff.cost_a == diff.cost_b:
+        lines.append("cost identical; divergence is structural only")
+    return "\n".join(lines)

@@ -131,16 +131,74 @@ class NullSink(Sink):
         pass
 
 
+class TeeSink(Sink):
+    """Fan one record stream out to several sinks, in order.
+
+    The composition point for the live monitors
+    (:mod:`repro.obs.monitor`): ``Tracer(TeeSink(JsonlSink(path),
+    monitor))`` writes a durable trace *and* streams every record through
+    the monitor, with zero engine changes — the engine still sees one
+    ``tracer=``.  A tee of only null sinks is itself null, so a tracer
+    over it stays disabled.
+
+    ``close()`` closes the children in order and raises the *first*
+    child error after every child has been given its chance to close
+    (monitors raise their integrity findings from ``close``).
+    """
+
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks: tuple[Sink, ...] = tuple(sinks)
+        self.is_null = all(sink.is_null for sink in self.sinks)
+
+    def emit(self, record: TraceRecord) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        first_error: Exception | None = None
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+
+
 class MemorySink(Sink):
-    """Bounded in-memory ring buffer of the most recent records."""
+    """Bounded in-memory ring buffer of the most recent records.
+
+    When the ring is full the *oldest* record is discarded per new
+    emission; :attr:`dropped` counts those discards so a truncated
+    capture is never mistaken for a complete one (``repr`` shows the
+    count, and callers of :attr:`records` can check it).
+
+    The sink also tracks the span balance of the stream it actually
+    received (``span_start`` minus ``span_end``, over all emissions —
+    not just those still in the ring).  :meth:`close` raises
+    :class:`TraceIntegrityError` when the producer left spans open or
+    closed more than it opened, which catches crashed runs and
+    mis-nested instrumentation at the point the trace is sealed.
+    """
 
     def __init__(self, capacity: int | None = 65536) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("ring buffer capacity must be positive")
         self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self.capacity = capacity
+        self.dropped = 0
+        self.span_depth = 0
 
     def emit(self, record: TraceRecord) -> None:
-        self._records.append(record)
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped += 1
+        records.append(record)
+        if record.kind == "span_start":
+            self.span_depth += 1
+        elif record.kind == "span_end":
+            self.span_depth -= 1
 
     @property
     def records(self) -> list[TraceRecord]:
@@ -151,6 +209,25 @@ class MemorySink(Sink):
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
+
+    def __repr__(self) -> str:
+        dropped = f" dropped={self.dropped}" if self.dropped else ""
+        return (
+            f"<MemorySink {len(self._records)} records"
+            f" capacity={self.capacity}{dropped}>"
+        )
+
+    def close(self) -> None:
+        if self.span_depth != 0:
+            side = "unclosed" if self.span_depth > 0 else "over-closed"
+            raise TraceIntegrityError(
+                f"trace stream sealed with {abs(self.span_depth)} "
+                f"{side} span(s)"
+            )
+
+
+class TraceIntegrityError(RuntimeError):
+    """A sealed trace stream failed a structural integrity check."""
 
 
 class JsonlSink(Sink):

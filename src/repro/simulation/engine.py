@@ -79,6 +79,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from bisect import insort
+from collections import Counter
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -112,6 +113,18 @@ class EngineInstruments:
     and general).  The registry is duck-typed (anything exposing
     ``counter``/``gauge``/``histogram`` works) so the simulation layer
     needs no import of :mod:`repro.obs`.
+
+    Hot-path observations are *batched*: the round loop appends raw
+    ``(color, age, count)`` / queue-depth samples to plain lists (a few
+    nanoseconds each) and :meth:`flush` — called once, when the run
+    loop ends — aggregates duplicates and folds them into the
+    histograms with a single ``observe(value, n)`` per distinct value.
+    Ages are bounded by the delay bounds and queue depths repeat
+    heavily, so the aggregation collapses thousands of samples into a
+    handful of observes.  Histograms are order-independent, so the
+    flushed snapshot is identical to the eagerly-observed one; the only
+    visible difference is that a snapshot taken *mid-run* misses the
+    unflushed tail (engines flush before returning their RunResult).
     """
 
     __slots__ = (
@@ -129,6 +142,11 @@ class EngineInstruments:
         "reconfig_interarrival",
         "_age_by_color",
         "_last_reconfig_round",
+        "_queue_samples",
+        "_age_samples",
+        "_exec_ages",
+        "_order_hits",
+        "_order_misses",
     )
 
     def __init__(self, registry) -> None:
@@ -146,6 +164,20 @@ class EngineInstruments:
         self.reconfig_interarrival = registry.histogram("engine.reconfig_interarrival")
         self._age_by_color: dict[int, object] = {}
         self._last_reconfig_round: int | None = None
+        #: Unflushed per-round queue-depth samples.
+        self._queue_samples: list[int] = []
+        #: Unflushed ``(color, age, count)`` drop-age samples (drops are
+        #: rare enough that tuple records are fine).
+        self._age_samples: list[tuple[int, int, int]] = []
+        #: Unflushed execution ages, one flat int list per color: the
+        #: per-job hot path pays one list append, no tuple allocation.
+        #: ``executions`` is derived from these lengths at flush time.
+        self._exec_ages: dict[int, list[int]] = {}
+        #: Unflushed order-cache tallies: the rank/LRU cache probe sits
+        #: on the reconfigure path, so it pays a plain ``+= 1`` here
+        #: instead of a ``Counter.inc`` call per probe.
+        self._order_hits = 0
+        self._order_misses = 0
 
     def _color_age(self, color: int):
         histogram = self._age_by_color.get(color)
@@ -155,14 +187,17 @@ class EngineInstruments:
         return histogram
 
     def record_drop(self, color: int, count: int, age: int) -> None:
-        self.drops.inc(count)
-        self.backlog_age.observe(age, count)
-        self._color_age(color).observe(age, count)
+        self.drops.value += count
+        self._age_samples.append((color, age, count))
 
     def record_execution(self, color: int, age: int) -> None:
-        self.executions.inc()
-        self.backlog_age.observe(age)
-        self._color_age(color).observe(age)
+        ages = self._exec_ages.get(color)
+        if ages is None:
+            ages = self._exec_ages[color] = []
+        ages.append(age)
+
+    def sample_queue_depth(self, depth: int) -> None:
+        self._queue_samples.append(depth)
 
     def record_reconfig(self, round_index: int, resources: int) -> None:
         self.reconfigs.inc(resources)
@@ -171,6 +206,49 @@ class EngineInstruments:
                 round_index - self._last_reconfig_round
             )
         self._last_reconfig_round = round_index
+
+    def flush(self) -> None:
+        """Fold buffered samples into the counters/histograms (idempotent)."""
+        if self._order_hits:
+            self.order_cache_hits.value += self._order_hits
+            self._order_hits = 0
+        if self._order_misses:
+            self.order_cache_misses.value += self._order_misses
+            self._order_misses = 0
+        samples = self._queue_samples
+        if samples:
+            observe = self.queue_depth.observe
+            for depth, n in Counter(samples).items():
+                observe(depth, n)
+            samples.clear()
+        drops = self._age_samples
+        exec_ages = self._exec_ages
+        if drops or exec_ages:
+            # Aggregate per color: the execution buffers are already
+            # grouped that way, so Counter() does the heavy lifting in C.
+            by_color: dict[int, dict[int, int]] = {}
+            for color, age, count in drops:
+                ages = by_color.setdefault(color, {})
+                ages[age] = ages.get(age, 0) + count
+            executed = 0
+            for color, age_list in exec_ages.items():
+                executed += len(age_list)
+                counted = Counter(age_list)
+                ages = by_color.get(color)
+                if ages is None:
+                    by_color[color] = counted
+                else:
+                    for age, n in counted.items():
+                        ages[age] = ages.get(age, 0) + n
+            self.executions.value += executed
+            backlog_observe = self.backlog_age.observe
+            for color, ages in by_color.items():
+                color_observe = self._color_age(color).observe
+                for age, n in ages.items():
+                    backlog_observe(age, n)
+                    color_observe(age, n)
+            drops.clear()
+            exec_ages.clear()
 
 
 def _active_tracer(tracer):
@@ -466,6 +544,7 @@ class BatchedEngine:
                 record=self.record,
                 engine="sparse" if self.sparse else "dense",
                 horizon=self.instance.horizon,
+                delta=self.delta,
             )
         self.scheme.setup(self)
         start = time.perf_counter()
@@ -480,6 +559,7 @@ class BatchedEngine:
             )
         if self.obs is not None:
             self.obs.rounds_executed.inc(self.rounds_executed)
+            self.obs.flush()
         if tracer is not None:
             tracer.end(
                 "run",
@@ -535,7 +615,7 @@ class BatchedEngine:
             self._run_phase("reconfigure", k, self.scheme.reconfigure, self, mini=mini)
             self._run_phase("execute", k, self._execution_phase, k, mini, mini=mini)
         if self.obs is not None:
-            self.obs.queue_depth.observe(self._total_pending)
+            self.obs.sample_queue_depth(self._total_pending)
         if self.metrics is not None:
             self.metrics.end_round(k, self)
         if tracer is not None:
@@ -551,7 +631,7 @@ class BatchedEngine:
 
     def _run_dense(self) -> None:
         """The PR-1 round loop: every phase scans every color, no skips."""
-        if self._instrumented:
+        if self.tracer is not None or self.profiler is not None:
             for k in range(self.instance.horizon):
                 self.round_index = k
                 self._round_instrumented(
@@ -559,6 +639,11 @@ class BatchedEngine:
                 )
             self.rounds_executed = self.instance.horizon
             return
+        # Metrics-only runs (registry attached, no tracer/profiler) share
+        # the plain loop: the only additions are buffered sample appends,
+        # so the round path skips the span/phase indirection entirely.
+        obs = self.obs
+        queue_append = obs._queue_samples.append if obs is not None else None
         for k in range(self.instance.horizon):
             self.round_index = k
             self._drop_phase(k)
@@ -567,6 +652,8 @@ class BatchedEngine:
                 self.mini_round = mini
                 self.scheme.reconfigure(self)
                 self._execution_phase(k, mini)
+            if queue_append is not None:
+                queue_append(self._total_pending)
             if self.metrics is not None:
                 self.metrics.end_round(k, self)
         self.rounds_executed = self.instance.horizon
@@ -584,8 +671,12 @@ class BatchedEngine:
         # empty rounds.
         can_skip = self.record == "costs" and self.metrics is None
         token_fn = self.scheme.fixed_point_token
-        instrumented = self._instrumented
         tr, obs = self.tracer, self.obs
+        queue_append = obs._queue_samples.append if obs is not None else None
+        # Metrics-only runs take the plain branch below; the span/phase
+        # indirection is only worth paying when a tracer or profiler
+        # actually consumes the markers.
+        instrumented = tr is not None or self.profiler is not None
         num_boundaries = len(boundary_rounds)
         bi = 0  # index of the first boundary round >= current k
         k = 0
@@ -617,6 +708,8 @@ class BatchedEngine:
                     self.mini_round = mini
                     self.scheme.reconfigure(self)
                     self._execution_phase(k, mini)
+                if queue_append is not None:
+                    queue_append(self._total_pending)
                 if self.metrics is not None:
                     self.metrics.end_round(k, self)
             self.rounds_executed += 1
@@ -789,11 +882,17 @@ class BatchedEngine:
                     tracer.event("eligible", k, color=color)
         st.pending.extend(batch)
         self._total_pending += len(batch)
-        if trace is not None:
+        if trace is not None or tracer is not None:
+            # Timestamp updates drive the super-epoch machinery (§3.4);
+            # mirror them onto the bus so live monitors can close
+            # super-epochs without a full-mode Trace.
             ts = st.timestamp(k)
             if ts != st.last_timestamp:
                 st.last_timestamp = ts
-                trace.append(TimestampEvent(k, color, ts))
+                if trace is not None:
+                    trace.append(TimestampEvent(k, color, ts))
+                if tracer is not None:
+                    tracer.event("timestamp", k, color=color, timestamp=ts)
 
     def _execution_phase(self, k: int, mini: int) -> None:
         schedule, trace = self.schedule, self.trace
@@ -821,22 +920,31 @@ class BatchedEngine:
                             self._rank_cache = None
                         self.cost.record_execution(slot.occupant, taken)
                 return
+            exec_ages = obs._exec_ages if obs is not None else None
             for slot in self.cache.occupied_slots():
                 st = self.states[slot.occupant]
                 taken = min(self.copies, len(st.pending))
                 if taken:
-                    for _ in range(taken):
-                        job = st.pending.popleft()
-                        if obs is not None:
-                            obs.record_execution(job.color, k - job.arrival)
+                    color = slot.occupant
+                    if exec_ages is None:
+                        for _ in range(taken):
+                            st.pending.popleft()
+                    else:
+                        ages = exec_ages.get(color)
+                        if ages is None:
+                            ages = exec_ages[color] = []
+                        age_append = ages.append
+                        for _ in range(taken):
+                            job = st.pending.popleft()
+                            age_append(k - job.arrival)
                     self._total_pending -= taken
                     if not st.pending:
                         self.order_epoch += 1
                         self._rank_cache = None
-                    self.cost.record_execution(slot.occupant, taken)
+                    self.cost.record_execution(color, taken)
                     if tracer is not None:
                         tracer.event(
-                            "execute", k, color=slot.occupant, count=taken, mini=mini
+                            "execute", k, color=color, count=taken, mini=mini
                         )
             return
         for slot in self.cache.occupied_slots():
@@ -932,12 +1040,12 @@ class BatchedEngine:
         if colors is None and self.sparse:
             if self._rank_cache is None:
                 if self.obs is not None:
-                    self.obs.order_cache_misses.inc()
+                    self.obs._order_misses += 1
                 self._rank_cache = sorted(
                     self._eligible_sorted, key=self._rank_key
                 )
             elif self.obs is not None:
-                self.obs.order_cache_hits.inc()
+                self.obs._order_hits += 1
             return list(self._rank_cache)
         pool = self.eligible_colors() if colors is None else list(colors)
         return sorted(pool, key=self._rank_key)
@@ -956,14 +1064,14 @@ class BatchedEngine:
         if colors is None and self.sparse:
             if self._lru_cache is None:
                 if self.obs is not None:
-                    self.obs.order_cache_misses.inc()
+                    self.obs._order_misses += 1
                 now = self.round_index
                 self._lru_cache = sorted(
                     self._eligible_sorted,
                     key=lambda c: (-self.states[c].timestamp(now), c),
                 )
             elif self.obs is not None:
-                self.obs.order_cache_hits.inc()
+                self.obs._order_hits += 1
             return list(self._lru_cache)
         pool = self.eligible_colors() if colors is None else list(colors)
         now = self.round_index

@@ -198,6 +198,7 @@ class GeneralEngine:
                 record=self.record,
                 engine="general",
                 horizon=self.instance.horizon,
+                delta=self.delta,
             )
         self.policy.setup(self)
         start = time.perf_counter()
@@ -206,9 +207,9 @@ class GeneralEngine:
             self.sparse and self.record == "costs" and self.metrics is None
         )
         token_fn = self.policy.fixed_point_token
-        instrumented = (
-            tracer is not None or self.profiler is not None or self.obs is not None
-        )
+        # Metrics-only runs (registry attached, no tracer/profiler) take
+        # the plain branch: buffered sample appends are the only cost.
+        instrumented = tracer is not None or self.profiler is not None
         obs = self.obs
         arrival_rounds = self.instance.sequence.arrival_rounds()
         num_arrival_rounds = len(arrival_rounds)
@@ -233,6 +234,8 @@ class GeneralEngine:
                     self.mini_round = mini
                     self.policy.reconfigure(self)
                     self._execution_phase(k, mini)
+                if obs is not None:
+                    obs._queue_samples.append(self._total_pending)
                 if self.metrics is not None:
                     self.metrics.end_round(k, self)  # type: ignore[arg-type]
             self.rounds_executed += 1
@@ -282,6 +285,7 @@ class GeneralEngine:
             )
         if obs is not None:
             obs.rounds_executed.inc(self.rounds_executed)
+            obs.flush()
         if tracer is not None:
             tracer.end(
                 "run",
@@ -345,7 +349,7 @@ class GeneralEngine:
             self._run_phase("reconfigure", k, self.policy.reconfigure, self, mini=mini)
             self._run_phase("execute", k, self._execution_phase, k, mini, mini=mini)
         if self.obs is not None:
-            self.obs.queue_depth.observe(self._total_pending)
+            self.obs.sample_queue_depth(self._total_pending)
         if self.metrics is not None:
             self.metrics.end_round(k, self)  # type: ignore[arg-type]
         if tracer is not None:

@@ -35,6 +35,8 @@ from repro.obs import (
     MetricsRegistry,
     NullSink,
     PhaseProfiler,
+    TeeSink,
+    TraceIntegrityError,
     TraceRecord,
     Tracer,
     flame_table,
@@ -129,6 +131,151 @@ class TestTraceBus:
         source = MemorySink()
         Tracer(source).event("x")
         assert Tracer(NullSink()).replay(source.records) == 0
+
+    def test_memory_sink_counts_ring_discards(self):
+        sink = MemorySink(capacity=3)
+        tracer = Tracer(sink)
+        for index in range(3):
+            tracer.event("tick", index)
+        assert sink.dropped == 0
+        for index in range(3, 8):
+            tracer.event("tick", index)
+        assert sink.dropped == 5
+        assert len(sink) == 3
+        assert "dropped=5" in repr(sink)
+        assert MemorySink(capacity=None).dropped == 0
+
+    def test_memory_sink_close_checks_span_balance(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.begin("run")
+        tracer.begin("round", 0)
+        tracer.end("round", 0)
+        with pytest.raises(TraceIntegrityError, match="1 unclosed"):
+            sink.close()
+        tracer.end("run")
+        sink.close()  # balanced now
+
+        over = MemorySink()
+        Tracer(over).end("run")
+        with pytest.raises(TraceIntegrityError, match="over-closed"):
+            over.close()
+
+    def test_memory_sink_span_balance_survives_ring_eviction(self):
+        # The balance tracks the *stream*, not the ring contents: a tiny
+        # ring that evicted the span_start must still seal cleanly.
+        sink = MemorySink(capacity=2)
+        tracer = Tracer(sink)
+        tracer.begin("run")
+        for index in range(5):
+            tracer.event("tick", index)
+        tracer.end("run")
+        assert sink.dropped == 5
+        sink.close()
+
+
+class TestTeeSink:
+    def test_fans_out_in_order(self):
+        a, b = MemorySink(), MemorySink()
+        tracer = Tracer(TeeSink(a, b))
+        tracer.begin("run")
+        tracer.event("drop", 1, color=0)
+        tracer.end("run")
+        assert [r.to_dict() for r in a.records] == [
+            r.to_dict() for r in b.records
+        ]
+        assert len(a) == 3
+
+    def test_tee_of_null_sinks_is_null(self):
+        assert TeeSink(NullSink(), NullSink()).is_null
+        assert Tracer(TeeSink(NullSink())).enabled is False
+        assert not TeeSink(NullSink(), MemorySink()).is_null
+        assert TeeSink().is_null  # empty tee has nowhere to deliver
+
+    def test_close_closes_all_children_then_raises_first_error(self):
+        unbalanced_a = MemorySink()
+        unbalanced_b = MemorySink()
+        healthy = CloseSpySink()
+        tee = TeeSink(unbalanced_a, healthy, unbalanced_b)
+        Tracer(tee).begin("run")  # leaves one span open in both rings
+        with pytest.raises(TraceIntegrityError):
+            tee.close()
+        assert healthy.closed  # the failure upstream did not skip it
+
+
+class CloseSpySink(NullSink):
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+# ------------------------------------------------- record round-tripping
+
+#: Keys claimed by the flat JSONL framing; payloads must not shadow them.
+_RESERVED_KEYS = frozenset({"seq", "kind", "name", "round", "worker"})
+
+_payload_keys = st.text(
+    alphabet=st.characters(min_codepoint=1, blacklist_categories=("Cs",)),
+    min_size=1,
+    max_size=8,
+).filter(lambda key: key not in _RESERVED_KEYS)
+
+_payload_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    st.text(max_size=12),
+)
+
+_records = st.builds(
+    TraceRecord,
+    seq=st.integers(0, 2**32),
+    kind=st.sampled_from(["span_start", "span_end", "event", "annotation"]),
+    name=st.sampled_from(["run", "round", "phase", "drop", "wrap", "τιμή"]),
+    round_index=st.one_of(st.none(), st.integers(0, 10**6)),
+    data=st.dictionaries(_payload_keys, _payload_values, max_size=4),
+    worker=st.one_of(st.none(), st.text(min_size=1, max_size=6)),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(record=_records)
+def test_record_dict_round_trip_all_kinds(record):
+    clone = TraceRecord.from_dict(record.to_dict())
+    assert clone.seq == record.seq
+    assert clone.kind == record.kind
+    assert clone.name == record.name
+    assert clone.round_index == record.round_index
+    assert clone.worker == record.worker
+    assert clone.data == record.data
+
+
+# tmp_path is shared across examples; each example overwrites the file,
+# which is exactly the isolation this test needs.
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(records=st.lists(_records, max_size=8))
+def test_jsonl_round_trip_preserves_streams(tmp_path, records):
+    path = tmp_path / "trace.jsonl"
+    with JsonlSink(path) as sink:
+        for record in records:
+            sink.emit(record)
+    loaded = read_jsonl_trace(path)
+    assert [r.to_dict() for r in loaded] == [r.to_dict() for r in records]
+
+
+def test_jsonl_round_trip_non_ascii_payload():
+    record = TraceRecord(
+        0, "annotation", "epoch", 3, {"färg": 2, "θ": "δ-LRU", "计数": 5}, "wörker"
+    )
+    clone = TraceRecord.from_dict(record.to_dict())
+    assert clone.data == {"färg": 2, "θ": "δ-LRU", "计数": 5}
+    assert clone.worker == "wörker"
 
 
 # ---------------------------------------------------------------- metrics
