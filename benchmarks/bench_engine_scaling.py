@@ -88,6 +88,9 @@ def bench_scaling_table(run_and_report, parallel_runner, report_dir):
     # The general engine's sparse core must pay for itself decisively on
     # its sparse-friendly cells (the ISSUE-4 acceptance floor).
     assert report.summary["general_sparse_speedup_geomean"] >= 2.0
+    # The vectorized core must clear 10x over the dense core on the dense
+    # EXP-S cells (the ISSUE-6 acceptance floor).
+    assert report.summary["vectorized_speedup_geomean"] >= 10.0
     rows = list(report.rows)
     summary = dict(report.summary)
 
@@ -123,10 +126,18 @@ def bench_scaling_smoke(parallel_runner):
     assert report.summary["min_rounds_per_second"] > 100
     assert report.summary["sparse_core_speedup_geomean"] > 1.0
     assert report.summary["general_sparse_speedup_geomean"] > 1.0
+    # ISSUE-6 floor: ≥10x over the dense core even on the tiny CI cells.
+    assert report.summary["vectorized_speedup_geomean"] >= 10.0
     records = {row["record"] for row in report.rows}
     assert records == {"full", "costs"}
     engines = {row["engine"] for row in report.rows}
-    assert engines == {"dense", "sparse", "general-dense", "general-sparse"}
+    assert engines == {
+        "dense",
+        "sparse",
+        "vectorized",
+        "general-dense",
+        "general-sparse",
+    }
 
 
 @pytest.fixture(scope="module")
@@ -147,6 +158,20 @@ def bench_engine_fast_path(benchmark, medium_instance):
     )
     full = simulate(medium_instance, DeltaLRUEDF(), 16)
     assert result.cost.summary() == full.cost.summary()
+
+
+def bench_engine_vectorized(benchmark, medium_instance):
+    result = benchmark(
+        lambda: simulate(
+            medium_instance,
+            DeltaLRUEDF(),
+            16,
+            record="costs",
+            engine="vectorized",
+        )
+    )
+    reference = simulate(medium_instance, DeltaLRUEDF(), 16, record="costs")
+    assert result.cost.summary() == reference.cost.summary()
 
 
 def bench_par_edf(benchmark, medium_instance):

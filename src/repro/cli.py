@@ -156,7 +156,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
             args.resources,
             speed=args.speed,
             record=args.record,
-            sparse=args.engine == "sparse",
+            engine=args.engine,
             tracer=tracer,
             registry=registry,
             profiler=profiler,
@@ -237,7 +237,7 @@ def _cmd_obs_monitor(args: argparse.Namespace) -> int:
             args.resources,
             speed=args.speed,
             record="costs",
-            sparse=args.engine == "sparse",
+            engine=args.engine,
             tracer=tracer,
             registry=registry,
         )
@@ -427,7 +427,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("--resources", type=int, default=8)
     p_record.add_argument("--speed", type=int, default=1)
     p_record.add_argument(
-        "--engine", choices=("sparse", "dense"), default="sparse"
+        "--engine",
+        choices=("sparse", "dense", "vectorized"),
+        default="sparse",
+        help="engine backend (vectorized needs the repro[vec] extra)",
     )
     p_record.add_argument(
         "--record", choices=("costs", "full"), default="costs"
@@ -484,7 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--resources", type=int, default=8)
     p_mon.add_argument("--speed", type=int, default=1)
     p_mon.add_argument(
-        "--engine", choices=("sparse", "dense"), default="sparse"
+        "--engine",
+        choices=("sparse", "dense", "vectorized"),
+        default="sparse",
+        help="engine backend (vectorized needs the repro[vec] extra)",
     )
     p_mon.add_argument(
         "--policy",

@@ -15,7 +15,11 @@ are tracked too.  A third grid does the same head-to-head for the
 *general* engine (per-job arrivals, ``engine="general-dense"`` vs
 ``"general-sparse"``), which gained the deadline calendar and
 fixed-point fast-forward of the sparse core; its speedup geomean is the
-tracked evidence that reduction pipelines run sparse end to end.  Cells
+tracked evidence that reduction pipelines run sparse end to end.  The
+dense grid additionally runs a ``dense`` vs ``vectorized`` head-to-head
+in costs mode (skipped when the ``repro[vec]`` numpy extra is missing);
+the vectorized core's ≥10x speedup over the dense core on these cells is
+a bench acceptance floor.  Cells
 are independent and dispatch through an optional
 :class:`~repro.runtime.parallel.ParallelRunner`; per-cell workload seeds
 are derived with :func:`~repro.runtime.seeding.derive_seed` so the grid
@@ -96,7 +100,7 @@ def _scaling_cell(task: tuple) -> dict:
             DeltaLRUEDF(),
             resources,
             record=record,
-            sparse=(engine == "sparse"),
+            engine=engine,
         )
     elapsed = result.wall_seconds
     return {
@@ -141,6 +145,28 @@ def run(
         for resources, colors, horizon in grid
         for record in record_modes
     ]
+    # Dense cells compare the vectorized core against the dense core head
+    # to head on the fast path; the ≥10x floor on this speedup is a bench
+    # acceptance gate.  Skipped cleanly when the repro[vec] extra (numpy)
+    # is unavailable.
+    from repro.simulation.vectorized import numpy_available
+
+    if numpy_available():
+        tasks += [
+            (
+                resources,
+                colors,
+                horizon,
+                delta,
+                seed,
+                "costs",
+                DENSE_WORKLOAD["load"],
+                DENSE_WORKLOAD["bound_choices"],
+                engine,
+            )
+            for resources, colors, horizon in grid
+            for engine in ("dense", "vectorized")
+        ]
     # Sparse-friendly cells compare the two engine cores head to head on
     # the fast path the sweeps and searches actually use.
     tasks += [
@@ -194,9 +220,13 @@ def run(
     sparse_rows = [
         row for row in batched_rows if row["load"] == SPARSE_WORKLOAD["load"]
     ]
+    # The dense grid carries two row families: record-mode rows on the
+    # default (sparse) core, and the dense-vs-vectorized head-to-head.
+    record_mode_rows = [r for r in grid_rows if r["engine"] == "sparse"]
+    engine_dim_rows = [r for r in grid_rows if r["engine"] != "sparse"]
 
     by_config: dict[tuple[int, int, int], dict[str, dict]] = {}
-    for row in grid_rows:
+    for row in record_mode_rows:
         key = (row["resources"], row["colors"], row["horizon"])
         by_config.setdefault(key, {})[row["record"]] = row
 
@@ -228,6 +258,40 @@ def run(
         series.add(label, best)
     report.tables.append(table)
     report.series.append(series)
+
+    vec_by_config: dict[tuple[int, int, int], dict[str, dict]] = {}
+    for row in engine_dim_rows:
+        key = (row["resources"], row["colors"], row["horizon"])
+        vec_by_config.setdefault(key, {})[row["engine"]] = row
+    vectorized_speedups = []
+    if vec_by_config:
+        vec_table = Table(
+            "Vectorized core vs dense core (costs mode, dense cells)",
+            (
+                "resources",
+                "colors",
+                "horizon",
+                "dense s",
+                "vectorized s",
+                "speedup",
+                "vec rounds/s",
+            ),
+        )
+        for (resources, colors, horizon), cells in vec_by_config.items():
+            dense_s = cells["dense"]["seconds"]
+            vec_s = cells["vectorized"]["seconds"]
+            speedup = dense_s / vec_s if vec_s > 0 else 0.0
+            vectorized_speedups.append(speedup)
+            vec_table.add_row(
+                resources,
+                colors,
+                horizon,
+                round(dense_s, 4),
+                round(vec_s, 4),
+                round(speedup, 2),
+                round(cells["vectorized"]["rounds_per_second"]),
+            )
+        report.tables.append(vec_table)
 
     sparse_by_config: dict[tuple[int, int, int], dict[str, dict]] = {}
     for row in sparse_rows:
@@ -299,9 +363,16 @@ def run(
 
     report.summary = {
         "min_rounds_per_second": round(
-            min(r["rounds_per_second"] for r in grid_rows)
+            min(r["rounds_per_second"] for r in record_mode_rows)
         )
     }
+    if vectorized_speedups:
+        report.summary["vectorized_speedup_geomean"] = round(
+            geometric_mean(vectorized_speedups), 3
+        )
+        report.summary["vectorized_min_speedup"] = round(
+            min(vectorized_speedups), 3
+        )
     if speedups:
         report.summary["fast_path_speedup_geomean"] = round(
             geometric_mean(speedups), 3

@@ -70,7 +70,7 @@ class SweepResult:
 
 def _run_cell(task: tuple) -> RunResult:
     """One (instance, scheme) cell; module-level so it pickles to workers."""
-    instance, factory, num_resources, copies, speed, verify, record = task
+    instance, factory, num_resources, copies, speed, verify, record, engine = task
     result = simulate(
         instance,
         factory(),
@@ -78,6 +78,7 @@ def _run_cell(task: tuple) -> RunResult:
         copies=copies,
         speed=speed,
         record=record,
+        engine=engine,
     )
     if verify:
         result.verify(strict=True)
@@ -93,12 +94,15 @@ def run_matrix(
     speed: int = 1,
     verify: bool = True,
     record: str = "full",
+    engine: str | None = None,
     runner: ParallelRunner | None = None,
 ) -> SweepResult:
     """Simulate every scheme on every instance; return the matrices.
 
     ``record="costs"`` runs the engine fast path (implies ``verify=False``
-    since no schedule exists to check).  Pass a ``runner`` to fan the
+    since no schedule exists to check).  ``engine`` selects the backend
+    per :func:`repro.simulation.engine.simulate` (``"vectorized"``
+    requires the ``repro[vec]`` extra).  Pass a ``runner`` to fan the
     cells out over worker processes; results are identical to a serial
     run — cells are pure and ordered.
     """
@@ -116,7 +120,7 @@ def run_matrix(
     if record == "costs":
         verify = False
     tasks = [
-        (instance, factory, num_resources, copies, speed, verify, record)
+        (instance, factory, num_resources, copies, speed, verify, record, engine)
         for factory in scheme_factories
         for instance in instances
     ]

@@ -23,24 +23,52 @@ from repro.obs.tracing import TraceRecord
 
 
 #: Payload keys that legitimately differ between reruns of the same
-#: deterministic computation (wall-clock measurements); never diffed.
-VOLATILE_KEYS = frozenset({"wall_seconds"})
+#: deterministic computation; never diffed.  ``wall_seconds`` is the run
+#: span's wall clock, ``seconds`` the per-phase profiling durations
+#: (:meth:`repro.obs.profiling.PhaseProfiler.snapshot` entries embedded
+#: in span payloads), and ``worker``/``pid`` identify the process a
+#: record flowed back from (``map_traced`` replay tags) — all of them
+#: vary between serial and parallel runs of the same deterministic cell.
+#: This is the single source of truth; stripping applies recursively to
+#: nested payload mappings and sequences.
+VOLATILE_KEYS = frozenset({"wall_seconds", "seconds", "worker", "pid"})
+
+
+def _strip_volatile(value):
+    """Recursively drop volatile keys from a payload value.
+
+    Mappings become sorted ``(key, stripped_value)`` tuples (hashable and
+    order-insensitive), sequences become tuples of stripped elements, and
+    scalars pass through — so a span payload embedding a profiler
+    snapshot like ``{"drop": {"seconds": 0.01, "calls": 5}}`` compares
+    equal across reruns.
+    """
+    if isinstance(value, dict):
+        return tuple(
+            sorted(
+                (key, _strip_volatile(sub))
+                for key, sub in value.items()
+                if key not in VOLATILE_KEYS
+            )
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_strip_volatile(item) for item in value)
+    return value
 
 
 def _record_key(record: TraceRecord) -> tuple:
-    """Everything that makes two records "the same" except the seq stamp."""
+    """Everything that makes two records "the same" except the seq stamp.
+
+    The worker tag is deliberately excluded: a serial run records
+    ``worker=None`` where a parallel run of the same cell tags the
+    replayed records with the producing task (``map_traced``), and that
+    difference carries no semantic content.
+    """
     return (
         record.kind,
         record.name,
         record.round_index,
-        record.worker,
-        tuple(
-            sorted(
-                (k, v)
-                for k, v in record.data.items()
-                if k not in VOLATILE_KEYS
-            )
-        ),
+        _strip_volatile(record.data),
     )
 
 
@@ -125,8 +153,9 @@ def diff_traces(
     ``Δ`` and the horizon are read from each stream's ``run`` span-start
     payload (defaulting to 1 when absent, e.g. for hand-built streams);
     ``drop_cost`` defaults to the paper's unit cost.  Records compare by
-    kind/name/round/worker/payload — sequence numbers are positional, so
-    replayed or re-stamped streams diff cleanly.
+    kind/name/round/payload — sequence numbers are positional and worker
+    tags are ignored, so replayed, re-stamped, or parallel-collected
+    streams diff cleanly against their serial equivalents.
     """
     a = list(a)
     b = list(b)

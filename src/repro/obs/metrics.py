@@ -192,18 +192,68 @@ class MetricsRegistry:
 
         Counters and histogram cells add; gauges take the incoming value
         (last write wins, matching gauge semantics).
+
+        The merge is validate-then-apply: every incoming instrument is
+        checked (types, bucket bounds, cell counts) before anything is
+        folded in, so a corrupt or incompatible worker snapshot raises
+        without leaving this registry half-merged.
         """
-        for name, value in snapshot.get("counters", {}).items():
-            self.counter(name).inc(int(value))
-        for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name).set(value)
+        # Validation pass: reconstruct every incoming histogram and dry-
+        # run the type/bounds checks against the existing instruments.
+        incoming_histograms: list[tuple[Histogram, Histogram]] = []
         for name, data in snapshot.get("histograms", {}).items():
-            histogram = self.histogram(name, tuple(data["buckets"]))
-            incoming = Histogram(name, tuple(data["buckets"]))
-            incoming.counts = list(data["counts"])
+            bounds = tuple(data["buckets"])
+            incoming = Histogram(name, bounds)
+            if len(data["counts"]) != len(incoming.counts):
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: expected "
+                    f"{len(incoming.counts)} cells (including overflow), "
+                    f"got {len(data['counts'])}"
+                )
+            incoming.counts = [int(c) for c in data["counts"]]
             incoming.count = int(data["count"])
             incoming.total = float(data["sum"])
-            histogram.merge(incoming)
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not Histogram"
+                    )
+                if existing.bounds != bounds:
+                    raise ValueError(
+                        f"cannot merge histogram {name!r}: bucket bounds "
+                        "differ"
+                    )
+            incoming_histograms.append((incoming, existing))
+        counters = {
+            name: int(value)
+            for name, value in snapshot.get("counters", {}).items()
+        }
+        gauges = dict(snapshot.get("gauges", {}))
+        for name in counters:
+            existing = self._instruments.get(name)
+            if existing is not None and not isinstance(existing, Counter):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not Counter"
+                )
+        for name in gauges:
+            existing = self._instruments.get(name)
+            if existing is not None and not isinstance(existing, Gauge):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not Gauge"
+                )
+        # Apply pass: nothing below can raise.
+        for name, value in counters.items():
+            self.counter(name).inc(value)
+        for name, value in gauges.items():
+            self.gauge(name).set(value)
+        for incoming, existing in incoming_histograms:
+            if existing is None:
+                existing = self.histogram(incoming.name, incoming.bounds)
+            existing.merge(incoming)
 
 
 def render_metrics(snapshot: Mapping[str, Any], *, width: int = 32) -> str:

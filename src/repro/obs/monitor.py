@@ -455,10 +455,19 @@ class RatioMonitor(TraceMonitor):
 
     @property
     def ratio(self) -> float | None:
-        """Running cost over the offline lower bound (None before start)."""
+        """Running cost over the offline lower bound (None before start).
+
+        A zero lower bound (OFF serves the prefix for free — empty or
+        all-free workloads) must not understate the ratio by flooring
+        the denominator: any online cost against a free optimum is an
+        infinite blowup, and zero cost against it ties at 1.0 — the same
+        semantics as ``SweepResult.relative_to``.
+        """
         if self.lower_bound is None:
             return None
-        return self.running_cost / max(self.lower_bound, 1)
+        if self.lower_bound == 0:
+            return float("inf") if self.running_cost > 0 else 1.0
+        return self.running_cost / self.lower_bound
 
     def _bump(self, amount: int) -> None:
         self.running_cost += amount

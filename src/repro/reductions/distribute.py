@@ -211,6 +211,7 @@ def run_distribute(
     speed: int = 1,
     record: str = "full",
     sparse: bool = True,
+    engine: str | None = None,
 ) -> DistributeResult:
     """Run Algorithm Distribute end to end on a batched instance.
 
@@ -218,7 +219,9 @@ def run_distribute(
     the inner engine runs on its fast (and, when ``sparse``, round-
     skipping) path and the outer cost streams through
     :class:`OuterCostMapper`; the resulting breakdown is identical to the
-    ``record="full"`` one.
+    ``record="full"`` one.  ``engine`` overrides ``sparse`` by backend
+    name; the vectorized backend streams reconfigurations through the
+    observer in event order, so outer costs stay identical there too.
     """
     from repro.algorithms.dlru_edf import DeltaLRUEDF
 
@@ -234,6 +237,7 @@ def run_distribute(
             speed=speed,
             record="costs",
             sparse=sparse,
+            engine=engine,
             reconfig_observer=mapper,
         )
         cost = mapper.finish(instance, inner.cost)
@@ -246,6 +250,7 @@ def run_distribute(
         speed=speed,
         record=record,
         sparse=sparse,
+        engine=engine,
     )
     outer_schedule = map_back_schedule(instance, inner.schedule, mapping)
     cost = outer_schedule.cost(instance.sequence.jobs, instance.cost_model)

@@ -93,6 +93,7 @@ def _throughput_index(
     rows: Sequence[Mapping[str, Any]],
     *,
     require_rps: bool = True,
+    source: str = "rows",
 ) -> dict[tuple, Mapping[str, Any]]:
     """Index throughput rows by identity key.
 
@@ -102,6 +103,11 @@ def _throughput_index(
     :data:`THROUGHPUT_KEY` fields present) missing the measurement are
     still matchable — and reportable as ``missing_baseline`` — instead
     of silently invisible.
+
+    Two rows with the same identity key raise :class:`ValueError` rather
+    than last-write-wins: a baseline file with duplicate cells (e.g. a
+    bad merge of two regenerations) would otherwise silently guard
+    against whichever copy happened to come last.
     """
     indexed: dict[tuple, Mapping[str, Any]] = {}
     for row in rows:
@@ -110,6 +116,11 @@ def _throughput_index(
         ):
             continue
         key = tuple(row.get(field) for field in THROUGHPUT_KEY)
+        if key in indexed:
+            raise ValueError(
+                f"duplicate throughput cell in {source}: "
+                f"{dict(zip(THROUGHPUT_KEY, key))}"
+            )
         indexed[key] = row
     return indexed
 
@@ -134,13 +145,23 @@ def throughput_regressions(
     just grew) — produces a ``kind="missing_baseline"`` entry instead of
     being silently skipped: a corrupt baseline must not read as "no
     regressions", and new cells should visibly enter the baseline via a
-    regeneration rather than float unguarded.
+    regeneration rather than float unguarded.  One entry is emitted per
+    unmatched fresh cell — when a whole dimension grows (e.g. a new
+    engine backend joins the grid), every new cell is listed, not just
+    the first one encountered.
+
+    Duplicate identity keys on either side raise :class:`ValueError`
+    (see :func:`_throughput_index`).
     """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError("tolerance must lie in [0, 1)")
-    baseline_index = _throughput_index(baseline_rows, require_rps=False)
+    baseline_index = _throughput_index(
+        baseline_rows, require_rps=False, source="baseline rows"
+    )
     regressions: list[dict[str, Any]] = []
-    for key, fresh in _throughput_index(fresh_rows).items():
+    for key, fresh in _throughput_index(
+        fresh_rows, source="fresh rows"
+    ).items():
         baseline = baseline_index.get(key)
         fresh_rps = float(fresh["rounds_per_second"])
         if baseline is None or "rounds_per_second" not in baseline:

@@ -469,6 +469,9 @@ class BatchedEngine:
         self.speed = speed
         self.record = record
         self.sparse = bool(sparse)
+        #: Backend identifier surfaced in the run span and bench rows;
+        #: subclasses (the vectorized backend) override it.
+        self.engine_name = "sparse" if self.sparse else "dense"
         self.delta = instance.reconfig_cost
 
         self.cache = CachePool(num_resources // copies, copies)
@@ -542,7 +545,7 @@ class BatchedEngine:
                 resources=self.num_resources,
                 speed=self.speed,
                 record=self.record,
-                engine="sparse" if self.sparse else "dense",
+                engine=self.engine_name,
                 horizon=self.instance.horizon,
                 delta=self.delta,
             )
@@ -1137,6 +1140,10 @@ class BatchedEngine:
             )
 
 
+#: Engine backends accepted by :func:`simulate`'s ``engine`` selector.
+ENGINE_NAMES = ("sparse", "dense", "vectorized")
+
+
 def simulate(
     instance: Instance,
     scheme: ReconfigurationScheme,
@@ -1147,23 +1154,39 @@ def simulate(
     collect_metrics: bool = False,
     record: str = "full",
     sparse: bool = True,
+    engine: str | None = None,
     tracer=None,
     registry=None,
     profiler=None,
     reconfig_observer=None,
 ) -> RunResult:
-    """Build a :class:`BatchedEngine`, run it, and return the result."""
-    return BatchedEngine(
-        instance,
-        scheme,
-        num_resources,
+    """Build an engine, run it, and return the result.
+
+    ``engine`` selects the backend by name (``"sparse"``, ``"dense"``,
+    or ``"vectorized"``) and takes precedence over the legacy ``sparse``
+    flag; ``"vectorized"`` requires the optional numpy extra
+    (``repro[vec]``) and raises a clear error without it.
+    """
+    kwargs = dict(
         copies=copies,
         speed=speed,
         collect_metrics=collect_metrics,
         record=record,
-        sparse=sparse,
         tracer=tracer,
         registry=registry,
         profiler=profiler,
         reconfig_observer=reconfig_observer,
+    )
+    if engine is not None and engine not in ENGINE_NAMES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+        )
+    if engine == "vectorized":
+        from repro.simulation.vectorized import VectorizedEngine
+
+        return VectorizedEngine(instance, scheme, num_resources, **kwargs).run()
+    if engine is not None:
+        sparse = engine == "sparse"
+    return BatchedEngine(
+        instance, scheme, num_resources, sparse=sparse, **kwargs
     ).run()

@@ -10,7 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised in no-numpy installs
+    # Metrics collection preallocates numpy arrays; the engines
+    # themselves never touch numpy, so the module must import without
+    # it (collect_metrics=True then raises below).
+    np = None
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simulation.engine import BatchedEngine
@@ -52,6 +58,12 @@ class MetricsCollector:
     """
 
     def __init__(self, horizon: int) -> None:
+        if np is None:
+            raise RuntimeError(
+                "per-round metrics collection requires numpy; install it "
+                "with `pip install repro[vec]` or run with "
+                "collect_metrics=False"
+            )
         if horizon <= 0:
             raise ValueError("horizon must be positive")
         self.horizon = horizon

@@ -35,6 +35,7 @@ from repro.simulation.engine import (
     simulate,
 )
 from repro.simulation.general import simulate_general
+from repro.simulation.vectorized import numpy_available
 from repro.workloads.random_batched import random_general, random_rate_limited
 
 TOKEN_SCHEMES = [
@@ -149,6 +150,62 @@ class TestTokenSchemeParity:
             + sparse_counters["engine.rounds_fast_forwarded"]
             == dense_counters["engine.rounds_executed"]
         )
+
+
+@pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed (repro[vec] extra)"
+)
+class TestVectorizedBackendContract:
+    """The vectorized backend under the same scheme contract.
+
+    Kernel schemes (the four paper schemes) take the columnar fast path;
+    token schemes (randomized, credit) fall back to the faithful sparse
+    core inside the same backend — both must stay bit-identical to the
+    dense core, and the fallback must keep honoring the
+    ``fixed_point_token()``/``reset(seed)`` lifecycle.
+    """
+
+    @pytest.mark.parametrize("scheme_cls", TOKEN_SCHEMES)
+    @pytest.mark.parametrize("speed", [1, 2])
+    @pytest.mark.parametrize("record", ["costs", "full"])
+    def test_token_schemes_match_dense(self, scheme_cls, speed, record):
+        for instance in _batched_workloads(0):
+            dense = simulate(
+                instance, scheme_cls(), 8, speed=speed,
+                record=record, engine="dense",
+            )
+            vectorized = simulate(
+                instance, scheme_cls(), 8, speed=speed,
+                record=record, engine="vectorized",
+            )
+            _assert_costs_identical(dense.cost, vectorized.cost)
+            if record == "full":
+                assert list(dense.trace) == list(vectorized.trace)
+
+    def test_fallback_still_skips_quiet_tails(self):
+        # A token scheme through the vectorized backend rides the sparse
+        # fallback, calendar fast-forward included.
+        from repro.algorithms.randomized import RandomEvict
+
+        result = simulate(
+            _quiet_tail_instance(), RandomEvict(), 8,
+            record="costs", engine="vectorized",
+        )
+        assert result.rounds_executed is not None
+        assert result.active_round_fraction < 0.8
+
+    def test_back_to_back_runs_are_bit_identical(self):
+        # reset() at engine construction applies to the vectorized
+        # backend exactly as to the others.
+        from repro.algorithms.randomized import RandomEvict
+
+        instance = random_rate_limited(
+            6, 3, 96, seed=5, load=0.7, bound_choices=(2, 4, 8)
+        )
+        scheme = RandomEvict()
+        first = simulate(instance, scheme, 8, record="costs", engine="vectorized")
+        second = simulate(instance, scheme, 8, record="costs", engine="vectorized")
+        _assert_costs_identical(first.cost, second.cost)
 
 
 class _TokenlessScheme(ReconfigurationScheme):

@@ -344,6 +344,42 @@ class TestMetrics:
         with pytest.raises(ValueError, match="cells"):
             main.merge_snapshot(snapshot)
 
+    def test_merge_snapshot_rejects_different_bucket_configs(self):
+        # Registries built with different bucket ladders for the same
+        # metric must refuse to merge — element-wise addition across
+        # mismatched bounds would mis-bin every cell.
+        main = MetricsRegistry()
+        main.histogram("engine.queue_depth", (1, 2)).observe(1)
+        worker = MetricsRegistry()
+        worker.histogram("engine.queue_depth", (1, 2, 4)).observe(4)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            main.merge_snapshot(worker.snapshot())
+        # The target's histogram is untouched by the failed merge.
+        counts = main.snapshot()["histograms"]["engine.queue_depth"]["counts"]
+        assert counts == [1, 0, 0]
+
+    def test_merge_snapshot_is_atomic_on_failure(self):
+        # A failing merge must leave the target registry exactly as it
+        # was — not with the counters and gauges already folded in and
+        # only the offending histogram rejected.
+        main = MetricsRegistry()
+        main.counter("engine.drops").inc(1)
+        main.gauge("adversary.best_ratio").set(1.0)
+        main.histogram("engine.queue_depth", (1, 2)).observe(1)
+        worker = MetricsRegistry()
+        worker.counter("engine.drops").inc(5)
+        worker.gauge("adversary.best_ratio").set(3.0)
+        worker.histogram("engine.queue_depth", (1, 2, 4)).observe(2)
+        before = main.snapshot()
+        with pytest.raises(ValueError):
+            main.merge_snapshot(worker.snapshot())
+        assert main.snapshot() == before
+        # Type conflicts abort before any mutation too.
+        clash = {"counters": {"adversary.best_ratio": 2}, "gauges": {}}
+        with pytest.raises(TypeError):
+            main.merge_snapshot(clash)
+        assert main.snapshot() == before
+
     def test_registry_is_create_or_get_with_type_guard(self):
         registry = MetricsRegistry()
         counter = registry.counter("engine.drops")

@@ -315,6 +315,46 @@ class TestViolations:
         with pytest.raises(ValueError):
             EpochMonitor(policy="panic")
 
+    def test_zero_cost_off_with_online_cost_reports_inf(self):
+        # An empty workload has a zero offline lower bound; any online
+        # cost against a free optimum is an infinite blowup, which the
+        # ratio must report — not a finite number from flooring the
+        # denominator at 1.
+        from repro.core.instance import BatchMode, make_instance
+
+        instance = make_instance(
+            [], {0: 4, 1: 4}, 2, batch_mode=BatchMode.BATCHED, horizon=16
+        )
+        monitor = RatioMonitor(instance)
+        monitor.emit(
+            TraceRecord(
+                0, "span_start", "run", None,
+                {"resources": 4, "speed": 1, "delta": 2},
+            )
+        )
+        assert monitor.lower_bound == 0
+        monitor.emit(
+            TraceRecord(1, "event", "reconfig", 0, {"color": 0, "resources": 1})
+        )
+        assert monitor.ratio == float("inf")
+
+    def test_zero_cost_off_and_online_ties_at_one(self):
+        # Zero online cost against a zero lower bound is a tie (1.0),
+        # matching SweepResult.relative_to — not an understated 0.0.
+        from repro.core.instance import BatchMode, make_instance
+
+        instance = make_instance(
+            [], {0: 4, 1: 4}, 2, batch_mode=BatchMode.BATCHED, horizon=16
+        )
+        monitor = RatioMonitor(instance, max_ratio=2.0)
+        result = _monitored_run(
+            instance, DeltaLRUEDF(), 4, [monitor], record="costs"
+        )
+        assert result.cost.total == 0
+        assert monitor.lower_bound == 0
+        assert monitor.ratio == 1.0
+        assert monitor.ok
+
 
 # ------------------------------------------------------------ diff_traces
 
@@ -366,6 +406,41 @@ class TestDiffTraces:
             TraceRecord(1, "span_end", "run", None, {"wall_seconds": 9.9}),
         ]
         assert diff_traces(base, other).identical
+
+    def test_serial_and_parallel_collection_diff_clean(self):
+        # A parallel run of the same cell collects records in a worker
+        # and replays them through the orchestrator tracer with a worker
+        # tag (map_traced); a serial run records worker=None.  The tag
+        # carries no semantic content and must not register as a
+        # divergence.
+        serial = _trace_records(5)
+        sink = MemorySink(capacity=None)
+        Tracer(sink).replay(serial, worker="restart-0/seed-5")
+        parallel = sink.records
+        assert all(r.worker == "restart-0/seed-5" for r in parallel)
+        diff = diff_traces(serial, parallel)
+        assert diff.identical
+        assert diff.cost_delta == 0
+
+    def test_nested_payload_timings_are_volatile(self):
+        # Volatile keys are stripped recursively: per-phase profiling
+        # durations ride inside nested snapshot payloads, and pids may
+        # tag worker-produced records.
+        def span(seconds, pid, calls=5):
+            return [
+                TraceRecord(0, "span_start", "run", None, {"delta": 2}),
+                TraceRecord(
+                    1, "span_end", "run", None,
+                    {
+                        "phases": {"drop": {"seconds": seconds, "calls": calls}},
+                        "pid": pid,
+                    },
+                ),
+            ]
+
+        assert diff_traces(span(0.1, 123), span(9.9, 999)).identical
+        # A genuine nested difference must still diverge.
+        assert not diff_traces(span(0.1, 123), span(0.1, 123, calls=6)).identical
 
     def test_costs_attributed_by_phase_color_and_range(self):
         a = [

@@ -203,6 +203,54 @@ class TestTelemetry:
         regs = throughput_regressions([other], fresh)
         assert [r["kind"] for r in regs] == ["missing_baseline"]
 
+    def test_throughput_duplicate_cells_are_rejected(self):
+        # A baseline file with two rows for the same cell (a bad merge
+        # of two regenerations) must raise, not silently guard against
+        # whichever copy came last.
+        row = {
+            "resources": 8,
+            "colors": 4,
+            "horizon": 256,
+            "record": "costs",
+            "engine": "sparse",
+            "rounds_per_second": 1000.0,
+        }
+        fresh = [dict(row)]
+        with pytest.raises(ValueError, match="duplicate throughput cell"):
+            throughput_regressions(
+                [row, dict(row, rounds_per_second=5.0)], fresh
+            )
+        # Duplicates on the fresh side are rejected the same way.
+        with pytest.raises(ValueError, match="duplicate throughput cell"):
+            throughput_regressions([row], [dict(row), dict(row)])
+
+    def test_missing_baseline_fires_once_per_fresh_cell(self):
+        # When a whole dimension grows — e.g. a new engine backend joins
+        # the grid — every new cell gets its own missing_baseline entry,
+        # not one blanket entry per run (and not zero).
+        def cell(engine, horizon, rps):
+            return {
+                "resources": 8,
+                "colors": 4,
+                "horizon": horizon,
+                "record": "costs",
+                "engine": engine,
+                "rounds_per_second": rps,
+            }
+
+        baseline = [cell("sparse", 256, 1000.0), cell("sparse", 512, 900.0)]
+        fresh = baseline + [
+            cell("vectorized", 256, 50000.0),
+            cell("vectorized", 512, 60000.0),
+        ]
+        regs = throughput_regressions(baseline, fresh)
+        assert [r["kind"] for r in regs] == [
+            "missing_baseline",
+            "missing_baseline",
+        ]
+        assert {r["key"]["engine"] for r in regs} == {"vectorized"}
+        assert {r["key"]["horizon"] for r in regs} == {256, 512}
+
     def test_metrics_wall_clock(self):
         collector = MetricsCollector(100)
         assert collector.rounds_per_second == 0.0

@@ -1,8 +1,9 @@
-"""Sparse engine core: dense/sparse parity and branch-and-bound parity.
+"""Sparse engine core: dense/sparse/vectorized parity and B&B parity.
 
 The sparse core (boundary calendar, inactive-stretch fast-forward,
-fixed-point reconfigure skipping) is a pure performance layer — every
-test here pins it to the dense core bit for bit.  Likewise the
+fixed-point reconfigure skipping) and the vectorized core (columnar
+state, event-driven batches) are pure performance layers — every test
+here pins them to the dense core bit for bit.  Likewise the
 branch-and-bound offline solver must reproduce the exhaustive reference
 exactly while expanding no more states.
 """
@@ -15,6 +16,7 @@ from repro.algorithms.edf import EDF
 from repro.algorithms.seq_edf import SeqEDF
 from repro.offline.optimal import optimal_offline, optimal_offline_exhaustive
 from repro.simulation.engine import simulate
+from repro.simulation.vectorized import numpy_available
 from repro.workloads.random_batched import (
     random_batched,
     random_general,
@@ -112,6 +114,88 @@ class TestDenseSparseParity:
             instance, DeltaLRUEDF(), 4, record="full", sparse=True
         )
         assert result.active_round_fraction == 1.0
+
+
+@pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed (repro[vec] extra)"
+)
+class TestVectorizedParity:
+    """The vectorized backend against the dense core, bit for bit."""
+
+    def _pair(self, instance, scheme_cls, *, speed, record):
+        copies = 1 if scheme_cls is SeqEDF else 2
+        dense = simulate(
+            instance,
+            scheme_cls(),
+            4,
+            copies=copies,
+            speed=speed,
+            record=record,
+            engine="dense",
+        )
+        vectorized = simulate(
+            instance,
+            scheme_cls(),
+            4,
+            copies=copies,
+            speed=speed,
+            record=record,
+            engine="vectorized",
+        )
+        return dense, vectorized
+
+    def _assert_identical_costs(self, dense, vectorized):
+        assert dense.cost.summary() == vectorized.cost.summary()
+        assert dense.cost.reconfigs_by_color == vectorized.cost.reconfigs_by_color
+        assert dense.cost.drops_by_color == vectorized.cost.drops_by_color
+        assert (
+            dense.cost.executions_by_color == vectorized.cost.executions_by_color
+        )
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    @pytest.mark.parametrize("speed", [1, 2])
+    def test_costs_record_costs_match(self, scheme_cls, speed):
+        for seed in (0, 1, 2):
+            for instance in _workloads(seed):
+                dense, vectorized = self._pair(
+                    instance, scheme_cls, speed=speed, record="costs"
+                )
+                self._assert_identical_costs(dense, vectorized)
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    @pytest.mark.parametrize("speed", [1, 2])
+    def test_full_record_traces_match(self, scheme_cls, speed):
+        # Full-record runs take the faithful fallback core; the backend
+        # must still be indistinguishable, trace included.
+        for instance in _workloads(0):
+            dense, vectorized = self._pair(
+                instance, scheme_cls, speed=speed, record="full"
+            )
+            self._assert_identical_costs(dense, vectorized)
+            assert list(dense.trace) == list(vectorized.trace)
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_sparse_cell_costs_match(self, scheme_cls):
+        # Low load, large bounds: the sparse-friendly regime where the
+        # boundary calendar is nearly empty.
+        instance = random_rate_limited(
+            16, 3, 2048, seed=7, load=0.15, bound_choices=(64, 128)
+        )
+        dense, vectorized = self._pair(
+            instance, scheme_cls, speed=1, record="costs"
+        )
+        self._assert_identical_costs(dense, vectorized)
+
+    def test_dense_cell_costs_match(self):
+        # Capacity covers every color: the stable-tail regime of the
+        # EXP-S dense cells.
+        instance = random_rate_limited(
+            8, 4, 512, seed=3, load=0.9, bound_choices=(2, 4, 8)
+        )
+        dense, vectorized = self._pair(
+            instance, DeltaLRUEDF, speed=1, record="costs"
+        )
+        self._assert_identical_costs(dense, vectorized)
 
 
 class TestBranchAndBoundParity:
