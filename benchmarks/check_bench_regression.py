@@ -1,21 +1,26 @@
 """CI benchmark-regression guard.
 
-Re-runs the EXP-S smoke grid (the quick cells, a subset of the full
-grid) and compares each cell's rounds/sec against the committed
-``benchmarks/reports/BENCH_engine.json`` baseline, row for row.  Exits
-non-zero if any matched cell regressed by more than the tolerance
-(default 30%, overridable via ``--tolerance``), so a hot-loop slowdown
-fails the PR instead of landing silently.
+``--suite engine`` (default) re-runs the EXP-S smoke grid (the quick
+cells, a subset of the full grid) and compares each cell's rounds/sec
+against the committed ``benchmarks/reports/BENCH_engine.json`` baseline,
+row for row.  ``--suite offline`` re-runs the quick subset of the
+offline-solver mini-grid (``bench_offline.py``) and compares node counts
+and wall clock per cell against ``BENCH_offline.json``.  Either way the
+guard exits non-zero if any matched cell regressed by more than the
+tolerance (default 30%, overridable via ``--tolerance``), so a hot-loop
+slowdown fails the PR instead of landing silently.
 
 Noise note: CI machines are slower and noisier than the machine that
 produced the baseline, which is why the tolerance is wide and the guard
 compares cell-by-cell rather than against the summary geomeans.  The
 baseline's machine context is printed on failure so a "regression" on a
-much weaker runner is easy to diagnose.
+much weaker runner is easy to diagnose.  Offline node counts are fully
+deterministic — a node regression is an algorithmic change, never noise.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_bench_regression.py
+    PYTHONPATH=src python benchmarks/check_bench_regression.py --suite offline
 """
 
 from __future__ import annotations
@@ -26,10 +31,80 @@ import sys
 from pathlib import Path
 
 BASELINE = Path(__file__).parent / "reports" / "BENCH_engine.json"
+OFFLINE_BASELINE = Path(__file__).parent / "reports" / "BENCH_offline.json"
+
+
+def _check_offline(baseline_path: Path, tolerance: float) -> int:
+    import bench_offline
+
+    from repro.runtime.telemetry import (
+        OFFLINE_BENCH_SCHEMA,
+        offline_regressions,
+        read_bench_json,
+    )
+
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; nothing to compare — pass")
+        return 0
+    baseline = read_bench_json(baseline_path)
+    if baseline.get("schema") != OFFLINE_BENCH_SCHEMA:
+        print(
+            f"baseline schema {baseline.get('schema')!r} != "
+            f"{OFFLINE_BENCH_SCHEMA!r}; regenerate it with "
+            "bench_offline_table — pass"
+        )
+        return 0
+
+    fresh = bench_offline.measure_cells(
+        bench_offline.SMOKE_SEEDS, bench_offline.SMOKE_HORIZONS
+    )
+    regressions = offline_regressions(
+        baseline["rows"], fresh, tolerance=tolerance
+    )
+    print(
+        f"offline smoke: {len(fresh)} cells measured, "
+        f"tolerance {tolerance:.0%}"
+    )
+    if not regressions:
+        print("no offline-solver regressions against the committed baseline")
+        return 0
+
+    print(f"\n{len(regressions)} cell(s) flagged:")
+    for reg in regressions:
+        key = reg["key"]
+        if reg["kind"] == "missing_baseline":
+            print(
+                f"  {key}: no baseline measurement "
+                f"(fresh {reg['fresh_nodes']} nodes) — regenerate the baseline"
+            )
+        elif reg["kind"] == "cost_mismatch":
+            print(
+                f"  {key}: COST MISMATCH — baseline {reg['baseline_cost']} "
+                f"vs fresh {reg['fresh_cost']}; the solver is no longer exact"
+            )
+        else:
+            print(
+                f"  {key}: {reg['metric']} {reg['fresh']:.4g} vs "
+                f"baseline {reg['baseline']:.4g} (x{reg['ratio']:.2f})"
+            )
+    print("\nbaseline machine context:")
+    print(json.dumps(baseline.get("machine", {}), indent=2))
+    print(
+        "\nIf the slowdown is intentional, regenerate the baseline:\n"
+        "  PYTHONPATH=src python -m pytest "
+        "benchmarks/bench_offline.py::bench_offline_table -q"
+    )
+    return 1
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=("engine", "offline"),
+        default="engine",
+        help="which committed baseline to guard (default: engine)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -39,8 +114,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--baseline",
         type=Path,
-        default=BASELINE,
-        help="path to the committed BENCH_engine.json",
+        default=None,
+        help="path to the committed baseline json (default: per suite)",
     )
     args = parser.parse_args(argv)
 
@@ -51,6 +126,12 @@ def main(argv: list[str] | None = None) -> int:
         throughput_regressions,
     )
 
+    if args.suite == "offline":
+        return _check_offline(
+            args.baseline or OFFLINE_BASELINE, args.tolerance
+        )
+    if args.baseline is None:
+        args.baseline = BASELINE
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; nothing to compare — pass")
         return 0

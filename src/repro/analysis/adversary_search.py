@@ -24,6 +24,7 @@ with *identical* results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -74,6 +75,15 @@ class SearchConfig:
     #: can hold on to (pure schemes) or not an adversary at all
     #: (ΔLRU-EDF).
     warm_start: Instance | None = None
+    #: Opt-in cross-restart score cache: restarts climb serially sharing
+    #: one :class:`ScoreCache`, so every restart sees the merged contents
+    #: of all earlier ones.  Hits return exactly what recomputation
+    #: would, so the best instance/ratio/trajectory stay bit-identical
+    #: to the per-restart default — only the hit rate (and wall clock)
+    #: change.  A passed ``runner`` is not fanned out in this mode;
+    #: per-restart caching stays the default so the serial==parallel
+    #: bit-identity gate is unaffected.
+    shared_cache: bool = False
 
 
 @dataclass
@@ -88,12 +98,28 @@ class SearchResult:
     #: hit means a simulation or offline estimate was skipped entirely).
     score_cache_hits: int = 0
     score_cache_misses: int = 0
+    #: Whether the run used the cross-restart shared cache.
+    shared_cache: bool = False
+    #: Wall-clock seconds spent climbing (compare a shared-cache run
+    #: against a per-restart run of the same config for the delta).
+    wall_clock_seconds: float = 0.0
+    #: Seconds spent inside cache-miss computations, summed over
+    #: restarts; divides out to a per-miss cost for the saved estimate.
+    score_cache_miss_seconds: float = 0.0
 
     @property
     def score_cache_hit_rate(self) -> float:
         """Fraction of score lookups answered from the cache."""
         lookups = self.score_cache_hits + self.score_cache_misses
         return self.score_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def score_cache_saved_seconds(self) -> float:
+        """Estimated wall clock the cache saved: hits x mean miss cost."""
+        if not self.score_cache_misses:
+            return 0.0
+        per_miss = self.score_cache_miss_seconds / self.score_cache_misses
+        return self.score_cache_hits * per_miss
 
 
 def _decode(matrix: np.ndarray, config: SearchConfig, bounds: dict[int, int]) -> Instance:
@@ -131,22 +157,38 @@ class ScoreCache:
     scheme under attack.
     """
 
-    __slots__ = ("_online", "_offline", "hits", "misses")
+    __slots__ = ("_online", "_offline", "hits", "misses", "miss_seconds")
 
     def __init__(self) -> None:
         self._online: dict[tuple, int] = {}
         self._offline: dict[tuple, int] = {}
         self.hits = 0
         self.misses = 0
+        self.miss_seconds = 0.0
 
     def _lookup(self, table: dict, key: tuple, compute: Callable[[], int]) -> int:
         try:
             value = table[key]
             self.hits += 1
         except KeyError:
+            started = time.perf_counter()
             value = table[key] = compute()
+            self.miss_seconds += time.perf_counter() - started
             self.misses += 1
         return value
+
+    def merge_from(self, other: "ScoreCache") -> None:
+        """Absorb another cache's entries (post-restart merge path).
+
+        Existing entries win: both sides are content-addressed, so a
+        collision means equal values and keeping ours is free.
+        """
+        for mine, theirs in (
+            (self._online, other._online),
+            (self._offline, other._offline),
+        ):
+            for key, value in theirs.items():
+                mine.setdefault(key, value)
 
     def online_cost(self, key: tuple, compute: Callable[[], int]) -> int:
         return self._lookup(self._online, key, compute)
@@ -309,12 +351,15 @@ def _plan_restarts(
 
 def _climb_restart(
     task: tuple[_RestartPlan, SearchConfig, dict[int, int], Callable, int, bool],
-) -> tuple[tuple[np.ndarray, float, list[float], int, int, int], list]:
+    cache: ScoreCache | None = None,
+) -> tuple[tuple[np.ndarray, float, list[float], int, int, int, float], list]:
     """Run one restart's hill climb; module-level so it pickles to workers.
 
     The :class:`ScoreCache` lives for the whole restart, so every step
     that reproduces an already-scored matrix (point mutations frequently
     rewrite cells to their current values) skips its simulations.
+    ``cache`` overrides the per-restart cache for the shared-cache mode;
+    the returned hit/miss telemetry is this restart's delta either way.
 
     When ``traced`` is set, the climb narrates itself into a local
     ``MemorySink`` — a ``restart`` span plus one ``improvement`` event
@@ -323,7 +368,10 @@ def _climb_restart(
     restart id (see :meth:`~repro.runtime.parallel.ParallelRunner.map_traced`).
     """
     plan, config, bounds, scheme_factory, restart_index, traced = task
-    cache = ScoreCache()
+    if cache is None:
+        cache = ScoreCache()
+    hits0, misses0 = cache.hits, cache.misses
+    miss_seconds0 = cache.miss_seconds
     tracer: Tracer | None = None
     sink: MemorySink | None = None
     if traced:
@@ -360,18 +408,21 @@ def _climb_restart(
                 )
             matrix, current_ratio = candidate, ratio
         trajectory.append(current_ratio)
+    hits = cache.hits - hits0
+    misses = cache.misses - misses0
+    miss_seconds = cache.miss_seconds - miss_seconds0
     if tracer is not None:
         tracer.end(
             "restart",
             restart=restart_index,
             best_ratio=round(current_ratio, 6),
             evaluations=evaluations,
-            cache_hits=cache.hits,
-            cache_misses=cache.misses,
+            cache_hits=hits,
+            cache_misses=misses,
         )
     records = sink.records if sink is not None else []
     return (
-        (matrix, current_ratio, trajectory, evaluations, cache.hits, cache.misses),
+        (matrix, current_ratio, trajectory, evaluations, hits, misses, miss_seconds),
         records,
     )
 
@@ -436,12 +487,27 @@ def search_adversary(
     tags = [
         f"restart-{index}/seed-{config.seed}" for index in range(len(plans))
     ]
-    effective_runner = (
-        runner if runner is not None else ParallelRunner(force_serial=True)
-    )
-    climbs = effective_runner.map_traced(
-        _climb_restart, tasks, tracer=active_tracer, tags=tags
-    )
+    climb_started = time.perf_counter()
+    if config.shared_cache:
+        # Merge-as-you-go: one cache, restarts in order, each seeing the
+        # merged contents of all earlier ones.  Hits return exactly what
+        # recomputation would, so this matches per-restart results bit
+        # for bit; a passed runner is deliberately not fanned out.
+        shared = ScoreCache()
+        climbs = []
+        for index, task in enumerate(tasks):
+            result, records = _climb_restart(task, cache=shared)
+            if active_tracer is not None and records:
+                active_tracer.replay(records, worker=tags[index])
+            climbs.append(result)
+    else:
+        effective_runner = (
+            runner if runner is not None else ParallelRunner(force_serial=True)
+        )
+        climbs = effective_runner.map_traced(
+            _climb_restart, tasks, tracer=active_tracer, tags=tags
+        )
+    wall_clock = time.perf_counter() - climb_started
 
     best_matrix: np.ndarray | None = None
     best_ratio = -1.0
@@ -449,11 +515,21 @@ def search_adversary(
     evaluations = 0
     cache_hits = 0
     cache_misses = 0
-    for matrix, current_ratio, restart_trajectory, restart_evals, hits, misses in climbs:
+    miss_seconds = 0.0
+    for (
+        matrix,
+        current_ratio,
+        restart_trajectory,
+        restart_evals,
+        hits,
+        misses,
+        restart_miss_seconds,
+    ) in climbs:
         trajectory.extend(restart_trajectory)
         evaluations += restart_evals
         cache_hits += hits
         cache_misses += misses
+        miss_seconds += restart_miss_seconds
         if current_ratio > best_ratio:
             best_ratio, best_matrix = current_ratio, matrix
 
@@ -481,4 +557,7 @@ def search_adversary(
         evaluations=evaluations,
         score_cache_hits=cache_hits,
         score_cache_misses=cache_misses,
+        shared_cache=config.shared_cache,
+        wall_clock_seconds=wall_clock,
+        score_cache_miss_seconds=miss_seconds,
     )

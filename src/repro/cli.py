@@ -7,6 +7,7 @@ Subcommands::
     repro run-all [--quick]         # run every experiment
     repro export EXP-A --dir out/   # run + write .txt/.json/.csv bundle
     repro search dlru-edf           # adversary-hunt a scheme
+    repro offline --method rds      # exact offline optimum of a seeded workload
     repro describe trace.json       # workload statistics for a saved trace
     repro record run.jsonl          # traced run: JSONL trace + metrics
     repro trace run.jsonl           # render a recorded trace as a timeline
@@ -99,6 +100,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         restarts=args.restarts,
         seed=args.seed,
         horizon=args.horizon,
+        shared_cache=args.shared_cache,
     )
     # Restarts are pre-seeded, so parallel results match serial exactly.
     runner = (
@@ -116,6 +118,94 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
         save_instance(result.best_instance, args.save)
         print(f"saved to:     {args.save}")
+    return 0
+
+
+def _cmd_offline(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.offline.optimal import (
+        SearchSpaceExceeded,
+        optimal_offline,
+        optimal_offline_exhaustive,
+    )
+    from repro.workloads.random_batched import random_general
+
+    instance = random_general(
+        args.colors,
+        args.resources,
+        args.horizon,
+        seed=args.seed,
+        rate=args.rate,
+        bound_choices=tuple(args.bounds),
+    )
+    tracer = None
+    sink = None
+    if args.trace:
+        from repro.obs import JsonlSink, Tracer
+
+        sink = JsonlSink(args.trace)
+        tracer = Tracer(sink)
+    started = time.perf_counter()
+    try:
+        result = optimal_offline(
+            instance,
+            args.resources,
+            method=args.method,
+            max_states=args.max_states,
+            tracer=tracer,
+        )
+    except SearchSpaceExceeded as exc:
+        print(
+            f"search space exceeded after {exc.nodes_expanded} nodes "
+            f"(best incumbent {exc.best_incumbent}, "
+            f"top bound source {exc.bound_source}); raise --max-states"
+        )
+        return 1
+    finally:
+        if sink is not None:
+            sink.close()
+    elapsed = time.perf_counter() - started
+    print(f"instance:       {instance.name} (horizon {instance.horizon})")
+    print(f"method:         {result.method}")
+    print(f"optimal cost:   {result.cost}")
+    print(
+        f"breakdown:      {result.num_reconfigs} reconfigs, "
+        f"{result.num_drops} drops"
+    )
+    print(f"nodes expanded: {result.nodes_expanded}")
+    print(f"pruned:         {result.candidates_pruned}")
+    if result.warm_start_cost is not None:
+        print(f"warm start:     {result.warm_start_cost}")
+    if result.bound_source_histogram:
+        hist = result.bound_source_histogram
+        parts = [
+            f"{name}: {hist[name]}"
+            for name in sorted(hist, key=hist.get, reverse=True)
+        ]
+        print("bound sources:  " + "  ".join(parts))
+    print(f"wall clock:     {elapsed:.3f}s")
+    if args.check:
+        check = (
+            optimal_offline_exhaustive(instance, args.resources)
+            if args.check == "exhaustive"
+            else optimal_offline(
+                instance,
+                args.resources,
+                method=args.check,
+                max_states=args.max_states,
+            )
+        )
+        agree = check.cost == result.cost
+        print(
+            f"cross-check:    {args.check} cost {check.cost} "
+            f"({check.nodes_expanded} nodes) — "
+            + ("agreement" if agree else "MISMATCH")
+        )
+        if not agree:
+            return 1
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -401,7 +491,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for restarts (default: REPRO_PARALLEL or 1)",
     )
     p_search.add_argument("--save", help="write the found instance as JSON")
+    p_search.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="share the score cache across restarts (serial climbs; "
+        "identical results, higher hit rate)",
+    )
     p_search.set_defaults(func=_cmd_search)
+
+    p_offline = sub.add_parser(
+        "offline",
+        help="solve a seeded workload to the exact offline optimum",
+    )
+    p_offline.add_argument("--colors", type=int, default=3)
+    p_offline.add_argument("--resources", type=int, default=2)
+    p_offline.add_argument("--horizon", type=int, default=48)
+    p_offline.add_argument("--seed", type=int, default=0)
+    p_offline.add_argument("--rate", type=float, default=0.4)
+    p_offline.add_argument(
+        "--bounds",
+        type=int,
+        nargs="+",
+        default=(2, 4),
+        help="delay-bound choices for the random workload",
+    )
+    p_offline.add_argument(
+        "--method",
+        choices=("rds", "legacy", "exhaustive"),
+        default="rds",
+        help="solver: rds (banded suffix-bounded search, default), "
+        "legacy branch-and-bound, or exhaustive",
+    )
+    p_offline.add_argument(
+        "--max-states", type=int, default=2_000_000, help="node budget"
+    )
+    p_offline.add_argument(
+        "--check",
+        choices=("exhaustive", "legacy"),
+        default=None,
+        help="cross-check the optimum against a second solver",
+    )
+    p_offline.add_argument(
+        "--trace", default=None, help="write the offline_solve span as JSONL"
+    )
+    p_offline.set_defaults(func=_cmd_offline)
 
     p_describe = sub.add_parser(
         "describe", help="summarize a saved trace (.json or .csv)"

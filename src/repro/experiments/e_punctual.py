@@ -25,11 +25,14 @@ from repro.workloads.random_batched import random_general
 def run(
     *,
     seeds: tuple[int, ...] = (0, 1, 2, 3, 4, 5),
-    horizon: int = 20,
+    horizon: int = 64,
     num_colors: int = 3,
     m: int = 2,
     exact_state_budget: int = 700_000,
 ) -> ExperimentReport:
+    # horizon 64 (was 20): the RDS solver reaches it in fewer nodes than
+    # the legacy branch-and-bound spent at 20, so the punctualization
+    # constants are now measured on 3x longer exact OPT schedules.
     report = ExperimentReport(
         "EXP-P", "Lemma 5.3: punctualization factors on exact optimal schedules"
     )

@@ -136,11 +136,19 @@ def summarize_trace(records: Iterable[TraceRecord]) -> dict:
     rounds_simulated = 0
     rounds_fast_forwarded = 0
     run_info: dict = {}
+    offline_info: dict = {}
+    rds_pass_info: dict = {}
     for record in records:
         if record.worker is not None:
             workers.add(record.worker)
         if record.name == "run":
             run_info.update(record.data)
+            continue
+        if record.name == "offline_solve":
+            offline_info.update(record.data)
+            continue
+        if record.name == "rds_pass":
+            rds_pass_info.update(record.data)
             continue
         if record.name == "round":
             if record.kind == "span_start":
@@ -172,6 +180,8 @@ def summarize_trace(records: Iterable[TraceRecord]) -> dict:
         "drops_by_color": drops_by_color,
         "executions_by_color": execs_by_color,
         "workers": sorted(workers),
+        "offline_solve": offline_info,
+        "rds_pass": rds_pass_info,
     }
 
 
@@ -211,6 +221,34 @@ def render_trace_stats(records: Sequence[TraceRecord]) -> str:
         if per_color:
             parts = [f"c{color}: {per_color[color]}" for color in sorted(per_color)]
             lines.append(f"{title}: " + "  ".join(parts))
+    offline = summary["offline_solve"]
+    if offline:
+        lines.append(
+            f"offline solve ({offline.get('method', '?')}): "
+            f"cost {offline.get('cost')}  "
+            f"nodes {offline.get('states_explored')}  "
+            f"pruned {offline.get('candidates_pruned')}"
+            + (
+                f"  warm start {offline['warm_start_cost']}"
+                if offline.get("warm_start_cost") is not None
+                else ""
+            )
+        )
+        sources = offline.get("bound_sources") or {}
+        if sources:
+            parts = [
+                f"{name}: {sources[name]}"
+                for name in sorted(sources, key=sources.get, reverse=True)
+            ]
+            lines.append("  bound sources: " + "  ".join(parts))
+        rds = summary["rds_pass"]
+        if rds:
+            lines.append(
+                f"  rds pass: {rds.get('suffixes_solved', 0)}"
+                f"/{rds.get('suffixes', '?')} suffixes solved"
+                f"  budget {rds.get('budget')}"
+                + ("  (truncated)" if rds.get("truncated") else "")
+            )
     if summary["workers"]:
         lines.append("workers: " + ", ".join(summary["workers"]))
     return "\n".join(lines) if lines else "(empty trace)"

@@ -20,13 +20,18 @@ from repro.offline.handcrafted import (
     appendix_b_offline_schedule,
 )
 from repro.offline.lower_bounds import (
+    ColorPhaseBound,
+    IntervalPackingRelaxation,
     capacity_lower_bound,
     combined_lower_bound,
     par_edf_drop_lower_bound,
     per_color_lower_bound,
+    warm_start_incumbent,
 )
 from repro.offline.optimal import (
+    OFFLINE_METHODS,
     OptimalResult,
+    SearchSpaceExceeded,
     optimal_offline,
     optimal_offline_exhaustive,
 )
@@ -39,7 +44,12 @@ __all__ = [
     "combined_lower_bound",
     "par_edf_drop_lower_bound",
     "per_color_lower_bound",
+    "ColorPhaseBound",
+    "IntervalPackingRelaxation",
+    "warm_start_incumbent",
+    "OFFLINE_METHODS",
     "OptimalResult",
+    "SearchSpaceExceeded",
     "optimal_offline",
     "optimal_offline_exhaustive",
     "LookaheadPolicy",

@@ -1,4 +1,4 @@
-"""Exact offline optimum by memoized branch-and-bound search.
+"""Exact offline optimum by Russian Doll Search over nested suffixes.
 
 For small instances this computes the true ``Cost_OFF`` the paper's
 ratios are defined against.  The search space is kept finite by three
@@ -16,54 +16,115 @@ facts about the problem:
   depends only on the cache multiset and the pending multiset
   ``{(color, deadline) -> count}``.
 
-:func:`optimal_offline` runs an *iterative* depth-first branch-and-bound:
-candidate configurations at each node are ordered by an optimistic cost
-(reconfiguration plus an admissible suffix lower bound from
-:mod:`repro.offline.lower_bounds`), so a good incumbent is found early
-and provably-dominated candidates are cut without expanding their
-subtrees.  Rounds with nothing pending fast-forward to the next arrival.
-The pruning is per-node — a candidate is cut only when its optimistic
-cost cannot beat the node's own incumbent — so every memoized value
-``(round, cache, pending) -> (min future cost, best configuration)``
-stays exact and the decisions replay into a feasible
-:class:`~repro.core.schedule.Schedule` checked by the shared verifier.
-A ``max_states`` guard protects against accidental use on large
-instances.  :func:`optimal_offline_exhaustive` keeps the original
-recursive exhaustive search for cross-checking.
+:func:`optimal_offline` defaults to **Russian Doll Search** (Verfaillie,
+Lemaitre & Schiex) over a *banded layered forward DP*:
+
+1. a **suffix pass** solves the nested suffix subproblems
+   ``[r, horizon)`` in decreasing ``r`` at the instance's *renewal
+   rounds* (arrival rounds every earlier deadline precedes, so pending
+   is provably empty there under any schedule), each from a wild root —
+   any cache reachable for free — and records their exact optima; the
+   recorded values become the admissible ``rds_bound(k) +
+   transition_floor`` layer of the bound oracle, and each solve is
+   itself banded by the values recorded before it (the nesting that
+   names the method);
+2. a **warm-started incumbent** seeds the band: the ΔLRU-EDF replay
+   through the fast engine
+   (:func:`~repro.offline.lower_bounds.warm_start_incumbent`), tightened
+   by a width-2 beam walk of the DP itself whose terminal cost is a
+   certified feasible schedule cost;
+3. the **main solve** sweeps the state space one round-layer at a time
+   (topological, so every state's minimal prefix cost ``g`` is final
+   when expanded — no re-expansion thrash), keeping only states whose
+   ``g +`` admissible bound fits under the incumbent and pruning
+   layer-mates that are *dominated* — same cache, no cheaper prefix,
+   and pending at least as large and urgent colorwise (a coupling
+   argument makes their cost-to-go no smaller).  The admissible bound
+   is the max of the legacy per-color floors, the
+   :class:`~repro.offline.lower_bounds.ColorPhaseBound` phase
+   decomposition, the recorded Russian Doll values, and the fractional
+   :class:`~repro.offline.lower_bounds.IntervalPackingRelaxation`.
+
+The optimal path always survives the band (its ``g`` plus any admissible
+bound never exceeds the optimum, which never exceeds a certified
+incumbent), so the terminal minimum is exact and its back-pointer chain
+replays into a feasible :class:`~repro.core.schedule.Schedule` checked
+by the shared verifier.
+
+``method="legacy"`` keeps the previous iterative branch-and-bound
+(per-node incumbents, suffix floors only) and ``method="exhaustive"``
+the original recursive exhaustive search — both used by tests and the
+offline bench to cross-check costs node-for-node.  A ``max_states``
+guard protects against accidental use on large instances; when it fires,
+:class:`SearchSpaceExceeded` now carries the nodes expanded, the best
+incumbent found, and the dominant bound source, so truncated solves are
+diagnosable instead of opaque.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations_with_replacement
-from typing import Iterator
 
 from repro.core.cost import CostBreakdown
 from repro.core.instance import Instance
 from repro.core.job import BLACK, Job
 from repro.core.schedule import Schedule
 from repro.core.validation import verify_schedule
-from repro.offline.lower_bounds import pending_drop_floor, pending_reconfig_floor
+from repro.offline.lower_bounds import (
+    ColorPhaseBound,
+    IntervalPackingRelaxation,
+    pending_drop_floor,
+    pending_reconfig_floor,
+    warm_start_incumbent,
+)
 
 #: pending is a sorted tuple of ((color, deadline), count).
 PendingKey = tuple[tuple[tuple[int, int], int], ...]
 CacheKey = tuple[int, ...]
 
+_HUGE = 1 << 60
+
+#: Recognized ``optimal_offline(..., method=)`` values.
+OFFLINE_METHODS = ("rds", "legacy", "exhaustive")
+
 
 class SearchSpaceExceeded(RuntimeError):
-    """Raised when the memo table outgrows ``max_states``."""
+    """Raised when the search outgrows ``max_states``.
+
+    Carries enough context to diagnose a truncated solve:
+    ``nodes_expanded`` (decision nodes expanded before the guard fired),
+    ``best_incumbent`` (cost of the best feasible schedule known so far,
+    ``None`` if none), and ``bound_source`` (the bound layer that did the
+    most pruning up to the truncation, ``"none"`` before any prune).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        nodes_expanded: int | None = None,
+        best_incumbent: int | None = None,
+        bound_source: str = "none",
+    ) -> None:
+        super().__init__(message)
+        self.nodes_expanded = nodes_expanded
+        self.best_incumbent = best_incumbent
+        self.bound_source = bound_source
 
 
 @dataclass(frozen=True)
 class OptimalResult:
     """Exact optimum plus a witness schedule.
 
-    ``candidates_pruned`` counts candidate configurations cut without
-    expanding their subtrees (sorted-order cutoffs plus admissible
-    suffix-bound cuts) — the branch-and-bound's effectiveness metric,
-    exported to the ``offline.*`` telemetry instruments.
+    ``candidates_pruned`` counts states and edges cut without expansion;
+    ``bound_source_histogram`` attributes those cuts to the filter that
+    made them (``rds``, ``relaxation``, ``phase``, ``drop_floor``,
+    ``reconfig_floor``, ``dominance``, ``terminal``) — the effectiveness
+    metrics exported to the ``offline.*`` telemetry instruments and
+    surfaced by ``repro stats``.
     """
 
     cost: int
@@ -71,6 +132,14 @@ class OptimalResult:
     breakdown: CostBreakdown
     states_explored: int
     candidates_pruned: int = 0
+    bound_source_histogram: dict[str, int] = field(default_factory=dict)
+    method: str = "legacy"
+    warm_start_cost: int | None = None
+
+    @property
+    def nodes_expanded(self) -> int:
+        """Decision nodes expanded (alias of ``states_explored``)."""
+        return self.states_explored
 
     @property
     def num_reconfigs(self) -> int:
@@ -194,8 +263,877 @@ def _future_arrivals_by_color(
     return out
 
 
+class _BoundOracle:
+    """Layered admissible bounds on the cost-to-go, with attribution.
+
+    :meth:`bound` returns the maximum of three independently admissible
+    layers and the name of the winning layer:
+
+    * the **legacy suffix floors** — per-color reconfigure-or-drop over
+      pending *plus future* jobs, max'd with the pending capacity drop
+      floor (exactly the previous branch-and-bound's bound);
+    * the **Russian Doll bound** — the recorded value of the nearest
+      *solved* suffix subproblem at or after the state's round (suffix
+      values bound the cost of the jobs they cover, so a later suffix
+      still bounds an earlier state) plus
+      a *transition floor* on the carried pending jobs: the capacity drop
+      floor, max'd with a reconfigure-or-drop charge restricted to
+      pending colors with **no future arrivals** — such colors are
+      excisable from the suffix witness, so their charge is provably
+      disjoint from the suffix optimum and the sum stays admissible;
+    * the **interval-packing relaxation** — the fractional capacity LP
+      over pending and future jobs jointly, the fallback where the
+      suffix table is truncated.
+    """
+
+    __slots__ = (
+        "m",
+        "delta",
+        "drop_cost",
+        "future_by_color",
+        "packing",
+        "phases",
+        "rds_rounds",
+        "rds_values",
+        "solved_indices",
+    )
+
+    def __init__(
+        self,
+        arrivals: dict[int, dict[tuple[int, int], int]],
+        arrival_rounds: list[int],
+        m: int,
+        delta: int,
+        drop_cost: int,
+        horizon: int,
+    ) -> None:
+        self.m = m
+        self.delta = delta
+        self.drop_cost = drop_cost
+        self.future_by_color = _future_arrivals_by_color(arrivals)
+        self.packing = IntervalPackingRelaxation(arrivals, m, drop_cost)
+        self.phases = ColorPhaseBound(arrivals, m, horizon, delta, drop_cost)
+        self.rds_rounds = arrival_rounds
+        self.rds_values: list[int] = [0] * len(arrival_rounds)
+        #: Ascending arrival-round indices with a recorded suffix value.
+        #: Suffix roots sit only at renewal rounds, so the solved set is a
+        #: *sparse subset* of a tail — a bound lookup must hop to the next
+        #: recorded index, not read the (zero) slot in between.
+        self.solved_indices: list[int] = []
+
+    def record_suffix(self, index: int, value: int) -> None:
+        self.rds_values[index] = value
+        # The pass records suffixes in strictly decreasing index order.
+        self.solved_indices.insert(0, index)
+
+    @property
+    def suffixes_solved(self) -> int:
+        return len(self.solved_indices)
+
+    def has_solved_at_or_after(self, index: int) -> bool:
+        return bool(self.solved_indices) and index <= self.solved_indices[-1]
+
+    def rds_floor(self, start_round: int) -> int:
+        """Value of the nearest recorded suffix at/after the round."""
+        i = bisect_left(self.rds_rounds, start_round)
+        j = bisect_left(self.solved_indices, i)
+        if j == len(self.solved_indices):
+            return 0
+        return self.rds_values[self.solved_indices[j]]
+
+    def _future_count(self, color: int, start_round: int) -> int:
+        entry = self.future_by_color.get(color)
+        if entry is None:
+            return 0
+        rounds, suffix = entry
+        i = bisect_right(rounds, start_round - 1)
+        return suffix[i] if i < len(rounds) else 0
+
+    def legacy_floor(
+        self, start_round: int, cache: CacheKey, pending: PendingKey
+    ) -> tuple[int, str]:
+        """The previous solver's suffix bound, with source attribution."""
+        per_color: dict[int, int] = {}
+        for (color, _), count in pending:
+            per_color[color] = per_color.get(color, 0) + count
+        for color in self.future_by_color:
+            future = self._future_count(color, start_round)
+            if future:
+                per_color[color] = per_color.get(color, 0) + future
+        merged = [((color, 0), count) for color, count in per_color.items()]
+        floor = pending_reconfig_floor(
+            merged, set(cache), self.delta, self.drop_cost
+        )
+        source = "reconfig_floor"
+        if pending:
+            drops = pending_drop_floor(
+                pending, start_round, self.m, self.drop_cost
+            )
+            if drops > floor:
+                floor, source = drops, "drop_floor"
+        return floor, source
+
+    def transition_floor(
+        self, start_round: int, cache: CacheKey, pending: PendingKey
+    ) -> int:
+        """Admissible add-on to the suffix optimum for carried pending jobs.
+
+        Capacity drops among the pending jobs (future jobs only shrink
+        the capacity available to them), max'd with reconfigure-or-drop
+        charges for uncached pending colors that never arrive again —
+        both provably disjoint from the suffix subproblem's costs.
+        """
+        if not pending:
+            return 0
+        floor = pending_drop_floor(pending, start_round, self.m, self.drop_cost)
+        stale = 0
+        per_color: dict[int, int] = {}
+        for (color, _), count in pending:
+            per_color[color] = per_color.get(color, 0) + count
+        cached = set(cache)
+        for color, count in per_color.items():
+            if color in cached:
+                continue
+            if self._future_count(color, start_round):
+                continue
+            stale += min(self.delta, count * self.drop_cost)
+        return max(floor, stale)
+
+    def cheap_bound(
+        self, start_round: int, cache: CacheKey, pending: PendingKey
+    ) -> tuple[int, str]:
+        """Max of the O(|pending|) layers and the name of the winner.
+
+        The packing relaxation is excluded — the solver evaluates it
+        lazily, only on candidate rows these layers fail to prune.
+        """
+        best, source = self.legacy_floor(start_round, cache, pending)
+        phased = self.phases.floor(start_round, cache, pending)
+        if phased > best:
+            best, source = phased, "phase"
+        rds = self.rds_floor(start_round)
+        if rds:
+            layered = rds + self.transition_floor(start_round, cache, pending)
+            if layered > best:
+                best, source = layered, "rds"
+        return best, source
+
+    def bound(
+        self, start_round: int, cache: CacheKey, pending: PendingKey
+    ) -> tuple[int, str]:
+        """Max of every layer and the name of the winner."""
+        best, source = self.cheap_bound(start_round, cache, pending)
+        packed = self.packing.floor(start_round, pending)
+        if packed > best:
+            best, source = packed, "relaxation"
+        return best, source
+
+
+def _deadline_profile(pending: PendingKey) -> dict[int, tuple[int, ...]]:
+    """Per-color ascending deadline list of a pending multiset."""
+    per_color: dict[int, list[int]] = {}
+    for (color, deadline), count in pending:
+        per_color.setdefault(color, []).extend((deadline,) * count)
+    return {color: tuple(dls) for color, dls in per_color.items()}
+
+
+def _at_least_as_hard(
+    easy: dict[int, tuple[int, ...]], hard: dict[int, tuple[int, ...]]
+) -> bool:
+    """Whether ``hard`` colorwise covers ``easy`` with tighter deadlines.
+
+    For every color, ``hard`` must hold at least as many jobs and its
+    ``i``-th most urgent deadline must be at most ``easy``'s — i.e. for
+    every ``d``, ``hard`` has at least as many jobs due by ``d``.  Then a
+    coupling argument (run any schedule for ``hard``, execute the
+    matched ``easy`` job whenever it executes a matched job, drop the
+    match of every drop) shows the optimal cost-to-go from ``easy`` is
+    no larger, so with no cheaper prefix the harder state is dominated.
+    """
+    for color, deadlines in easy.items():
+        other = hard.get(color)
+        if other is None or len(other) < len(deadlines):
+            return False
+        for d_hard, d_easy in zip(other, deadlines):
+            if d_hard > d_easy:
+                return False
+    return True
+
+
+class _RDSSolver:
+    """Russian Doll Search over a banded layered forward DP.
+
+    The engine (:meth:`_forward`) sweeps pre-phase states one round at a
+    time.  Layers make the order topological — a state's minimal prefix
+    cost ``g`` is final when its layer is processed, so nothing is ever
+    re-expanded (the re-expansion thrash of allowance-propagating DFBB
+    is what kept the legacy solver competitive despite weaker bounds).
+    Three sound filters shrink each layer:
+
+    * **banding** — an edge whose ``g`` + admissible child bound exceeds
+      a *certified* incumbent (a feasible schedule's cost) is cut; the
+      optimal path's ``g`` is its prefix cost, any admissible bound is
+      at most its true tail, and their sum is at most the optimum ≤ the
+      incumbent, so the optimal path always survives;
+    * **dominance** — a layer-mate with the same cache, no cheaper
+      prefix, and colorwise at-least-as-hard pending
+      (:func:`_at_least_as_hard`) can never finish cheaper, so it is
+      pruned before expansion;
+    * **lazy-reconfiguration normal form** — some optimal schedule only
+      recolors a slot in a round where the new color immediately
+      executes, so candidates growing a color past its backlog are
+      unreachable in the normal form and skipped.
+
+    States with nothing pending fast-forward to the next arrival round
+    (configuration timing is free, so keeping the cache dominates).  The
+    terminal layer's minimum is the exact optimum and its back-pointer
+    chain is the witness schedule.
+
+    :meth:`run_suffix_pass` first solves wild-root suffix subproblems at
+    **renewal rounds** (arrival rounds every earlier job's deadline
+    precedes — pending is provably empty there under any schedule) in
+    decreasing order with the same engine; each solve is banded by the
+    drop-everything completion, the warm incumbent, and the values
+    recorded before it, and its recorded optimum feeds the bound
+    oracle's ``rds`` layer for every earlier solve — the nesting that
+    gives Russian Doll Search its name.  Instances whose arrivals form
+    one busy period have a single renewal (the first arrival round,
+    owned by the main solve), so the pass is free exactly when it
+    cannot help.  :meth:`_beam_incumbent` then walks the same DP at a
+    fixed beam width; its terminal value is a real schedule's cost and
+    usually tightens the ΔLRU-EDF warm start into a near-optimal band.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        m: int,
+        *,
+        max_states: int,
+        rds_budget: int | None = None,
+        warm_cost: int | None = None,
+    ) -> None:
+        self.m = m
+        self.delta = instance.spec.reconfig_cost
+        self.drop_cost = instance.spec.cost.drop_cost
+        self.horizon = instance.horizon
+        self.arrivals = _arrivals_by_round(instance)
+        self.arrival_rounds = sorted(self.arrivals)
+        self.oracle = _BoundOracle(
+            self.arrivals,
+            self.arrival_rounds,
+            m,
+            self.delta,
+            self.drop_cost,
+            self.horizon,
+        )
+        #: Witness decisions on the optimal path only (replay reads the
+        #: chosen cache and exactness flag; values are not consulted).
+        self.memo: dict[
+            tuple[int, CacheKey, PendingKey], tuple[int, CacheKey, bool]
+        ] = {}
+        self.max_states = max_states
+        self.cap = max_states
+        #: States kept per layer by the incumbent-seeding beam walk.  A
+        #: narrow beam keeps the incumbent cost negligible; dominance
+        #: pruning in the main sweep recovers what a wider beam would
+        #: have saved.
+        self.beam_width = 2
+        #: Node budget reserved for the suffix pass (the rest belongs to
+        #: the full solve; an early-finishing pass donates its remainder).
+        #: The default keeps the pass proportional to the horizon: the
+        #: deepest dolls — shortest, cheapest, and covering the rounds
+        #: where every other floor is weakest — are solved first (the
+        #: pass runs in decreasing ``r``), and truncating the rest costs
+        #: only bound sharpness, never admissibility.
+        self.rds_budget = (
+            rds_budget
+            if rds_budget is not None
+            else max(64, min(max_states // 2, self.horizon))
+        )
+        self.expanded = 0
+        self.pruned = 0
+        self.bound_hist: dict[str, int] = {}
+        self._parents: dict[
+            tuple[int, CacheKey, PendingKey],
+            tuple[int, CacheKey, PendingKey, CacheKey],
+        ] = {}
+        self.warm_cost = warm_cost
+        self.incumbent = warm_cost
+        self.rds_truncated = False
+        # Per-arrival-round bookkeeping (indices align with
+        # ``arrival_rounds``): batch sizes, suffix job totals (for the
+        # drop-everything node upper bound), colors with any arrival at
+        # or after the round (the wild-root candidate pool — restricting
+        # it to currently-pending colors would inflate suffix values
+        # above the true wild optimum, breaking admissibility), and the
+        # renewal flags that place suffix roots.
+        n = len(self.arrival_rounds)
+        self.batch_sizes = [
+            sum(self.arrivals[r].values()) for r in self.arrival_rounds
+        ]
+        self.suffix_jobs = [0] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            self.suffix_jobs[i] = self.suffix_jobs[i + 1] + self.batch_sizes[i]
+        self.colors_from: list[tuple[int, ...]] = []
+        acc: set[int] = set()
+        for r in reversed(self.arrival_rounds):
+            for (color, _) in self.arrivals[r]:
+                acc.add(color)
+            self.colors_from.append(tuple(sorted(acc)))
+        self.colors_from.reverse()
+        # Renewal rounds: arrival rounds r with every earlier deadline
+        # <= r, so pending is empty there under *any* schedule.  Suffix
+        # roots live only here — one wild solve per busy period instead
+        # of one per arrival round.
+        self.renewal_indices: list[int] = []
+        max_deadline = 0
+        for i, r in enumerate(self.arrival_rounds):
+            if max_deadline <= r:
+                self.renewal_indices.append(i)
+            for (_, deadline), _count in self.arrivals[r].items():
+                if deadline > max_deadline:
+                    max_deadline = deadline
+
+    def _future_jobs_from(self, k: int) -> int:
+        """Jobs arriving at any round >= k."""
+        return self.suffix_jobs[bisect_left(self.arrival_rounds, k)]
+
+    def _exceeded(self) -> SearchSpaceExceeded:
+        source = "none"
+        if self.bound_hist:
+            source = max(self.bound_hist, key=self.bound_hist.get)
+        return SearchSpaceExceeded(
+            f"optimal_offline exceeded {self.cap} states "
+            f"({self.expanded} nodes expanded, best incumbent "
+            f"{self.incumbent}, dominant bound source {source}); the "
+            f"instance is too large for exact search",
+            nodes_expanded=self.expanded,
+            best_incumbent=self.incumbent,
+            bound_source=source,
+        )
+
+    def run_suffix_pass(self) -> None:
+        """Solve renewal suffixes ``[r, horizon)`` in decreasing ``r``.
+
+        Each suffix starts from the wild layer — every cache over the
+        colors still to arrive, each at prefix cost zero (the best
+        reachable abstraction of any state entering round ``r``) — so
+        its value lower-bounds the cost-to-go of every concrete state
+        there.  Later suffixes' recorded values band earlier solves via
+        the oracle's ``rds`` layer — the nesting that gives Russian Doll
+        Search its name.  The first renewal (always the first arrival
+        round) belongs to the main solve and is skipped.  The pass stops
+        early when its node budget runs out; recorded suffixes stay
+        valid, and the sparse lookup in :meth:`_BoundOracle.rds_floor`
+        keeps the partial table admissible.
+        """
+        self.cap = min(self.max_states, self.rds_budget)
+        try:
+            for index in reversed(self.renewal_indices[1:]):
+                if self.expanded >= self.cap:
+                    self.rds_truncated = True
+                    break
+                r = self.arrival_rounds[index]
+                pool = self.colors_from[index]
+                base: CacheKey = (BLACK,) * self.m
+                init = {
+                    (cand, ()): 0
+                    for cand in _candidate_caches(base, pool, self.m)
+                }
+                # Only *certified* upper bounds may seed the band: the
+                # drop-everything completion of the suffix, the warm
+                # incumbent (any suffix wild value is <= the value of
+                # some state on the warm schedule's trajectory <= the
+                # warm cost), and a beam walk of the suffix itself —
+                # whichever is tightest.
+                cutoff = self.suffix_jobs[index] * self.drop_cost
+                if self.warm_cost is not None and self.warm_cost < cutoff:
+                    cutoff = self.warm_cost
+                beam_ub = self._beam_incumbent(r, init)
+                if beam_ub < cutoff:
+                    cutoff = beam_ub
+                value, _ = self._forward(r, init, cutoff, collect_path=False)
+                self.oracle.record_suffix(index, value)
+        except SearchSpaceExceeded:
+            # Mid-solve truncation: every recorded suffix is still a
+            # certified exact optimum; only the open solve is lost.
+            self.rds_truncated = True
+        finally:
+            self.cap = self.max_states
+
+    def run_main(self) -> int:
+        """Beam incumbent, then the banded sweep from the black root."""
+        beam_ub = self._beam_incumbent()
+        cutoff = beam_ub
+        if self.warm_cost is not None and self.warm_cost < cutoff:
+            cutoff = self.warm_cost
+        self.incumbent = cutoff
+        root = ((BLACK,) * self.m, ())
+        value, terminal = self._forward(
+            0, {root: 0}, cutoff, collect_path=True
+        )
+        self.incumbent = value
+        self._fill_memo(terminal)
+        return value
+
+    def run(self) -> tuple[int, int | None]:
+        """Suffix pass, then the full solve from the all-black root."""
+        self.run_suffix_pass()
+        return self.run_main(), self.warm_cost
+
+    def _prune_dominated(
+        self, layer: dict[tuple[CacheKey, PendingKey], int]
+    ) -> dict[tuple[CacheKey, PendingKey], int]:
+        """Drop layer states dominated by a cheaper layer-mate.
+
+        States are visited cheapest-``g`` (then smallest pending) first.
+        A state is dominated when some already-kept state has colorwise
+        easier pending (:func:`_at_least_as_hard`) and a prefix cheaper
+        by at least ``Δ`` per slot color the dominated cache holds beyond
+        the keeper's — the keeper can simulate any schedule of the
+        dominated state, paying at most one recoloring per missing slot
+        color, so the dominated state can never finish cheaper.  Kept
+        states were expanded before any of their children exist, so no
+        surviving back-pointer ever targets a pruned state.
+        """
+        items: list[tuple[int, int, PendingKey, CacheKey]] = []
+        for (cache, pending), g in layer.items():
+            size = sum(count for _, count in pending)
+            items.append((g, size, pending, cache))
+        items.sort()
+        kept: list[
+            tuple[int, dict[int, tuple[int, ...]], Counter]
+        ] = []
+        out: dict[tuple[CacheKey, PendingKey], int] = {}
+        for g, _, pending, cache in items:
+            profile = _deadline_profile(pending)
+            counts = Counter(c for c in cache if c != BLACK)
+            dominated = False
+            for g0, profile0, counts0 in kept:
+                if g0 >= g:
+                    # Sorted ascending: keepers from here on are at best
+                    # as cheap, and a positive recoloring surcharge only
+                    # raises the bar further — same-``g`` mates with
+                    # missing colors can never dominate.
+                    break
+                missing = sum(
+                    max(0, count - counts0.get(color, 0))
+                    for color, count in counts.items()
+                )
+                if g0 + self.delta * missing <= g and _at_least_as_hard(
+                    profile0, profile
+                ):
+                    dominated = True
+                    break
+            if dominated:
+                self.pruned += 1
+                self.bound_hist["dominance"] = (
+                    self.bound_hist.get("dominance", 0) + 1
+                )
+            else:
+                kept.append((g, profile, counts))
+                out[(cache, pending)] = g
+        return out
+
+    def _candidate_rows(
+        self, cache: CacheKey, pending2: PendingKey
+    ) -> list[tuple[int, CacheKey]]:
+        """Lazy-normal-form candidates as ``(reconfig cost, cache)`` rows.
+
+        Some optimal schedule only ever recolors a slot in a round where
+        the new color executes a job immediately (postponing an idle
+        recoloring — the slot keeps its old color, forced EDF can only
+        execute *more*, and the deferred recoloring still costs at most
+        Δ — never increases cost), so candidates where a strictly
+        increased color count exceeds that color's post-arrival backlog
+        are unreachable in the normal form and skipped outright.
+        """
+        pend_count: dict[int, int] = {}
+        for (c, _), count in pending2:
+            pend_count[c] = pend_count.get(c, 0) + count
+        pending_colors = tuple(sorted(pend_count))
+        rows: list[tuple[int, CacheKey]] = []
+        for cand in _candidate_caches(cache, pending_colors, self.m):
+            lazy = True
+            for c in set(cand):
+                if c == BLACK:
+                    continue
+                grown = cand.count(c)
+                if grown > cache.count(c) and grown > pend_count.get(c, 0):
+                    lazy = False
+                    break
+            if lazy:
+                rows.append((_reconfig_count(cache, cand) * self.delta, cand))
+        return rows
+
+    def _forward(
+        self,
+        start: int,
+        init: dict[tuple[CacheKey, PendingKey], int],
+        cutoff: int,
+        *,
+        collect_path: bool,
+    ) -> tuple[int, tuple[int, CacheKey, PendingKey] | None]:
+        """Banded layered sweep from ``init`` at round ``start``.
+
+        ``cutoff`` must be a *certified* upper bound on the optimum from
+        ``init`` — the cost of some feasible completion — so the band
+        ``g + bound <= cutoff`` provably keeps the optimal path and the
+        terminal minimum is exact.  With ``collect_path`` the argmin
+        terminal state and the back-pointer chain to it are retained
+        (read by :meth:`_fill_memo`); the suffix pass skips both.
+        """
+        horizon = self.horizon
+        drop = self.drop_cost
+        oracle = self.oracle
+        layers: dict[int, dict[tuple[CacheKey, PendingKey], int]] = {
+            start: dict(init)
+        }
+        parents: dict[
+            tuple[int, CacheKey, PendingKey],
+            tuple[int, CacheKey, PendingKey, CacheKey],
+        ] = {}
+
+        def relax(
+            round_: int,
+            state: tuple[CacheKey, PendingKey],
+            g: int,
+            k: int,
+            prev: tuple[CacheKey, PendingKey],
+            chosen: CacheKey,
+        ) -> None:
+            tgt = layers.setdefault(round_, {})
+            if g < tgt.get(state, _HUGE):
+                tgt[state] = g
+                if collect_path:
+                    parents[(round_,) + state] = (k,) + prev + (chosen,)
+
+        for k in range(start, horizon):
+            layer = layers.pop(k, None)
+            if not layer:
+                continue
+            if len(layer) > 1:
+                layer = self._prune_dominated(layer)
+            for state, g in layer.items():
+                cache, pending = state
+                self.expanded += 1
+                if self.expanded > self.cap:
+                    raise self._exceeded()
+                dropped, pending2 = _drop_and_arrive(k, pending, self.arrivals)
+                g2 = g + dropped * drop
+                if not pending2:
+                    # Inactive stretch: with nothing pending, keeping the
+                    # configuration dominates (timing is free) — jump to
+                    # the next arrival round in one step.
+                    nxt = bisect_right(self.arrival_rounds, k)
+                    if nxt == len(self.arrival_rounds):
+                        next_k = horizon
+                        bound = 0
+                        source = "terminal"
+                    else:
+                        next_k = self.arrival_rounds[nxt]
+                        bound, source = oracle.cheap_bound(next_k, cache, ())
+                    if g2 + bound > cutoff:
+                        self.pruned += 1
+                        self.bound_hist[source] = (
+                            self.bound_hist.get(source, 0) + 1
+                        )
+                        continue
+                    relax(next_k, (cache, ()), g2, k, state, cache)
+                    continue
+                k1 = k + 1
+                for reconfig, cand in self._candidate_rows(cache, pending2):
+                    g3 = g2 + reconfig
+                    after = _execute_abstract(cand, pending2)
+                    if k1 >= horizon:
+                        bound = sum(count for _, count in after) * drop
+                        source = "terminal"
+                    else:
+                        bound, source = oracle.cheap_bound(k1, cand, after)
+                        packed = oracle.packing.floor(k1, after)
+                        if packed > bound:
+                            bound, source = packed, "relaxation"
+                    if g3 + bound > cutoff:
+                        self.pruned += 1
+                        self.bound_hist[source] = (
+                            self.bound_hist.get(source, 0) + 1
+                        )
+                        continue
+                    relax(k1, (cand, after), g3, k, state, cand)
+
+        best: int | None = None
+        best_state: tuple[int, CacheKey, PendingKey] | None = None
+        for (cache, pending), g in layers.get(horizon, {}).items():
+            # Past the horizon every leftover drops (it extends past all
+            # deadlines, so nothing could still execute).
+            value = g + sum(count for _, count in pending) * drop
+            if best is None or value < best:
+                best = value
+                best_state = (horizon, cache, pending)
+        # The optimal path survives the band under a certified cutoff.
+        assert best is not None and best <= cutoff
+        if collect_path:
+            self._parents = parents
+        return best, best_state
+
+    def _beam_incumbent(
+        self,
+        start: int = 0,
+        init: dict[tuple[CacheKey, PendingKey], int] | None = None,
+    ) -> int:
+        """Certified upper bound from a fixed-width walk of the DP.
+
+        Identical transitions, no banding, but each layer is truncated
+        to the :attr:`beam_width` states with the smallest ``g`` +
+        cheap admissible bound.  Every surviving terminal is the cost of
+        a concrete feasible schedule (from some ``init`` state), so the
+        minimum is a certified incumbent for :meth:`_forward` over the
+        same ``init`` — usually far tighter than the ΔLRU-EDF replay.
+        """
+        horizon = self.horizon
+        drop = self.drop_cost
+        oracle = self.oracle
+        width = self.beam_width
+        if init is None:
+            init = {((BLACK,) * self.m, ()): 0}
+        layers: dict[int, dict[tuple[CacheKey, PendingKey], int]] = {
+            start: dict(init)
+        }
+        for k in range(start, horizon):
+            layer = layers.pop(k, None)
+            if not layer:
+                continue
+            if len(layer) > width:
+                scored = sorted(
+                    layer.items(),
+                    key=lambda item: (
+                        item[1] + oracle.cheap_bound(k, *item[0])[0],
+                        item[0],
+                    ),
+                )
+                layer = dict(scored[:width])
+            for (cache, pending), g in layer.items():
+                self.expanded += 1
+                if self.expanded > self.cap:
+                    raise self._exceeded()
+                dropped, pending2 = _drop_and_arrive(k, pending, self.arrivals)
+                g2 = g + dropped * drop
+                if not pending2:
+                    nxt = bisect_right(self.arrival_rounds, k)
+                    next_k = (
+                        self.arrival_rounds[nxt]
+                        if nxt < len(self.arrival_rounds)
+                        else horizon
+                    )
+                    tgt = layers.setdefault(next_k, {})
+                    st = (cache, ())
+                    if g2 < tgt.get(st, _HUGE):
+                        tgt[st] = g2
+                    continue
+                for reconfig, cand in self._candidate_rows(cache, pending2):
+                    after = _execute_abstract(cand, pending2)
+                    tgt = layers.setdefault(k + 1, {})
+                    st = (cand, after)
+                    if g2 + reconfig < tgt.get(st, _HUGE):
+                        tgt[st] = g2 + reconfig
+        ub = min(
+            (
+                g + sum(count for _, count in pending) * drop
+                for (_, pending), g in layers.get(horizon, {}).items()
+            ),
+            default=None,
+        )
+        # Keep-the-cache transitions always exist, so the beam never
+        # dies before the horizon.
+        assert ub is not None
+        return ub
+
+    def _fill_memo(
+        self, terminal: tuple[int, CacheKey, PendingKey] | None
+    ) -> None:
+        """Write the argmin terminal's back-pointer chain into ``memo``.
+
+        Replay walks every round, so fast-forward jumps fill the skipped
+        (empty-pending) rounds with keep-the-cache decisions.  Memo
+        values are never consulted by replay — only the chosen cache and
+        the exactness flag — so they are stored as zero.
+        """
+        if terminal is None:
+            return
+        round_, cache, pending = terminal
+        while True:
+            link = self._parents.get((round_, cache, pending))
+            if link is None:
+                break
+            prev_round, prev_cache, prev_pending, chosen = link
+            self.memo[(prev_round, prev_cache, prev_pending)] = (
+                0,
+                chosen,
+                True,
+            )
+            for j in range(prev_round + 1, round_):
+                self.memo[(j, chosen, ())] = (0, chosen, True)
+            round_, cache, pending = prev_round, prev_cache, prev_pending
+        # Trailing arrival-free rounds after a jump straight to the
+        # horizon are already filled by the loop above; nothing pends at
+        # or past the horizon, so no terminal entry is needed.
+
+
+def optimal_offline(
+    instance: Instance,
+    num_resources: int,
+    *,
+    max_states: int = 2_000_000,
+    method: str = "rds",
+    warm_start: bool = True,
+    rds_budget: int | None = None,
+    engine: str | None = None,
+    tracer=None,
+    registry=None,
+) -> OptimalResult:
+    """Compute the exact optimal offline cost and a witness schedule.
+
+    ``method`` selects the solver:
+
+    * ``"rds"`` (default) — Russian Doll Search over the banded layered
+      forward DP: nested renewal-suffix solves, layered admissible
+      bounds, dominance pruning, and a warm-started incumbent tightened
+      by a beam walk (see the module docstring).  ``warm_start=False``
+      skips the ΔLRU-EDF replay (the beam incumbent still seeds the
+      band); ``rds_budget`` caps the nodes the suffix pass may spend
+      (default: one node per horizon round, at most half of
+      ``max_states``); ``engine`` picks the replay backend
+      (``"vectorized"`` for numpy).
+    * ``"legacy"`` — the previous iterative branch-and-bound with the
+      suffix floors only, kept for benchmarking the RDS speedup.
+    * ``"exhaustive"`` — the original recursive exhaustive search
+      (:func:`optimal_offline_exhaustive`), the cross-check oracle.
+
+    ``states_explored`` counts expanded decision nodes (for ``"rds"``
+    including the suffix pass), so methods compare node-for-node.
+
+    Optional observability: a ``tracer`` records an ``offline_solve``
+    span (instance, resources → cost, nodes, prunes, bound sources) with
+    a nested ``rds_pass`` span for the suffix solves; a metrics
+    ``registry`` accumulates ``offline.*`` counters.
+    """
+    if num_resources <= 0:
+        raise ValueError("need at least one resource")
+    if method not in OFFLINE_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {OFFLINE_METHODS}"
+        )
+    if method == "exhaustive":
+        return optimal_offline_exhaustive(
+            instance, num_resources, max_states=max_states
+        )
+    active_tracer = (
+        tracer
+        if tracer is not None and getattr(tracer, "enabled", True)
+        else None
+    )
+    if active_tracer is not None:
+        active_tracer.begin(
+            "offline_solve",
+            instance=instance.name or "instance",
+            resources=num_resources,
+            horizon=instance.horizon,
+            method=method,
+        )
+    m = num_resources
+
+    if method == "legacy":
+        total_cost, memo, expanded, pruned = _solve_legacy(
+            instance, m, max_states
+        )
+        hist: dict[str, int] = {}
+        warm_cost = None
+    else:
+        warm_cost = (
+            warm_start_incumbent(instance, m, engine=engine)
+            if warm_start
+            else None
+        )
+        solver = _RDSSolver(
+            instance,
+            m,
+            max_states=max_states,
+            rds_budget=rds_budget,
+            warm_cost=warm_cost,
+        )
+        if active_tracer is not None:
+            active_tracer.begin(
+                "rds_pass",
+                suffixes=max(0, len(solver.renewal_indices) - 1),
+                budget=solver.rds_budget,
+            )
+            try:
+                solver.run_suffix_pass()
+            finally:
+                active_tracer.end(
+                    "rds_pass",
+                    suffixes_solved=solver.oracle.suffixes_solved,
+                    truncated=solver.rds_truncated,
+                    nodes=solver.expanded,
+                )
+            try:
+                total_cost = solver.run_main()
+            except SearchSpaceExceeded:
+                active_tracer.end(
+                    "offline_solve",
+                    truncated=True,
+                    states_explored=solver.expanded,
+                )
+                raise
+        else:
+            total_cost, _ = solver.run()
+        memo = solver.memo
+        expanded = solver.expanded
+        pruned = solver.pruned
+        hist = dict(solver.bound_hist)
+
+    arrivals = _arrivals_by_round(instance)
+    schedule = _replay(instance, m, memo, arrivals)
+    breakdown = schedule.cost(instance.sequence.jobs, instance.cost_model)
+    if breakdown.total != total_cost:
+        raise AssertionError(
+            f"replayed schedule cost {breakdown.total} != search cost {total_cost}"
+        )
+    if warm_cost is not None and total_cost > warm_cost:
+        raise AssertionError(
+            f"search cost {total_cost} exceeds the warm-start incumbent "
+            f"{warm_cost} — the incumbent replay is not a feasible upper bound"
+        )
+    verify_schedule(instance, schedule).raise_if_invalid()
+    if registry is not None:
+        registry.counter("offline.states_expanded").inc(expanded)
+        registry.counter("offline.candidates_pruned").inc(pruned)
+        for source, count in hist.items():
+            registry.counter(f"offline.bound.{source}").inc(count)
+    if active_tracer is not None:
+        active_tracer.end(
+            "offline_solve",
+            cost=total_cost,
+            states_explored=expanded,
+            candidates_pruned=pruned,
+            bound_sources=hist,
+            warm_start_cost=warm_cost,
+        )
+    return OptimalResult(
+        total_cost,
+        schedule,
+        breakdown,
+        expanded,
+        pruned,
+        bound_source_histogram=hist,
+        method=method,
+        warm_start_cost=warm_cost,
+    )
+
+
 class _Frame:
-    """One open node of the iterative depth-first branch-and-bound."""
+    """One open node of the legacy iterative branch-and-bound."""
 
     __slots__ = (
         "key",
@@ -221,41 +1159,15 @@ class _Frame:
         self.pending2: PendingKey = pending2
 
 
-def optimal_offline(
-    instance: Instance,
-    num_resources: int,
-    *,
-    max_states: int = 2_000_000,
-    tracer=None,
-    registry=None,
-) -> OptimalResult:
-    """Compute the exact optimal offline cost and a witness schedule.
+def _solve_legacy(
+    instance: Instance, m: int, max_states: int
+) -> tuple[int, dict, int, int]:
+    """The pre-RDS iterative branch-and-bound (suffix floors only).
 
-    Iterative depth-first branch-and-bound; see the module docstring.
-    ``states_explored`` counts expanded decision nodes, so it is directly
-    comparable to (and strictly smaller on pruned instances than) the
-    memo size of :func:`optimal_offline_exhaustive`.
-
-    Optional observability: a ``tracer`` records an ``offline_solve``
-    span (instance, resources → cost, states, prunes); a metrics
-    ``registry`` accumulates ``offline.states_expanded`` and
-    ``offline.candidates_pruned`` counters.
+    Kept verbatim as the baseline the offline bench measures RDS
+    against; per-node incumbents, candidates sorted by reconfiguration
+    cost, lazy child-state construction.
     """
-    if num_resources <= 0:
-        raise ValueError("need at least one resource")
-    active_tracer = (
-        tracer
-        if tracer is not None and getattr(tracer, "enabled", True)
-        else None
-    )
-    if active_tracer is not None:
-        active_tracer.begin(
-            "offline_solve",
-            instance=instance.name or "instance",
-            resources=num_resources,
-            horizon=instance.horizon,
-        )
-    m = num_resources
     delta = instance.spec.reconfig_cost
     drop_cost = instance.spec.cost.drop_cost
     horizon = instance.horizon
@@ -263,19 +1175,11 @@ def optimal_offline(
     arrival_rounds = sorted(arrivals)
     future_by_color = _future_arrivals_by_color(arrivals)
 
-    memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey]] = {}
+    memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey, bool]] = {}
     expanded = 0
     pruned = 0
 
     def suffix_bound(start_round: int, cache: CacheKey, pending: PendingKey) -> int:
-        """Admissible bound on the cost-to-go from a search state.
-
-        Maximum of the capacity drop floor over the pending jobs and the
-        per-color reconfiguration floor over pending *plus future* jobs:
-        an uncached color's jobs — whenever they arrive — still force a
-        recoloring (``>= Δ``) or their drops, so counting them keeps the
-        bound admissible while making it decisive near the root.
-        """
         per_color: dict[int, int] = {}
         for (color, _), count in pending:
             per_color[color] = per_color.get(color, 0) + count
@@ -297,21 +1201,17 @@ def optimal_offline(
         if expanded > max_states:
             raise SearchSpaceExceeded(
                 f"optimal_offline exceeded {max_states} states; the "
-                f"instance is too large for exact search"
+                f"instance is too large for exact search",
+                nodes_expanded=expanded,
+                best_incumbent=None,
+                bound_source="reconfig_floor",
             )
         k, cache, pending = key
         dropped, pending2 = _drop_and_arrive(k, pending, arrivals)
         phase_cost = dropped * drop_cost
         if not pending2:
-            # Inactive stretch: with nothing pending, keeping the current
-            # configuration dominates (configuration timing is free), so
-            # the node fast-forwards to the next arrival round.
             return _Frame(key, phase_cost, None, cache)
         pending_colors = tuple(sorted({c for ((c, _), _) in pending2}))
-        # Cheapest reconfigurations first: a good incumbent early makes
-        # the sorted-order cutoff in the main loop cheap and decisive.
-        # The post-execution state and suffix bound are computed lazily,
-        # only for candidates that survive the reconfiguration cutoff.
         cands = [
             [_reconfig_count(cache, candidate) * delta, candidate, None]
             for candidate in _candidate_caches(cache, pending_colors, m)
@@ -345,11 +1245,9 @@ def optimal_offline(
                     stack.append(expand(child_key))
                     continue
                 value = entry[0]
-            # Fill the skipped rounds so schedule replay (which walks
-            # every round) still finds its decisions.
             for j in range(k + 1, next_k):
-                memo[(j, cache, ())] = (value, cache)
-            memo[fr.key] = (fr.phase_cost + value, cache)
+                memo[(j, cache, ())] = (value, cache, True)
+            memo[fr.key] = (fr.phase_cost + value, cache, True)
             ret = fr.phase_cost + value
             stack.pop()
             continue
@@ -379,17 +1277,18 @@ def optimal_offline(
             after = row[2]
             if after is None:
                 after = row[2] = _execute_abstract(candidate, fr.pending2)
-            if k + 1 >= horizon:
+            k_next = fr.key[0]
+            if k_next + 1 >= horizon:
                 # Horizon extends past every deadline: leftovers drop.
                 value = sum(count for _, count in after) * drop_cost
             else:
-                child_key = (k + 1, candidate, after)
+                child_key = (k_next + 1, candidate, after)
                 entry = memo.get(child_key)
                 if entry is None:
                     if have_incumbent and (
                         fr.phase_cost
                         + reconfig
-                        + suffix_bound(k + 1, candidate, after)
+                        + suffix_bound(k_next + 1, candidate, after)
                         >= fr.best_cost
                     ):
                         # Admissible bound: the candidate provably cannot
@@ -410,30 +1309,12 @@ def optimal_offline(
             continue
 
         assert fr.best_cost is not None
-        memo[fr.key] = (fr.best_cost, fr.best_cache)
+        memo[fr.key] = (fr.best_cost, fr.best_cache, True)
         ret = fr.best_cost
         stack.pop()
 
     assert ret is not None
-    total_cost = ret
-    schedule = _replay(instance, m, memo, arrivals)
-    breakdown = schedule.cost(instance.sequence.jobs, instance.cost_model)
-    if breakdown.total != total_cost:
-        raise AssertionError(
-            f"replayed schedule cost {breakdown.total} != search cost {total_cost}"
-        )
-    verify_schedule(instance, schedule).raise_if_invalid()
-    if registry is not None:
-        registry.counter("offline.states_expanded").inc(expanded)
-        registry.counter("offline.candidates_pruned").inc(pruned)
-    if active_tracer is not None:
-        active_tracer.end(
-            "offline_solve",
-            cost=total_cost,
-            states_explored=expanded,
-            candidates_pruned=pruned,
-        )
-    return OptimalResult(total_cost, schedule, breakdown, expanded, pruned)
+    return ret, memo, expanded, pruned
 
 
 def optimal_offline_exhaustive(
@@ -445,7 +1326,7 @@ def optimal_offline_exhaustive(
     """Original recursive memoized exhaustive search.
 
     Kept as the reference implementation: the property tests cross-check
-    :func:`optimal_offline`'s branch-and-bound answers against it.
+    :func:`optimal_offline`'s Russian Doll answers against it.
     """
     if num_resources <= 0:
         raise ValueError("need at least one resource")
@@ -455,7 +1336,7 @@ def optimal_offline_exhaustive(
     horizon = instance.horizon
     arrivals = _arrivals_by_round(instance)
 
-    memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey]] = {}
+    memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey, bool]] = {}
     pruned = 0
 
     def solve(k: int, cache: CacheKey, pending: PendingKey) -> int:
@@ -470,7 +1351,9 @@ def optimal_offline_exhaustive(
         if len(memo) >= max_states:
             raise SearchSpaceExceeded(
                 f"optimal_offline exceeded {max_states} states; the "
-                f"instance is too large for exact search"
+                f"instance is too large for exact search",
+                nodes_expanded=len(memo),
+                best_incumbent=None,
             )
         dropped, pending2 = _drop_and_arrive(k, pending, arrivals)
         phase_cost = dropped * drop_cost
@@ -490,7 +1373,7 @@ def optimal_offline_exhaustive(
                 best_cost = total
                 best_cache = candidate
         assert best_cost is not None
-        memo[state] = (best_cost, best_cache)
+        memo[state] = (best_cost, best_cache, True)
         return best_cost
 
     import sys
@@ -510,19 +1393,24 @@ def optimal_offline_exhaustive(
             f"replayed schedule cost {breakdown.total} != search cost {total_cost}"
         )
     verify_schedule(instance, schedule).raise_if_invalid()
-    return OptimalResult(total_cost, schedule, breakdown, len(memo), pruned)
+    return OptimalResult(
+        total_cost, schedule, breakdown, len(memo), pruned, method="exhaustive"
+    )
 
 
 def _replay(
     instance: Instance,
     m: int,
-    memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey]],
+    memo: dict[tuple[int, CacheKey, PendingKey], tuple[int, CacheKey, bool]],
     arrivals: dict[int, dict[tuple[int, int], int]],
 ) -> Schedule:
     """Rebuild the witness schedule by replaying memoized decisions.
 
-    Tracks the abstract pre-phase state exactly as ``solve`` does, while
+    Tracks the abstract pre-phase state exactly as the solvers do, while
     maintaining concrete job queues and slot assignments to emit events.
+    Only exact memo entries are trusted — on the optimal path every
+    decision was solved to exactness, so an inexact entry here means the
+    path was lost.
     """
     schedule = Schedule(m)
     cache: CacheKey = (BLACK,) * m
@@ -537,9 +1425,9 @@ def _replay(
 
     for k in range(instance.horizon):
         entry = memo.get((k, cache, pending))
-        if entry is None:
+        if entry is None or not entry[2]:
             raise KeyError(f"optimal path lost at round {k}")
-        _, new_cache = entry
+        new_cache = entry[1]
 
         # Drop + arrival phases (abstract and concrete in lockstep).
         _, pending2 = _drop_and_arrive(k, pending, arrivals)

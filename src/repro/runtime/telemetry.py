@@ -29,8 +29,17 @@ from typing import Any, Mapping, Sequence
 #: skipping baseline rows without a throughput figure.
 BENCH_SCHEMA = "repro-bench-engine/v3"
 
+#: Schema of ``BENCH_offline.json`` — offline-optimum solver cells
+#: (seed x horizon x method -> nodes expanded, wall clock, cost) plus a
+#: horizon-reach summary.  Separate from :data:`BENCH_SCHEMA` because
+#: the rows carry solver identities, not engine throughput.
+OFFLINE_BENCH_SCHEMA = "repro-bench-offline/v1"
+
 #: Fields identifying one throughput measurement across runs.
 THROUGHPUT_KEY = ("resources", "colors", "horizon", "record", "engine")
+
+#: Fields identifying one offline-solver measurement across runs.
+OFFLINE_KEY = ("seed", "horizon", "method")
 
 
 def machine_context() -> dict[str, Any]:
@@ -49,16 +58,19 @@ def bench_payload(
     summary: Mapping[str, Any] | None = None,
     context: Mapping[str, Any] | None = None,
     metrics: Mapping[str, Any] | None = None,
+    schema: str = BENCH_SCHEMA,
 ) -> dict[str, Any]:
     """Assemble the BENCH json document from benchmark rows.
 
     ``metrics`` (schema v3) is an optional
     :meth:`repro.obs.metrics.MetricsRegistry.snapshot` payload recorded
     alongside the rows — counters/histograms from the instrumented run
-    that produced them.
+    that produced them.  ``schema`` selects the document family
+    (:data:`BENCH_SCHEMA` for engine throughput,
+    :data:`OFFLINE_BENCH_SCHEMA` for offline-solver cells).
     """
     payload = {
-        "schema": BENCH_SCHEMA,
+        "schema": schema,
         "machine": dict(context) if context is not None else machine_context(),
         "summary": dict(summary or {}),
         "rows": [dict(row) for row in rows],
@@ -75,9 +87,12 @@ def write_bench_json(
     summary: Mapping[str, Any] | None = None,
     context: Mapping[str, Any] | None = None,
     metrics: Mapping[str, Any] | None = None,
+    schema: str = BENCH_SCHEMA,
 ) -> dict[str, Any]:
     """Write the benchmark document to ``path`` and return it."""
-    payload = bench_payload(rows, summary=summary, context=context, metrics=metrics)
+    payload = bench_payload(
+        rows, summary=summary, context=context, metrics=metrics, schema=schema
+    )
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -187,4 +202,90 @@ def throughput_regressions(
                     "ratio": ratio,
                 }
             )
+    return regressions
+
+
+def offline_regressions(
+    baseline_rows: Sequence[Mapping[str, Any]],
+    fresh_rows: Sequence[Mapping[str, Any]],
+    *,
+    tolerance: float = 0.30,
+) -> list[dict[str, Any]]:
+    """Offline-solver cells whose nodes or wall clock grew past tolerance.
+
+    Rows are matched by :data:`OFFLINE_KEY`.  Two metrics are guarded per
+    matched cell, each failing when the fresh value exceeds the baseline
+    by more than ``tolerance``: ``nodes`` (deterministic — any growth is
+    an algorithmic change, so this rarely fires spuriously) and
+    ``seconds`` (wall clock; machine-sensitive, hence the wide default
+    tolerance and the machine context printed by the CI guard).  Fresh
+    cells without a baseline counterpart are reported as
+    ``missing_baseline`` so grid growth enters the baseline visibly;
+    baseline cells the fresh run skipped are ignored (smoke runs measure
+    a subset).  A fresh/baseline cost mismatch on a matched cell is
+    reported as ``kind="cost_mismatch"`` — both solvers are exact, so
+    that is a correctness bug, not a perf regression.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must lie in [0, 1)")
+    indexed: dict[tuple, Mapping[str, Any]] = {}
+    for row in baseline_rows:
+        if not all(field in row for field in OFFLINE_KEY):
+            continue
+        key = tuple(row[field] for field in OFFLINE_KEY)
+        if key in indexed:
+            raise ValueError(
+                f"duplicate offline cell in baseline: "
+                f"{dict(zip(OFFLINE_KEY, key))}"
+            )
+        indexed[key] = row
+    regressions: list[dict[str, Any]] = []
+    seen: set[tuple] = set()
+    for fresh in fresh_rows:
+        if not all(field in fresh for field in OFFLINE_KEY):
+            continue
+        key = tuple(fresh[field] for field in OFFLINE_KEY)
+        if key in seen:
+            raise ValueError(
+                f"duplicate offline cell in fresh rows: "
+                f"{dict(zip(OFFLINE_KEY, key))}"
+            )
+        seen.add(key)
+        baseline = indexed.get(key)
+        if baseline is None:
+            regressions.append(
+                {
+                    "kind": "missing_baseline",
+                    "key": dict(zip(OFFLINE_KEY, key)),
+                    "fresh_nodes": fresh.get("nodes"),
+                }
+            )
+            continue
+        if "cost" in baseline and "cost" in fresh and baseline["cost"] != fresh["cost"]:
+            regressions.append(
+                {
+                    "kind": "cost_mismatch",
+                    "key": dict(zip(OFFLINE_KEY, key)),
+                    "baseline_cost": baseline["cost"],
+                    "fresh_cost": fresh["cost"],
+                }
+            )
+            continue
+        for metric in ("nodes", "seconds"):
+            base_value = float(baseline.get(metric, 0) or 0)
+            fresh_value = float(fresh.get(metric, 0) or 0)
+            if base_value <= 0:
+                continue
+            ratio = fresh_value / base_value
+            if ratio > 1.0 + tolerance:
+                regressions.append(
+                    {
+                        "kind": "regression",
+                        "key": dict(zip(OFFLINE_KEY, key)),
+                        "metric": metric,
+                        "baseline": base_value,
+                        "fresh": fresh_value,
+                        "ratio": ratio,
+                    }
+                )
     return regressions

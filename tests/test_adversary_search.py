@@ -1,11 +1,14 @@
 """Tests of the randomized adversary search."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.algorithms.dlru import DeltaLRU
 from repro.algorithms.dlru_edf import DeltaLRUEDF
 from repro.algorithms.edf import EDF
 from repro.analysis.adversary_search import (
+    ScoreCache,
     SearchConfig,
     search_adversary,
 )
@@ -56,6 +59,52 @@ def test_pure_schemes_score_no_better_than_their_adversaries():
     # Not a strict theorem at this tiny scale, but the combination should
     # never be the most attackable of the three.
     assert combined.best_ratio <= worst_pure + 1.0
+
+
+class TestSharedCache:
+    def test_results_bit_identical_to_per_restart_mode(self):
+        # A cache hit returns exactly what recomputation would, so the
+        # cross-restart cache may only change the hit rate — never the
+        # trajectory, the best ratio, or the winning instance.
+        base = search_adversary(DeltaLRUEDF, QUICK)
+        shared = search_adversary(
+            DeltaLRUEDF, replace(QUICK, shared_cache=True)
+        )
+        assert shared.best_ratio == base.best_ratio
+        assert shared.trajectory == base.trajectory
+        assert [
+            (job.arrival, job.color, job.delay_bound)
+            for job in shared.best_instance.sequence
+        ] == [
+            (job.arrival, job.color, job.delay_bound)
+            for job in base.best_instance.sequence
+        ]
+
+    def test_hit_rate_never_drops_and_telemetry_is_reported(self):
+        base = search_adversary(DeltaLRUEDF, QUICK)
+        shared = search_adversary(
+            DeltaLRUEDF, replace(QUICK, shared_cache=True)
+        )
+        assert shared.shared_cache and not base.shared_cache
+        assert shared.score_cache_hits >= base.score_cache_hits
+        assert shared.score_cache_hit_rate >= base.score_cache_hit_rate
+        # Both runs report the wall-clock telemetry the delta comparison
+        # is built on.
+        assert base.wall_clock_seconds > 0
+        assert shared.wall_clock_seconds > 0
+        assert shared.score_cache_miss_seconds >= 0
+        assert shared.score_cache_saved_seconds >= 0
+
+    def test_merge_from_keeps_existing_entries(self):
+        ours = ScoreCache()
+        theirs = ScoreCache()
+        assert ours.online_cost(("k",), lambda: 1) == 1
+        assert theirs.online_cost(("k",), lambda: 1) == 1
+        assert theirs.offline_cost(("j",), lambda: 7) == 7
+        ours.merge_from(theirs)
+        # Existing entry kept, new entry absorbed — no recompute either way.
+        assert ours.online_cost(("k",), lambda: 99) == 1
+        assert ours.offline_cost(("j",), lambda: 99) == 7
 
 
 def test_upper_denominator_mode():
