@@ -1,0 +1,222 @@
+"""CI smoke for the live ops surface: serve + scrape during a parallel matrix.
+
+Boots the ops service on an ephemeral port, runs a small EXP-S matrix on
+parallel workers with per-cell metrics publishing and run recording, and
+checks the acceptance promises end to end:
+
+1. **Live scrapes survive a run.**  A background scraper hits
+   ``/metrics`` and ``/health`` continuously while the matrix executes;
+   every response must be HTTP 200 and parse as valid Prometheus text
+   exposition.
+2. **Exposition is exact.**  After the run, the served ``/metrics``
+   histogram ``_sum``/``_count`` series (and everything else under the
+   ``repro_`` prefix) must match a local fold of the same per-cell
+   snapshots through ``MetricsRegistry.merge_snapshot`` — byte for byte.
+3. **Health is green.**  ``/health`` reports ``status: ok`` with the
+   expected snapshot/run counts.
+4. **The registry serves.**  ``/runs`` returns one record per matrix
+   cell, and each record round-trips through the crash-safe store.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_ops_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+#: Small matrix: 2 instances x 2 schemes, enough for parallel workers to
+#: publish distinct snapshots while staying under a few seconds.
+COLORS, DELTA, HORIZON, RESOURCES = 6, 4, 256, 8
+SEEDS = (0, 1)
+
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z0-9_]+=\"(?:[^\"\\]|\\.)*\"(,[a-zA-Z0-9_]+=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$"
+)
+
+
+def _fetch(url: str) -> tuple[int, str]:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def _validate_exposition(text: str) -> list[str]:
+    """Return a list of malformed lines ('' means valid exposition)."""
+    bad = []
+    if text and not text.endswith("\n"):
+        bad.append("<missing trailing newline>")
+    for line in text.splitlines():
+        if not line or line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        if not _SAMPLE_LINE.match(line):
+            bad.append(line)
+    return bad
+
+
+def _check_serve_during_matrix(tmp: Path) -> int:
+    from repro.algorithms import DeltaLRU, DeltaLRUEDF
+    from repro.experiments.sweeps import run_matrix
+    from repro.obs import MetricsRegistry, prometheus_text
+    from repro.obs.registry import RegistrySink, RunRegistry
+    from repro.obs.service import OpsService, OpsState
+    from repro.runtime import ParallelRunner
+    from repro.workloads.random_batched import random_batched
+
+    failures = 0
+    run_registry = RunRegistry(tmp / "runs")
+    state = OpsState(run_registry=run_registry)
+    recorder = RegistrySink(run_registry)
+    snapshots: list[dict] = []
+
+    def publish(snapshot: dict) -> None:
+        snapshots.append(snapshot)
+        state.publish_snapshot(snapshot)
+
+    scrape_errors: list[str] = []
+    scrape_count = 0
+    stop_scraping = threading.Event()
+
+    with OpsService(state) as service:
+        base = service.url
+
+        def scrape_loop() -> None:
+            nonlocal scrape_count
+            while not stop_scraping.is_set():
+                try:
+                    status, body = _fetch(base + "/metrics")
+                    if status != 200:
+                        scrape_errors.append(f"/metrics HTTP {status}")
+                    else:
+                        bad = _validate_exposition(body)
+                        if bad:
+                            scrape_errors.append(f"malformed: {bad[:3]}")
+                    _fetch(base + "/health")
+                    scrape_count += 1
+                except Exception as error:  # noqa: BLE001 - report in main
+                    scrape_errors.append(repr(error))
+                stop_scraping.wait(0.02)
+
+        scraper = threading.Thread(target=scrape_loop, daemon=True)
+        scraper.start()
+        try:
+            instances = [
+                random_batched(
+                    COLORS, DELTA, HORIZON, seed=seed, load=0.5,
+                    name=f"smoke-seed{seed}",
+                )
+                for seed in SEEDS
+            ]
+            sweep = run_matrix(
+                instances,
+                [DeltaLRUEDF, DeltaLRU],
+                RESOURCES,
+                record="costs",
+                runner=ParallelRunner(max_workers=2),
+                recorder=recorder,
+                publish=publish,
+            )
+            state.note_run_recorded(recorder.recorded)
+        finally:
+            stop_scraping.set()
+            scraper.join(timeout=10)
+
+        cells = len(instances) * 2
+        if scrape_errors:
+            failures += 1
+            print(f"  FATAL: live scrapes failed: {scrape_errors[:5]}")
+        else:
+            print(f"  {scrape_count} live scrapes during the matrix, all clean")
+
+        # Exactness: fold the published snapshots locally and demand the
+        # served repro_* section (histogram _sum/_count included) match
+        # byte for byte.
+        merged = MetricsRegistry()
+        for snapshot in snapshots:
+            merged.merge_snapshot(snapshot)
+        expected = prometheus_text(merged)
+        status, served = _fetch(base + "/metrics")
+        if status != 200:
+            failures += 1
+            print(f"  FATAL: final /metrics HTTP {status}")
+        elif not served.startswith(expected):
+            failures += 1
+            print("  FATAL: served repro_* exposition != merged local registry")
+        else:
+            sums = [l for l in expected.splitlines() if "_sum" in l]
+            counts = [l for l in expected.splitlines() if "_count" in l]
+            print(
+                f"  served exposition matches merged registry exactly "
+                f"({len(sums)} _sum / {len(counts)} _count series)"
+            )
+        bad = _validate_exposition(served)
+        if bad:
+            failures += 1
+            print(f"  FATAL: final exposition malformed: {bad[:3]}")
+
+        status, body = _fetch(base + "/health")
+        health = json.loads(body)
+        if status != 200 or health.get("status") != "ok":
+            failures += 1
+            print(f"  FATAL: /health not green: HTTP {status} {health}")
+        elif health.get("snapshots_merged") != cells:
+            failures += 1
+            print(
+                f"  FATAL: expected {cells} merged snapshots, "
+                f"health says {health.get('snapshots_merged')}"
+            )
+        else:
+            print(
+                f"  /health green: {health['snapshots_merged']} snapshots, "
+                f"{health.get('runs_recorded')} runs recorded"
+            )
+
+        status, body = _fetch(base + "/runs")
+        runs = json.loads(body)["runs"]
+        if status != 200 or len(runs) != cells:
+            failures += 1
+            print(f"  FATAL: /runs returned {len(runs)} records, want {cells}")
+        else:
+            print(f"  /runs serves {len(runs)} records")
+
+    run_registry.close()
+
+    # Round-trip: a fresh handle on the directory sees every record.
+    reread = RunRegistry(tmp / "runs").records()
+    if len(reread) != cells:
+        failures += 1
+        print(f"  FATAL: registry reread found {len(reread)} records")
+    if sorted(r.total_cost for r in reread if r.total_cost is not None) != sorted(
+        int(cost) for row in sweep.total_costs for cost in row
+    ):
+        failures += 1
+        print("  FATAL: recorded costs do not match the sweep matrix")
+    else:
+        print("  registry round-trip matches the sweep's cost matrix")
+    return failures
+
+
+def main() -> int:
+    print("ops smoke: serve + scrape during a parallel matrix")
+    with tempfile.TemporaryDirectory() as tmp:
+        failures = _check_serve_during_matrix(Path(tmp))
+    if failures:
+        print(f"FAIL: {failures} ops smoke check(s) failed")
+        return 1
+    print(
+        "pass: live scrapes clean, exposition exact, health green, "
+        "registry serves"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

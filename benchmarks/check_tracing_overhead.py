@@ -17,9 +17,19 @@ best-of-N* so each pair sees the same thermal/cache conditions:
    lookups did.  Gate: geomean slowdown <= ``--metrics-threshold``
    (default 15%; was ~45-50% before the batching).
 
+3. **Sampled tracing holds its budget.**  A
+   :class:`~repro.obs.sampling.SamplingTracer` with the adaptive
+   controller must keep the overhead it can actually control — the cost
+   *above the floor* — under the target.  The floor is a sampling
+   tracer at ``probability=0.0``: monitor events, run/phase spans, and
+   the per-round keep decision are always-on guarantees (they dominate
+   total overhead), so the gate measures
+   ``(t_sampled - t_floor) / t_plain <= --sampling-threshold``
+   (default 5%, matching the controller's default target).
+
 Best-of-N is the right statistic: both variants of each pair run nearly
 identical code, so any gap beyond the real overhead is scheduling noise,
-and the minimum is the noise-robust estimator.  Both sections also
+and the minimum is the noise-robust estimator.  All sections also
 assert the instrumented run's cost is bit-identical to the plain one.
 
 Usage::
@@ -99,6 +109,87 @@ def _gate(label, repeats, variant_factory, threshold) -> tuple[bool, list[float]
     return overhead <= threshold, ratios
 
 
+def _sampling_gate(repeats: int, threshold: float) -> bool:
+    """Adaptive sampling must hold its above-floor overhead budget.
+
+    Interleaves plain / floor (``probability=0.0``) / adaptive runs so
+    all three see the same machine state, takes best-of-N each, and
+    gates the *time-weighted* above-floor overhead across cells:
+    ``(sum(t_sampled) - sum(t_floor)) / sum(t_plain)``.  Per-cell ratios
+    on the small cells are printed but not gated — a millisecond of
+    scheduler noise is 20% of a 5ms run.  Timing runs with gc paused.
+    Also requires all three costs bit-identical (sampling is strictly
+    observational).
+    """
+    import gc
+
+    from repro.obs.sampling import SamplingController, SamplingTracer
+    from repro.obs.tracing import MemorySink
+    from repro.workloads.random_batched import random_rate_limited
+
+    def _floor():
+        return SamplingTracer(
+            MemorySink(), controller=SamplingController(probability=0.0, seed=0)
+        )
+
+    def _adaptive():
+        return SamplingTracer(
+            MemorySink(),
+            controller=SamplingController(target_overhead=0.05, seed=0),
+        )
+
+    print(f"sampled tracing gate: {repeats} interleaved triples per cell")
+    totals = {"plain": 0.0, "floor": 0.0, "sampled": 0.0}
+    gc_was_enabled = gc.isenabled()
+    try:
+        for colors, delta, horizon, resources in CELLS:
+            instance = random_rate_limited(
+                colors, delta, horizon, seed=0, load=0.6, bound_choices=(2, 4, 8)
+            )
+            best = {"plain": math.inf, "floor": math.inf, "sampled": math.inf}
+            costs = {}
+            for _ in range(repeats):
+                for key, kwargs in (
+                    ("plain", {}),
+                    ("floor", {"tracer": _floor()}),
+                    ("sampled", {"tracer": _adaptive()}),
+                ):
+                    gc.collect()
+                    gc.disable()
+                    try:
+                        seconds, costs[key] = _run_cell(
+                            instance, resources, **kwargs
+                        )
+                    finally:
+                        gc.enable()
+                    best[key] = min(best[key], seconds)
+            if len(set(costs.values())) != 1:
+                print(
+                    f"  FATAL: cell {(colors, delta, horizon, resources)} "
+                    f"cost diverged under sampling: {costs}"
+                )
+                return False
+            for key in totals:
+                totals[key] += best[key]
+            above_floor = (best["sampled"] - best["floor"]) / best["plain"]
+            print(
+                f"  colors={colors} horizon={horizon}: "
+                f"{best['plain'] * 1e3:.1f}ms plain, "
+                f"{best['floor'] * 1e3:.1f}ms floor, "
+                f"{best['sampled'] * 1e3:.1f}ms adaptive "
+                f"(above-floor {above_floor:+.1%})"
+            )
+    finally:
+        if not gc_was_enabled:
+            gc.disable()
+    aggregate = (totals["sampled"] - totals["floor"]) / totals["plain"]
+    print(
+        f"  time-weighted above-floor overhead: {aggregate:+.1%} "
+        f"(gate {threshold:.0%})"
+    )
+    return aggregate <= threshold
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -112,6 +203,12 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.15,
         help="allowed fractional live-registry slowdown (default 0.15)",
+    )
+    parser.add_argument(
+        "--sampling-threshold",
+        type=float,
+        default=0.05,
+        help="allowed above-floor adaptive-sampling slowdown (default 0.05)",
     )
     parser.add_argument(
         "--repeats",
@@ -150,7 +247,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
 
-    print("pass: tracing and metrics are within their overhead budgets")
+    if not _sampling_gate(args.repeats, args.sampling_threshold):
+        print(
+            "FAIL: adaptive sampling exceeds its above-floor budget — "
+            "check that the controller starts at min_probability and that "
+            "the engine's keep_round shortcut is wired (BatchedEngine."
+            "_round_filter)"
+        )
+        return 1
+
+    print("pass: tracing, metrics, and sampling are within their budgets")
     return 0
 
 

@@ -434,6 +434,7 @@ def search_adversary(
     runner: ParallelRunner | None = None,
     tracer=None,
     registry=None,
+    recorder=None,
 ) -> SearchResult:
     """Hill-climb batch-size matrices to maximize the measured ratio.
 
@@ -446,6 +447,8 @@ def search_adversary(
     ``restart-{i}/seed-{s}``, so serial and parallel searches emit the
     same trace.  Pass a metrics ``registry`` to accumulate
     ``adversary.*`` counters (evaluations, score-cache hits/misses).
+    Pass a ``recorder`` (:class:`~repro.obs.registry.RegistrySink`) to
+    append the finished search to the persistent run registry.
     """
     config = config or SearchConfig()
     rng = np.random.default_rng(config.seed)
@@ -550,7 +553,7 @@ def search_adversary(
         )
 
     assert best_matrix is not None
-    return SearchResult(
+    result = SearchResult(
         best_instance=_decode(best_matrix, config, bounds),
         best_ratio=best_ratio,
         trajectory=trajectory,
@@ -561,3 +564,6 @@ def search_adversary(
         wall_clock_seconds=wall_clock,
         score_cache_miss_seconds=miss_seconds,
     )
+    if recorder is not None:
+        recorder.record_search(result, scheme=scheme_name, config=config)
+    return result

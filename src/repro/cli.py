@@ -15,7 +15,15 @@ Subcommands::
     repro obs monitor               # run with live invariant monitors attached
     repro obs diff a.jsonl b.jsonl  # first divergence + cost attribution
     repro obs export SRC --chrome=… # Perfetto / Prometheus exporters
+    repro runs list                 # persistent run registry: recent runs
+    repro runs show RUN_ID          # one run record in full
+    repro runs diff RUN_A RUN_B     # field/cost diff of two runs
+    repro serve --port 9100         # live ops HTTP: /metrics /health /runs
     repro demo                      # 30-second tour on a random workload
+
+``repro record|search|offline`` take ``--registry-dir DIR`` to append
+each invocation to the persistent run registry the ``runs`` and
+``serve`` commands read.
 
 Reports are printed as fixed-width tables plus ASCII series; pass
 ``--output PATH`` to also write the rendered report to a file.
@@ -26,6 +34,67 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+
+
+#: Where ``--registry-dir`` points when passed without a value.
+DEFAULT_REGISTRY_DIR = ".repro/runs"
+
+
+def _recorder_for(args: argparse.Namespace):
+    """RegistrySink for ``--registry-dir``, or None when not requested."""
+    registry_dir = getattr(args, "registry_dir", None)
+    if registry_dir is None:
+        return None
+    from repro.obs.registry import RegistrySink
+
+    return RegistrySink(registry_dir)
+
+
+def _open_registry(registry_dir: str):
+    """Open an existing registry for reading, or None (caller exits 1)."""
+    from repro.obs.registry import RunRegistry
+
+    root = Path(registry_dir)
+    if not root.is_dir() or not any(root.glob("seg-*.jsonl")):
+        print(
+            f"error: no run registry at {registry_dir} — record runs first "
+            "with `repro record|search|offline --registry-dir "
+            f"{registry_dir}`",
+            file=sys.stderr,
+        )
+        return None
+    return RunRegistry(root)
+
+
+def _load_trace(path: str, label: str = "trace"):
+    """Load a JSONL trace for a command, or None (caller exits 1).
+
+    Missing files, empty files, and truncated/corrupt JSONL all fail
+    with one clear line on stderr instead of a traceback.
+    """
+    from repro.obs.tracing import read_jsonl_trace
+
+    target = Path(path)
+    if not target.is_file():
+        print(f"error: {label} file {path} does not exist", file=sys.stderr)
+        return None
+    try:
+        records = read_jsonl_trace(target)
+    except ValueError as error:
+        print(
+            f"error: {label} file is truncated or corrupt — {error}\n"
+            "(a torn trailing line from a crashed writer can be skipped "
+            "with read_jsonl_trace(..., strict=False))",
+            file=sys.stderr,
+        )
+        return None
+    if not records:
+        print(
+            f"error: {label} file {path} contains no trace records",
+            file=sys.stderr,
+        )
+        return None
+    return records
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -108,7 +177,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         if args.jobs is not None
         else ParallelRunner.from_env(default_workers=1)
     )
-    result = search_adversary(scheme_factory, config, runner=runner)
+    result = search_adversary(
+        scheme_factory, config, runner=runner, recorder=_recorder_for(args)
+    )
     print(f"scheme:       {args.scheme}")
     print(f"evaluations:  {result.evaluations}")
     print(f"best ratio:   {result.best_ratio:.3f} (vs hindsight OFF)")
@@ -154,6 +225,7 @@ def _cmd_offline(args: argparse.Namespace) -> int:
             method=args.method,
             max_states=args.max_states,
             tracer=tracer,
+            recorder=_recorder_for(args),
         )
     except SearchSpaceExceeded as exc:
         print(
@@ -236,10 +308,34 @@ def _cmd_record(args: argparse.Namespace) -> int:
         load=args.load,
         name=f"record-seed{args.seed}",
     )
+    if args.sample is not None and args.epochs:
+        print("--epochs reads the full trace; it cannot ride a sampled one")
+        return 2
     registry = MetricsRegistry()
     profiler = PhaseProfiler() if args.profile else None
     with JsonlSink(args.out) as sink:
-        tracer = Tracer(sink)
+        if args.sample is not None:
+            from repro.obs.sampling import SamplingController, SamplingTracer
+
+            if args.sample == "adaptive":
+                controller = SamplingController(
+                    target_overhead=args.sample_target, seed=args.seed
+                )
+            else:
+                try:
+                    probability = float(args.sample)
+                except ValueError:
+                    print(
+                        "--sample takes a keep probability in [0, 1] "
+                        "or 'adaptive'"
+                    )
+                    return 2
+                controller = SamplingController(
+                    probability=probability, seed=args.seed
+                )
+            tracer = SamplingTracer(sink, controller=controller)
+        else:
+            tracer = Tracer(sink)
         result = simulate(
             instance,
             scheme_factory(),
@@ -259,11 +355,29 @@ def _cmd_record(args: argparse.Namespace) -> int:
             )
             emitted = annotate_epochs(analysis, tracer)
             print(f"annotated {emitted} epoch/super-epoch boundaries")
+    recorder = _recorder_for(args)
+    if recorder is not None:
+        record = recorder.record_simulate(
+            result,
+            engine=args.engine,
+            seed=args.seed,
+            metrics_snapshot=registry.snapshot(),
+            extra={"trace_path": str(args.out)},
+        )
+        print(f"recorded as run {record.run_id} in {args.registry_dir}")
     print(
         f"{instance.name}: total cost {result.total_cost} "
         f"(reconfig {result.cost.reconfig_cost}, drops {result.cost.drop_cost})"
     )
     print(f"trace written to {args.out}")
+    if args.sample is not None:
+        stats = tracer.controller.stats()
+        print(
+            f"sampling: kept {stats['rounds_kept']}/{stats['rounds_seen']} "
+            f"rounds at p={stats['probability']} "
+            f"({stats['records_emitted']} records emitted, "
+            f"{stats['records_suppressed']} suppressed)"
+        )
     print()
     print(render_metrics(registry.snapshot()))
     if profiler is not None:
@@ -274,18 +388,20 @@ def _cmd_record(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.render import render_trace_timeline
-    from repro.obs.tracing import read_jsonl_trace
 
-    records = read_jsonl_trace(args.trace)
+    records = _load_trace(args.trace)
+    if records is None:
+        return 1
     print(render_trace_timeline(records, max_rounds=args.rounds))
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs.render import render_trace_stats
-    from repro.obs.tracing import read_jsonl_trace
 
-    records = read_jsonl_trace(args.trace)
+    records = _load_trace(args.trace)
+    if records is None:
+        return 1
     print(render_trace_stats(records))
     return 0
 
@@ -367,13 +483,15 @@ def _cmd_obs_monitor(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_diff(args: argparse.Namespace) -> int:
-    from repro.obs import diff_traces, read_jsonl_trace, render_trace_diff
+    from repro.obs import diff_traces, render_trace_diff
 
-    diff = diff_traces(
-        read_jsonl_trace(args.trace_a),
-        read_jsonl_trace(args.trace_b),
-        num_ranges=args.ranges,
-    )
+    records_a = _load_trace(args.trace_a, label="baseline trace")
+    if records_a is None:
+        return 1
+    records_b = _load_trace(args.trace_b, label="candidate trace")
+    if records_b is None:
+        return 1
+    diff = diff_traces(records_a, records_b, num_ranges=args.ranges)
     print(render_trace_diff(diff))
     return 0 if diff.identical else 1
 
@@ -413,6 +531,115 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro.obs.registry import render_run_list
+
+    registry = _open_registry(args.registry_dir)
+    if registry is None:
+        return 1
+    print(render_run_list(registry.last(args.limit, kind=args.kind)))
+    if registry.skipped_lines:
+        print(
+            f"({registry.skipped_lines} torn trailing line(s) skipped "
+            "— crash debris)"
+        )
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    from repro.obs.registry import render_run
+
+    registry = _open_registry(args.registry_dir)
+    if registry is None:
+        return 1
+    try:
+        record = registry.get(args.run_id)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_run(record))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.registry import diff_runs, render_run_diff
+
+    registry = _open_registry(args.registry_dir)
+    if registry is None:
+        return 1
+    try:
+        record_a = registry.get(args.run_a)
+        record_b = registry.get(args.run_b)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    diff = diff_runs(record_a, record_b)
+    print(render_run_diff(diff))
+    return 0 if diff.identical_outcome else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.registry import RegistrySink, RunRegistry
+    from repro.obs.service import OpsService, OpsState
+
+    run_registry = (
+        RunRegistry(args.registry_dir) if args.registry_dir else None
+    )
+    state = OpsState(run_registry=run_registry)
+    service = OpsService(state, host=args.host, port=args.port)
+    service.start()
+    print(f"serving on {service.url}")
+    print("endpoints: /metrics  /health  /runs  /runs/<id>")
+    try:
+        if args.demo:
+            from repro.algorithms import DeltaLRU, DeltaLRUEDF, EDF
+            from repro.experiments.sweeps import run_matrix
+            from repro.runtime import ParallelRunner
+            from repro.workloads.random_batched import random_batched
+
+            instances = [
+                random_batched(
+                    6, 4, 256, seed=seed, load=0.5, name=f"serve-seed{seed}"
+                )
+                for seed in range(4)
+            ]
+            recorder = (
+                RegistrySink(run_registry) if run_registry is not None else None
+            )
+            sweep = run_matrix(
+                instances,
+                [DeltaLRUEDF, DeltaLRU, EDF],
+                8,
+                record="costs",
+                runner=ParallelRunner.from_env(default_workers=2),
+                recorder=recorder,
+                publish=state.publish_snapshot,
+            )
+            if recorder is not None:
+                state.note_run_recorded(recorder.recorded)
+            print(
+                "demo matrix done: "
+                + ", ".join(
+                    f"{name}={cost:.0f}"
+                    for name, cost in sweep.mean_cost_per_scheme().items()
+                )
+            )
+        if args.ttl is not None:
+            time.sleep(args.ttl)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.stop()
+        if run_registry is not None:
+            run_registry.close()
+    return 0
+
+
 def _cmd_demo(_: argparse.Namespace) -> int:
     from repro import DeltaLRU, DeltaLRUEDF, EDF, simulate
     from repro.analysis.competitive import best_effort_ratio
@@ -444,6 +671,18 @@ def _cmd_demo(_: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _add_registry_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--registry-dir",
+        nargs="?",
+        const=DEFAULT_REGISTRY_DIR,
+        default=None,
+        metavar="DIR",
+        help="append this invocation to the persistent run registry "
+        f"(default dir when passed bare: {DEFAULT_REGISTRY_DIR})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -497,6 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="share the score cache across restarts (serial climbs; "
         "identical results, higher hit rate)",
     )
+    _add_registry_dir(p_search)
     p_search.set_defaults(func=_cmd_search)
 
     p_offline = sub.add_parser(
@@ -534,6 +774,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_offline.add_argument(
         "--trace", default=None, help="write the offline_solve span as JSONL"
     )
+    _add_registry_dir(p_offline)
     p_offline.set_defaults(func=_cmd_offline)
 
     p_describe = sub.add_parser(
@@ -578,6 +819,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach the phase profiler and print its flame table",
     )
+    p_record.add_argument(
+        "--sample",
+        default=None,
+        metavar="P|adaptive",
+        help="downsample round-level trace detail: a fixed keep "
+        "probability in [0, 1], or 'adaptive' to hold tracing overhead "
+        "under --sample-target (monitor events are never sampled away)",
+    )
+    p_record.add_argument(
+        "--sample-target",
+        type=float,
+        default=0.05,
+        help="adaptive sampling overhead target as a fraction of wall "
+        "clock (default 0.05)",
+    )
+    _add_registry_dir(p_record)
     p_record.set_defaults(func=_cmd_record)
 
     p_trace = sub.add_parser(
@@ -663,6 +920,72 @@ def build_parser() -> argparse.ArgumentParser:
     p_oexp.add_argument("--chrome", help="write Chrome trace-event JSON here")
     p_oexp.add_argument("--prom", help="write Prometheus text exposition here")
     p_oexp.set_defaults(func=_cmd_obs_export)
+
+    p_runs = sub.add_parser(
+        "runs", help="query the persistent run registry"
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    p_rlist = runs_sub.add_parser("list", help="recent runs, one per line")
+    p_rlist.add_argument(
+        "--registry-dir", default=DEFAULT_REGISTRY_DIR, metavar="DIR"
+    )
+    p_rlist.add_argument(
+        "--limit", type=int, default=20, help="most recent N runs (default 20)"
+    )
+    p_rlist.add_argument(
+        "--kind",
+        choices=("simulate", "matrix", "search", "offline", "experiment"),
+        default=None,
+        help="only runs of this kind",
+    )
+    p_rlist.set_defaults(func=_cmd_runs_list)
+
+    p_rshow = runs_sub.add_parser("show", help="one run record in full")
+    p_rshow.add_argument("run_id", help="run id (abbreviations allowed)")
+    p_rshow.add_argument(
+        "--registry-dir", default=DEFAULT_REGISTRY_DIR, metavar="DIR"
+    )
+    p_rshow.set_defaults(func=_cmd_runs_show)
+
+    p_rdiff = runs_sub.add_parser(
+        "diff", help="field/cost diff of two recorded runs"
+    )
+    p_rdiff.add_argument("run_a", help="baseline run id")
+    p_rdiff.add_argument("run_b", help="candidate run id")
+    p_rdiff.add_argument(
+        "--registry-dir", default=DEFAULT_REGISTRY_DIR, metavar="DIR"
+    )
+    p_rdiff.set_defaults(func=_cmd_runs_diff)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="HTTP ops service: /metrics (Prometheus), /health, /runs",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--registry-dir",
+        default=DEFAULT_REGISTRY_DIR,
+        metavar="DIR",
+        help="run registry served under /runs (created if missing)",
+    )
+    p_serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small parallel matrix while serving, publishing "
+        "live metrics and registry records",
+    )
+    p_serve.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this many seconds (default: serve until Ctrl-C)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_demo = sub.add_parser("demo", help="30-second tour")
     p_demo.set_defaults(func=_cmd_demo)

@@ -68,9 +68,30 @@ class SweepResult:
         return ratios
 
 
-def _run_cell(task: tuple) -> RunResult:
-    """One (instance, scheme) cell; module-level so it pickles to workers."""
-    instance, factory, num_resources, copies, speed, verify, record, engine = task
+def _run_cell(task: tuple) -> tuple[RunResult, dict | None]:
+    """One (instance, scheme) cell; module-level so it pickles to workers.
+
+    Returns ``(result, metrics_snapshot)``; the snapshot is ``None``
+    unless the task asks for one (``publish=`` / live telemetry), and is
+    a plain dict so it crosses the process boundary and folds into any
+    parent registry via ``merge_snapshot``.
+    """
+    (
+        instance,
+        factory,
+        num_resources,
+        copies,
+        speed,
+        verify,
+        record,
+        engine,
+        with_metrics,
+    ) = task
+    registry = None
+    if with_metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
     result = simulate(
         instance,
         factory(),
@@ -79,10 +100,11 @@ def _run_cell(task: tuple) -> RunResult:
         speed=speed,
         record=record,
         engine=engine,
+        registry=registry,
     )
     if verify:
         result.verify(strict=True)
-    return result
+    return result, registry.snapshot() if registry is not None else None
 
 
 def run_matrix(
@@ -96,6 +118,8 @@ def run_matrix(
     record: str = "full",
     engine: str | None = None,
     runner: ParallelRunner | None = None,
+    recorder=None,
+    publish: Callable[[dict], None] | None = None,
 ) -> SweepResult:
     """Simulate every scheme on every instance; return the matrices.
 
@@ -105,6 +129,23 @@ def run_matrix(
     requires the ``repro[vec]`` extra).  Pass a ``runner`` to fan the
     cells out over worker processes; results are identical to a serial
     run — cells are pure and ordered.
+
+    Observability hooks (both optional, both off by default):
+
+    ``recorder``
+        A :class:`~repro.obs.registry.RegistrySink`; every cell is
+        appended to the persistent run registry as a ``kind="matrix"``
+        :class:`~repro.obs.registry.RunRecord` after the grid completes.
+    ``publish``
+        A callable receiving one metrics-registry *snapshot dict* per
+        cell (e.g. :meth:`repro.obs.service.OpsState.publish_snapshot`).
+        Cells then carry a private
+        :class:`~repro.obs.metrics.MetricsRegistry` whose snapshot flows
+        back from the worker process and is published *as each chunk
+        completes* — a live ``repro serve`` endpoint sees the matrix
+        fill in while it runs.  Merging every worker snapshot into one
+        registry reproduces exactly the single-process registry a serial
+        run would have built (``merge_snapshot`` is associative).
     """
     if not instances or not scheme_factories:
         raise ValueError("need at least one instance and one scheme")
@@ -119,28 +160,58 @@ def run_matrix(
         )
     if record == "costs":
         verify = False
+    with_metrics = publish is not None
     tasks = [
-        (instance, factory, num_resources, copies, speed, verify, record, engine)
+        (
+            instance,
+            factory,
+            num_resources,
+            copies,
+            speed,
+            verify,
+            record,
+            engine,
+            with_metrics,
+        )
         for factory in scheme_factories
         for instance in instances
     ]
-    cells = (
-        runner.map(_run_cell, tasks)
-        if runner is not None
-        else [_run_cell(task) for task in tasks]
-    )
+
+    def _publish_outputs(outputs) -> None:
+        for _result, snapshot in outputs:
+            if snapshot is not None:
+                publish(snapshot)
+
+    on_progress = _publish_outputs if publish is not None else None
+    if runner is not None:
+        cells = runner.map(_run_cell, tasks, progress=on_progress)
+    else:
+        cells = []
+        for task in tasks:
+            output = _run_cell(task)
+            if on_progress is not None:
+                on_progress([output])
+            cells.append(output)
     shape = (len(scheme_factories), len(instances))
     totals = np.zeros(shape, dtype=np.int64)
     reconfigs = np.zeros(shape, dtype=np.int64)
     drops = np.zeros(shape, dtype=np.int64)
     runs: list[list[RunResult]] = []
     for i in range(len(scheme_factories)):
-        row = cells[i * len(instances) : (i + 1) * len(instances)]
+        row = [cell for cell, _snapshot in cells[i * len(instances) : (i + 1) * len(instances)]]
         for j, result in enumerate(row):
             totals[i, j] = result.total_cost
             reconfigs[i, j] = result.cost.reconfig_cost
             drops[i, j] = result.cost.drop_cost
         runs.append(row)
+    if recorder is not None:
+        for result, snapshot in cells:
+            recorder.record_simulate(
+                result,
+                engine=engine,
+                kind="matrix",
+                metrics_snapshot=snapshot,
+            )
     return SweepResult(
         scheme_names=tuple(names),
         instance_names=tuple(

@@ -19,13 +19,23 @@ of them never changes a computed cost — property-tested):
   by phase/color/round-range.
 * :mod:`repro.obs.export` — Prometheus text exposition and Chrome
   trace-event / Perfetto JSON.
+* :mod:`repro.obs.registry` — crash-safe, append-only run registry
+  (JSONL segments) recording a :class:`~repro.obs.registry.RunRecord`
+  per simulate/search/offline invocation, plus run diffing.
+* :mod:`repro.obs.service` — threaded stdlib HTTP ops service exposing
+  ``/metrics`` (Prometheus), ``/health``, and ``/runs``.
+* :mod:`repro.obs.sampling` — seeded deterministic round-level trace
+  sampling with an adaptive overhead-bounding controller; monitor
+  events and run/phase spans are always kept.
 
-Entry points: pass ``tracer=`` / ``registry=`` / ``profiler=`` to
-:func:`repro.simulate` / :func:`repro.simulate_general` /
-:func:`repro.analysis.adversary_search.search_adversary` /
-:func:`repro.offline.optimal.optimal_offline`, or use the CLI
+Entry points: pass ``tracer=`` / ``registry=`` / ``profiler=`` /
+``recorder=`` to :func:`repro.simulate` / :func:`repro.simulate_general`
+/ :func:`repro.analysis.adversary_search.search_adversary` /
+:func:`repro.offline.optimal.optimal_offline` /
+:func:`repro.experiments.sweeps.run_matrix`, or use the CLI
 (``repro record`` / ``repro trace`` / ``repro stats`` /
-``repro obs monitor|diff|export``).
+``repro obs monitor|diff|export`` / ``repro runs list|show|diff`` /
+``repro serve``).
 """
 
 from repro.obs.analyze import TraceDiff, diff_traces, render_trace_diff
@@ -54,6 +64,26 @@ from repro.obs.monitor import (
     standard_monitors,
 )
 from repro.obs.profiling import PhaseProfiler, flame_table
+from repro.obs.registry import (
+    RegistryError,
+    RegistrySink,
+    RunDiff,
+    RunRecord,
+    RunRegistry,
+    diff_runs,
+    instance_digest,
+    render_run,
+    render_run_diff,
+    render_run_list,
+)
+from repro.obs.sampling import (
+    MONITOR_EVENT_NAMES,
+    SamplingController,
+    SamplingSink,
+    SamplingTracer,
+    sample_records,
+)
+from repro.obs.service import OpsService, OpsState
 from repro.obs.tracing import (
     JsonlSink,
     MemorySink,
@@ -74,13 +104,24 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "MONITOR_EVENT_NAMES",
     "MemorySink",
     "MetricsRegistry",
     "MonitorError",
     "NullSink",
+    "OpsService",
+    "OpsState",
     "POW2_BUCKETS",
     "PhaseProfiler",
     "RatioMonitor",
+    "RegistryError",
+    "RegistrySink",
+    "RunDiff",
+    "RunRecord",
+    "RunRegistry",
+    "SamplingController",
+    "SamplingSink",
+    "SamplingTracer",
     "Sink",
     "SuperEpochCreditMonitor",
     "TeeSink",
@@ -91,12 +132,18 @@ __all__ = [
     "Tracer",
     "Violation",
     "chrome_trace_events",
+    "diff_runs",
     "diff_traces",
     "flame_table",
+    "instance_digest",
     "prometheus_text",
     "read_jsonl_trace",
     "render_metrics",
+    "render_run",
+    "render_run_diff",
+    "render_run_list",
     "render_trace_diff",
+    "sample_records",
     "standard_monitors",
     "write_chrome_trace",
 ]

@@ -20,9 +20,27 @@ walkthrough.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.obs.tracing import TraceRecord
+
+#: Exposition-format escapes.  HELP text escapes backslash and newline;
+#: label *values* additionally escape the double quote that delimits
+#: them.  (Label names are sanitized, not escaped — the format allows
+#: no escapes there.)
+_HELP_ESCAPES = str.maketrans({"\\": r"\\", "\n": r"\n"})
+_LABEL_ESCAPES = str.maketrans({"\\": r"\\", "\n": r"\n", '"': r"\""})
+
+
+def escape_help(text: str) -> str:
+    """Escape ``\\`` and newlines for a ``# HELP`` line."""
+    return str(text).translate(_HELP_ESCAPES)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape ``\\``, newlines, and ``"`` for a label value."""
+    return str(value).translate(_LABEL_ESCAPES)
 
 
 def _sanitize(name: str) -> str:
@@ -37,18 +55,56 @@ def _sanitize(name: str) -> str:
 
 
 def _format_value(value: float) -> str:
-    if isinstance(value, float) and value != int(value):
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value != int(value):
         return repr(value)
     return str(int(value))
 
 
-def prometheus_text(source: Any, *, prefix: str = "repro") -> str:
+def _format_gauge(value: float) -> str:
+    value = float(value)
+    if math.isinf(value) or math.isnan(value):
+        return _format_value(value)
+    return repr(value)
+
+
+def _label_suffix(
+    labels: Mapping[str, str] | None, extra: str | None = None
+) -> str:
+    """``{k="v",...}`` with escaped values, or ``""`` when unlabeled."""
+    parts = [
+        f'{_sanitize(str(key))}="{escape_label_value(value)}"'
+        for key, value in (labels or {}).items()
+    ]
+    if extra is not None:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(
+    source: Any,
+    *,
+    prefix: str = "repro",
+    labels: Mapping[str, str] | None = None,
+    help_texts: Mapping[str, str] | None = None,
+) -> str:
     """Render metrics in the Prometheus text exposition format.
 
     ``source`` is a :class:`~repro.obs.metrics.MetricsRegistry` or a
     ``snapshot()`` mapping.  Counters get a ``_total`` suffix, histograms
     the standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
     triplet.  Output ends with a trailing newline, per the format spec.
+
+    ``labels`` attaches a constant label set to every series (e.g.
+    ``{"worker": tag}`` when exposing per-worker registries side by
+    side); values are escaped per the format (``\\`` ``\\n`` ``"``).
+    ``help_texts`` maps *unsanitized* instrument names to ``# HELP``
+    text, escaped likewise.  Non-finite values render as ``+Inf`` /
+    ``-Inf`` / ``NaN``.
     """
     snapshot: Mapping[str, Any]
     if hasattr(source, "snapshot"):
@@ -57,30 +113,41 @@ def prometheus_text(source: Any, *, prefix: str = "repro") -> str:
         snapshot = source
 
     lines: list[str] = []
+    suffix = _label_suffix(labels)
+    helps = help_texts or {}
+
+    def _head(name: str, metric: str, kind: str) -> None:
+        if name in helps:
+            lines.append(f"# HELP {metric} {escape_help(helps[name])}")
+        lines.append(f"# TYPE {metric} {kind}")
 
     for name in sorted(snapshot.get("counters", {})):
         metric = f"{prefix}_{_sanitize(name)}_total"
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(snapshot['counters'][name])}")
+        _head(name, metric, "counter")
+        lines.append(
+            f"{metric}{suffix} {_format_value(snapshot['counters'][name])}"
+        )
 
     for name in sorted(snapshot.get("gauges", {})):
         metric = f"{prefix}_{_sanitize(name)}"
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {repr(float(snapshot['gauges'][name]))}")
+        _head(name, metric, "gauge")
+        lines.append(
+            f"{metric}{suffix} {_format_gauge(snapshot['gauges'][name])}"
+        )
 
     for name in sorted(snapshot.get("histograms", {})):
         data = snapshot["histograms"][name]
         metric = f"{prefix}_{_sanitize(name)}"
-        lines.append(f"# TYPE {metric} histogram")
+        _head(name, metric, "histogram")
         cumulative = 0
         for bound, count in zip(data["buckets"], data["counts"]):
             cumulative += count
-            lines.append(
-                f'{metric}_bucket{{le="{bound:g}"}} {cumulative}'
-            )
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
-        lines.append(f"{metric}_sum {_format_value(data['sum'])}")
-        lines.append(f"{metric}_count {data['count']}")
+            le = _label_suffix(labels, f'le="{bound:g}"')
+            lines.append(f"{metric}_bucket{le} {cumulative}")
+        inf = _label_suffix(labels, 'le="+Inf"')
+        lines.append(f'{metric}_bucket{inf} {data["count"]}')
+        lines.append(f"{metric}_sum{suffix} {_format_value(data['sum'])}")
+        lines.append(f"{metric}_count{suffix} {data['count']}")
 
     return "\n".join(lines) + "\n" if lines else ""
 

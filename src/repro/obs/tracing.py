@@ -265,14 +265,34 @@ class JsonlSink(Sink):
         self.close()
 
 
-def read_jsonl_trace(path: str | Path) -> list[TraceRecord]:
-    """Load the records of a JSONL trace written by :class:`JsonlSink`."""
-    records: list[TraceRecord] = []
+def read_jsonl_trace(
+    path: str | Path, *, strict: bool = True
+) -> list[TraceRecord]:
+    """Load the records of a JSONL trace written by :class:`JsonlSink`.
+
+    ``strict=False`` tolerates exactly one *torn trailing line* — the
+    partial final record a crash (kill -9, full disk) leaves behind an
+    append-only JSONL file — by dropping it.  Corruption anywhere before
+    the final line still raises: a torn tail is the one shape crash
+    semantics can produce, anything else is real damage and silently
+    skipping it would hide records from analysis.
+    """
+    lines: list[tuple[int, str]] = []
     with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
             if line:
-                records.append(TraceRecord.from_dict(json.loads(line)))
+                lines.append((number, line))
+    records: list[TraceRecord] = []
+    for index, (number, line) in enumerate(lines):
+        try:
+            records.append(TraceRecord.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            if not strict and index == len(lines) - 1:
+                break  # torn trailing line: crash debris, drop it
+            raise ValueError(
+                f"{path}: invalid trace record on line {number}: {error}"
+            ) from error
     return records
 
 

@@ -67,6 +67,7 @@ from bisect import bisect_left, bisect_right
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import combinations_with_replacement
+from time import perf_counter
 
 from repro.core.cost import CostBreakdown
 from repro.core.instance import Instance
@@ -991,6 +992,7 @@ def optimal_offline(
     engine: str | None = None,
     tracer=None,
     registry=None,
+    recorder=None,
 ) -> OptimalResult:
     """Compute the exact optimal offline cost and a witness schedule.
 
@@ -1016,7 +1018,9 @@ def optimal_offline(
     Optional observability: a ``tracer`` records an ``offline_solve``
     span (instance, resources → cost, nodes, prunes, bound sources) with
     a nested ``rds_pass`` span for the suffix solves; a metrics
-    ``registry`` accumulates ``offline.*`` counters.
+    ``registry`` accumulates ``offline.*`` counters; a ``recorder``
+    (:class:`~repro.obs.registry.RegistrySink`) appends the solve to the
+    persistent run registry.
     """
     if num_resources <= 0:
         raise ValueError("need at least one resource")
@@ -1024,10 +1028,19 @@ def optimal_offline(
         raise ValueError(
             f"unknown method {method!r}; expected one of {OFFLINE_METHODS}"
         )
+    solve_started = perf_counter()
     if method == "exhaustive":
-        return optimal_offline_exhaustive(
+        result = optimal_offline_exhaustive(
             instance, num_resources, max_states=max_states
         )
+        if recorder is not None:
+            recorder.record_offline(
+                result,
+                instance,
+                num_resources,
+                wall_seconds=perf_counter() - solve_started,
+            )
+        return result
     active_tracer = (
         tracer
         if tracer is not None and getattr(tracer, "enabled", True)
@@ -1120,7 +1133,7 @@ def optimal_offline(
             bound_sources=hist,
             warm_start_cost=warm_cost,
         )
-    return OptimalResult(
+    result = OptimalResult(
         total_cost,
         schedule,
         breakdown,
@@ -1130,6 +1143,14 @@ def optimal_offline(
         method=method,
         warm_start_cost=warm_cost,
     )
+    if recorder is not None:
+        recorder.record_offline(
+            result,
+            instance,
+            num_resources,
+            wall_seconds=perf_counter() - solve_started,
+        )
+    return result
 
 
 class _Frame:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
@@ -102,17 +102,43 @@ class ParallelRunner:
             size = max(1, len(tasks) // (workers * 4) or 1)
         return [tasks[i : i + size] for i in range(0, len(tasks), size)]
 
-    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
-        """Apply ``fn`` to every task, returning results in task order."""
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        *,
+        progress: Callable[[Sequence[R]], None] | None = None,
+    ) -> list[R]:
+        """Apply ``fn`` to every task, returning results in task order.
+
+        ``progress``, when given, is called in the parent process with
+        each chunk's result list as that chunk *completes* (completion
+        order, not task order) — the hook live telemetry consumers
+        (``run_matrix``'s ``publish=``) use to surface partial results
+        while the grid is still running.  Every result is reported to
+        ``progress`` exactly once, including across the serial fallback.
+        """
         task_list = list(tasks)
         workers = min(self.resolved_workers(), len(task_list))
         if workers <= 1 or len(task_list) < _MIN_TASKS_FOR_POOL:
-            return [fn(task) for task in task_list]
+            results: list[R] = []
+            for task in task_list:
+                result = fn(task)
+                if progress is not None:
+                    progress([result])
+                results.append(result)
+            return results
+        chunks = self._chunked(task_list, workers)
+        reported: set[int] = set()
         try:
-            chunks = self._chunked(task_list, workers)
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-                results: list[R] = []
+                if progress is not None:
+                    for future in as_completed(futures):
+                        index = futures.index(future)
+                        progress(future.result())
+                        reported.add(index)
+                results = []
                 for future in futures:
                     results.extend(future.result())
                 return results
@@ -129,7 +155,16 @@ class ParallelRunner:
             # Sandboxed/daemonic environments cannot always fork; tasks
             # are pure, so a full serial re-run is safe and identical (a
             # genuine task failure re-raises the same error serially).
-            return [fn(task) for task in task_list]
+            # Chunks whose completion already reached ``progress`` are
+            # not re-reported — merge-style consumers must see each
+            # result once.
+            results = []
+            for index, chunk in enumerate(chunks):
+                outputs = [fn(task) for task in chunk]
+                if progress is not None and index not in reported:
+                    progress(outputs)
+                results.extend(outputs)
+            return results
 
     def map_traced(
         self,

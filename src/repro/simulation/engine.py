@@ -490,6 +490,17 @@ class BatchedEngine:
         )
         self.tracer = _active_tracer(tracer)
         self.profiler = profiler
+        #: Sampling cooperation (repro.obs.sampling): a tracer exposing
+        #: ``keep_round(k)`` lets the engine run the *plain* round body
+        #: for sampled-out rounds, shedding the span/phase indirection —
+        #: not just the sink writes.  A profiler wants every round timed,
+        #: so it disables the shortcut (records are still suppressed at
+        #: emission by the sampling tracer itself).
+        self._round_filter = (
+            getattr(self.tracer, "keep_round", None)
+            if profiler is None
+            else None
+        )
         #: Optional ``(color, resources)`` callback fired on every cache
         #: insert that physically reconfigured resources, in event order.
         #: Lets reduction pipelines stream the outer-schedule reconfig
@@ -608,6 +619,23 @@ class BatchedEngine:
         attached — the uninstrumented loops below stay byte-identical to
         the plain hot path.
         """
+        round_filter = self._round_filter
+        if round_filter is not None and not round_filter(k):
+            # Sampled-out round: phases run bare (leaf events inside them
+            # still fire and the sampling tracer keeps the monitor-
+            # relevant ones), metrics stay exact, but the round span,
+            # phase markers, and wall-clock attribution are shed.
+            drop_fn(*drop_args)
+            arrival_fn(*arrival_args)
+            for mini in range(self.speed):
+                self.mini_round = mini
+                self.scheme.reconfigure(self)
+                self._execution_phase(k, mini)
+            if self.obs is not None:
+                self.obs.sample_queue_depth(self._total_pending)
+            if self.metrics is not None:
+                self.metrics.end_round(k, self)
+            return
         tracer = self.tracer
         if tracer is not None:
             tracer.begin("round", k)
