@@ -1,0 +1,184 @@
+"""CI smoke for streaming ingestion: bounded memory + exact resume.
+
+Three acceptance promises, checked end to end:
+
+1. **O(pending) memory.**  A million-round streaming session must not
+   allocate proportionally to the rounds streamed: the tracemalloc peak
+   of a 10x longer run must stay within a constant factor (plus slack)
+   of the short run's peak, and under an absolute ceiling.  A
+   materialized instance of the same workload would hold millions of
+   job objects; the stream holds one segment's worth.
+2. **Checkpoint -> restore is exact.**  A session checkpointed to a file
+   mid-run and resumed in a fresh session must finish with a
+   ``CostBreakdown`` equal (bit for bit, via ``to_dict``) to an
+   uninterrupted session's — on every available engine backend.
+3. **Admission caps hold.**  With a per-color cap, every admitted batch
+   respects the cap and the ingest counters reconcile.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_stream_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import tracemalloc
+from pathlib import Path
+
+#: Workload shape: few boundaries per round keeps the smoke fast while
+#: still pushing a seven-figure round count through the session.
+COLORS, DELTA, LOAD, SEED = 6, 64, 0.3, 17
+BOUNDS = (64, 128)
+RESOURCES = 8
+
+SHORT_ROUNDS = 100_000
+LONG_ROUNDS = 1_000_000
+
+#: The long run may allocate this much more than the short run before we
+#: call it unbounded: generous slack for allocator noise, nowhere near
+#: the 10x a rounds-proportional structure would show.
+GROWTH_FACTOR = 1.5
+GROWTH_SLACK_BYTES = 4 << 20
+ABSOLUTE_CEILING_BYTES = 96 << 20
+
+
+def _source():
+    from repro.streaming import rate_limited_source
+
+    return rate_limited_source(
+        COLORS, DELTA, seed=SEED, load=LOAD, bound_choices=BOUNDS
+    )
+
+
+def _session(**kwargs):
+    from repro.algorithms.dlru_edf import DeltaLRUEDF
+    from repro.streaming import StreamSession
+
+    return StreamSession(_source(), DeltaLRUEDF(), RESOURCES, **kwargs)
+
+
+def _peak_bytes(rounds: int) -> tuple[int, int]:
+    """(tracemalloc peak, total cost) of streaming ``rounds`` rounds."""
+    tracemalloc.start()
+    try:
+        result = _session().run(rounds)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, result.total_cost
+
+
+def _check_memory_bound() -> int:
+    failures = 0
+    short_peak, _ = _peak_bytes(SHORT_ROUNDS)
+    long_peak, total_cost = _peak_bytes(LONG_ROUNDS)
+    budget = int(short_peak * GROWTH_FACTOR) + GROWTH_SLACK_BYTES
+    print(
+        f"  peak memory: {SHORT_ROUNDS:,} rounds -> {short_peak / 2**20:.1f} "
+        f"MiB, {LONG_ROUNDS:,} rounds -> {long_peak / 2**20:.1f} MiB "
+        f"(budget {budget / 2**20:.1f} MiB)"
+    )
+    if long_peak > budget:
+        failures += 1
+        print(
+            "  FATAL: 10x more rounds grew the peak past the constant-"
+            "factor budget — memory is not O(pending)"
+        )
+    if long_peak > ABSOLUTE_CEILING_BYTES:
+        failures += 1
+        print(
+            f"  FATAL: peak {long_peak / 2**20:.1f} MiB exceeds the "
+            f"{ABSOLUTE_CEILING_BYTES / 2**20:.0f} MiB ceiling"
+        )
+    if not failures:
+        print(
+            f"  {LONG_ROUNDS:,} rounds streamed, total cost {total_cost:,}; "
+            "peak memory flat across a 10x round increase"
+        )
+    return failures
+
+
+def _available_engines() -> list[str]:
+    engines = ["sparse", "dense"]
+    try:
+        import numpy  # noqa: F401
+
+        engines.append("vectorized")
+    except ImportError:
+        print("  (numpy absent: vectorized backend skipped)")
+    return engines
+
+
+def _check_resume_exact(tmp: Path) -> int:
+    from repro.streaming import StreamSession
+
+    failures = 0
+    rounds, cut = 24_000, 10_100  # cut mid-epoch, not on a bound multiple
+    for engine in _available_engines():
+        baseline = _session(engine=engine).run(rounds)
+        path = tmp / f"ckpt-{engine}.json"
+        first = _session(engine=engine)
+        first.run(cut, checkpoint_every=cut, checkpoint_path=path)
+        del first  # forced kill: only the file survives
+        from repro.algorithms.dlru_edf import DeltaLRUEDF
+
+        resumed = StreamSession.resume(_source(), DeltaLRUEDF(), str(path))
+        result = resumed.run(rounds - cut)
+        if result.cost.to_dict() != baseline.cost.to_dict():
+            failures += 1
+            print(
+                f"  FATAL: {engine}: resumed cost {result.total_cost} != "
+                f"uninterrupted {baseline.total_cost}"
+            )
+        else:
+            print(
+                f"  {engine}: kill at round {cut:,} + resume reproduces "
+                f"cost {baseline.total_cost:,} bit for bit"
+            )
+    return failures
+
+
+def _check_admission_caps() -> int:
+    from repro.streaming import AdmissionPolicy
+
+    failures = 0
+    cap = 4
+    session = _session(policy=AdmissionPolicy(queue_cap=cap))
+    result = session.run(30_000)
+    ingest = session.ingest
+    if result.offered != result.admitted + result.rejected:
+        failures += 1
+        print("  FATAL: ingest counters do not reconcile")
+    elif result.rejected == 0:
+        failures += 1
+        print("  FATAL: cap never rejected anything at this load")
+    else:
+        print(
+            f"  cap {cap}/color: offered {result.offered:,}, admitted "
+            f"{result.admitted:,}, rejected {result.rejected:,} "
+            f"(rate {result.rejection_rate:.3f})"
+        )
+    if sum(ingest.rejected_by_color.values()) != result.rejected:
+        failures += 1
+        print("  FATAL: per-color rejection counters do not sum to total")
+    return failures
+
+
+def main() -> int:
+    print("stream smoke: bounded memory, exact resume, admission caps")
+    failures = 0
+    failures += _check_memory_bound()
+    with tempfile.TemporaryDirectory() as tmp:
+        failures += _check_resume_exact(Path(tmp))
+    failures += _check_admission_caps()
+    if failures:
+        print(f"FAIL: {failures} stream smoke check(s) failed")
+        return 1
+    print("pass: memory flat, resume exact, caps enforced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

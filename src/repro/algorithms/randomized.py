@@ -70,6 +70,15 @@ class RandomEvict(ReconfigurationScheme):
     def fixed_point_token(self) -> tuple:
         return rng_state_token(self._rng)
 
+    def state_dict(self) -> dict:
+        # bit_generator.state is a plain dict of ints/strings for every
+        # numpy generator — JSON-ready as-is, and assigning it back
+        # restores the exact draw stream (checkpoint/restore contract).
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+
     def reconfigure(self, engine: BatchedEngine) -> None:
         capacity = engine.cache.capacity
         ranking = engine.rank_eligible()
@@ -107,6 +116,16 @@ class RandomizedMarking(ReconfigurationScheme):
         # it alongside the RNG digest so a skip also certifies that no
         # marking-phase transition would have happened.
         return (rng_state_token(self._rng), tuple(sorted(self._marked)))
+
+    def state_dict(self) -> dict:
+        return {
+            "rng": self._rng.bit_generator.state,
+            "marked": sorted(self._marked),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self._marked = set(state["marked"])
 
     def reconfigure(self, engine: BatchedEngine) -> None:
         capacity = engine.cache.capacity

@@ -433,6 +433,20 @@ class CreditScheme(ReconfigurationScheme):
     def fixed_point_token(self) -> tuple:
         return tuple(sorted(self._credit.items()))
 
+    def state_dict(self) -> dict:
+        return {
+            "credit": {str(c): v for c, v in self._credit.items()},
+            "last_wrap_seen": {
+                str(c): v for c, v in self._last_wrap_seen.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._credit = {int(c): v for c, v in state["credit"].items()}
+        self._last_wrap_seen = {
+            int(c): v for c, v in state["last_wrap_seen"].items()
+        }
+
     def credit_balance(self, color: int) -> int:
         """Current unspent credit of ``color`` (auditing hook)."""
         return self._credit.get(color, 0)

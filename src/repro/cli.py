@@ -10,6 +10,8 @@ Subcommands::
     repro offline --method rds      # exact offline optimum of a seeded workload
     repro describe trace.json       # workload statistics for a saved trace
     repro record run.jsonl          # traced run: JSONL trace + metrics
+    repro stream --rounds 1000000   # unbounded arrivals, bounded memory,
+                                    #   periodic checkpoints, resumable
     repro trace run.jsonl           # render a recorded trace as a timeline
     repro stats run.jsonl           # aggregate statistics of a recorded run
     repro obs monitor               # run with live invariant monitors attached
@@ -640,6 +642,152 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.obs.metrics import MetricsRegistry, render_metrics
+    from repro.streaming import (
+        AdmissionPolicy,
+        StreamSession,
+        rate_limited_source,
+    )
+    from repro.streaming.checkpoint import CheckpointError
+
+    module_name, class_name = _SCHEME_CHOICES[args.scheme].split(":")
+    scheme_factory = getattr(importlib.import_module(module_name), class_name)
+
+    def make_source():
+        return rate_limited_source(
+            args.colors, args.delta, seed=args.seed, load=args.load
+        )
+
+    policy = (
+        AdmissionPolicy(queue_cap=args.queue_cap)
+        if args.queue_cap is not None
+        else None
+    )
+    service = None
+    state = None
+    if args.serve is not None:
+        from repro.obs.service import OpsService, OpsState
+
+        state = OpsState()
+        service = OpsService(state, port=args.serve).start()
+        print(f"serving on {service.url} (endpoints: /metrics /stream /health)")
+        registry = state.metrics
+    else:
+        registry = MetricsRegistry()
+
+    try:
+        if args.resume:
+            if args.checkpoint is None:
+                print(
+                    "error: --resume needs --checkpoint PATH",
+                    file=sys.stderr,
+                )
+                return 2
+            session = StreamSession.resume(
+                make_source(),
+                scheme_factory(),
+                args.checkpoint,
+                policy=policy,
+                registry=registry,
+                segment_rounds=args.segment,
+            )
+            print(f"resumed from {args.checkpoint} at round {session.round}")
+        else:
+            session = StreamSession(
+                make_source(),
+                scheme_factory(),
+                args.resources,
+                engine=args.engine,
+                speed=args.speed,
+                policy=policy,
+                registry=registry,
+                segment_rounds=args.segment,
+            )
+    except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if service is not None:
+            service.stop()
+        return 1
+
+    def publish(_checkpoint=None) -> None:
+        if state is not None:
+            result = session.result()
+            state.publish_stream(
+                {
+                    "round": result.rounds,
+                    "total_cost": result.total_cost,
+                    "offered": result.offered,
+                    "admitted": result.admitted,
+                    "rejected": result.rejected,
+                    "rejection_rate": result.rejection_rate,
+                    "checkpoints_written": result.checkpoints_written,
+                }
+            )
+
+    remaining = args.rounds - session.round
+    if remaining < 0:
+        print(
+            f"error: checkpoint is already at round {session.round}, past "
+            f"the --rounds target {args.rounds}",
+            file=sys.stderr,
+        )
+        if service is not None:
+            service.stop()
+        return 1
+    try:
+        result = session.run(
+            remaining,
+            checkpoint_every=args.checkpoint_every
+            if args.checkpoint is not None
+            else None,
+            checkpoint_path=args.checkpoint,
+            on_checkpoint=publish,
+        )
+    except KeyboardInterrupt:
+        if args.checkpoint is not None:
+            session.checkpoint().save(args.checkpoint)
+            print(
+                f"\ninterrupted at round {session.round}; checkpoint saved "
+                f"to {args.checkpoint} (resume with --resume)"
+            )
+        else:
+            print(f"\ninterrupted at round {session.round}; no checkpoint")
+        if service is not None:
+            service.stop()
+        return 130
+    publish()
+    if args.checkpoint is not None:
+        session.checkpoint().save(args.checkpoint)
+        print(f"final checkpoint saved to {args.checkpoint}")
+    print(
+        f"{result.name}: {result.rounds} rounds, total cost "
+        f"{result.total_cost} (reconfig {result.cost.reconfig_cost}, "
+        f"drops {result.cost.drop_cost})"
+    )
+    print(
+        f"ingestion: offered {result.offered}, admitted {result.admitted}, "
+        f"rejected {result.rejected} "
+        f"(rate {result.rejection_rate:.3f})"
+    )
+    if result.rounds_per_second:
+        print(f"throughput: {result.rounds_per_second:,.0f} rounds/s")
+    print()
+    print(render_metrics(registry.snapshot(prefix="stream.")))
+    if service is not None:
+        if args.serve_ttl:
+            import time as _time
+
+            try:
+                _time.sleep(args.serve_ttl)
+            except KeyboardInterrupt:
+                pass
+        service.stop()
+    return 0
+
+
 def _cmd_demo(_: argparse.Namespace) -> int:
     from repro import DeltaLRU, DeltaLRUEDF, EDF, simulate
     from repro.analysis.competitive import best_effort_ratio
@@ -836,6 +984,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_registry_dir(p_record)
     p_record.set_defaults(func=_cmd_record)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="run a scheme over an unbounded arrival stream with "
+        "bounded memory and periodic checkpoints",
+    )
+    p_stream.add_argument(
+        "--rounds",
+        type=int,
+        required=True,
+        help="global round to stream to (with --resume: the same total "
+        "target, not an increment)",
+    )
+    p_stream.add_argument(
+        "--scheme", choices=sorted(_SCHEME_CHOICES), default="dlru-edf"
+    )
+    p_stream.add_argument("--colors", type=int, default=8)
+    p_stream.add_argument("--delta", type=int, default=32)
+    p_stream.add_argument("--seed", type=int, default=7)
+    p_stream.add_argument(
+        "--load", type=float, default=0.5, help="offered load (default 0.5)"
+    )
+    p_stream.add_argument("--resources", type=int, default=8)
+    p_stream.add_argument("--speed", type=int, default=1)
+    p_stream.add_argument(
+        "--engine",
+        choices=("sparse", "dense", "vectorized"),
+        default="sparse",
+        help="engine backend (streaming always runs the faithful scalar "
+        "core, even under vectorized)",
+    )
+    p_stream.add_argument(
+        "--segment",
+        type=int,
+        default=4096,
+        metavar="ROUNDS",
+        help="segment width; bounds the arrival window held in memory "
+        "(cost-transparent, default 4096)",
+    )
+    p_stream.add_argument(
+        "--queue-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-color pending-queue cap; excess arrivals are rejected "
+        "at the door (unbounded when omitted)",
+    )
+    p_stream.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file (atomic overwrite); written every "
+        "--checkpoint-every rounds, at the end, and on Ctrl-C",
+    )
+    p_stream.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="ROUNDS",
+        help="checkpoint cadence in rounds (needs --checkpoint)",
+    )
+    p_stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint; engine/resources/speed come "
+        "from the checkpoint's config echo",
+    )
+    p_stream.add_argument(
+        "--serve",
+        nargs="?",
+        type=int,
+        const=0,
+        default=None,
+        metavar="PORT",
+        help="expose live /metrics and /stream over HTTP while the "
+        "session runs (bare flag picks an ephemeral port)",
+    )
+    p_stream.add_argument(
+        "--serve-ttl",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the HTTP service up this long after the run finishes",
+    )
+    p_stream.set_defaults(func=_cmd_stream)
 
     p_trace = sub.add_parser(
         "trace", help="render a recorded JSONL trace as a round timeline"

@@ -148,3 +148,43 @@ class CostBreakdown:
             "num_ineligible_drops": self.num_ineligible_drops,
             "executions": self.executions,
         }
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-ready form (checkpoint/restore).
+
+        Per-color counters keep their zero entries: the engines record a
+        zero-count reconfiguration when an insert reuses a slot that
+        already physically holds the color, and a restored breakdown must
+        compare equal to the uninterrupted one under ``==``.
+        """
+        return {
+            "model": [self.model.reconfig_cost, self.model.drop_cost],
+            "num_reconfigs": self.num_reconfigs,
+            "num_drops": self.num_drops,
+            "num_eligible_drops": self.num_eligible_drops,
+            "num_ineligible_drops": self.num_ineligible_drops,
+            "reconfigs_by_color": {str(c): n for c, n in self.reconfigs_by_color.items()},
+            "drops_by_color": {str(c): n for c, n in self.drops_by_color.items()},
+            "executions": self.executions,
+            "executions_by_color": {str(c): n for c, n in self.executions_by_color.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostBreakdown":
+        """Inverse of :meth:`to_dict`; ``==`` to the original breakdown."""
+        out = cls(CostModel(*data["model"]))
+        out.num_reconfigs = data["num_reconfigs"]
+        out.num_drops = data["num_drops"]
+        out.num_eligible_drops = data["num_eligible_drops"]
+        out.num_ineligible_drops = data["num_ineligible_drops"]
+        out.reconfigs_by_color = Counter(
+            {int(c): n for c, n in data["reconfigs_by_color"].items()}
+        )
+        out.drops_by_color = Counter(
+            {int(c): n for c, n in data["drops_by_color"].items()}
+        )
+        out.executions = data["executions"]
+        out.executions_by_color = Counter(
+            {int(c): n for c, n in data["executions_by_color"].items()}
+        )
+        return out

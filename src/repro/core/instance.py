@@ -112,21 +112,38 @@ class RequestSequence:
     every job is either executed or dropped by the end of a run.
     """
 
-    def __init__(self, jobs: Iterable[Job], horizon: int | None = None) -> None:
+    def __init__(
+        self,
+        jobs: Iterable[Job],
+        horizon: int | None = None,
+        *,
+        open_horizon: bool = False,
+    ) -> None:
         self._jobs: tuple[Job, ...] = tuple(sorted(jobs))
         ids = [job.jid for job in self._jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("job ids within a request sequence must be unique")
         self._by_round: dict[int, list[Job]] = jobs_by_round(list(self._jobs))
+        self._open_horizon = bool(open_horizon)
         last_deadline = max((job.deadline for job in self._jobs), default=0)
         # The drop phase of round `last_deadline` is the final event that can
         # touch a job, so the minimal safe horizon is last_deadline + 1.
+        # Streaming *segments* (``open_horizon=True``) are windows of a
+        # longer run: jobs arriving near the window's end legitimately
+        # carry deadlines past it (their drop round belongs to the next
+        # segment), so the deadline check is waived there.
         min_horizon = last_deadline + 1 if self._jobs else 1
         self._horizon = min_horizon if horizon is None else horizon
-        if self._horizon < min_horizon:
+        if self._horizon < 1:
+            raise ValueError(f"horizon must be at least 1, got {self._horizon}")
+        if not self._open_horizon and self._horizon < min_horizon:
             raise ValueError(
                 f"horizon {self._horizon} ends before the last deadline; "
                 f"need at least {min_horizon}"
+            )
+        if any(job.arrival >= self._horizon for job in self._jobs):
+            raise ValueError(
+                "jobs must arrive within the horizon (arrival < horizon)"
             )
 
     @property
@@ -144,8 +161,28 @@ class RequestSequence:
     def __iter__(self) -> Iterator[Job]:
         return iter(self._jobs)
 
+    @property
+    def open_horizon(self) -> bool:
+        """True for streaming segment views (deadlines may exceed horizon)."""
+        return self._open_horizon
+
     def arrivals(self, round_index: int) -> Sequence[Job]:
-        """Jobs arriving in ``round_index`` (the round's request)."""
+        """Jobs arriving in ``round_index`` (the round's request).
+
+        Contract: ``round_index`` must lie inside the materialized
+        horizon, ``0 <= round_index < horizon``.  Out-of-range rounds
+        raise :class:`IndexError` rather than silently returning an
+        empty batch — a caller iterating past the horizon is reading
+        rounds this sequence never materialized (the streaming layer is
+        the API for unbounded runs), and the silent ``()`` used to turn
+        that bug into quietly-wrong costs.  Streaming adapters preserve
+        this contract (:class:`repro.streaming.sources.InstanceSource`).
+        """
+        if round_index < 0 or round_index >= self._horizon:
+            raise IndexError(
+                f"round {round_index} is outside the materialized horizon "
+                f"[0, {self._horizon}); the request sequence has no such round"
+            )
         return self._by_round.get(round_index, ())
 
     def arrival_rounds(self) -> tuple[int, ...]:
@@ -167,11 +204,15 @@ class RequestSequence:
         """Subsequence containing only jobs of the given colors."""
         keep = set(colors)
         return RequestSequence(
-            [job for job in self._jobs if job.color in keep], self._horizon
+            [job for job in self._jobs if job.color in keep],
+            self._horizon,
+            open_horizon=self._open_horizon,
         )
 
     def with_horizon(self, horizon: int) -> "RequestSequence":
-        return RequestSequence(self._jobs, horizon)
+        return RequestSequence(
+            self._jobs, horizon, open_horizon=self._open_horizon
+        )
 
 
 @dataclass(frozen=True)

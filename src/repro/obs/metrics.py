@@ -157,8 +157,13 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._instruments)
 
-    def snapshot(self) -> dict[str, Any]:
+    def snapshot(self, *, prefix: str | None = None) -> dict[str, Any]:
         """Freeze every instrument into a JSON-ready dict.
+
+        ``prefix`` restricts the snapshot to instruments whose dotted
+        name starts with it (e.g. ``prefix="stream."`` for just the
+        ingestion metrics of a long-lived session) — the filtered result
+        keeps the same shape and still merges cleanly.
 
         The shape is stable (schema v3 of the telemetry payloads)::
 
@@ -171,6 +176,8 @@ class MetricsRegistry:
         gauges: dict[str, float] = {}
         histograms: dict[str, dict[str, Any]] = {}
         for name in sorted(self._instruments):
+            if prefix is not None and not name.startswith(prefix):
+                continue
             instrument = self._instruments[name]
             if isinstance(instrument, Counter):
                 counters[name] = instrument.value

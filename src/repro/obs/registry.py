@@ -347,6 +347,11 @@ class RunRegistry:
             if record.run_id == run_id or record.run_id.startswith(run_id)
         ]
         exact = [r for r in matches if r.run_id == run_id]
+        if len(exact) > 1:
+            raise KeyError(
+                f"run id {run_id!r} matches {len(exact)} records in "
+                f"{self.root}; the registry holds duplicate run ids"
+            )
         if exact:
             return exact[0]
         if not matches:

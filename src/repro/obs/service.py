@@ -59,6 +59,8 @@ class OpsState:
         self.snapshots_merged = 0
         self.scrapes = 0
         self.runs_recorded = 0
+        self.stream_status: dict[str, Any] | None = None
+        self.stream_updates = 0
 
     # ------------------------------------------------------------ publish
 
@@ -87,6 +89,17 @@ class OpsState:
     def note_run_recorded(self, count: int = 1) -> None:
         with self._lock:
             self.runs_recorded += count
+
+    def publish_stream(self, status: Mapping[str, Any]) -> None:
+        """Replace the live streaming-session status (served at ``/stream``).
+
+        Streaming drivers call this after each segment/checkpoint with a
+        plain JSON-safe mapping (round, offered/admitted/rejected, cost,
+        last checkpoint); the service only stores and serves it.
+        """
+        with self._lock:
+            self.stream_status = dict(status)
+            self.stream_updates += 1
 
     # ------------------------------------------------------------- render
 
@@ -119,6 +132,17 @@ class OpsState:
             ops.gauge("uptime_seconds").set(time.time() - self.started)
             ops.gauge("healthy").set(1.0 if self.healthy else 0.0)
         return body + prometheus_text(ops, prefix="ops")
+
+    def stream_payload(self) -> dict[str, Any]:
+        with self._lock:
+            payload: dict[str, Any] = {
+                "schema": "repro-stream/v1",
+                "active": self.stream_status is not None,
+                "updates": self.stream_updates,
+            }
+            if self.stream_status is not None:
+                payload["status"] = dict(self.stream_status)
+        return payload
 
     def runs_payload(
         self, *, limit: int | None = None, kind: str | None = None
@@ -190,6 +214,9 @@ class _OpsHandler(BaseHTTPRequestHandler):
             payload = self.state.health()
             self._send_json(200 if payload["status"] == "ok" else 503, payload)
             return
+        if path == "/stream":
+            self._send_json(200, self.state.stream_payload())
+            return
         if path == "/runs":
             limit = None
             if "limit" in query:
@@ -220,7 +247,13 @@ class _OpsHandler(BaseHTTPRequestHandler):
                 200,
                 {
                     "service": "repro-ops",
-                    "endpoints": ["/metrics", "/health", "/runs", "/runs/<id>"],
+                    "endpoints": [
+                        "/metrics",
+                        "/health",
+                        "/stream",
+                        "/runs",
+                        "/runs/<id>",
+                    ],
                 },
             )
             return

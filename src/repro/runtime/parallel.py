@@ -136,8 +136,12 @@ class ParallelRunner:
                 if progress is not None:
                     for future in as_completed(futures):
                         index = futures.index(future)
-                        progress(future.result())
+                        outputs = future.result()
+                        # Mark before invoking: if ``progress`` itself
+                        # raises (e.g. OSError from a telemetry socket)
+                        # the fallback must not hand it the chunk again.
                         reported.add(index)
+                        progress(outputs)
                 results = []
                 for future in futures:
                     results.extend(future.result())

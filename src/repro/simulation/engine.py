@@ -79,7 +79,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from bisect import insort
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -98,6 +98,7 @@ from repro.core.events import (
     WrapEvent,
 )
 from repro.core.instance import Instance
+from repro.core.job import Job
 from repro.core.schedule import Execution, Reconfiguration, Schedule
 from repro.core.validation import ValidationReport, verify_schedule
 from repro.simulation.metrics import MetricsCollector
@@ -343,6 +344,34 @@ class ReconfigurationScheme(ABC):
         """
         return STATIONARY_TOKEN if self.stationary else None
 
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot of the scheme's mutable decision state.
+
+        The streaming checkpoint layer persists this next to the engine
+        state so a resumed run replays bit-identically.  Stateless
+        schemes (the four paper kernels) return ``{}``; schemes holding
+        decision state the engine cannot see — RNG streams, mark sets,
+        credit vectors — must override both this and :meth:`load_state`
+        to round-trip it exactly (same contract as
+        :meth:`fixed_point_token`, which digests the same state).
+        """
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (inverse operation).
+
+        Called *after* :meth:`reset` (engine construction resets the
+        scheme), overwriting the fresh state with the checkpointed one.
+        The default accepts only the empty snapshot; a non-empty snapshot
+        reaching a scheme without an override is a checkpoint/scheme
+        mismatch and raises rather than silently dropping state.
+        """
+        if state:
+            raise ValueError(
+                f"scheme {self.name!r} has no load_state override but the "
+                f"checkpoint carries state keys {sorted(state)}"
+            )
+
     @abstractmethod
     def reconfigure(self, engine: "BatchedEngine") -> None:
         """Mutate ``engine``'s cache for the current mini-round."""
@@ -357,7 +386,11 @@ class RunResult:
     time of the round loop (instance construction excluded).
     ``rounds_executed`` counts the rounds the loop actually simulated;
     the sparse core may fast-forward the rest (``None`` when the engine
-    predates the sparse core or did not track it).
+    predates the sparse core or did not track it).  ``rounds_total`` is
+    the number of rounds this run *covered* — ``horizon`` for whole-
+    instance runs, ``horizon - start_round`` for streaming segments,
+    possibly 0 for an empty segment (``None`` falls back to the
+    instance horizon for results built before the field existed).
     """
 
     instance: Instance
@@ -371,29 +404,51 @@ class RunResult:
     record: str = "full"
     wall_seconds: float = 0.0
     rounds_executed: int | None = None
+    rounds_total: int | None = None
 
     @property
     def total_cost(self) -> int:
         return self.cost.total
 
     @property
+    def _covered_rounds(self) -> int:
+        return (
+            self.rounds_total
+            if self.rounds_total is not None
+            else self.instance.horizon
+        )
+
+    @property
     def rounds_per_second(self) -> float:
-        """Simulated mini-rounds per wall-clock second (0 when untimed).
+        """Simulated mini-rounds per wall-clock second.
 
         Double-speed runs execute two reconfiguration+execution phases
-        per round, so the horizon is scaled by ``speed`` — throughput
+        per round, so the round count is scaled by ``speed`` — throughput
         rows of ``speed=2`` runs are comparable to uni-speed rows.
+        Untimed results and zero-round runs (an empty streaming segment,
+        a fully pre-resolved result) report 0.0 consistently instead of
+        claiming positive throughput for work that never happened.
         """
-        if self.wall_seconds <= 0:
+        covered = self._covered_rounds
+        if self.wall_seconds <= 0 or covered <= 0:
             return 0.0
-        return self.instance.horizon * self.speed / self.wall_seconds
+        return covered * self.speed / self.wall_seconds
 
     @property
     def active_round_fraction(self) -> float:
-        """Fraction of rounds the loop simulated (1.0 when none skipped)."""
+        """Fraction of covered rounds the loop simulated.
+
+        1.0 when the engine did not track skips; 0.0 for a zero-round
+        run (nothing was covered, so nothing was simulated — the
+        convention matches :meth:`rounds_per_second` returning 0.0
+        rather than dividing by zero).
+        """
+        covered = self._covered_rounds
+        if covered <= 0:
+            return 0.0
         if self.rounds_executed is None:
             return 1.0
-        return self.rounds_executed / max(1, self.instance.horizon)
+        return self.rounds_executed / covered
 
     def verify(self, *, strict: bool = False) -> ValidationReport:
         """Re-check the emitted schedule against the instance."""
@@ -430,6 +485,13 @@ class BatchedEngine:
         inactive-stretch skipping.  ``False`` runs the dense per-round
         all-colors loop; both produce identical costs, schedules, and
         traces.
+    start_round:
+        First round to simulate (default 0).  Streaming sessions run a
+        long horizon as a chain of segment engines: each segment covers
+        global rounds ``[start_round, horizon)`` with the predecessor's
+        exported state loaded via :meth:`import_state`.  Round indices
+        stay global, so deadlines, boundary calendars, and ΔLRU
+        timestamps are identical to one uninterrupted run.
     """
 
     def __init__(
@@ -443,6 +505,7 @@ class BatchedEngine:
         collect_metrics: bool = False,
         record: str = "full",
         sparse: bool = True,
+        start_round: int = 0,
         tracer=None,
         registry=None,
         profiler=None,
@@ -462,6 +525,10 @@ class BatchedEngine:
             raise ValueError("speed must be 1 (uni) or 2 (double)")
         if record not in ("full", "costs"):
             raise ValueError("record must be 'full' or 'costs'")
+        if not 0 <= start_round <= instance.horizon:
+            raise ValueError(
+                f"start_round {start_round} outside [0, {instance.horizon}]"
+            )
         self.instance = instance
         self.scheme = scheme
         self.num_resources = num_resources
@@ -508,10 +575,14 @@ class BatchedEngine:
         #: exists to map back (see reductions/distribute.py).
         self._reconfig_observer = reconfig_observer
         self.obs = EngineInstruments(registry) if registry is not None else None
-        self.round_index = 0
+        self.start_round = start_round
+        self.round_index = start_round
         self.mini_round = 0
         self.rounds_executed = 0
         self._ran = False
+        #: Set by :meth:`import_state`; suppresses ``scheme.setup`` for
+        #: mid-run segments (setup belongs to round 0 of the global run).
+        self._state_imported = False
 
         # Incremental bookkeeping for the sparse core.  All counters are
         # maintained in both cores (the updates are O(1)); the cached
@@ -560,7 +631,10 @@ class BatchedEngine:
                 horizon=self.instance.horizon,
                 delta=self.delta,
             )
-        self.scheme.setup(self)
+        if self.start_round == 0:
+            # Mid-run segments (start_round > 0) carry the scheme state of
+            # their predecessor; setup belongs to round 0 of the global run.
+            self.scheme.setup(self)
         start = time.perf_counter()
         if self.sparse:
             self._run_sparse()
@@ -595,6 +669,7 @@ class BatchedEngine:
             record=self.record,
             wall_seconds=elapsed,
             rounds_executed=self.rounds_executed,
+            rounds_total=self.instance.horizon - self.start_round,
         )
 
     def _run_phase(self, name: str, k: int, fn, *args, mini: int | None = None) -> None:
@@ -663,19 +738,19 @@ class BatchedEngine:
     def _run_dense(self) -> None:
         """The PR-1 round loop: every phase scans every color, no skips."""
         if self.tracer is not None or self.profiler is not None:
-            for k in range(self.instance.horizon):
+            for k in range(self.start_round, self.instance.horizon):
                 self.round_index = k
                 self._round_instrumented(
                     k, self._drop_phase, (k,), self._arrival_phase, (k,)
                 )
-            self.rounds_executed = self.instance.horizon
+            self.rounds_executed = self.instance.horizon - self.start_round
             return
         # Metrics-only runs (registry attached, no tracer/profiler) share
         # the plain loop: the only additions are buffered sample appends,
         # so the round path skips the span/phase indirection entirely.
         obs = self.obs
         queue_append = obs._queue_samples.append if obs is not None else None
-        for k in range(self.instance.horizon):
+        for k in range(self.start_round, self.instance.horizon):
             self.round_index = k
             self._drop_phase(k)
             self._arrival_phase(k)
@@ -687,7 +762,7 @@ class BatchedEngine:
                 queue_append(self._total_pending)
             if self.metrics is not None:
                 self.metrics.end_round(k, self)
-        self.rounds_executed = self.instance.horizon
+        self.rounds_executed = self.instance.horizon - self.start_round
 
     def _run_sparse(self) -> None:
         """Boundary-calendar loop with inactive-stretch fast-forwarding."""
@@ -710,7 +785,7 @@ class BatchedEngine:
         instrumented = tr is not None or self.profiler is not None
         num_boundaries = len(boundary_rounds)
         bi = 0  # index of the first boundary round >= current k
-        k = 0
+        k = self.start_round
         while k < horizon:
             self.round_index = k
             boundary_colors = calendar.get(k)
@@ -797,14 +872,16 @@ class BatchedEngine:
     ) -> tuple[dict[int, list[int]], list[int]]:
         """Per-round lists of colors with a delay-bound multiple.
 
-        Building cost is ``Σ_ℓ horizon / D_ℓ`` — proportional to the
-        boundary events themselves, not ``horizon × colors``.  Each
-        round's list preserves the consistent iteration order of
-        ``self.states`` so sparse traces replay the dense ones exactly.
+        Building cost is ``Σ_ℓ (horizon - start) / D_ℓ`` — proportional
+        to the boundary events inside the simulated window, not
+        ``horizon × colors`` (segment engines pay only for their own
+        window).  Each round's list preserves the consistent iteration
+        order of ``self.states`` so sparse traces replay the dense ones
+        exactly.
         """
         calendar: dict[int, list[int]] = {}
         for color, st in self.states.items():
-            for k in st.boundaries(horizon):
+            for k in st.boundaries(horizon, self.start_round):
                 bucket = calendar.get(k)
                 if bucket is None:
                     calendar[k] = [color]
@@ -1033,6 +1110,96 @@ class BatchedEngine:
     def mark_fixed_point(self) -> None:
         """Record that the scheme completed a full pass at this epoch."""
         self._scheme_pass_epoch = self.order_epoch
+
+    # ------------------------------------------------- checkpoint/restore
+
+    def export_state(self) -> dict:
+        """JSON-ready snapshot of all cost-relevant engine state.
+
+        Captures the canonical state only — per-color counters,
+        deadlines, eligibility, wrap history, pending queues, the cache
+        pool (occupant *and* physical color per slot), and the
+        accumulated :class:`CostBreakdown`.  Derived bookkeeping (the
+        eligible ordering, order/cache epochs, probe state) is
+        recomputed by :meth:`import_state`: it only accelerates the
+        sparse core and never changes costs, so leaving it out keeps
+        the snapshot minimal and the restore trivially consistent.
+
+        Scheme state is *not* included — schemes serialize themselves
+        through :meth:`ReconfigurationScheme.state_dict`; the streaming
+        checkpoint layer persists both side by side.
+        """
+        colors = {}
+        for color, st in self.states.items():
+            colors[str(color)] = {
+                "cnt": st.cnt,
+                "dd": st.dd,
+                "eligible": st.eligible,
+                "last_wrap": st.last_wrap,
+                "prev_wrap": st.prev_wrap,
+                "last_timestamp": st.last_timestamp,
+                # Color and delay bound are implied by the key; pending
+                # jobs serialize as (arrival, jid) pairs.
+                "pending": [[job.arrival, job.jid] for job in st.pending],
+            }
+        return {
+            "colors": colors,
+            "cache": self.cache.state_dict(),
+            "cost": self.cost.to_dict(),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Load an :meth:`export_state` snapshot into a fresh engine.
+
+        Must be called before :meth:`run`.  The snapshot's color set
+        must match the instance spec; the cost model must match the
+        instance's.  After the load, a run over ``[start_round,
+        horizon)`` continues the checkpointed run exactly: the restored
+        state plus global round indexing make every phase decision
+        identical to the uninterrupted engine's.
+        """
+        if self._ran:
+            raise RuntimeError("cannot import state into an engine that ran")
+        colors = state["colors"]
+        if set(colors) != {str(c) for c in self.states}:
+            raise ValueError(
+                "checkpoint colors do not match the instance spec"
+            )
+        for color, st in self.states.items():
+            data = colors[str(color)]
+            st.cnt = data["cnt"]
+            st.dd = data["dd"]
+            st.eligible = data["eligible"]
+            st.last_wrap = data["last_wrap"]
+            st.prev_wrap = data["prev_wrap"]
+            st.last_timestamp = data["last_timestamp"]
+            st.pending = deque(
+                Job(arrival, color, st.delay_bound, jid)
+                for arrival, jid in data["pending"]
+            )
+        self.cache.load_state(state["cache"])
+        cost = CostBreakdown.from_dict(state["cost"])
+        if cost.model != self.instance.cost_model:
+            raise ValueError(
+                "checkpoint cost model does not match the instance"
+            )
+        self.cost = cost
+        # Rebuild the derived sparse-core bookkeeping from the canonical
+        # state; caches and probe state start cold (cost-neutral).
+        self._total_pending = sum(
+            len(st.pending) for st in self.states.values()
+        )
+        self._eligible_sorted = sorted(
+            c for c, st in self.states.items() if st.eligible
+        )
+        self._num_eligible_uncached = sum(
+            1 for c in self._eligible_sorted if c not in self.cache
+        )
+        self._rank_cache = None
+        self._lru_cache = None
+        self._probe_state = None
+        self._scheme_pass_epoch = None
+        self._state_imported = True
 
     def _eligible_add(self, color: int) -> None:
         insort(self._eligible_sorted, color)

@@ -138,6 +138,37 @@ class CachePool:
         self._occupied_cache = None
         return slot
 
+    # -- checkpoint/restore ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot: per-slot ``[occupant, physical]`` pairs.
+
+        Physical colors persist across evictions and decide future
+        reconfiguration costs (``insert`` prefers a free slot already
+        holding the color), so both halves of every slot are part of the
+        cost-relevant state.
+        """
+        return {
+            "slots": [[slot.occupant, slot.physical] for slot in self._slots],
+            "logical_insertions": self.logical_insertions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in slot order."""
+        slots = state["slots"]
+        if len(slots) != self.capacity:
+            raise ValueError(
+                f"checkpoint has {len(slots)} slots, pool has {self.capacity}"
+            )
+        self._slot_of = {}
+        for slot, (occupant, physical) in zip(self._slots, slots):
+            slot.occupant = occupant
+            slot.physical = physical
+            if occupant != BLACK:
+                self._slot_of[occupant] = slot
+        self.logical_insertions = state["logical_insertions"]
+        self._occupied_cache = None
+
     # -- iteration ---------------------------------------------------------
 
     def occupied_slots(self) -> list[Slot]:

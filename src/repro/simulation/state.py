@@ -81,14 +81,18 @@ class ColorState:
             return self.prev_wrap
         return 0
 
-    def boundaries(self, horizon: int) -> range:
-        """Integral multiples of ``D_ℓ`` within ``[0, horizon)``.
+    def boundaries(self, horizon: int, start: int = 0) -> range:
+        """Integral multiples of ``D_ℓ`` within ``[start, horizon)``.
 
         These are the only rounds the Section 3.1 protocol acts on this
         color — the sparse engine core's boundary calendar is exactly the
-        union of these ranges over all colors.
+        union of these ranges over all colors.  ``start`` lets streaming
+        segments build their calendar over a window instead of paying
+        ``horizon / D_ℓ`` per segment from round 0.
         """
-        return range(0, horizon, self.delay_bound)
+        d = self.delay_bound
+        first = ((start + d - 1) // d) * d
+        return range(first, horizon, d)
 
     def take_pending(self, count: int) -> list[Job]:
         """Remove and return up to ``count`` pending jobs (FIFO)."""

@@ -118,6 +118,8 @@ class VectorizedEngine(BatchedEngine):
         speed: int = 1,
         collect_metrics: bool = False,
         record: str = "full",
+        start_round: int = 0,
+        columnar: bool = True,
         tracer=None,
         registry=None,
         profiler=None,
@@ -133,14 +135,24 @@ class VectorizedEngine(BatchedEngine):
             collect_metrics=collect_metrics,
             record=record,
             sparse=True,
+            start_round=start_round,
             tracer=tracer,
             registry=registry,
             profiler=profiler,
             reconfig_observer=reconfig_observer,
         )
         self.engine_name = "vectorized"
+        # The columnar path compiles the *whole* request sequence up
+        # front and assumes it owns the run from round 0 with empty
+        # initial state.  Streaming sessions pass ``columnar=False`` (the
+        # compile is O(total jobs), which contradicts the O(pending)
+        # streaming bound) and segment engines start mid-run — both run
+        # the faithful sparse core under the vectorized backend name,
+        # which is cost-exact by the existing parity property tests.
         self._vector_path = (
-            record == "costs"
+            columnar
+            and start_round == 0
+            and record == "costs"
             and self.tracer is None
             and self.metrics is None
             and self.profiler is None
@@ -149,6 +161,17 @@ class VectorizedEngine(BatchedEngine):
         )
         if self._vector_path:
             self._compile()
+
+    def import_state(self, state: dict) -> None:
+        """Restore a checkpoint; forces the faithful sparse core.
+
+        The columnar compile bakes in empty initial state (zero
+        counters, empty cache columns), so a restored engine must run
+        the sparse fallback — it honors arbitrary initial state and is
+        bit-identical on costs.
+        """
+        super().import_state(state)
+        self._vector_path = False
 
     # ------------------------------------------------------------ compile
 

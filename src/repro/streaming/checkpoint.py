@@ -1,0 +1,130 @@
+"""Durable checkpoints of a streaming session.
+
+A checkpoint is the session's *complete* resume state: the next round to
+simulate, the engine's exported canonical state (per-color protocol
+state, pending queues, cache slots, accumulated costs), the scheme's
+decision state (RNG streams, mark sets, credit vectors), the ingestion
+counters, and any source state.  A configuration echo (spec digest,
+scheme/engine/resources/speed) guards against resuming into a different
+experiment, and a payload digest guards against torn or edited files.
+
+Restore contract: a session resumed from a checkpoint produces the same
+``CostBreakdown`` as the uninterrupted session, bit for bit.  This is
+nearly by construction — the session *always* advances by exporting and
+re-importing this exact state between segments, so the resume path and
+the uninterrupted path are the same code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.instance import ProblemSpec
+
+CHECKPOINT_SCHEMA = "repro-stream-checkpoint/v1"
+
+
+def spec_digest(spec: ProblemSpec) -> str:
+    """Stable digest of a problem spec (checkpoint/session match check)."""
+    payload = {
+        "delay_bounds": {str(c): b for c, b in sorted(spec.delay_bounds.items())},
+        "reconfig_cost": spec.cost.reconfig_cost,
+        "drop_cost": spec.cost.drop_cost,
+        "batch_mode": spec.batch_mode.value,
+        "require_power_of_two": spec.require_power_of_two,
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+def _payload_digest(payload: dict) -> str:
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is corrupt or does not match the session."""
+
+
+@dataclass
+class StreamCheckpoint:
+    """Everything a :class:`~repro.streaming.session.StreamSession` needs
+    to continue exactly where it stopped."""
+
+    round: int
+    config: dict
+    engine_state: dict
+    scheme_state: dict
+    ingest_state: dict
+    source_state: dict = field(default_factory=dict)
+    rounds_executed: int = 0
+    wall_seconds: float = 0.0
+
+    def to_payload(self) -> dict:
+        body = {
+            "schema": CHECKPOINT_SCHEMA,
+            "round": self.round,
+            "config": self.config,
+            "engine_state": self.engine_state,
+            "scheme_state": self.scheme_state,
+            "ingest_state": self.ingest_state,
+            "source_state": self.source_state,
+            "rounds_executed": self.rounds_executed,
+            "wall_seconds": self.wall_seconds,
+        }
+        body["digest"] = _payload_digest(
+            {k: v for k, v in body.items() if k != "digest"}
+        )
+        return body
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StreamCheckpoint":
+        if payload.get("schema") != CHECKPOINT_SCHEMA:
+            raise CheckpointError(
+                f"unsupported checkpoint schema {payload.get('schema')!r}; "
+                f"expected {CHECKPOINT_SCHEMA}"
+            )
+        digest = payload.get("digest")
+        expected = _payload_digest(
+            {k: v for k, v in payload.items() if k != "digest"}
+        )
+        if digest != expected:
+            raise CheckpointError(
+                "checkpoint digest mismatch (torn write or edited file)"
+            )
+        return cls(
+            round=payload["round"],
+            config=payload["config"],
+            engine_state=payload["engine_state"],
+            scheme_state=payload["scheme_state"],
+            ingest_state=payload["ingest_state"],
+            source_state=payload.get("source_state", {}),
+            rounds_executed=payload.get("rounds_executed", 0),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write atomically (temp file + rename) so a crash mid-write
+        leaves the previous checkpoint intact."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(self.to_payload(), sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "StreamCheckpoint":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {path}: {error}"
+            ) from error
+        return cls.from_payload(payload)

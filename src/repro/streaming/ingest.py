@@ -1,0 +1,163 @@
+"""Bounded ingestion: per-color queue caps with tail-drop admission.
+
+Sits between an :class:`~repro.streaming.sources.ArrivalSource` and the
+engine.  In batched mode a color's pending queue empties at every one of
+its boundaries (the drop phase clears it before the batch lands), so a
+per-color cap on the *admitted batch* is exactly a cap on that color's
+pending-queue depth — which is what makes the streaming memory bound
+"O(pending)" a number the operator chooses instead of one the workload
+chooses.
+
+Rejected jobs never reach the engine: they are refused at the door and
+counted, not dropped at a deadline — no drop cost is charged, mirroring
+the cache-queue admission experiments (icarus) whose
+``PERCENTAGE_OF_REJECTION`` / average-queue-size reporting this layer's
+metrics reproduce.  Admission is deterministic (FIFO prefix up to the
+cap), so checkpointed and uninterrupted runs admit identical jobs.
+
+Metrics (when a :class:`repro.obs.metrics.MetricsRegistry` is attached):
+
+* ``stream.offered`` / ``stream.admitted`` / ``stream.rejected`` —
+  job counters across the whole session.
+* ``stream.rejected.color.N`` — per-color rejection counters.
+* ``stream.queue_depth`` — histogram of post-admission queue depths
+  (one observation per non-empty offered batch).
+* ``stream.rejection_rate`` — gauge, rejected / offered so far.
+
+All of these flow to the PR-8 ops service's ``/metrics`` endpoint when
+the session's registry is the one the service serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.job import Job
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-color queue caps; ``None`` means unbounded.
+
+    ``queue_cap`` is the default cap for every color; ``caps`` overrides
+    it per color.  Caps bound the admitted batch (= the pending queue
+    depth, see the module docstring) — a cap of 0 rejects the color
+    outright.
+    """
+
+    queue_cap: int | None = None
+    caps: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.queue_cap is not None and self.queue_cap < 0:
+            raise ValueError("queue_cap must be nonnegative or None")
+        for color, cap in self.caps.items():
+            if cap < 0:
+                raise ValueError(
+                    f"cap for color {color} must be nonnegative, got {cap}"
+                )
+        object.__setattr__(self, "caps", dict(self.caps))
+
+    def cap_for(self, color: int) -> int | None:
+        cap = self.caps.get(color)
+        return self.queue_cap if cap is None else cap
+
+    def to_dict(self) -> dict:
+        return {
+            "queue_cap": self.queue_cap,
+            "caps": {str(c): cap for c, cap in sorted(self.caps.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdmissionPolicy":
+        return cls(
+            queue_cap=data.get("queue_cap"),
+            caps={int(c): cap for c, cap in data.get("caps", {}).items()},
+        )
+
+
+class StreamIngest:
+    """Admission control + rejection accounting for one session."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None, registry=None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.offered = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.rejected_by_color: dict[int, int] = {}
+        self._registry = registry
+        if registry is not None:
+            self._offered_ctr = registry.counter("stream.offered")
+            self._admitted_ctr = registry.counter("stream.admitted")
+            self._rejected_ctr = registry.counter("stream.rejected")
+            self._depth_hist = registry.histogram("stream.queue_depth")
+            self._rate_gauge = registry.gauge("stream.rejection_rate")
+            self._rejected_color_ctrs: dict[int, object] = {}
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered jobs refused so far (0.0 before traffic)."""
+        if self.offered == 0:
+            return 0.0
+        return self.rejected / self.offered
+
+    def admit(self, round_index: int, batch: Sequence[Job]) -> list[Job]:
+        """Filter one round's batch through the caps (FIFO tail-drop)."""
+        if not batch:
+            return []
+        per_color: dict[int, int] = {}
+        admitted: list[Job] = []
+        rejected = 0
+        for job in batch:
+            color = job.color
+            taken = per_color.get(color, 0)
+            cap = self.policy.cap_for(color)
+            if cap is None or taken < cap:
+                per_color[color] = taken + 1
+                admitted.append(job)
+            else:
+                rejected += 1
+                self.rejected_by_color[color] = (
+                    self.rejected_by_color.get(color, 0) + 1
+                )
+                if self._registry is not None:
+                    ctr = self._rejected_color_ctrs.get(color)
+                    if ctr is None:
+                        ctr = self._registry.counter(
+                            f"stream.rejected.color.{color}"
+                        )
+                        self._rejected_color_ctrs[color] = ctr
+                    ctr.inc()
+        self.offered += len(batch)
+        self.admitted += len(admitted)
+        self.rejected += rejected
+        if self._registry is not None:
+            self._offered_ctr.inc(len(batch))
+            self._admitted_ctr.inc(len(admitted))
+            if rejected:
+                self._rejected_ctr.inc(rejected)
+            for depth in per_color.values():
+                self._depth_hist.observe(depth)
+            self._rate_gauge.set(self.rejection_rate)
+        return admitted
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "rejected_by_color": {
+                str(c): n for c, n in self.rejected_by_color.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.offered = state["offered"]
+        self.admitted = state["admitted"]
+        self.rejected = state["rejected"]
+        self.rejected_by_color = {
+            int(c): n for c, n in state["rejected_by_color"].items()
+        }

@@ -1,0 +1,401 @@
+"""The streaming driver: segments, state carry-over, checkpoints.
+
+:class:`StreamSession` runs any engine backend over an
+:class:`~repro.streaming.sources.ArrivalSource` without ever
+materializing the whole workload.  The mechanism is *segmentation*: the
+session pulls one window of arrivals (``segment_rounds`` rounds) through
+the admission layer, builds a segment engine over global rounds
+``[start, end)`` with the previous segment's exported state imported,
+runs it, and exports the state again.  Because round indices stay
+global, deadlines, boundary calendars, ΔLRU timestamps, and scheme
+decisions are identical to one uninterrupted engine run — segmentation
+is cost-transparent (property-tested against one-shot ``simulate``).
+
+Checkpointing falls out for free: the between-segments state *is* the
+checkpoint.  A resumed session starts from the same exported state the
+uninterrupted session would have carried across that round, so the two
+produce bit-identical :class:`~repro.core.cost.CostBreakdown`\\ s.
+
+Memory is O(pending + segment): the engine, its segment instance, and
+the admitted-job window are dropped after every segment; only the
+exported state (pending queues, per-color counters, cache slots, cost
+counters) survives.  ``record`` is fixed to ``"costs"`` — full-record
+streaming would retain O(total jobs) schedule state, defeating the
+point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.cost import CostBreakdown
+from repro.core.instance import Instance, RequestSequence
+from repro.simulation.engine import (
+    ENGINE_NAMES,
+    BatchedEngine,
+    ReconfigurationScheme,
+)
+from repro.streaming.checkpoint import (
+    CheckpointError,
+    StreamCheckpoint,
+    spec_digest,
+)
+from repro.streaming.ingest import AdmissionPolicy, StreamIngest
+from repro.streaming.sources import ArrivalSource
+
+#: Default segment width; bounds the per-segment arrival window.
+DEFAULT_SEGMENT_ROUNDS = 4096
+
+
+@dataclass
+class StreamResult:
+    """Cumulative outcome of a streaming session (so far)."""
+
+    name: str
+    algorithm: str
+    engine: str
+    num_resources: int
+    speed: int
+    rounds: int
+    rounds_executed: int
+    wall_seconds: float
+    cost: CostBreakdown
+    offered: int
+    admitted: int
+    rejected: int
+    rejection_rate: float
+    checkpoints_written: int
+
+    @property
+    def total_cost(self) -> int:
+        return self.cost.total
+
+    @property
+    def rounds_per_second(self) -> float:
+        """Covered mini-rounds per wall-clock second (0.0 when untimed)."""
+        if self.wall_seconds <= 0 or self.rounds <= 0:
+            return 0.0
+        return self.rounds * self.speed / self.wall_seconds
+
+
+class StreamSession:
+    """Drive a reconfiguration scheme over an arrival stream.
+
+    Parameters mirror :func:`repro.simulation.engine.simulate` where they
+    overlap; ``policy`` bounds admission (see
+    :class:`~repro.streaming.ingest.AdmissionPolicy`), ``registry``
+    receives both the ``stream.*`` ingestion metrics and the engines'
+    ``engine.*`` instruments, and ``segment_rounds`` sets the window
+    width (cost-transparent; tune for memory vs. per-segment overhead).
+    """
+
+    def __init__(
+        self,
+        source: ArrivalSource,
+        scheme: ReconfigurationScheme,
+        num_resources: int,
+        *,
+        engine: str = "sparse",
+        copies: int = 2,
+        speed: int = 1,
+        policy: AdmissionPolicy | None = None,
+        registry=None,
+        segment_rounds: int = DEFAULT_SEGMENT_ROUNDS,
+        name: str = "stream",
+    ) -> None:
+        if engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+            )
+        if not source.spec.batch_mode.is_batched:
+            raise ValueError("streaming sessions require a batched spec")
+        if segment_rounds < 1:
+            raise ValueError("segment_rounds must be at least 1")
+        self.source = source
+        self.scheme = scheme
+        self.spec = source.spec
+        self.num_resources = num_resources
+        self.engine = engine
+        self.copies = copies
+        self.speed = speed
+        self.segment_rounds = segment_rounds
+        self.name = name
+        self.registry = registry
+        self.ingest = StreamIngest(policy, registry)
+        self._round = 0
+        self._engine_state: dict | None = None
+        self._scheme_state: dict | None = None
+        self._cost = CostBreakdown(self.spec.cost)
+        self._rounds_executed = 0
+        self._wall_seconds = 0.0
+        self._checkpoints_written = 0
+        self._boundary_step = min(self.spec.delay_bounds.values())
+        if registry is not None:
+            self._round_gauge = registry.gauge("stream.round")
+            self._checkpoint_ctr = registry.counter("stream.checkpoints")
+        else:
+            self._round_gauge = None
+            self._checkpoint_ctr = None
+
+    # ------------------------------------------------------------- state
+
+    @property
+    def round(self) -> int:
+        """Next global round to simulate."""
+        return self._round
+
+    @property
+    def cost(self) -> CostBreakdown:
+        """Cumulative cost breakdown across all segments so far."""
+        return self._cost
+
+    def result(self) -> StreamResult:
+        return StreamResult(
+            name=self.name,
+            algorithm=self.scheme.name,
+            engine=self.engine,
+            num_resources=self.num_resources,
+            speed=self.speed,
+            rounds=self._round,
+            rounds_executed=self._rounds_executed,
+            wall_seconds=self._wall_seconds,
+            cost=self._cost,
+            offered=self.ingest.offered,
+            admitted=self.ingest.admitted,
+            rejected=self.ingest.rejected,
+            rejection_rate=self.ingest.rejection_rate,
+            checkpoints_written=self._checkpoints_written,
+        )
+
+    # --------------------------------------------------------------- run
+
+    def run(
+        self,
+        rounds: int | None = None,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
+        on_checkpoint=None,
+    ) -> StreamResult:
+        """Advance the session ``rounds`` rounds (or to a finite source's
+        horizon) and return the cumulative result.
+
+        ``checkpoint_every`` forces a checkpoint every that many rounds
+        (aligned to multiples of it); each checkpoint is written to
+        ``checkpoint_path`` (atomic overwrite) and/or passed to
+        ``on_checkpoint``.  Callable repeatedly — an unbounded source is
+        consumed in as many ``run`` calls as the caller likes.
+        """
+        horizon = self.source.horizon()
+        if rounds is None:
+            if horizon is None:
+                raise ValueError(
+                    "an unbounded source needs an explicit rounds= target"
+                )
+            target = horizon
+        else:
+            if rounds < 0:
+                raise ValueError("rounds must be nonnegative")
+            target = self._round + rounds
+            if horizon is not None and target > horizon:
+                raise ValueError(
+                    f"target round {target} exceeds the source horizon "
+                    f"{horizon}"
+                )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        while self._round < target:
+            end = min(target, self._round + self.segment_rounds)
+            if checkpoint_every is not None:
+                next_ckpt = (
+                    (self._round // checkpoint_every) + 1
+                ) * checkpoint_every
+                end = min(end, next_ckpt)
+            self._run_segment(self._round, end)
+            if (
+                checkpoint_every is not None
+                and self._round % checkpoint_every == 0
+                and self._round > 0
+            ):
+                ckpt = self.checkpoint()
+                if checkpoint_path is not None:
+                    ckpt.save(checkpoint_path)
+                if on_checkpoint is not None:
+                    on_checkpoint(ckpt)
+                self._checkpoints_written += 1
+                if self._checkpoint_ctr is not None:
+                    self._checkpoint_ctr.inc()
+        return self.result()
+
+    def _boundary_rounds(self, start: int, end: int) -> list[int]:
+        """Rounds in ``[start, end)`` that are a multiple of some bound —
+        the only rounds a batched source may populate."""
+        rounds: set[int] = set()
+        for bound in set(self.spec.delay_bounds.values()):
+            first = ((start + bound - 1) // bound) * bound
+            rounds.update(range(first, end, bound))
+        return sorted(rounds)
+
+    def _run_segment(self, start: int, end: int) -> None:
+        if end <= start:
+            return
+        jobs = []
+        for k in self._boundary_rounds(start, end):
+            batch = self.source.batch(k)
+            if batch:
+                jobs.extend(self.ingest.admit(k, batch))
+        sequence = RequestSequence(jobs, end, open_horizon=True)
+        instance = Instance(
+            self.spec, sequence, name=f"{self.name}[{start}:{end}]"
+        )
+        engine = self._build_engine(instance, start)
+        if self._scheme_state is not None:
+            # After construction: the engine's ctor reset the scheme, and
+            # the checkpointed decision state must win.
+            self.scheme.load_state(self._scheme_state)
+        if self._engine_state is not None:
+            engine.import_state(self._engine_state)
+        result = engine.run()
+        self._engine_state = engine.export_state()
+        self._scheme_state = self.scheme.state_dict()
+        # import_state restored the cumulative CostBreakdown into the
+        # engine, which kept accumulating onto it — result.cost IS the
+        # session-cumulative breakdown.
+        self._cost = result.cost
+        self._rounds_executed += result.rounds_executed or 0
+        self._wall_seconds += result.wall_seconds
+        self._round = end
+        if self._round_gauge is not None:
+            self._round_gauge.set(end)
+
+    def _build_engine(self, instance: Instance, start: int) -> BatchedEngine:
+        kwargs = dict(
+            copies=self.copies,
+            speed=self.speed,
+            record="costs",
+            start_round=start,
+            registry=self.registry,
+        )
+        if self.engine == "vectorized":
+            from repro.simulation.vectorized import VectorizedEngine
+
+            # columnar=False: the columnar compile ingests whole
+            # sequences and assumes empty initial state; streaming runs
+            # the faithful sparse core under the vectorized backend.
+            return VectorizedEngine(
+                instance,
+                self.scheme,
+                self.num_resources,
+                columnar=False,
+                **kwargs,
+            )
+        return BatchedEngine(
+            instance,
+            self.scheme,
+            self.num_resources,
+            sparse=self.engine == "sparse",
+            **kwargs,
+        )
+
+    # ------------------------------------------------- checkpoint/restore
+
+    def _config(self) -> dict:
+        return {
+            "spec_digest": spec_digest(self.spec),
+            "scheme": self.scheme.name,
+            "engine": self.engine,
+            "num_resources": self.num_resources,
+            "copies": self.copies,
+            "speed": self.speed,
+            "name": self.name,
+            "policy": self.ingest.policy.to_dict(),
+        }
+
+    def checkpoint(self) -> StreamCheckpoint:
+        """Snapshot the session (valid at any between-rounds point)."""
+        return StreamCheckpoint(
+            round=self._round,
+            config=self._config(),
+            engine_state=self._engine_state or {},
+            scheme_state=self._scheme_state or {},
+            ingest_state=self.ingest.state_dict(),
+            source_state=self.source.state_dict(),
+            rounds_executed=self._rounds_executed,
+            wall_seconds=self._wall_seconds,
+        )
+
+    def load_checkpoint(self, checkpoint: StreamCheckpoint) -> None:
+        """Restore a checkpoint into this (fresh) session."""
+        if self._round != 0:
+            raise RuntimeError(
+                "load_checkpoint requires a fresh session (round 0)"
+            )
+        config = checkpoint.config
+        mine = self._config()
+        mismatched = [
+            key
+            for key in ("spec_digest", "scheme", "engine", "num_resources", "copies", "speed")
+            if config.get(key) != mine[key]
+        ]
+        if mismatched:
+            raise CheckpointError(
+                "checkpoint does not match this session: "
+                + ", ".join(
+                    f"{key}={config.get(key)!r} vs {mine[key]!r}"
+                    for key in mismatched
+                )
+            )
+        horizon = self.source.horizon()
+        if horizon is not None and checkpoint.round > horizon:
+            raise CheckpointError(
+                f"checkpoint round {checkpoint.round} exceeds the source "
+                f"horizon {horizon}"
+            )
+        self._round = checkpoint.round
+        self._engine_state = checkpoint.engine_state or None
+        self._scheme_state = checkpoint.scheme_state or None
+        self.ingest.load_state(checkpoint.ingest_state)
+        self.source.load_state(checkpoint.source_state)
+        self._rounds_executed = checkpoint.rounds_executed
+        self._wall_seconds = checkpoint.wall_seconds
+        if self._engine_state is not None:
+            self._cost = CostBreakdown.from_dict(self._engine_state["cost"])
+
+    @classmethod
+    def resume(
+        cls,
+        source: ArrivalSource,
+        scheme: ReconfigurationScheme,
+        checkpoint: StreamCheckpoint | str,
+        *,
+        policy: AdmissionPolicy | None = None,
+        registry=None,
+        segment_rounds: int = DEFAULT_SEGMENT_ROUNDS,
+    ) -> "StreamSession":
+        """Build a session from a checkpoint (or its file path).
+
+        Engine, resources, copies, speed, and (unless overridden by an
+        explicit ``policy``) the admission policy come from the
+        checkpoint's configuration echo; source and scheme are supplied
+        by the caller and validated against it.
+        """
+        if not isinstance(checkpoint, StreamCheckpoint):
+            checkpoint = StreamCheckpoint.load(checkpoint)
+        config = checkpoint.config
+        if policy is None and config.get("policy") is not None:
+            policy = AdmissionPolicy.from_dict(config["policy"])
+        session = cls(
+            source,
+            scheme,
+            config["num_resources"],
+            engine=config["engine"],
+            copies=config["copies"],
+            speed=config["speed"],
+            policy=policy,
+            registry=registry,
+            segment_rounds=segment_rounds,
+            name=config.get("name", "stream"),
+        )
+        session.load_checkpoint(checkpoint)
+        return session

@@ -26,6 +26,7 @@ from repro.workloads.random_batched import (
     random_rate_limited,
 )
 from repro.workloads.bursty import bursty_rate_limited
+from repro.workloads.streaming import RateLimitedStream, rate_limited_stream
 from repro.workloads.poisson import poisson_general
 from repro.workloads.datacenter import datacenter_scenario, motivation_scenario
 from repro.workloads.inference import inference_scenario
@@ -41,6 +42,8 @@ __all__ = [
     "random_general",
     "random_rate_limited",
     "bursty_rate_limited",
+    "RateLimitedStream",
+    "rate_limited_stream",
     "poisson_general",
     "datacenter_scenario",
     "motivation_scenario",

@@ -1,0 +1,132 @@
+"""Unbounded streaming workloads: arrivals as pure functions of the round.
+
+The finite generators in this package draw a whole horizon of batches up
+front (one numpy call per color) and materialize an
+:class:`~repro.core.instance.Instance`.  A *streaming* source cannot do
+either — it may run for millions of rounds — so this module generates
+batch sizes as a **pure function of ``(seed, round, color)``** built on
+the splitmix64 finalizer:
+
+* O(1) memory: nothing is materialized and there is no generator cursor
+  to persist — a checkpoint of a streaming run carries no workload state
+  at all, and a resumed run trivially replays the identical arrivals.
+* Random access: the ingestion layer asks for round ``k``'s batch
+  directly; no round needs to be drawn before any other.
+
+The sizes are exact ``Binomial(D_ℓ, load)`` draws (a sum of ``D_ℓ``
+Bernoulli trials), matching :func:`repro.workloads.random_batched.
+random_rate_limited`'s per-boundary law, with ``load`` quantized to
+1/65536 (each trial compares a 16-bit hash slice against the threshold —
+four trials per 64-bit mix keeps the per-round cost low).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.cost import CostModel
+from repro.core.instance import BatchMode, ProblemSpec
+
+_MASK = (1 << 64) - 1
+#: Probability quantum: one Bernoulli trial consumes a 16-bit slice.
+_P_SCALE = 65536
+
+
+def _mix64(seed: int, value: int) -> int:
+    """Deterministic 64-bit mix (splitmix64 finalizer)."""
+    z = (seed * 0x9E3779B97F4A7C15 + value + 0x9E3779B97F4A7C15) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return z ^ (z >> 31)
+
+
+def _binomial(seed: int, trials: int, threshold: int) -> int:
+    """Exact ``Binomial(trials, threshold / 65536)`` from hash slices."""
+    count = 0
+    word = 0
+    for i in range(trials):
+        lane = i & 3
+        if lane == 0:
+            word = _mix64(seed, i >> 2)
+        if (word >> (16 * lane)) & 0xFFFF < threshold:
+            count += 1
+    return count
+
+
+def streaming_bounds(
+    num_colors: int,
+    *,
+    seed: int,
+    bound_choices: Sequence[int] = (8, 16, 32, 64),
+) -> dict[int, int]:
+    """Deterministic per-color delay bounds (hash-picked, seed-stable)."""
+    if num_colors <= 0:
+        raise ValueError("num_colors must be positive")
+    choices = sorted(bound_choices)
+    return {
+        color: choices[_mix64(seed, 0x10000 + color) % len(choices)]
+        for color in range(num_colors)
+    }
+
+
+@dataclass(frozen=True)
+class RateLimitedStream:
+    """A ``[Δ | 1 | D_ℓ | D_ℓ]`` rate-limited arrival law, unbounded.
+
+    ``batch_counts(k)`` returns the ``(color, count)`` pairs arriving in
+    round ``k``: at every integral multiple of ``D_ℓ``, color ℓ receives
+    ``Binomial(D_ℓ, load)`` jobs — never exceeding the rate limit.  The
+    law is a pure function of ``(seed, k)``; see the module docstring.
+    """
+
+    delay_bounds: Mapping[int, int]
+    reconfig_cost: int
+    load: float = 0.5
+    seed: int = 0
+    spec: ProblemSpec = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.load <= 1.0:
+            raise ValueError("load must lie in [0, 1]")
+        object.__setattr__(
+            self,
+            "spec",
+            ProblemSpec(
+                dict(self.delay_bounds),
+                CostModel(self.reconfig_cost),
+                BatchMode.RATE_LIMITED,
+                require_power_of_two=all(
+                    (b & (b - 1)) == 0 for b in self.delay_bounds.values()
+                ),
+            ),
+        )
+        object.__setattr__(self, "_threshold", round(self.load * _P_SCALE))
+
+    def batch_counts(self, round_index: int) -> list[tuple[int, int]]:
+        """``(color, count)`` pairs arriving in ``round_index``."""
+        if round_index < 0:
+            raise IndexError(f"rounds are nonnegative, got {round_index}")
+        threshold = self._threshold
+        out: list[tuple[int, int]] = []
+        for color, bound in self.spec.delay_bounds.items():
+            if round_index % bound:
+                continue
+            draw_seed = _mix64(self.seed, (round_index << 20) | color)
+            count = _binomial(draw_seed, bound, threshold)
+            if count:
+                out.append((color, count))
+        return out
+
+
+def rate_limited_stream(
+    num_colors: int,
+    delta: int,
+    *,
+    seed: int,
+    load: float = 0.5,
+    bound_choices: Sequence[int] = (8, 16, 32, 64),
+) -> RateLimitedStream:
+    """Convenience constructor mirroring ``random_rate_limited``'s shape."""
+    bounds = streaming_bounds(num_colors, seed=seed, bound_choices=bound_choices)
+    return RateLimitedStream(bounds, delta, load=load, seed=seed)
