@@ -8,11 +8,16 @@ Three acceptance promises, checked end to end:
    of the short run's peak, and under an absolute ceiling.  A
    materialized instance of the same workload would hold millions of
    job objects; the stream holds one segment's worth.
-2. **Checkpoint -> restore is exact.**  A session checkpointed to a file
+2. **A series recorder keeps it flat.**  The same million-round session
+   with a metrics registry, a :class:`SeriesRecorder`, and the example
+   alert rules attached must stay within a constant factor of the bare
+   run's peak (ring buffers compact; history is O(capacity), not
+   O(samples)) and must not change the cost by a single unit.
+3. **Checkpoint -> restore is exact.**  A session checkpointed to a file
    mid-run and resumed in a fresh session must finish with a
    ``CostBreakdown`` equal (bit for bit, via ``to_dict``) to an
    uninterrupted session's — on every available engine backend.
-3. **Admission caps hold.**  With a per-color cap, every admitted batch
+4. **Admission caps hold.**  With a per-color cap, every admitted batch
    respects the cap and the ingest counters reconcile.
 
 Usage::
@@ -59,18 +64,29 @@ def _session(**kwargs):
     return StreamSession(_source(), DeltaLRUEDF(), RESOURCES, **kwargs)
 
 
-def _peak_bytes(rounds: int) -> tuple[int, int]:
+def _peak_bytes(rounds: int, *, recorder: bool = False) -> tuple[int, int]:
     """(tracemalloc peak, total cost) of streaming ``rounds`` rounds."""
+    kwargs = {}
+    if recorder:
+        from repro.obs import MetricsRegistry, SeriesRecorder
+        from repro.obs.alerts import example_rules
+
+        registry = MetricsRegistry()
+        kwargs = {
+            "registry": registry,
+            "recorder": SeriesRecorder(registry, rules=example_rules()),
+        }
     tracemalloc.start()
     try:
-        result = _session().run(rounds)
+        result = _session(**kwargs).run(rounds)
         _, peak = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()
     return peak, result.total_cost
 
 
-def _check_memory_bound() -> int:
+def _check_memory_bound() -> tuple[int, int, int]:
+    """Returns (failures, bare long-run peak, bare long-run cost)."""
     failures = 0
     short_peak, _ = _peak_bytes(SHORT_ROUNDS)
     long_peak, total_cost = _peak_bytes(LONG_ROUNDS)
@@ -96,6 +112,40 @@ def _check_memory_bound() -> int:
         print(
             f"  {LONG_ROUNDS:,} rounds streamed, total cost {total_cost:,}; "
             "peak memory flat across a 10x round increase"
+        )
+    return failures, long_peak, total_cost
+
+
+#: Metric history + alert evaluation may cost this much extra peak over
+#: the bare session: ring buffers cap at ``capacity`` points per series,
+#: so the overlay is a small constant, not a function of rounds.
+RECORDER_FACTOR = 1.5
+
+
+def _check_recorder_overlay(bare_peak: int, bare_cost: int) -> int:
+    failures = 0
+    peak, cost = _peak_bytes(LONG_ROUNDS, recorder=True)
+    budget = int(bare_peak * RECORDER_FACTOR) + GROWTH_SLACK_BYTES
+    print(
+        f"  recorder attached: {LONG_ROUNDS:,} rounds -> "
+        f"{peak / 2**20:.1f} MiB peak (budget {budget / 2**20:.1f} MiB)"
+    )
+    if cost != bare_cost:
+        failures += 1
+        print(
+            f"  FATAL: recording changed the cost: {cost:,} vs {bare_cost:,} "
+            "bare — observation must be strictly read-only"
+        )
+    if peak > budget:
+        failures += 1
+        print(
+            "  FATAL: series history grew the peak past the constant "
+            "overlay budget — ring compaction is not bounding memory"
+        )
+    if not failures:
+        print(
+            "  recorder + alert rules: cost bit-identical, history memory "
+            "O(capacity) across a million rounds"
         )
     return failures
 
@@ -168,15 +218,19 @@ def _check_admission_caps() -> int:
 
 def main() -> int:
     print("stream smoke: bounded memory, exact resume, admission caps")
-    failures = 0
-    failures += _check_memory_bound()
+    memory_failures, bare_peak, bare_cost = _check_memory_bound()
+    failures = memory_failures
+    failures += _check_recorder_overlay(bare_peak, bare_cost)
     with tempfile.TemporaryDirectory() as tmp:
         failures += _check_resume_exact(Path(tmp))
     failures += _check_admission_caps()
     if failures:
         print(f"FAIL: {failures} stream smoke check(s) failed")
         return 1
-    print("pass: memory flat, resume exact, caps enforced")
+    print(
+        "pass: memory flat (with and without recorder), resume exact, "
+        "caps enforced"
+    )
     return 0
 
 

@@ -27,6 +27,13 @@ best-of-N* so each pair sees the same thermal/cache conditions:
    ``(t_sampled - t_floor) / t_plain <= --sampling-threshold``
    (default 5%, matching the controller's default target).
 
+4. **Series recording is cheap.**  A
+   :class:`~repro.obs.timeseries.SeriesRecorder` (with the example alert
+   rules attached) samples a streaming session once per segment — a
+   bounded amount of work on a coarse clock — so attaching metric
+   history + alerting to a stream must cost <= ``--series-threshold``
+   (default 5%) over the same stream with a bare registry.
+
 Best-of-N is the right statistic: both variants of each pair run nearly
 identical code, so any gap beyond the real overhead is scheduling noise,
 and the minimum is the noise-robust estimator.  All sections also
@@ -190,6 +197,65 @@ def _sampling_gate(repeats: int, threshold: float) -> bool:
     return aggregate <= threshold
 
 
+def _recorder_gate(repeats: int, threshold: float) -> bool:
+    """A series recorder + alert rules must barely tax a stream.
+
+    Streams the same rate-limited workload twice per repeat — bare
+    registry vs. registry + :class:`SeriesRecorder` with the example
+    alert rules — interleaved, best-of-N, and gates the slowdown.  The
+    recorder samples once per segment (the deterministic round clock),
+    so its cost is O(instruments) on a coarse clock, not per-round.
+    Costs must stay bit-identical: recording is strictly observational.
+    """
+    import math as _math
+
+    from repro.algorithms.dlru_edf import DeltaLRUEDF
+    from repro.obs import MetricsRegistry, SeriesRecorder
+    from repro.obs.alerts import example_rules
+    from repro.streaming import StreamSession, rate_limited_source
+
+    rounds, segment = 8192, 256
+
+    def _run(with_recorder: bool):
+        registry = MetricsRegistry()
+        recorder = None
+        if with_recorder:
+            recorder = SeriesRecorder(registry, rules=example_rules())
+        session = StreamSession(
+            rate_limited_source(6, 8, seed=0, load=0.6, bound_choices=(8, 16)),
+            DeltaLRUEDF(),
+            8,
+            registry=registry,
+            recorder=recorder,
+            segment_rounds=segment,
+        )
+        start = time.perf_counter()
+        result = session.run(rounds)
+        return time.perf_counter() - start, result.total_cost
+
+    print(f"series-recorder gate: {repeats} paired {rounds}-round streams")
+    best_plain = best_recorded = _math.inf
+    cost_plain = cost_recorded = None
+    for _ in range(repeats):
+        seconds, cost_plain = _run(False)
+        best_plain = min(best_plain, seconds)
+        seconds, cost_recorded = _run(True)
+        best_recorded = min(best_recorded, seconds)
+    if cost_plain != cost_recorded:
+        print(
+            f"  FATAL: cost diverged: {cost_plain} bare vs "
+            f"{cost_recorded} recorded"
+        )
+        return False
+    ratio = best_recorded / best_plain
+    print(
+        f"  {best_plain * 1e3:.1f}ms bare registry, "
+        f"{best_recorded * 1e3:.1f}ms with recorder+rules "
+        f"(x{ratio:.3f}, gate {threshold:.0%})"
+    )
+    return ratio - 1.0 <= threshold
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -209,6 +275,12 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.05,
         help="allowed above-floor adaptive-sampling slowdown (default 0.05)",
+    )
+    parser.add_argument(
+        "--series-threshold",
+        type=float,
+        default=0.05,
+        help="allowed fractional series-recorder slowdown (default 0.05)",
     )
     parser.add_argument(
         "--repeats",
@@ -256,7 +328,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
 
-    print("pass: tracing, metrics, and sampling are within their budgets")
+    if not _recorder_gate(args.repeats, args.series_threshold):
+        print(
+            "FAIL: the series recorder exceeds its budget — sampling must "
+            "stay once-per-segment and O(instruments) per sample (check "
+            "SeriesRecorder.sample and Series._compact)"
+        )
+        return 1
+
+    print("pass: tracing, metrics, sampling, and series recording are "
+          "within their budgets")
     return 0
 
 

@@ -435,6 +435,7 @@ def search_adversary(
     tracer=None,
     registry=None,
     recorder=None,
+    series=None,
 ) -> SearchResult:
     """Hill-climb batch-size matrices to maximize the measured ratio.
 
@@ -449,6 +450,10 @@ def search_adversary(
     ``adversary.*`` counters (evaluations, score-cache hits/misses).
     Pass a ``recorder`` (:class:`~repro.obs.registry.RegistrySink`) to
     append the finished search to the persistent run registry.
+    Pass ``series`` (a :class:`~repro.obs.timeseries.SeriesRecorder`)
+    to sample ``adversary.*`` metrics once per restart, in restart
+    order — the series are identical for serial and parallel runners
+    because climbs are folded in plan order, not completion order.
     """
     config = config or SearchConfig()
     rng = np.random.default_rng(config.seed)
@@ -519,7 +524,7 @@ def search_adversary(
     cache_hits = 0
     cache_misses = 0
     miss_seconds = 0.0
-    for (
+    for restart_index, (
         matrix,
         current_ratio,
         restart_trajectory,
@@ -527,7 +532,7 @@ def search_adversary(
         hits,
         misses,
         restart_miss_seconds,
-    ) in climbs:
+    ) in enumerate(climbs):
         trajectory.extend(restart_trajectory)
         evaluations += restart_evals
         cache_hits += hits
@@ -535,6 +540,17 @@ def search_adversary(
         miss_seconds += restart_miss_seconds
         if current_ratio > best_ratio:
             best_ratio, best_matrix = current_ratio, matrix
+        if series is not None:
+            # Per-restart history on the series recorder's own registry:
+            # cumulative counters plus the best-so-far gauge, sampled on
+            # the restart-index clock (deterministic in plan order).
+            sr = series.registry
+            sr.counter("adversary.evaluations").inc(restart_evals)
+            sr.counter("adversary.score_cache_hits").inc(hits)
+            sr.counter("adversary.score_cache_misses").inc(misses)
+            sr.gauge("adversary.best_ratio").set(best_ratio)
+            sr.gauge("adversary.restart_ratio").set(current_ratio)
+            series.sample(restart_index)
 
     if registry is not None:
         registry.counter("adversary.evaluations").inc(evaluations)

@@ -14,6 +14,9 @@ Subcommands::
                                     #   periodic checkpoints, resumable
     repro trace run.jsonl           # render a recorded trace as a timeline
     repro stats run.jsonl           # aggregate statistics of a recorded run
+    repro alerts example            # starter alert-rule file (JSON)
+    repro alerts check s.jsonl ...  # evaluate rules over a recorded series
+    repro alerts watch URL          # poll a live /alerts endpoint
     repro obs monitor               # run with live invariant monitors attached
     repro obs diff a.jsonl b.jsonl  # first divergence + cost attribution
     repro obs export SRC --chrome=… # Perfetto / Prometheus exporters
@@ -673,10 +676,32 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
         state = OpsState()
         service = OpsService(state, port=args.serve).start()
-        print(f"serving on {service.url} (endpoints: /metrics /stream /health)")
+        print(
+            f"serving on {service.url} "
+            "(endpoints: /metrics /stream /series /alerts /health)"
+        )
         registry = state.metrics
     else:
         registry = MetricsRegistry()
+
+    recorder = None
+    if args.series is not None or args.rules is not None or state is not None:
+        from repro.obs.timeseries import SeriesRecorder
+
+        rules = None
+        if args.rules is not None:
+            from repro.obs.alerts import load_rules
+
+            try:
+                rules = load_rules(args.rules)
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                if service is not None:
+                    service.stop()
+                return 2
+        recorder = SeriesRecorder(
+            registry, capacity=args.series_capacity, rules=rules
+        )
 
     try:
         if args.resume:
@@ -692,6 +717,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 args.checkpoint,
                 policy=policy,
                 registry=registry,
+                recorder=recorder,
                 segment_rounds=args.segment,
             )
             print(f"resumed from {args.checkpoint} at round {session.round}")
@@ -704,6 +730,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 speed=args.speed,
                 policy=policy,
                 registry=registry,
+                recorder=recorder,
                 segment_rounds=args.segment,
             )
     except CheckpointError as error:
@@ -713,19 +740,32 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         return 1
 
     def publish(_checkpoint=None) -> None:
-        if state is not None:
-            result = session.result()
-            state.publish_stream(
-                {
-                    "round": result.rounds,
-                    "total_cost": result.total_cost,
-                    "offered": result.offered,
-                    "admitted": result.admitted,
-                    "rejected": result.rejected,
-                    "rejection_rate": result.rejection_rate,
-                    "checkpoints_written": result.checkpoints_written,
-                }
-            )
+        if state is None:
+            return
+        result = session.result()
+        state.publish_stream(
+            {
+                "round": result.rounds,
+                "total_cost": result.total_cost,
+                "offered": result.offered,
+                "admitted": result.admitted,
+                "rejected": result.rejected,
+                "rejection_rate": result.rejection_rate,
+                "rejected_by_color": {
+                    str(color): count
+                    for color, count in sorted(
+                        session.ingest.rejected_by_color.items()
+                    )
+                },
+                "checkpoints_written": result.checkpoints_written,
+                "last_checkpoint_round": session.last_checkpoint_round,
+                "last_checkpoint_path": session.last_checkpoint_path,
+            }
+        )
+        if recorder is not None:
+            state.publish_series(recorder.snapshot())
+            if recorder.alerts is not None:
+                state.publish_alerts(recorder.alerts.payload())
 
     remaining = args.rounds - session.round
     if remaining < 0:
@@ -748,7 +788,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         )
     except KeyboardInterrupt:
         if args.checkpoint is not None:
-            session.checkpoint().save(args.checkpoint)
+            if session.last_checkpoint_round != session.round:
+                session.save_checkpoint(args.checkpoint)
             print(
                 f"\ninterrupted at round {session.round}; checkpoint saved "
                 f"to {args.checkpoint} (resume with --resume)"
@@ -758,10 +799,25 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         if service is not None:
             service.stop()
         return 130
-    publish()
     if args.checkpoint is not None:
-        session.checkpoint().save(args.checkpoint)
-        print(f"final checkpoint saved to {args.checkpoint}")
+        # Skip the save if the periodic cadence already checkpointed this
+        # exact round: a redundant write would bump the checkpoint
+        # counter, making a killed-and-resumed run's stream.checkpoints
+        # series diverge from an uninterrupted one's.
+        if session.last_checkpoint_round != session.round:
+            session.save_checkpoint(args.checkpoint)
+            print(f"final checkpoint saved to {args.checkpoint}")
+        else:
+            print(f"checkpoint already current at round {session.round}")
+    publish()
+    if args.series is not None and recorder is not None:
+        from repro.obs.timeseries import write_series_jsonl
+
+        write_series_jsonl(recorder, args.series)
+        print(
+            f"series written to {args.series} "
+            f"({len(recorder.names())} series, {recorder.samples} samples)"
+        )
     print(
         f"{result.name}: {result.rounds} rounds, total cost "
         f"{result.total_cost} (reconfig {result.cost.reconfig_cost}, "
@@ -774,8 +830,26 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     if result.rounds_per_second:
         print(f"throughput: {result.rounds_per_second:,.0f} rounds/s")
+    if recorder is not None and recorder.alerts is not None:
+        engine = recorder.alerts
+        for event in engine.events:
+            print(f"alert: {event}")
+        if engine.firing:
+            print(f"alerts still firing: {', '.join(engine.firing)}")
     print()
     print(render_metrics(registry.snapshot(prefix="stream.")))
+    if recorder is not None and recorder.series:
+        from repro.obs.render import render_series
+
+        base = [
+            name
+            for name in recorder.names()
+            if name.startswith("stream.")
+            and not name.endswith((".delta", ".rate", ".ewma"))
+        ]
+        if base:
+            print()
+            print(render_series(recorder, names=base))
     if service is not None:
         if args.serve_ttl:
             import time as _time
@@ -786,6 +860,96 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 pass
         service.stop()
     return 0
+
+
+def _cmd_alerts_example(args: argparse.Namespace) -> int:
+    from repro.obs.alerts import example_rules, rules_to_json
+
+    text = rules_to_json(example_rules(delay_bound=args.delay_bound))
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"example rules written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_alerts_check(args: argparse.Namespace) -> int:
+    from repro.obs.alerts import evaluate_rules, load_rules
+    from repro.obs.timeseries import read_series_jsonl
+
+    try:
+        rules = load_rules(args.rules)
+        snapshot = read_series_jsonl(args.series)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    engine = evaluate_rules(rules, snapshot["series"])
+    print(
+        f"{args.series}: {len(snapshot['series'])} series, "
+        f"{engine.samples_seen} sample rounds, {len(rules)} rule(s)"
+    )
+    for event in engine.events:
+        print(f"  {event}")
+    if engine.events_dropped:
+        print(f"  ({engine.events_dropped} older event(s) dropped)")
+    if engine.firing:
+        print(f"firing at end of series: {', '.join(engine.firing)}")
+        return 1
+    print("no alerts firing at end of series")
+    return 0
+
+
+def _cmd_alerts_watch(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = args.url.rstrip("/")
+    if not url.startswith("http"):
+        url = f"http://{url}"
+    endpoint = f"{url}/alerts"
+    deadline = (
+        _time.monotonic() + args.ttl if args.ttl is not None else None
+    )
+    seen_events = 0
+    last_firing: list[str] | None = None
+    exit_code = 0
+    try:
+        while True:
+            try:
+                with urlopen(endpoint, timeout=5) as response:
+                    payload = _json.loads(response.read().decode("utf-8"))
+            except (URLError, OSError, ValueError) as error:
+                print(f"error: cannot poll {endpoint}: {error}", file=sys.stderr)
+                return 2
+            if not payload.get("active"):
+                print(f"{endpoint}: no alert engine published yet")
+            else:
+                events = payload.get("events", [])
+                for event in events[seen_events:]:
+                    glyph = (
+                        "FIRING" if event["kind"] == "fired" else "resolved"
+                    )
+                    print(
+                        f"[{event['severity']}] {event['rule']} {glyph} "
+                        f"at round {event['round']} "
+                        f"(value {event['value']:g})"
+                    )
+                seen_events = len(events)
+                firing = list(payload.get("firing", []))
+                if firing != last_firing:
+                    print(
+                        "firing now: " + (", ".join(firing) or "(none)")
+                    )
+                    last_firing = firing
+                exit_code = 1 if firing else 0
+            if deadline is not None and _time.monotonic() >= deadline:
+                return exit_code
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return exit_code
 
 
 def _cmd_demo(_: argparse.Namespace) -> int:
@@ -1068,7 +1232,85 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="keep the HTTP service up this long after the run finishes",
     )
+    p_stream.add_argument(
+        "--series",
+        default=None,
+        metavar="PATH",
+        help="record per-segment metric time-series and write them as "
+        "schema-tagged JSONL at the end (evaluate later with "
+        "`repro alerts check`)",
+    )
+    p_stream.add_argument(
+        "--series-capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="ring capacity per series; older points compact pairwise "
+        "when full (default 256)",
+    )
+    p_stream.add_argument(
+        "--rules",
+        default=None,
+        metavar="PATH",
+        help="alert-rule JSON file (see `repro alerts example`) "
+        "evaluated live on the recorded series; firing state rides "
+        "checkpoints and /alerts",
+    )
     p_stream.set_defaults(func=_cmd_stream)
+
+    p_alerts = sub.add_parser(
+        "alerts",
+        help="deterministic alerting: example rules, offline evaluation, "
+        "live watching",
+    )
+    alerts_sub = p_alerts.add_subparsers(dest="alerts_command", required=True)
+
+    p_aex = alerts_sub.add_parser(
+        "example", help="print (or write) a starter alert-rule file"
+    )
+    p_aex.add_argument(
+        "--delay-bound",
+        type=int,
+        default=32,
+        metavar="D",
+        help="delay bound the backlog-age rule scales with (default 32)",
+    )
+    p_aex.add_argument("--out", help="write the rule file here instead")
+    p_aex.set_defaults(func=_cmd_alerts_example)
+
+    p_ach = alerts_sub.add_parser(
+        "check",
+        help="evaluate a rule file over a recorded series JSONL; exits 1 "
+        "if any rule is firing at the end",
+    )
+    p_ach.add_argument("series", help="series JSONL from `repro stream --series`")
+    p_ach.add_argument(
+        "--rules", required=True, metavar="PATH", help="alert-rule JSON file"
+    )
+    p_ach.set_defaults(func=_cmd_alerts_check)
+
+    p_awa = alerts_sub.add_parser(
+        "watch",
+        help="poll a live ops service's /alerts endpoint, printing events "
+        "as they appear",
+    )
+    p_awa.add_argument("url", help="service base URL, e.g. http://127.0.0.1:9100")
+    p_awa.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll cadence (default 2s)",
+    )
+    p_awa.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this long (default: watch until Ctrl-C); exits 1 "
+        "if rules are firing at the last poll",
+    )
+    p_awa.set_defaults(func=_cmd_alerts_watch)
 
     p_trace = sub.add_parser(
         "trace", help="render a recorded JSONL trace as a round timeline"

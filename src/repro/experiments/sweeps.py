@@ -120,6 +120,7 @@ def run_matrix(
     runner: ParallelRunner | None = None,
     recorder=None,
     publish: Callable[[dict], None] | None = None,
+    series=None,
 ) -> SweepResult:
     """Simulate every scheme on every instance; return the matrices.
 
@@ -146,6 +147,13 @@ def run_matrix(
         fill in while it runs.  Merging every worker snapshot into one
         registry reproduces exactly the single-process registry a serial
         run would have built (``merge_snapshot`` is associative).
+    ``series``
+        A :class:`~repro.obs.timeseries.SeriesRecorder`; cell metric
+        snapshots are folded into its registry *in task order* and the
+        recorder is sampled once per cell (clock = cell index), so the
+        matrix leaves a per-cell metric history — identical for serial
+        and parallel runners, because the fold runs over the ordered
+        result list, not completion order.
     """
     if not instances or not scheme_factories:
         raise ValueError("need at least one instance and one scheme")
@@ -160,7 +168,7 @@ def run_matrix(
         )
     if record == "costs":
         verify = False
-    with_metrics = publish is not None
+    with_metrics = publish is not None or series is not None
     tasks = [
         (
             instance,
@@ -212,6 +220,11 @@ def run_matrix(
                 kind="matrix",
                 metrics_snapshot=snapshot,
             )
+    if series is not None:
+        for index, (_result, snapshot) in enumerate(cells):
+            if snapshot is not None:
+                series.registry.merge_snapshot(snapshot)
+            series.sample(index)
     return SweepResult(
         scheme_names=tuple(names),
         instance_names=tuple(

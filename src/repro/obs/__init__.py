@@ -23,10 +23,19 @@ of them never changes a computed cost — property-tested):
   (JSONL segments) recording a :class:`~repro.obs.registry.RunRecord`
   per simulate/search/offline invocation, plus run diffing.
 * :mod:`repro.obs.service` — threaded stdlib HTTP ops service exposing
-  ``/metrics`` (Prometheus), ``/health``, and ``/runs``.
+  ``/metrics`` (Prometheus), ``/health``, ``/stream``, ``/series``,
+  ``/alerts``, and ``/runs``.
 * :mod:`repro.obs.sampling` — seeded deterministic round-level trace
   sampling with an adaptive overhead-bounding controller; monitor
   events and run/phase spans are always kept.
+* :mod:`repro.obs.timeseries` — ring-buffered, compacting metric
+  time-series sampled from a registry on a deterministic round clock,
+  with schema-tagged JSONL persistence and sparkline rendering
+  (:func:`~repro.obs.render.render_series`).
+* :mod:`repro.obs.alerts` — declarative threshold / rate-of-change /
+  stall rules over recorded series, evaluated as a pure function of the
+  sample sequence so serial, parallel, and resumed runs fire identical
+  alerts.
 
 Entry points: pass ``tracer=`` / ``registry=`` / ``profiler=`` /
 ``recorder=`` to :func:`repro.simulate` / :func:`repro.simulate_general`
@@ -38,6 +47,15 @@ Entry points: pass ``tracer=`` / ``registry=`` / ``profiler=`` /
 ``repro serve``).
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    evaluate_rules,
+    example_rules,
+    load_rules,
+    rules_to_json,
+)
 from repro.obs.analyze import TraceDiff, diff_traces, render_trace_diff
 from repro.obs.export import (
     chrome_trace_events,
@@ -76,6 +94,7 @@ from repro.obs.registry import (
     render_run_diff,
     render_run_list,
 )
+from repro.obs.render import render_series, sparkline
 from repro.obs.sampling import (
     MONITOR_EVENT_NAMES,
     SamplingController,
@@ -84,6 +103,14 @@ from repro.obs.sampling import (
     sample_records,
 )
 from repro.obs.service import OpsService, OpsState
+from repro.obs.timeseries import (
+    Series,
+    SeriesPoint,
+    SeriesRecorder,
+    read_series_jsonl,
+    series_from_snapshot,
+    write_series_jsonl,
+)
 from repro.obs.tracing import (
     JsonlSink,
     MemorySink,
@@ -97,6 +124,9 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
     "Counter",
     "CreditMonitor",
     "DropContainmentMonitor",
@@ -122,6 +152,9 @@ __all__ = [
     "SamplingController",
     "SamplingSink",
     "SamplingTracer",
+    "Series",
+    "SeriesPoint",
+    "SeriesRecorder",
     "Sink",
     "SuperEpochCreditMonitor",
     "TeeSink",
@@ -134,16 +167,25 @@ __all__ = [
     "chrome_trace_events",
     "diff_runs",
     "diff_traces",
+    "evaluate_rules",
+    "example_rules",
     "flame_table",
     "instance_digest",
+    "load_rules",
     "prometheus_text",
     "read_jsonl_trace",
+    "read_series_jsonl",
     "render_metrics",
     "render_run",
     "render_run_diff",
     "render_run_list",
+    "render_series",
     "render_trace_diff",
+    "rules_to_json",
     "sample_records",
+    "series_from_snapshot",
+    "sparkline",
     "standard_monitors",
     "write_chrome_trace",
+    "write_series_jsonl",
 ]

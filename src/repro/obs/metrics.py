@@ -280,13 +280,19 @@ def render_metrics(snapshot: Mapping[str, Any], *, width: int = 32) -> str:
             lines.append(f"  {name.ljust(pad)}  {gauges[name]:.6g}")
     for name in sorted(snapshot.get("histograms", {})):
         data = snapshot["histograms"][name]
+        total_count = data.get("count", 0)
+        mean = data.get("mean")
+        if mean is None:
+            # Older/hand-built payloads may omit the derived mean.
+            mean = data.get("sum", 0.0) / total_count if total_count else 0.0
         lines.append(
-            f"histogram {name}  count={data['count']}  mean={data['mean']:.3f}"
+            f"histogram {name}  count={total_count}  mean={mean:.3f}"
         )
-        labels = [f"<={bound:g}" for bound in data["buckets"]] + ["inf"]
-        peak = max(data["counts"]) or 1
+        counts = data.get("counts", [])
+        labels = [f"<={bound:g}" for bound in data.get("buckets", [])] + ["inf"]
+        peak = max(counts, default=0) or 1
         pad = max(len(label) for label in labels)
-        for label, count in zip(labels, data["counts"]):
+        for label, count in zip(labels, counts):
             if count == 0:
                 continue
             bar = "#" * max(1, round(width * count / peak))

@@ -10,11 +10,16 @@ The timeline renders one line per simulated round, leaf events inlined
 in emission order, fast-forwarded stretches as explicit skip markers,
 and after-the-fact ``epoch`` / ``super_epoch`` annotations attached to
 the rounds they anchor on.
+
+Also here: :func:`sparkline` / :func:`render_series`, the terminal view
+of :mod:`repro.obs.timeseries` ring buffers — one unicode block-glyph
+line per recorded metric series.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import math
+from typing import Iterable, Mapping, Sequence
 
 from repro.obs.tracing import TraceRecord
 
@@ -183,6 +188,103 @@ def summarize_trace(records: Iterable[TraceRecord]) -> dict:
         "offline_solve": offline_info,
         "rds_pass": rds_pass_info,
     }
+
+
+#: Eight-level block glyphs, lowest to highest.
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, width: int = 48) -> str:
+    """Render values as a unicode sparkline, at most ``width`` glyphs.
+
+    Longer inputs are downsampled by chunk means (deterministic); a flat
+    or single-point series renders at the lowest level.  Non-finite
+    values clamp to the nearest level instead of raising.
+    """
+    if width < 1:
+        raise ValueError("sparkline width must be at least 1")
+    data = [float(value) for value in values]
+    if not data:
+        return ""
+    if len(data) > width:
+        chunks: list[float] = []
+        for index in range(width):
+            lo = index * len(data) // width
+            hi = max(lo + 1, (index + 1) * len(data) // width)
+            window = data[lo:hi]
+            chunks.append(sum(window) / len(window))
+        data = chunks
+    finite = [value for value in data if math.isfinite(value)]
+    low = min(finite) if finite else 0.0
+    high = max(finite) if finite else 0.0
+    span = high - low
+    if span <= 0:
+        return _SPARK_GLYPHS[0] * len(data)
+    top = len(_SPARK_GLYPHS) - 1
+    glyphs = []
+    for value in data:
+        if not math.isfinite(value):
+            level = top if value > 0 else 0
+        else:
+            level = int((value - low) / span * top)
+        glyphs.append(_SPARK_GLYPHS[max(0, min(top, level))])
+    return "".join(glyphs)
+
+
+def render_series(source, *, names: Sequence[str] | None = None, width: int = 48) -> str:
+    """Fixed-width sparkline table of recorded metric series.
+
+    ``source`` is a :class:`~repro.obs.timeseries.SeriesRecorder`, a
+    recorder/JSONL snapshot dict (``{"schema": "repro-series/v1", ...}``),
+    or a plain ``{name: Series}`` mapping.  ``names`` restricts (and
+    orders) the rendered series; default is all, sorted.
+    """
+    from repro.obs.timeseries import (
+        Series,
+        SeriesRecorder,
+        series_from_snapshot,
+    )
+
+    if isinstance(source, SeriesRecorder):
+        table: dict[str, Series] = dict(source.series)
+    elif isinstance(source, Mapping) and "series" in source:
+        table = series_from_snapshot(source)
+    elif isinstance(source, Mapping):
+        table = {
+            name: data if isinstance(data, Series) else Series.from_dict(data)
+            for name, data in source.items()
+        }
+    else:
+        raise TypeError(
+            "render_series takes a SeriesRecorder, a series snapshot "
+            f"dict, or a name->Series mapping, not {type(source).__name__}"
+        )
+    selected = list(names) if names is not None else sorted(table)
+    missing = [name for name in selected if name not in table]
+    if missing:
+        raise KeyError(f"unknown series: {', '.join(missing)}")
+    if not selected:
+        return "(no series recorded)"
+    pad = max(len(name) for name in selected)
+    lines = []
+    for name in selected:
+        series = table[name]
+        if not series.points:
+            lines.append(f"{name.ljust(pad)}  (empty)")
+            continue
+        latest = series.points[-1]
+        spark = sparkline(series.values(), width=width)
+        span = f"[{series.points[0].start}..{latest.end}]"
+        note = (
+            f"  ({series.compactions} compactions)"
+            if series.compactions
+            else ""
+        )
+        lines.append(
+            f"{name.ljust(pad)}  {spark}  last={latest.last:g} "
+            f"{span}{note}"
+        )
+    return "\n".join(lines)
 
 
 def render_trace_stats(records: Sequence[TraceRecord]) -> str:

@@ -14,11 +14,18 @@ thread:
   sees exactly the merged in-process registry plus a few ``ops_*``
   self-metrics.
 * ``GET /health`` — JSON liveness/correctness summary: HTTP 200 while
-  no monitor violation or trace-integrity error has been reported,
-  HTTP 503 once one has (scrape-side alerting needs no body parsing).
+  no monitor violation or trace-integrity error has been reported *and*
+  no critical alert rule is firing, HTTP 503 otherwise (scrape-side
+  alerting needs no body parsing).
 * ``GET /runs`` — the run registry as JSON (``?limit=N`` and
   ``?kind=simulate|search|offline|experiment|matrix`` filter); ``GET
   /runs/<id>`` one record by (abbreviable) id.
+* ``GET /series`` — the latest published
+  :class:`~repro.obs.timeseries.SeriesRecorder` snapshot (ring-buffered
+  metric history; ``?name=PREFIX`` filters series by name prefix).
+* ``GET /alerts`` — the latest published
+  :class:`~repro.obs.alerts.AlertEngine` payload (rule states, firing
+  set, fire/resolve events).
 
 Everything is stdlib-only and thread-safe: handlers run on the server's
 threads while the simulation publishes from its own, synchronized on one
@@ -61,6 +68,10 @@ class OpsState:
         self.runs_recorded = 0
         self.stream_status: dict[str, Any] | None = None
         self.stream_updates = 0
+        self.series_snapshot: dict[str, Any] | None = None
+        self.series_updates = 0
+        self.alerts_snapshot: dict[str, Any] | None = None
+        self.alerts_updates = 0
 
     # ------------------------------------------------------------ publish
 
@@ -101,19 +112,58 @@ class OpsState:
             self.stream_status = dict(status)
             self.stream_updates += 1
 
+    def publish_series(self, snapshot: Mapping[str, Any]) -> None:
+        """Replace the served time-series snapshot (``/series``).
+
+        Producers call this with
+        :meth:`~repro.obs.timeseries.SeriesRecorder.snapshot` after each
+        sample batch; the service stores a copy, so handler threads
+        never touch the live recorder.
+        """
+        with self._lock:
+            self.series_snapshot = dict(snapshot)
+            self.series_updates += 1
+
+    def publish_alerts(self, payload: Mapping[str, Any]) -> None:
+        """Replace the served alert payload (``/alerts``; feeds /health).
+
+        Expects :meth:`~repro.obs.alerts.AlertEngine.payload`; while the
+        stored payload has ``critical_firing`` true, :attr:`healthy`
+        goes false and ``/health`` serves 503.
+        """
+        with self._lock:
+            self.alerts_snapshot = dict(payload)
+            self.alerts_updates += 1
+
     # ------------------------------------------------------------- render
 
     @property
+    def critical_alerts_firing(self) -> bool:
+        return bool(
+            self.alerts_snapshot
+            and self.alerts_snapshot.get("critical_firing")
+        )
+
+    @property
     def healthy(self) -> bool:
-        return self.monitor_violations == 0 and self.trace_integrity_errors == 0
+        return (
+            self.monitor_violations == 0
+            and self.trace_integrity_errors == 0
+            and not self.critical_alerts_firing
+        )
 
     def health(self) -> dict[str, Any]:
         with self._lock:
+            firing: list[str] = []
+            if self.alerts_snapshot:
+                firing = list(self.alerts_snapshot.get("firing", []))
             return {
                 "status": "ok" if self.healthy else "degraded",
                 "uptime_seconds": round(time.time() - self.started, 3),
                 "monitor_violations": self.monitor_violations,
                 "trace_integrity_errors": self.trace_integrity_errors,
+                "alerts_firing": firing,
+                "critical_alerts_firing": self.critical_alerts_firing,
                 "snapshots_merged": self.snapshots_merged,
                 "runs_recorded": self.runs_recorded,
                 "metrics_instruments": len(self.metrics.names()),
@@ -142,6 +192,37 @@ class OpsState:
             }
             if self.stream_status is not None:
                 payload["status"] = dict(self.stream_status)
+        return payload
+
+    def series_payload(self, *, name_prefix: str | None = None) -> dict[str, Any]:
+        with self._lock:
+            payload: dict[str, Any] = {
+                "schema": "repro-series/v1",
+                "active": self.series_snapshot is not None,
+                "updates": self.series_updates,
+            }
+            if self.series_snapshot is not None:
+                snapshot = dict(self.series_snapshot)
+                series = dict(snapshot.get("series", {}))
+                if name_prefix is not None:
+                    series = {
+                        name: data
+                        for name, data in series.items()
+                        if name.startswith(name_prefix)
+                    }
+                snapshot["series"] = series
+                payload["snapshot"] = snapshot
+        return payload
+
+    def alerts_payload(self) -> dict[str, Any]:
+        with self._lock:
+            payload: dict[str, Any] = {
+                "schema": "repro-alerts/v1",
+                "active": self.alerts_snapshot is not None,
+                "updates": self.alerts_updates,
+            }
+            if self.alerts_snapshot is not None:
+                payload.update(self.alerts_snapshot)
         return payload
 
     def runs_payload(
@@ -217,6 +298,15 @@ class _OpsHandler(BaseHTTPRequestHandler):
         if path == "/stream":
             self._send_json(200, self.state.stream_payload())
             return
+        if path == "/series":
+            prefix = query.get("name", [None])[0]
+            self._send_json(
+                200, self.state.series_payload(name_prefix=prefix)
+            )
+            return
+        if path == "/alerts":
+            self._send_json(200, self.state.alerts_payload())
+            return
         if path == "/runs":
             limit = None
             if "limit" in query:
@@ -251,6 +341,8 @@ class _OpsHandler(BaseHTTPRequestHandler):
                         "/metrics",
                         "/health",
                         "/stream",
+                        "/series",
+                        "/alerts",
                         "/runs",
                         "/runs/<id>",
                     ],

@@ -63,6 +63,13 @@ class StreamCheckpoint:
     source_state: dict = field(default_factory=dict)
     rounds_executed: int = 0
     wall_seconds: float = 0.0
+    #: Session-cumulative checkpoints written, including this one —
+    #: carried so a resumed session's ``stream.checkpoints`` counter
+    #: (and the series recorded from it) continues instead of resetting.
+    checkpoints_written: int = 0
+    #: Observability carry-over (series recorder + alert engine state);
+    #: optional so v1 checkpoints written before it existed still load.
+    obs_state: dict = field(default_factory=dict)
 
     def to_payload(self) -> dict:
         body = {
@@ -75,6 +82,8 @@ class StreamCheckpoint:
             "source_state": self.source_state,
             "rounds_executed": self.rounds_executed,
             "wall_seconds": self.wall_seconds,
+            "checkpoints_written": self.checkpoints_written,
+            "obs_state": self.obs_state,
         }
         body["digest"] = _payload_digest(
             {k: v for k, v in body.items() if k != "digest"}
@@ -105,6 +114,8 @@ class StreamCheckpoint:
             source_state=payload.get("source_state", {}),
             rounds_executed=payload.get("rounds_executed", 0),
             wall_seconds=payload.get("wall_seconds", 0.0),
+            checkpoints_written=payload.get("checkpoints_written", 0),
+            obs_state=payload.get("obs_state", {}),
         )
 
     def save(self, path: str | Path) -> Path:

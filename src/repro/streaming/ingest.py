@@ -145,7 +145,7 @@ class StreamIngest:
     # -- checkpoint/restore ------------------------------------------------
 
     def state_dict(self) -> dict:
-        return {
+        state = {
             "offered": self.offered,
             "admitted": self.admitted,
             "rejected": self.rejected,
@@ -153,6 +153,18 @@ class StreamIngest:
                 str(c): n for c, n in self.rejected_by_color.items()
             },
         }
+        if self._registry is not None:
+            # The queue-depth histogram only exists with a registry
+            # attached; carry it so a resumed session's stream.* snapshot
+            # matches the uninterrupted one cell for cell.
+            hist = self._depth_hist
+            state["queue_depth"] = {
+                "buckets": list(hist.bounds),
+                "counts": list(hist.counts),
+                "count": hist.count,
+                "sum": hist.total,
+            }
+        return state
 
     def load_state(self, state: dict) -> None:
         self.offered = state["offered"]
@@ -161,3 +173,33 @@ class StreamIngest:
         self.rejected_by_color = {
             int(c): n for c, n in state["rejected_by_color"].items()
         }
+        if self._registry is not None:
+            self._reseed_metrics(state)
+
+    def _reseed_metrics(self, state: dict) -> None:
+        """Re-seed the ``stream.*`` instruments from restored counters.
+
+        A fresh session's registry starts every instrument at zero, so
+        without this a resumed session's ``/metrics`` exposition would
+        diverge from an uninterrupted run's.  Counters advance by the
+        delta to the restored value (idempotent under re-load), the
+        rejection-rate gauge is recomputed, the lazily-created per-color
+        rejection counters are materialized, and the queue-depth
+        histogram is restored when the checkpoint carries one.
+        """
+        self._offered_ctr.inc(self.offered - self._offered_ctr.value)
+        self._admitted_ctr.inc(self.admitted - self._admitted_ctr.value)
+        self._rejected_ctr.inc(self.rejected - self._rejected_ctr.value)
+        self._rate_gauge.set(self.rejection_rate)
+        for color, count in sorted(self.rejected_by_color.items()):
+            ctr = self._rejected_color_ctrs.get(color)
+            if ctr is None:
+                ctr = self._registry.counter(f"stream.rejected.color.{color}")
+                self._rejected_color_ctrs[color] = ctr
+            ctr.inc(count - ctr.value)
+        depth = state.get("queue_depth")
+        if depth is not None and tuple(depth["buckets"]) == self._depth_hist.bounds:
+            hist = self._depth_hist
+            hist.counts = [int(c) for c in depth["counts"]]
+            hist.count = int(depth["count"])
+            hist.total = float(depth["sum"])

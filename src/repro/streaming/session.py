@@ -88,6 +88,14 @@ class StreamSession:
     receives both the ``stream.*`` ingestion metrics and the engines'
     ``engine.*`` instruments, and ``segment_rounds`` sets the window
     width (cost-transparent; tune for memory vs. per-segment overhead).
+
+    ``recorder`` attaches a
+    :class:`~repro.obs.timeseries.SeriesRecorder`: the session samples
+    it at every segment end (a deterministic round clock), so metric
+    history — and any alert rules riding on the recorder — accrues as
+    the stream runs.  Recorder and alert state ride inside checkpoints,
+    so a killed-and-resumed session continues the exact series and fires
+    the exact alerts an uninterrupted one would.
     """
 
     def __init__(
@@ -101,6 +109,7 @@ class StreamSession:
         speed: int = 1,
         policy: AdmissionPolicy | None = None,
         registry=None,
+        recorder=None,
         segment_rounds: int = DEFAULT_SEGMENT_ROUNDS,
         name: str = "stream",
     ) -> None:
@@ -122,7 +131,15 @@ class StreamSession:
         self.segment_rounds = segment_rounds
         self.name = name
         self.registry = registry
+        if recorder is not None and recorder.registry is not registry:
+            raise ValueError(
+                "recorder must sample this session's registry; construct "
+                "it as SeriesRecorder(registry, ...) with the same object"
+            )
+        self.recorder = recorder
         self.ingest = StreamIngest(policy, registry)
+        self.last_checkpoint_round: int | None = None
+        self.last_checkpoint_path: str | None = None
         self._round = 0
         self._engine_state: dict | None = None
         self._scheme_state: dict | None = None
@@ -218,14 +235,19 @@ class StreamSession:
                 and self._round % checkpoint_every == 0
                 and self._round > 0
             ):
-                ckpt = self.checkpoint()
-                if checkpoint_path is not None:
-                    ckpt.save(checkpoint_path)
-                if on_checkpoint is not None:
-                    on_checkpoint(ckpt)
+                # Count first so the checkpoint carries a total that
+                # includes itself — a resumed session then re-seeds the
+                # counter to exactly what the uninterrupted one shows.
                 self._checkpoints_written += 1
                 if self._checkpoint_ctr is not None:
                     self._checkpoint_ctr.inc()
+                ckpt = self.checkpoint()
+                if checkpoint_path is not None:
+                    ckpt.save(checkpoint_path)
+                    self.last_checkpoint_path = str(checkpoint_path)
+                self.last_checkpoint_round = self._round
+                if on_checkpoint is not None:
+                    on_checkpoint(ckpt)
         return self.result()
 
     def _boundary_rounds(self, start: int, end: int) -> list[int]:
@@ -268,6 +290,8 @@ class StreamSession:
         self._round = end
         if self._round_gauge is not None:
             self._round_gauge.set(end)
+        if self.recorder is not None:
+            self.recorder.sample(end)
 
     def _build_engine(self, instance: Instance, start: int) -> BatchedEngine:
         kwargs = dict(
@@ -314,6 +338,11 @@ class StreamSession:
 
     def checkpoint(self) -> StreamCheckpoint:
         """Snapshot the session (valid at any between-rounds point)."""
+        obs_state = {}
+        if self.registry is not None:
+            obs_state["registry"] = self.registry.snapshot()
+        if self.recorder is not None:
+            obs_state["series"] = self.recorder.state_dict()
         return StreamCheckpoint(
             round=self._round,
             config=self._config(),
@@ -323,7 +352,21 @@ class StreamSession:
             source_state=self.source.state_dict(),
             rounds_executed=self._rounds_executed,
             wall_seconds=self._wall_seconds,
+            checkpoints_written=self._checkpoints_written,
+            obs_state=obs_state,
         )
+
+    def save_checkpoint(self, path) -> StreamCheckpoint:
+        """Checkpoint to ``path`` now, recording the metadata the ops
+        surface reports (last checkpoint round and path)."""
+        self._checkpoints_written += 1
+        if self._checkpoint_ctr is not None:
+            self._checkpoint_ctr.inc()
+        ckpt = self.checkpoint()
+        ckpt.save(path)
+        self.last_checkpoint_round = self._round
+        self.last_checkpoint_path = str(path)
+        return ckpt
 
     def load_checkpoint(self, checkpoint: StreamCheckpoint) -> None:
         """Restore a checkpoint into this (fresh) session."""
@@ -355,12 +398,31 @@ class StreamSession:
         self._round = checkpoint.round
         self._engine_state = checkpoint.engine_state or None
         self._scheme_state = checkpoint.scheme_state or None
+        if self.registry is not None and "registry" in checkpoint.obs_state:
+            # Fold the checkpoint's full instrument state into the fresh
+            # registry before the ingest re-seed: engine.* counters and
+            # histograms continue from their pre-kill values (so recorded
+            # series and /metrics match the uninterrupted session for
+            # every instrument, not just stream.*), while the idempotent
+            # stream.* re-seed below collapses to a zero delta.
+            self.registry.merge_snapshot(checkpoint.obs_state["registry"])
         self.ingest.load_state(checkpoint.ingest_state)
         self.source.load_state(checkpoint.source_state)
         self._rounds_executed = checkpoint.rounds_executed
         self._wall_seconds = checkpoint.wall_seconds
+        self._checkpoints_written = checkpoint.checkpoints_written
+        if self._checkpoint_ctr is not None:
+            self._checkpoint_ctr.inc(
+                self._checkpoints_written - self._checkpoint_ctr.value
+            )
         if self._engine_state is not None:
             self._cost = CostBreakdown.from_dict(self._engine_state["cost"])
+        if self._round_gauge is not None:
+            # Re-seed the round gauge so a scrape right after resume
+            # matches the uninterrupted session's exposition.
+            self._round_gauge.set(self._round)
+        if self.recorder is not None and "series" in checkpoint.obs_state:
+            self.recorder.load_state(checkpoint.obs_state["series"])
 
     @classmethod
     def resume(
@@ -371,6 +433,7 @@ class StreamSession:
         *,
         policy: AdmissionPolicy | None = None,
         registry=None,
+        recorder=None,
         segment_rounds: int = DEFAULT_SEGMENT_ROUNDS,
     ) -> "StreamSession":
         """Build a session from a checkpoint (or its file path).
@@ -394,6 +457,7 @@ class StreamSession:
             speed=config["speed"],
             policy=policy,
             registry=registry,
+            recorder=recorder,
             segment_rounds=segment_rounds,
             name=config.get("name", "stream"),
         )

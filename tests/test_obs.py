@@ -43,6 +43,7 @@ from repro.obs import (
     read_jsonl_trace,
     render_metrics,
 )
+from repro.obs.metrics import iter_metric_names
 from repro.obs.render import (
     render_trace_stats,
     render_trace_timeline,
@@ -413,6 +414,64 @@ class TestMetrics:
         assert "engine.drops" in text
         assert "histogram engine.queue_depth" in text
         assert render_metrics(MetricsRegistry().snapshot()) == "(no metrics recorded)"
+
+    def test_render_metrics_empty_histogram_renders(self):
+        # A registered-but-never-observed histogram used to be the easy
+        # way to hit max() of all-zero counts.
+        registry = MetricsRegistry()
+        registry.histogram("engine.queue_depth", (1, 2))
+        text = render_metrics(registry.snapshot())
+        assert "count=0" in text and "mean=0.000" in text
+
+    def test_render_metrics_merged_multi_worker_snapshot(self):
+        def worker(drops, depth):
+            registry = MetricsRegistry()
+            registry.counter("engine.drops").inc(drops)
+            registry.counter("engine.очередь.переполнения").inc(1)
+            registry.gauge("adversary.best_ratio").set(float(drops))
+            registry.histogram("engine.queue_depth", (1, 2, 4)).observe(depth)
+            registry.histogram("engine.idle", (1, 2))  # never observed
+            return registry.snapshot()
+
+        merged = MetricsRegistry()
+        for drops, depth in ((3, 1), (5, 4), (0, 2)):
+            merged.merge_snapshot(worker(drops, depth))
+        snapshot = merged.snapshot()
+        text = render_metrics(snapshot)
+        assert "engine.drops" in text
+        assert "engine.очередь.переполнения" in text  # non-ASCII name
+        assert "histogram engine.idle  count=0" in text
+        assert list(iter_metric_names(snapshot)) == sorted(
+            set(snapshot["counters"])
+            | set(snapshot["gauges"])
+            | set(snapshot["histograms"])
+        )
+
+    def test_render_metrics_snapshots_missing_sections(self):
+        # Hand-built/partial payloads: each section optional, histogram
+        # sub-keys optional too.
+        assert render_metrics({}) == "(no metrics recorded)"
+        assert list(iter_metric_names({})) == []
+        only_counters = {"counters": {"a": 1}}
+        assert "a" in render_metrics(only_counters)
+        assert list(iter_metric_names(only_counters)) == ["a"]
+        sparse_hist = {"histograms": {"h": {"count": 4, "sum": 8.0}}}
+        text = render_metrics(sparse_hist)
+        assert "histogram h  count=4  mean=2.000" in text
+        assert list(iter_metric_names(sparse_hist)) == ["h"]
+
+    def test_render_metrics_round_trips_through_json(self):
+        import json as _json
+
+        registry = MetricsRegistry()
+        registry.counter("流量.总数").inc(7)
+        registry.gauge("δ.ratio").set(1.5)
+        registry.histogram("engine.queue_depth", (1, 2)).observe(2)
+        snapshot = _json.loads(_json.dumps(registry.snapshot()))
+        assert render_metrics(snapshot) == render_metrics(registry.snapshot())
+        restored = MetricsRegistry()
+        restored.merge_snapshot(snapshot)
+        assert restored.snapshot() == registry.snapshot()
 
 
 # --------------------------------------------------------------- profiler

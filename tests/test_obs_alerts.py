@@ -1,0 +1,421 @@
+"""Deterministic alerting: rule semantics, hysteresis, and the PR's
+headline property — serial, parallel, and killed-and-resumed producers
+fire and resolve identical alerts at identical rounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.dlru import DeltaLRU
+from repro.algorithms.dlru_edf import DeltaLRUEDF
+from repro.algorithms.edf import EDF
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    evaluate_rules,
+    example_rules,
+    load_rules,
+    rules_to_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.service import OpsState
+from repro.obs.timeseries import SeriesRecorder
+from repro.runtime.parallel import ParallelRunner
+from repro.streaming import InstanceSource, StreamSession
+from repro.workloads.random_batched import random_rate_limited
+
+
+def _events(engine: AlertEngine) -> list[tuple]:
+    return [
+        (e.rule, e.kind, e.round, e.value, e.severity) for e in engine.events
+    ]
+
+
+class TestAlertRule:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            AlertRule(name="", series="x")
+        with pytest.raises(ValueError, match="series"):
+            AlertRule(name="r", series="")
+        with pytest.raises(ValueError, match="kind"):
+            AlertRule(name="r", series="x", kind="fancy")
+        with pytest.raises(ValueError, match="op"):
+            AlertRule(name="r", series="x", op="!=")
+        with pytest.raises(ValueError, match="window"):
+            AlertRule(name="r", series="x", window=0)
+        with pytest.raises(ValueError, match="severity"):
+            AlertRule(name="r", series="x", severity="panic")
+
+    def test_dict_round_trip_and_unknown_fields(self):
+        rule = AlertRule(
+            name="r", series="x", kind="stall", window=3, severity="critical"
+        )
+        assert AlertRule.from_dict(rule.to_dict()) == rule
+        with pytest.raises(ValueError, match="unknown field"):
+            AlertRule.from_dict({"name": "r", "series": "x", "color": "red"})
+
+    def test_rule_file_round_trip(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(rules_to_json(example_rules(delay_bound=16)))
+        assert load_rules(path) == example_rules(delay_bound=16)
+
+    def test_rule_file_errors(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ValueError, match="cannot read"):
+            load_rules(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro-alerts/v1", "rules": []}')
+        with pytest.raises(ValueError, match="no rules"):
+            load_rules(bad)
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"schema": "x/v1", "rules": [{}]}')
+        with pytest.raises(ValueError, match="schema"):
+            load_rules(foreign)
+
+
+class TestAlertEngineSemantics:
+    def test_threshold_hysteresis_fires_and_resolves(self):
+        engine = AlertEngine(
+            [
+                AlertRule(
+                    name="hot",
+                    series="x",
+                    op=">",
+                    value=10.0,
+                    window=3,
+                    resolve_window=2,
+                )
+            ]
+        )
+        samples = [5, 11, 12, 13, 14, 5, 11, 5, 5]
+        produced = []
+        for k, value in enumerate(samples):
+            produced.extend(engine.observe(k, {"x": float(value)}))
+        # Breaches at k=1,2,3 -> fires on the 3rd consecutive (k=3);
+        # clean at k=5, breach resets the clear streak at k=6, clean at
+        # k=7,8 -> resolves at k=8.
+        assert _events(engine) == [
+            ("hot", "fired", 3, 13.0, "warning"),
+            ("hot", "resolved", 8, 5.0, "warning"),
+        ]
+        assert engine.firing == []
+        assert engine.status("hot")["fired_count"] == 1
+
+    def test_rate_of_change_needs_two_samples(self):
+        engine = AlertEngine(
+            [
+                AlertRule(
+                    name="ramp", series="x", kind="rate_of_change", value=5.0
+                )
+            ]
+        )
+        assert engine.observe(0, {"x": 100.0}) == []  # no previous
+        assert engine.observe(1, {"x": 103.0}) == []  # +3 <= 5
+        events = engine.observe(2, {"x": 110.0})  # +7 > 5
+        assert [e.kind for e in events] == ["fired"]
+
+    def test_stall_detects_flat_series(self):
+        engine = AlertEngine(
+            [
+                AlertRule(
+                    name="stalled", series="x", kind="stall", window=2,
+                    severity="critical",
+                )
+            ]
+        )
+        rounds = [(0, 1.0), (1, 2.0), (2, 2.0), (3, 2.0), (4, 7.0)]
+        produced = []
+        for k, value in rounds:
+            produced.extend(engine.observe(k, {"x": value}))
+        assert _events(engine) == [
+            ("stalled", "fired", 3, 2.0, "critical"),
+            ("stalled", "resolved", 4, 7.0, "critical"),
+        ]
+
+    def test_missing_series_is_skipped_not_breach_or_resolve(self):
+        engine = AlertEngine(
+            [AlertRule(name="hot", series="x", value=0.0, window=2)]
+        )
+        engine.observe(0, {"x": 5.0})
+        engine.observe(1, {"other": 1.0})  # x absent: streak frozen
+        assert engine.firing == []
+        events = engine.observe(2, {"x": 5.0})
+        assert [e.kind for e in events] == ["fired"]
+
+    def test_critical_firing_and_payload(self):
+        engine = AlertEngine(
+            [
+                AlertRule(name="warn", series="x", value=0.0),
+                AlertRule(
+                    name="crit", series="y", value=0.0, severity="critical"
+                ),
+            ]
+        )
+        engine.observe(0, {"x": 1.0})
+        assert engine.firing == ["warn"]
+        assert engine.critical_firing is False
+        engine.observe(1, {"y": 1.0})
+        assert engine.critical_firing is True
+        payload = engine.payload()
+        assert payload["schema"] == "repro-alerts/v1"
+        assert payload["firing"] == ["warn", "crit"]
+        assert payload["critical_firing"] is True
+        assert len(payload["rules"]) == 2
+        assert [e["kind"] for e in payload["events"]] == ["fired", "fired"]
+
+    def test_event_ring_is_bounded(self):
+        engine = AlertEngine(
+            [
+                AlertRule(
+                    name="flap", series="x", op=">", value=0.0,
+                )
+            ],
+            max_events=4,
+        )
+        for k in range(20):
+            engine.observe(k, {"x": 1.0 if k % 2 == 0 else -1.0})
+        assert len(engine.events) <= 4
+        assert engine.events_dropped > 0
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine(
+                [
+                    AlertRule(name="r", series="x"),
+                    {"name": "r", "series": "y"},
+                ]
+            )
+
+    def test_unknown_status_name(self):
+        with pytest.raises(KeyError):
+            AlertEngine([]).status("nope")
+
+    def test_state_round_trip_mid_sequence(self):
+        rules = [
+            AlertRule(name="hot", series="x", value=5.0, window=2,
+                      resolve_window=2),
+            AlertRule(name="stall", series="x", kind="stall", window=3),
+        ]
+        samples = [(k, {"x": float(v)}) for k, v in enumerate(
+            [1, 7, 8, 8, 8, 8, 2, 2, 9, 9]
+        )]
+        uninterrupted = AlertEngine(rules)
+        for k, values in samples:
+            uninterrupted.observe(k, values)
+
+        first = AlertEngine(rules)
+        for k, values in samples[:5]:
+            first.observe(k, values)
+        resumed = AlertEngine(rules)
+        resumed.load_state(first.state_dict())
+        for k, values in samples[5:]:
+            resumed.observe(k, values)
+        assert _events(resumed) == _events(uninterrupted)
+        assert resumed.payload() == uninterrupted.payload()
+
+
+class TestEvaluateRulesMatchesLive:
+    def test_replay_of_recorded_series_equals_live_feed(self):
+        registry = MetricsRegistry()
+        rules = [
+            AlertRule(
+                name="stalled", series="stream.offered", kind="stall",
+                window=2, severity="critical",
+            ),
+            AlertRule(name="busy", series="stream.offered.delta", value=3.0),
+        ]
+        recorder = SeriesRecorder(registry, capacity=64, rules=rules)
+        counter = registry.counter("stream.offered")
+        increments = [5, 0, 0, 0, 4, 6, 0, 0, 2]
+        for k, inc in enumerate(increments):
+            counter.inc(inc)
+            recorder.sample((k + 1) * 10)
+        replayed = evaluate_rules(rules, recorder.series)
+        assert _events(replayed) == _events(recorder.alerts)
+        assert replayed.firing == recorder.alerts.firing
+
+
+class TestDeterminismAcrossProducers:
+    def test_run_matrix_series_identical_serial_vs_parallel(self):
+        from repro.experiments.sweeps import run_matrix
+
+        instances = [
+            random_rate_limited(6, 16, 192, seed=seed, load=0.6)
+            for seed in range(3)
+        ]
+        rules = [
+            AlertRule(
+                name="drops", series="engine.drops.delta", op=">",
+                value=0.0,
+            )
+        ]
+
+        def run(runner):
+            recorder = SeriesRecorder(
+                MetricsRegistry(), capacity=32, rules=rules
+            )
+            run_matrix(
+                instances,
+                [DeltaLRUEDF, DeltaLRU, EDF],
+                6,
+                record="costs",
+                runner=runner,
+                series=recorder,
+            )
+            return recorder
+
+        serial = run(None)
+        parallel = run(ParallelRunner(max_workers=2, chunk_size=1))
+        assert serial.snapshot() == parallel.snapshot()
+        assert _events(serial.alerts) == _events(parallel.alerts)
+
+    def test_search_adversary_series_identical_serial_vs_parallel(self):
+        from repro.analysis.adversary_search import (
+            SearchConfig,
+            search_adversary,
+        )
+
+        config = SearchConfig(iterations=12, restarts=3, seed=3, horizon=24)
+
+        def run(runner):
+            recorder = SeriesRecorder(MetricsRegistry(), capacity=16)
+            search_adversary(
+                DeltaLRU, config, runner=runner, series=recorder
+            )
+            return recorder.snapshot()
+
+        assert run(None) == run(ParallelRunner(max_workers=2))
+
+    def test_stream_kill_resume_fires_identical_alerts(self, tmp_path):
+        instance = random_rate_limited(8, 32, 1024, seed=23, load=0.7)
+        rules = [
+            AlertRule(
+                name="offered-stall", series="stream.offered", kind="stall",
+                window=2, severity="critical",
+            ),
+            AlertRule(
+                name="cost-ramp", series="stream.round.ewma",
+                kind="rate_of_change", op=">", value=0.0,
+            ),
+        ]
+
+        def fresh(registry):
+            return SeriesRecorder(
+                registry, capacity=32, prefixes=("stream.",), rules=rules
+            )
+
+        reg_a = MetricsRegistry()
+        uninterrupted = StreamSession(
+            InstanceSource(instance),
+            DeltaLRU(),
+            8,
+            registry=reg_a,
+            recorder=fresh(reg_a),
+            segment_rounds=128,
+        )
+        uninterrupted.run(
+            instance.horizon, checkpoint_every=256
+        )
+
+        path = tmp_path / "ckpt.json"
+        reg_b = MetricsRegistry()
+        first = StreamSession(
+            InstanceSource(instance),
+            DeltaLRU(),
+            8,
+            registry=reg_b,
+            recorder=fresh(reg_b),
+            segment_rounds=128,
+        )
+        first.run(512, checkpoint_every=256, checkpoint_path=path)
+        del first  # the "kill"
+
+        reg_c = MetricsRegistry()
+        resumed = StreamSession.resume(
+            InstanceSource(instance),
+            DeltaLRU(),
+            path,
+            registry=reg_c,
+            recorder=fresh(reg_c),
+            segment_rounds=128,
+        )
+        result = resumed.run(
+            instance.horizon - resumed.round, checkpoint_every=256
+        )
+
+        base = uninterrupted.recorder
+        assert resumed.recorder.snapshot() == base.snapshot()
+        assert _events(resumed.recorder.alerts) == _events(base.alerts)
+        assert (
+            resumed.recorder.alerts.payload() == base.alerts.payload()
+        )
+        assert result.cost == uninterrupted.result().cost
+
+    def test_recorder_must_share_session_registry(self):
+        instance = random_rate_limited(4, 16, 64, seed=1)
+        other = SeriesRecorder(MetricsRegistry())
+        with pytest.raises(ValueError, match="same object"):
+            StreamSession(
+                InstanceSource(instance),
+                DeltaLRU(),
+                4,
+                registry=MetricsRegistry(),
+                recorder=other,
+            )
+
+
+class TestOpsAlertSurface:
+    def test_series_payload_filters_by_prefix(self):
+        state = OpsState()
+        assert state.series_payload()["active"] is False
+        registry = MetricsRegistry()
+        recorder = SeriesRecorder(registry, capacity=8)
+        registry.counter("stream.offered").inc(3)
+        registry.counter("engine.drops").inc(1)
+        recorder.sample(10)
+        state.publish_series(recorder.snapshot())
+        payload = state.series_payload(name_prefix="stream.")
+        assert payload["active"] is True and payload["updates"] == 1
+        names = set(payload["snapshot"]["series"])
+        assert names and all(n.startswith("stream.") for n in names)
+        unfiltered = state.series_payload()
+        assert "engine.drops" in unfiltered["snapshot"]["series"]
+
+    def test_health_degrades_on_critical_alert_and_recovers(self):
+        state = OpsState()
+        assert state.healthy
+        engine = AlertEngine(
+            [
+                AlertRule(
+                    name="crit", series="x", value=0.0, severity="critical"
+                )
+            ]
+        )
+        engine.observe(0, {"x": 1.0})
+        state.publish_alerts(engine.payload())
+        assert not state.healthy
+        health = state.health()
+        assert health["status"] == "degraded"
+        assert health["alerts_firing"] == ["crit"]
+        assert health["critical_alerts_firing"] is True
+        engine.observe(1, {"x": -1.0})
+        state.publish_alerts(engine.payload())
+        assert state.healthy
+        assert state.health()["status"] == "ok"
+        payload = state.alerts_payload()
+        assert payload["active"] is True
+        assert payload["schema"] == "repro-alerts/v1"
+        assert [e["kind"] for e in payload["events"]] == [
+            "fired",
+            "resolved",
+        ]
+
+    def test_warning_alerts_do_not_degrade_health(self):
+        state = OpsState()
+        engine = AlertEngine(
+            [AlertRule(name="warn", series="x", value=0.0)]
+        )
+        engine.observe(0, {"x": 1.0})
+        state.publish_alerts(engine.payload())
+        assert state.healthy
+        assert state.health()["alerts_firing"] == ["warn"]

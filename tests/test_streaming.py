@@ -518,6 +518,97 @@ class TestOpsStreamSurface:
         assert "engine.drops" in registry.snapshot()["counters"]
 
 
+class TestResumeMetricReseed:
+    """Satellite: a resumed session re-seeds ``stream.*`` metrics, so a
+    scrape right after resume matches the uninterrupted exposition."""
+
+    def _run(self, path=None, resume_from=None):
+        instance = _instance(seed=29, horizon=1200, load=0.9)
+        registry = MetricsRegistry()
+        if resume_from is None:
+            session = StreamSession(
+                InstanceSource(instance),
+                DeltaLRU(),
+                8,
+                policy=AdmissionPolicy(queue_cap=2),
+                registry=registry,
+                segment_rounds=200,
+            )
+        else:
+            session = StreamSession.resume(
+                InstanceSource(instance),
+                DeltaLRU(),
+                resume_from,
+                registry=registry,
+                segment_rounds=200,
+            )
+        return session, registry
+
+    def test_post_resume_snapshot_matches_uninterrupted(self, tmp_path):
+        base_session, base_registry = self._run()
+        base_session.run(1200, checkpoint_every=600)
+        baseline = base_registry.snapshot()
+        assert any(
+            name.startswith("stream.rejected.color.")
+            for name in baseline["counters"]
+        ), "workload must actually reject to make this test load-bearing"
+
+        path = tmp_path / "ckpt.json"
+        first, _ = self._run()
+        first.run(600, checkpoint_every=600, checkpoint_path=path)
+        del first
+
+        resumed, registry = self._run(resume_from=path)
+        # The regression: before the fix, a fresh registry showed zeros
+        # here even though the session had already ingested 600 rounds.
+        restored = registry.snapshot()
+        assert restored["counters"]["stream.offered"] == resumed.ingest.offered
+        assert restored["counters"]["stream.offered"] > 0
+        assert restored["gauges"]["stream.rejection_rate"] == pytest.approx(
+            resumed.ingest.rejection_rate
+        )
+        assert restored["gauges"]["stream.round"] == 600
+        # The checkpoint carries the whole registry, not just stream.*:
+        # engine counters resume from their pre-kill values too.
+        assert restored["counters"]["engine.executions"] > 0
+        resumed.run(600, checkpoint_every=600)
+        final = registry.snapshot()
+        # Everything — offered/admitted/rejected, per-color rejections,
+        # engine.* counters and histograms, the queue-depth histogram,
+        # even the checkpoint counter (carried in the checkpoint itself)
+        # — must match bit for bit.
+        assert final == baseline
+
+    def test_checkpoint_metadata_surfaces(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        session, _ = self._run()
+        assert session.last_checkpoint_round is None
+        assert session.last_checkpoint_path is None
+        session.run(600, checkpoint_every=300, checkpoint_path=path)
+        assert session.last_checkpoint_round == 600
+        assert session.last_checkpoint_path == str(path)
+        session.save_checkpoint(path)
+        assert session.last_checkpoint_round == session.round
+
+    def test_old_checkpoint_payload_without_obs_state_loads(self, tmp_path):
+        instance = _instance(seed=29, horizon=1200, load=0.9)
+        session = StreamSession(
+            InstanceSource(instance), DeltaLRU(), 8, segment_rounds=200
+        )
+        session.run(400, checkpoint_every=400)
+        payload = session.checkpoint().to_payload()
+        # Simulate a checkpoint written before obs_state existed.
+        del payload["obs_state"]
+        from repro.streaming.checkpoint import _payload_digest
+
+        payload["digest"] = _payload_digest(
+            {k: v for k, v in payload.items() if k != "digest"}
+        )
+        restored = StreamCheckpoint.from_payload(payload)
+        assert restored.obs_state == {}
+        assert restored.round == 400
+
+
 class TestVectorizedColumnarFlag:
     def test_columnar_false_matches_columnar_true(self):
         pytest.importorskip("numpy")
